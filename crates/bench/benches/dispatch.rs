@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks for the dispatcher: the routing decision
+//! (the §2.3/[24] "overhead of content-aware routing" claim) and the
+//! packet-splicing data plane.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cpms_dispatch::mapping::ConnKey;
+use cpms_dispatch::relay::{Distributor, Flags, Packet};
+use cpms_dispatch::{
+    ClusterState, ContentAwareRouter, Router, RoutingRequest, WeightedLeastConnections,
+};
+use cpms_model::{NodeId, NodeSpec, UrlPath};
+use cpms_sim::placement;
+use cpms_workload::{CorpusBuilder, RequestSampler, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_routing(c: &mut Criterion) {
+    let corpus = CorpusBuilder::paper_site().seed(1).build();
+    let specs = NodeSpec::paper_testbed();
+    let table = placement::partition_by_type(&corpus, &specs, placement::StaticSpread::AllNodes);
+    let state = ClusterState::new(specs.iter().map(NodeSpec::weight).collect());
+    let sampler = RequestSampler::new(&corpus, &WorkloadSpec::workload_b(), 3);
+    let mut rng = StdRng::seed_from_u64(4);
+    let probes: Vec<(UrlPath, cpms_model::ContentKind)> = (0..4_096)
+        .map(|_| {
+            let item = corpus.get(sampler.sample_id(&mut rng));
+            (item.path().clone(), item.kind())
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("dispatch");
+    group.bench_function("content_aware_decision", |b| {
+        let mut router = ContentAwareRouter::new(4_096);
+        let mut i = 0;
+        b.iter(|| {
+            let (path, kind) = &probes[i % probes.len()];
+            i += 1;
+            let req = RoutingRequest {
+                client: i as u32,
+                path,
+                kind: *kind,
+            };
+            black_box(router.route(&req, &state, &table))
+        });
+    });
+
+    group.bench_function("l4_wlc_decision", |b| {
+        let mut router = WeightedLeastConnections::new();
+        let mut i = 0;
+        b.iter(|| {
+            let (path, kind) = &probes[i % probes.len()];
+            i += 1;
+            let req = RoutingRequest {
+                client: i as u32,
+                path,
+                kind: *kind,
+            };
+            black_box(router.route(&req, &state, &table))
+        });
+    });
+
+    group.bench_function("spliced_exchange_lifecycle", |b| {
+        // Full per-request distributor work: SYN, handshake, bind, two
+        // relays, FIN dance, release.
+        let mut d = Distributor::new(9, 64);
+        let mut port = 0u16;
+        b.iter(|| {
+            port = port.wrapping_add(1);
+            let key = ConnKey {
+                client_ip: 0x0A00_0001,
+                client_port: port,
+            };
+            let synack = d.accept_syn(key, 1_000, false).expect("fresh conn");
+            d.complete_handshake(key).expect("handshake");
+            d.bind(key, NodeId(port % 9), 1_001).expect("bind");
+            let pkt = Packet {
+                seq: 1_001,
+                ack: synack.seq.wrapping_add(1),
+                flags: Flags {
+                    syn: false,
+                    ack: true,
+                    fin: false,
+                },
+                payload: 200,
+            };
+            let _ = d.relay_to_server(key, pkt).expect("relay");
+            let _ = d.relay_to_client(key, pkt, true).expect("relay back");
+            let _ = d.client_fin(key, 1_201).expect("fin");
+            d.last_ack(key, 200, 1_000).expect("close");
+            black_box(d.pool().total_checkouts())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks for the URL table (§5.2): the per-request
+//! routing lookup, with and without the recently-accessed-entry cache, at
+//! the paper's 8 700-object scale.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cpms_model::{NodeSpec, UrlPath};
+use cpms_sim::placement;
+use cpms_urltable::{LookupCache, UrlTable};
+use cpms_workload::{CorpusBuilder, RequestSampler, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn paper_table() -> (UrlTable, Vec<UrlPath>) {
+    let corpus = CorpusBuilder::paper_site().seed(1).build();
+    let table = placement::partition_by_type(
+        &corpus,
+        &NodeSpec::paper_testbed(),
+        placement::StaticSpread::AllNodes,
+    );
+    // A Zipf-skewed probe stream, like live routing traffic.
+    let sampler = RequestSampler::new(&corpus, &WorkloadSpec::workload_b(), 3);
+    let mut rng = StdRng::seed_from_u64(4);
+    let probes: Vec<UrlPath> = (0..8_192)
+        .map(|_| corpus.get(sampler.sample_id(&mut rng)).path().clone())
+        .collect();
+    (table, probes)
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let (table, probes) = paper_table();
+    let mut group = c.benchmark_group("urltable");
+
+    group.bench_function("lookup_uncached_8700_objects", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let path = &probes[i % probes.len()];
+            i += 1;
+            black_box(table.lookup(path))
+        });
+    });
+
+    group.bench_function("lookup_cached_8700_objects", |b| {
+        let mut cache = LookupCache::new(4_096);
+        // warm the cache
+        for path in &probes {
+            cache.lookup(&table, path);
+        }
+        let mut i = 0;
+        b.iter(|| {
+            let path = &probes[i % probes.len()];
+            i += 1;
+            black_box(cache.lookup(&table, path))
+        });
+    });
+
+    group.bench_function("lookup_miss", |b| {
+        let missing: UrlPath = "/definitely/not/present.html".parse().expect("valid");
+        b.iter(|| black_box(table.lookup(&missing)));
+    });
+
+    group.bench_function("insert_remove", |b| {
+        use cpms_model::{ContentId, ContentKind};
+        use cpms_urltable::UrlEntry;
+        let path: UrlPath = "/bench/new/object.html".parse().expect("valid");
+        b.iter_batched(
+            || table.clone(),
+            |mut t| {
+                t.insert(
+                    path.clone(),
+                    UrlEntry::new(ContentId(u32::MAX), ContentKind::StaticHtml, 100),
+                )
+                .expect("fresh path");
+                t.remove(&path).expect("present");
+                black_box(t.len())
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

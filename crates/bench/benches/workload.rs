@@ -1,0 +1,42 @@
+//! Criterion benchmarks for workload generation: corpus construction and
+//! per-request sampling rates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cpms_workload::{CorpusBuilder, RequestSampler, Trace, WorkloadSpec, ZipfSampler};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload");
+
+    group.bench_function("corpus_build_8700", |b| {
+        b.iter(|| black_box(CorpusBuilder::paper_site().seed(1).build().len()));
+    });
+
+    let corpus = CorpusBuilder::paper_site().seed(1).build();
+    let sampler = RequestSampler::new(&corpus, &WorkloadSpec::workload_b(), 3);
+
+    group.bench_function("sample_request", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| black_box(sampler.sample_id(&mut rng)));
+    });
+
+    group.bench_function("zipf_sample_8700", |b| {
+        let zipf = ZipfSampler::new(8_700, 0.8);
+        let mut rng = StdRng::seed_from_u64(8);
+        b.iter(|| black_box(zipf.sample(&mut rng)));
+    });
+
+    group.bench_function("trace_record_10k", |b| {
+        b.iter(|| {
+            let mut s = RequestSampler::new(&corpus, &WorkloadSpec::workload_a(), 5);
+            black_box(Trace::record(&mut s, 10_000).len())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_workload);
+criterion_main!(benches);

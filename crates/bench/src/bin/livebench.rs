@@ -1,0 +1,164 @@
+//! Live-socket benchmark: the data plane over real TCP, WebBench-style.
+//!
+//! Three origin servers host a small partitioned site; closed-loop client
+//! threads hammer (a) the content-aware proxy and (b) the content-blind
+//! layer-4 proxy. The content-aware proxy serves everything; the L4 proxy
+//! demonstrates §2.1's point — content-blind routing simply cannot serve a
+//! partitioned site (it 404s whenever the round-robin lands wrong).
+//!
+//! Run with: `cargo run --release -p cpms-bench --bin livebench`
+
+use cpms_httpd::client::HttpClient;
+use cpms_httpd::{ContentAwareProxy, L4Proxy, OriginServer, SiteContent};
+use cpms_model::{ContentId, ContentKind, NodeId};
+use cpms_urltable::{UrlEntry, UrlTable};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 8;
+const SECONDS: u64 = 3;
+const PAGES_PER_NODE: usize = 40;
+
+struct Site {
+    origins: Vec<OriginServer>,
+    table: UrlTable,
+    paths: Vec<String>,
+}
+
+/// Builds three origins with strictly partitioned content plus the URL
+/// table describing the layout.
+fn build_site() -> Site {
+    let mut origins = Vec::new();
+    let mut table = UrlTable::new();
+    let mut paths = Vec::new();
+    let dirs = ["html", "img", "files"];
+    for (node, dir) in dirs.iter().enumerate() {
+        let mut site = SiteContent::new();
+        for i in 0..PAGES_PER_NODE {
+            let path = format!("/{dir}/f{i}.html");
+            site.add_static(&path, vec![b'x'; 4 * 1024]);
+            table
+                .insert(
+                    path.parse().expect("valid"),
+                    UrlEntry::new(
+                        ContentId((node * PAGES_PER_NODE + i) as u32),
+                        ContentKind::StaticHtml,
+                        4 * 1024,
+                    )
+                    .with_locations([NodeId(node as u16)]),
+                )
+                .expect("fresh");
+            paths.push(path);
+        }
+        origins.push(OriginServer::start(NodeId(node as u16), site).expect("origin"));
+    }
+    Site {
+        origins,
+        table,
+        paths,
+    }
+}
+
+struct LoadResult {
+    throughput_rps: f64,
+    ok: u64,
+    errors: u64,
+}
+
+/// Closed-loop client threads against `addr` for the duration.
+fn drive(addr: SocketAddr, paths: &[String]) -> LoadResult {
+    let stop = AtomicBool::new(false);
+    let ok = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let (stop, ok, errors) = (&stop, &ok, &errors);
+            scope.spawn(move || {
+                let Ok(mut client) = HttpClient::connect(addr) else {
+                    return;
+                };
+                let mut i = c; // interleave paths across clients
+                while !stop.load(Ordering::Relaxed) {
+                    let path = &paths[i % paths.len()];
+                    i += 1;
+                    match client.get(path) {
+                        Ok(resp) if resp.status == 200 => {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        _ => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_secs(SECONDS));
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    LoadResult {
+        throughput_rps: ok.load(Ordering::Relaxed) as f64 / elapsed,
+        ok: ok.load(Ordering::Relaxed),
+        errors: errors.load(Ordering::Relaxed),
+    }
+}
+
+fn main() {
+    println!(
+        "live-socket benchmark: {CLIENTS} closed-loop clients x {SECONDS}s per proxy, \
+         partitioned site over 3 origins\n"
+    );
+
+    // --- content-aware proxy
+    let site = build_site();
+    let backends: Vec<SocketAddr> = site.origins.iter().map(|o| o.addr()).collect();
+    let proxy = ContentAwareProxy::start(site.table, backends.clone(), 8).expect("proxy");
+    let ca = drive(proxy.addr(), &site.paths);
+    println!(
+        "content-aware proxy:  {:>8.0} req/s   ok={} errors={} (unroutable={}, backend={})",
+        ca.throughput_rps,
+        ca.ok,
+        ca.errors,
+        proxy.unroutable(),
+        proxy.backend_errors()
+    );
+    let served: Vec<u64> = site.origins.iter().map(|o| o.served()).collect();
+    println!("  per-origin requests: {served:?} (each node serves exactly its partition)");
+    drop(proxy);
+
+    // --- L4 baseline on a fresh identical site
+    let site = build_site();
+    let backends: Vec<SocketAddr> = site.origins.iter().map(|o| o.addr()).collect();
+    let l4 = L4Proxy::start(backends).expect("l4 proxy");
+    let l4r = drive(l4.addr(), &site.paths);
+    println!(
+        "layer-4 round robin:  {:>8.0} req/s   ok={} errors={} (misroute 404s)",
+        l4r.throughput_rps, l4r.ok, l4r.errors
+    );
+    let miss_rate = l4r.errors as f64 / (l4r.ok + l4r.errors).max(1) as f64;
+    println!(
+        "  miss rate {:.0}% — content-blind routing cannot honor partitioned placement",
+        miss_rate * 100.0
+    );
+
+    let report = serde_json::json!({
+        "clients": CLIENTS,
+        "seconds": SECONDS,
+        "content_aware": {
+            "throughput_rps": ca.throughput_rps, "ok": ca.ok, "errors": ca.errors,
+        },
+        "l4_round_robin": {
+            "throughput_rps": l4r.throughput_rps, "ok": l4r.ok, "errors": l4r.errors,
+            "miss_rate": miss_rate,
+        },
+    });
+    std::fs::create_dir_all("bench_results").expect("create bench_results dir");
+    std::fs::write(
+        "bench_results/livebench.json",
+        serde_json::to_string_pretty(&report).expect("serialize"),
+    )
+    .expect("write results");
+    eprintln!("wrote bench_results/livebench.json");
+}

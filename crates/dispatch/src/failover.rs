@@ -1,0 +1,214 @@
+//! Primary/backup fault tolerance for the distributor (§2.3).
+//!
+//! > "We implemented the primary/backup(s) mechanism … to achieve fault
+//! > tolerance of the distributor. While the *primary* distributor is
+//! > providing service normally, the *backup* distributor remains in a
+//! > monitor state, continuing to monitor the primary and replicate the
+//! > primary's state. If the primary distributor fails, the backup takes
+//! > over the job of the primary and creates its own backup."
+//!
+//! State replication here ships full snapshots of the distributor's data
+//! plane (mapping table + connection pool), which both `Clone` and
+//! serialize; heartbeats detect primary failure.
+
+use crate::relay::Distributor;
+use serde::{Deserialize, Serialize};
+
+/// A heartbeat message from the primary, carrying a monotone sequence
+/// number and (periodically) a state snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Heartbeat {
+    /// Monotone heartbeat counter.
+    pub seq: u64,
+    /// Included every `snapshot_every` beats.
+    pub snapshot: Option<Distributor>,
+}
+
+/// The backup distributor: monitors heartbeats, replicates snapshots, and
+/// promotes itself when the primary goes silent.
+#[derive(Debug, Clone)]
+pub struct BackupDistributor {
+    last_snapshot: Option<Distributor>,
+    last_seq: u64,
+    missed: u32,
+    miss_threshold: u32,
+}
+
+/// Outcome of a monitoring step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorVerdict {
+    /// Primary healthy.
+    PrimaryHealthy,
+    /// Beats missed but below the threshold.
+    Suspicious {
+        /// Consecutive missed beats so far.
+        missed: u32,
+    },
+    /// Threshold crossed: the backup should take over.
+    PrimaryFailed,
+}
+
+impl BackupDistributor {
+    /// Creates a backup that declares the primary dead after
+    /// `miss_threshold` consecutive missed heartbeats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `miss_threshold` is 0.
+    pub fn new(miss_threshold: u32) -> Self {
+        assert!(miss_threshold > 0, "threshold must be at least 1");
+        BackupDistributor {
+            last_snapshot: None,
+            last_seq: 0,
+            missed: 0,
+            miss_threshold,
+        }
+    }
+
+    /// Processes a received heartbeat: resets the miss counter and applies
+    /// any included snapshot. Out-of-order (stale) heartbeats are ignored.
+    pub fn on_heartbeat(&mut self, hb: Heartbeat) {
+        if hb.seq < self.last_seq {
+            return; // stale, reordered message
+        }
+        self.last_seq = hb.seq;
+        self.missed = 0;
+        if let Some(snapshot) = hb.snapshot {
+            self.last_snapshot = Some(snapshot);
+        }
+    }
+
+    /// Called on each heartbeat interval in which nothing arrived.
+    pub fn on_heartbeat_missed(&mut self) -> MonitorVerdict {
+        self.missed += 1;
+        if self.missed >= self.miss_threshold {
+            MonitorVerdict::PrimaryFailed
+        } else {
+            MonitorVerdict::Suspicious {
+                missed: self.missed,
+            }
+        }
+    }
+
+    /// Whether a takeover would have replicated state to resume from.
+    pub fn has_snapshot(&self) -> bool {
+        self.last_snapshot.is_some()
+    }
+
+    /// Promotes the backup: returns the replicated distributor state to run
+    /// as the new primary. The paper's new primary then "creates its own
+    /// backup" — callers construct a fresh [`BackupDistributor`] for that.
+    ///
+    /// Returns `None` if no snapshot was ever received (cold takeover: the
+    /// caller starts a fresh distributor and live connections are lost).
+    pub fn take_over(self) -> Option<Distributor> {
+        self.last_snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::ConnKey;
+    use cpms_model::NodeId;
+
+    fn key(port: u16) -> ConnKey {
+        ConnKey {
+            client_ip: 1,
+            client_port: port,
+        }
+    }
+
+    fn primary_with_connections() -> Distributor {
+        let mut d = Distributor::new(2, 2);
+        for port in [1u16, 2] {
+            let k = key(port);
+            d.accept_syn(k, 100, false).unwrap();
+            d.complete_handshake(k).unwrap();
+            d.bind(k, NodeId(0), 101).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn snapshot_replication_preserves_connections() {
+        let primary = primary_with_connections();
+        let mut backup = BackupDistributor::new(3);
+        backup.on_heartbeat(Heartbeat {
+            seq: 1,
+            snapshot: Some(primary.clone()),
+        });
+        assert!(backup.has_snapshot());
+
+        // Primary dies; threshold crossings...
+        assert_eq!(
+            backup.on_heartbeat_missed(),
+            MonitorVerdict::Suspicious { missed: 1 }
+        );
+        assert_eq!(
+            backup.on_heartbeat_missed(),
+            MonitorVerdict::Suspicious { missed: 2 }
+        );
+        assert_eq!(backup.on_heartbeat_missed(), MonitorVerdict::PrimaryFailed);
+
+        let new_primary = backup.take_over().expect("snapshot available");
+        // Replicated state matches what the primary had: both live
+        // connections and their pool checkouts survive.
+        assert_eq!(new_primary.mapping().len(), primary.mapping().len());
+        assert_eq!(
+            new_primary.pool().in_use(NodeId(0)),
+            primary.pool().in_use(NodeId(0))
+        );
+        // And the new primary can keep serving them: close one out.
+        let mut np = new_primary;
+        let fin = np.client_fin(key(1), 200).unwrap();
+        assert!(fin.flags.ack);
+        np.last_ack(key(1), 10, 10).unwrap();
+        assert_eq!(np.mapping().len(), 1);
+    }
+
+    #[test]
+    fn heartbeats_reset_miss_counter() {
+        let mut backup = BackupDistributor::new(2);
+        backup.on_heartbeat_missed();
+        backup.on_heartbeat(Heartbeat {
+            seq: 1,
+            snapshot: None,
+        });
+        // counter was reset; one more miss is only suspicious
+        assert_eq!(
+            backup.on_heartbeat_missed(),
+            MonitorVerdict::Suspicious { missed: 1 }
+        );
+    }
+
+    #[test]
+    fn stale_heartbeats_ignored() {
+        let mut backup = BackupDistributor::new(2);
+        let newer = primary_with_connections();
+        backup.on_heartbeat(Heartbeat {
+            seq: 10,
+            snapshot: Some(newer),
+        });
+        // A delayed old snapshot (empty distributor) must not clobber state.
+        backup.on_heartbeat(Heartbeat {
+            seq: 3,
+            snapshot: Some(Distributor::new(2, 2)),
+        });
+        let d = backup.take_over().unwrap();
+        assert_eq!(d.mapping().len(), 2, "kept the newer snapshot");
+    }
+
+    #[test]
+    fn cold_takeover_returns_none() {
+        let backup = BackupDistributor::new(1);
+        assert!(!backup.has_snapshot());
+        assert!(backup.take_over().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_threshold_panics() {
+        let _ = BackupDistributor::new(0);
+    }
+}

@@ -1,0 +1,605 @@
+//! The distributor's connection **mapping table** and per-connection TCP
+//! state machine (§2.2).
+//!
+//! > "After receiving the SYN packet, the distributor first creates an
+//! > entry (indexed by the source IP address and port number) in an
+//! > internal table (termed mapping table) for this connection then records
+//! > the TCP state information (e.g., sequence number, ACK number, etc.) in
+//! > the entry."
+//!
+//! Close handling follows the paper exactly: a client FIN moves the entry
+//! to `FIN_RECEIVED`; the distributor ACKs it and the entry becomes
+//! `HALF_CLOSED`; when the last relayed packet is ACKed the entry becomes
+//! `CLOSED`, is deleted, and the bound pre-forked connection returns to the
+//! available list.
+
+use cpms_model::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Key of a mapping-table entry: the client's source address and port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ConnKey {
+    /// Client IPv4 address (opaque here).
+    pub client_ip: u32,
+    /// Client TCP source port.
+    pub client_port: u16,
+}
+
+impl fmt::Display for ConnKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ip = self.client_ip;
+        write!(
+            f,
+            "{}.{}.{}.{}:{}",
+            ip >> 24,
+            (ip >> 16) & 0xff,
+            (ip >> 8) & 0xff,
+            ip & 0xff,
+            self.client_port
+        )
+    }
+}
+
+/// TCP state of one client connection as tracked by the distributor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConnState {
+    /// SYN received, SYN-ACK sent, waiting for the client's ACK.
+    SynReceived,
+    /// Three-way handshake complete; data may flow.
+    Established,
+    /// Client FIN received, not yet ACKed by the distributor.
+    FinReceived,
+    /// FIN ACKed; draining the last relayed data.
+    HalfClosed,
+    /// Fully closed; the entry is deleted and the pre-forked connection
+    /// released.
+    Closed,
+}
+
+/// Identity of a pre-forked persistent backend connection (see
+/// [`crate::pool::ConnectionPool`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PreforkId {
+    /// The backend node the connection goes to.
+    pub node: NodeId,
+    /// Slot index within that node's pool.
+    pub slot: u32,
+}
+
+/// Sequence-number translation offsets binding a client connection to a
+/// pre-forked backend connection.
+///
+/// Packets relayed client→server have their sequence numbers shifted by
+/// `c2s` and their ACK numbers by the negation of `s2c`; server→client
+/// packets the reverse. All arithmetic wraps mod 2³².
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct SeqTranslation {
+    /// Offset added to client sequence numbers toward the server.
+    pub c2s: u32,
+    /// Offset added to server sequence numbers toward the client.
+    pub s2c: u32,
+}
+
+impl SeqTranslation {
+    /// Computes offsets at binding time from the two connections' current
+    /// sequence positions.
+    ///
+    /// * `client_seq` — next byte the client will send (client ISN + bytes),
+    /// * `prefork_our_seq` — next byte the distributor would send on the
+    ///   pre-forked connection toward the server,
+    /// * `client_expected_seq` — next byte the client expects from the
+    ///   distributor (the distributor's ISN + bytes sent),
+    /// * `server_seq` — next byte the server will send on the pre-forked
+    ///   connection.
+    pub fn at_binding(
+        client_seq: u32,
+        prefork_our_seq: u32,
+        client_expected_seq: u32,
+        server_seq: u32,
+    ) -> Self {
+        SeqTranslation {
+            c2s: prefork_our_seq.wrapping_sub(client_seq),
+            s2c: client_expected_seq.wrapping_sub(server_seq),
+        }
+    }
+
+    /// Translates a client→server sequence number.
+    pub fn seq_c2s(&self, seq: u32) -> u32 {
+        seq.wrapping_add(self.c2s)
+    }
+
+    /// Translates a client→server ACK number (acknowledging server bytes).
+    pub fn ack_c2s(&self, ack: u32) -> u32 {
+        ack.wrapping_sub(self.s2c)
+    }
+
+    /// Translates a server→client sequence number.
+    pub fn seq_s2c(&self, seq: u32) -> u32 {
+        seq.wrapping_add(self.s2c)
+    }
+
+    /// Translates a server→client ACK number (acknowledging client bytes).
+    pub fn ack_s2c(&self, ack: u32) -> u32 {
+        ack.wrapping_sub(self.c2s)
+    }
+}
+
+/// One mapping-table entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MappingEntry {
+    state: ConnState,
+    /// Client's initial sequence number (from its SYN).
+    pub client_isn: u32,
+    /// The ISN the distributor chose for its SYN-ACK.
+    pub distributor_isn: u32,
+    /// The bound pre-forked connection, once content-based binding happened.
+    pub binding: Option<PreforkId>,
+    /// Sequence translation, valid once bound.
+    pub translation: SeqTranslation,
+    /// Whether the client speaks HTTP/1.0 (distributor must set FIN on the
+    /// last relayed packet itself).
+    pub http10: bool,
+}
+
+impl MappingEntry {
+    /// Current TCP state.
+    pub fn state(&self) -> ConnState {
+        self.state
+    }
+}
+
+/// Errors from mapping-table transitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MappingError {
+    /// No entry exists for the connection.
+    UnknownConnection(ConnKey),
+    /// The event is not legal in the entry's current state.
+    InvalidTransition {
+        /// The connection.
+        key: ConnKey,
+        /// Its current state.
+        state: ConnState,
+        /// The event that was attempted.
+        event: &'static str,
+    },
+    /// Binding attempted twice.
+    AlreadyBound(ConnKey),
+    /// Data relay attempted before a binding exists.
+    NotBound(ConnKey),
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::UnknownConnection(k) => write!(f, "unknown connection {k}"),
+            MappingError::InvalidTransition { key, state, event } => {
+                write!(f, "invalid event `{event}` for {key} in state {state:?}")
+            }
+            MappingError::AlreadyBound(k) => write!(f, "connection {k} already bound"),
+            MappingError::NotBound(k) => write!(f, "connection {k} has no backend binding"),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
+/// The mapping table: all client connections currently tracked by the
+/// distributor.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MappingTable {
+    entries: HashMap<ConnKey, MappingEntry>,
+    isn_counter: u32,
+    /// Total entries ever created (for reports).
+    created: u64,
+    /// Total entries fully closed.
+    closed: u64,
+}
+
+impl MappingTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        MappingTable::default()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no connections are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total connections ever accepted.
+    pub fn total_created(&self) -> u64 {
+        self.created
+    }
+
+    /// Total connections fully closed.
+    pub fn total_closed(&self) -> u64 {
+        self.closed
+    }
+
+    /// The entry for `key`, if any.
+    pub fn get(&self, key: ConnKey) -> Option<&MappingEntry> {
+        self.entries.get(&key)
+    }
+
+    /// Handles a client SYN: creates the entry (state `SynReceived`) and
+    /// returns the distributor's ISN for the SYN-ACK. A retransmitted SYN
+    /// for an existing `SynReceived` entry returns the same ISN.
+    ///
+    /// # Errors
+    ///
+    /// [`MappingError::InvalidTransition`] if the connection is already
+    /// past the handshake.
+    pub fn on_syn(&mut self, key: ConnKey, client_isn: u32, http10: bool) -> Result<u32, MappingError> {
+        if let Some(e) = self.entries.get(&key) {
+            return if e.state == ConnState::SynReceived {
+                Ok(e.distributor_isn) // SYN retransmission
+            } else {
+                Err(MappingError::InvalidTransition {
+                    key,
+                    state: e.state,
+                    event: "SYN",
+                })
+            };
+        }
+        // Deterministic ISN: counter mixed with the key (a real stack would
+        // use a clock + hash; determinism aids testing and replay).
+        self.isn_counter = self.isn_counter.wrapping_add(0x1000_61C8);
+        let isn = self
+            .isn_counter
+            .wrapping_add(key.client_ip)
+            .wrapping_add(key.client_port as u32);
+        self.entries.insert(
+            key,
+            MappingEntry {
+                state: ConnState::SynReceived,
+                client_isn,
+                distributor_isn: isn,
+                binding: None,
+                translation: SeqTranslation::default(),
+                http10,
+            },
+        );
+        self.created += 1;
+        Ok(isn)
+    }
+
+    /// Handles the client's handshake ACK: `SynReceived → Established`.
+    ///
+    /// # Errors
+    ///
+    /// [`MappingError::UnknownConnection`] or
+    /// [`MappingError::InvalidTransition`].
+    pub fn on_handshake_ack(&mut self, key: ConnKey) -> Result<(), MappingError> {
+        let e = self
+            .entries
+            .get_mut(&key)
+            .ok_or(MappingError::UnknownConnection(key))?;
+        match e.state {
+            ConnState::SynReceived => {
+                e.state = ConnState::Established;
+                Ok(())
+            }
+            state => Err(MappingError::InvalidTransition {
+                key,
+                state,
+                event: "handshake-ACK",
+            }),
+        }
+    }
+
+    /// Binds an established connection to a pre-forked backend connection,
+    /// storing the sequence translation. Done once the HTTP request has
+    /// been parsed and routed.
+    ///
+    /// # Errors
+    ///
+    /// [`MappingError::UnknownConnection`], [`MappingError::AlreadyBound`],
+    /// or [`MappingError::InvalidTransition`] if the handshake is not
+    /// complete.
+    pub fn bind(
+        &mut self,
+        key: ConnKey,
+        prefork: PreforkId,
+        translation: SeqTranslation,
+    ) -> Result<(), MappingError> {
+        let e = self
+            .entries
+            .get_mut(&key)
+            .ok_or(MappingError::UnknownConnection(key))?;
+        if e.state != ConnState::Established {
+            return Err(MappingError::InvalidTransition {
+                key,
+                state: e.state,
+                event: "bind",
+            });
+        }
+        if e.binding.is_some() {
+            return Err(MappingError::AlreadyBound(key));
+        }
+        e.binding = Some(prefork);
+        e.translation = translation;
+        Ok(())
+    }
+
+    /// The binding of `key`, if routed.
+    ///
+    /// # Errors
+    ///
+    /// [`MappingError::UnknownConnection`] or [`MappingError::NotBound`].
+    pub fn binding(&self, key: ConnKey) -> Result<(PreforkId, SeqTranslation), MappingError> {
+        let e = self
+            .entries
+            .get(&key)
+            .ok_or(MappingError::UnknownConnection(key))?;
+        match e.binding {
+            Some(p) => Ok((p, e.translation)),
+            None => Err(MappingError::NotBound(key)),
+        }
+    }
+
+    /// Handles a client FIN: `Established/SynReceived → FinReceived`. The
+    /// caller then ACKs the FIN via [`MappingTable::on_fin_acked`].
+    ///
+    /// # Errors
+    ///
+    /// [`MappingError::UnknownConnection`] or
+    /// [`MappingError::InvalidTransition`].
+    pub fn on_client_fin(&mut self, key: ConnKey) -> Result<(), MappingError> {
+        let e = self
+            .entries
+            .get_mut(&key)
+            .ok_or(MappingError::UnknownConnection(key))?;
+        match e.state {
+            ConnState::Established | ConnState::SynReceived => {
+                e.state = ConnState::FinReceived;
+                Ok(())
+            }
+            state => Err(MappingError::InvalidTransition {
+                key,
+                state,
+                event: "FIN",
+            }),
+        }
+    }
+
+    /// Records that the distributor ACKed the client's FIN:
+    /// `FinReceived → HalfClosed`.
+    ///
+    /// # Errors
+    ///
+    /// [`MappingError::UnknownConnection`] or
+    /// [`MappingError::InvalidTransition`].
+    pub fn on_fin_acked(&mut self, key: ConnKey) -> Result<(), MappingError> {
+        let e = self
+            .entries
+            .get_mut(&key)
+            .ok_or(MappingError::UnknownConnection(key))?;
+        match e.state {
+            ConnState::FinReceived => {
+                e.state = ConnState::HalfClosed;
+                Ok(())
+            }
+            state => Err(MappingError::InvalidTransition {
+                key,
+                state,
+                event: "FIN-ACK",
+            }),
+        }
+    }
+
+    /// Records that the last relayed packet was ACKed by the client:
+    /// `HalfClosed → Closed`. The entry is deleted; the caller must release
+    /// the returned pre-forked connection back to the pool.
+    ///
+    /// # Errors
+    ///
+    /// [`MappingError::UnknownConnection`] or
+    /// [`MappingError::InvalidTransition`].
+    pub fn on_last_ack(&mut self, key: ConnKey) -> Result<Option<PreforkId>, MappingError> {
+        let e = self
+            .entries
+            .get_mut(&key)
+            .ok_or(MappingError::UnknownConnection(key))?;
+        match e.state {
+            ConnState::HalfClosed => {
+                let binding = e.binding;
+                self.entries.remove(&key);
+                self.closed += 1;
+                Ok(binding)
+            }
+            state => Err(MappingError::InvalidTransition {
+                key,
+                state,
+                event: "last-ACK",
+            }),
+        }
+    }
+
+    /// Force-closes an entry (client abort / RST). Returns the binding to
+    /// release, if any. Idempotent: unknown keys return `None`.
+    pub fn abort(&mut self, key: ConnKey) -> Option<PreforkId> {
+        self.entries.remove(&key).map(|e| {
+            self.closed += 1;
+            e.binding
+        })?
+    }
+
+    /// Iterates over live entries (for failover state replication).
+    pub fn iter(&self) -> impl Iterator<Item = (ConnKey, &MappingEntry)> {
+        self.entries.iter().map(|(k, e)| (*k, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(port: u16) -> ConnKey {
+        ConnKey {
+            client_ip: 0xC0A8_0001,
+            client_port: port,
+        }
+    }
+
+    fn prefork() -> PreforkId {
+        PreforkId {
+            node: NodeId(3),
+            slot: 7,
+        }
+    }
+
+    #[test]
+    fn full_lifecycle_http11() {
+        let mut t = MappingTable::new();
+        let k = key(1234);
+        let isn = t.on_syn(k, 1000, false).unwrap();
+        assert_eq!(t.get(k).unwrap().state(), ConnState::SynReceived);
+        assert_eq!(t.get(k).unwrap().distributor_isn, isn);
+
+        t.on_handshake_ack(k).unwrap();
+        assert_eq!(t.get(k).unwrap().state(), ConnState::Established);
+
+        let tr = SeqTranslation::at_binding(1001, 5000, isn.wrapping_add(1), 9000);
+        t.bind(k, prefork(), tr).unwrap();
+        assert_eq!(t.binding(k).unwrap().0, prefork());
+
+        t.on_client_fin(k).unwrap();
+        assert_eq!(t.get(k).unwrap().state(), ConnState::FinReceived);
+        t.on_fin_acked(k).unwrap();
+        assert_eq!(t.get(k).unwrap().state(), ConnState::HalfClosed);
+        let released = t.on_last_ack(k).unwrap();
+        assert_eq!(released, Some(prefork()));
+        assert!(t.get(k).is_none(), "entry deleted after close");
+        assert_eq!(t.total_created(), 1);
+        assert_eq!(t.total_closed(), 1);
+    }
+
+    #[test]
+    fn syn_retransmission_returns_same_isn() {
+        let mut t = MappingTable::new();
+        let k = key(1);
+        let isn1 = t.on_syn(k, 42, false).unwrap();
+        let isn2 = t.on_syn(k, 42, false).unwrap();
+        assert_eq!(isn1, isn2);
+        assert_eq!(t.total_created(), 1);
+    }
+
+    #[test]
+    fn distinct_connections_get_distinct_isns() {
+        let mut t = MappingTable::new();
+        let isn1 = t.on_syn(key(1), 0, false).unwrap();
+        let isn2 = t.on_syn(key(2), 0, false).unwrap();
+        assert_ne!(isn1, isn2);
+    }
+
+    #[test]
+    fn invalid_transitions_rejected() {
+        let mut t = MappingTable::new();
+        let k = key(9);
+        assert!(matches!(
+            t.on_handshake_ack(k),
+            Err(MappingError::UnknownConnection(_))
+        ));
+        t.on_syn(k, 0, false).unwrap();
+        // bind before handshake completes
+        assert!(matches!(
+            t.bind(k, prefork(), SeqTranslation::default()),
+            Err(MappingError::InvalidTransition { .. })
+        ));
+        t.on_handshake_ack(k).unwrap();
+        // double handshake ack
+        assert!(matches!(
+            t.on_handshake_ack(k),
+            Err(MappingError::InvalidTransition { .. })
+        ));
+        t.bind(k, prefork(), SeqTranslation::default()).unwrap();
+        assert!(matches!(
+            t.bind(k, prefork(), SeqTranslation::default()),
+            Err(MappingError::AlreadyBound(_))
+        ));
+        // fin-ack without fin
+        assert!(matches!(
+            t.on_fin_acked(k),
+            Err(MappingError::InvalidTransition { .. })
+        ));
+        // last-ack without half-close
+        assert!(matches!(
+            t.on_last_ack(k),
+            Err(MappingError::InvalidTransition { .. })
+        ));
+    }
+
+    #[test]
+    fn abort_releases_binding() {
+        let mut t = MappingTable::new();
+        let k = key(5);
+        t.on_syn(k, 0, false).unwrap();
+        t.on_handshake_ack(k).unwrap();
+        t.bind(k, prefork(), SeqTranslation::default()).unwrap();
+        assert_eq!(t.abort(k), Some(prefork()));
+        assert!(t.is_empty());
+        assert_eq!(t.abort(k), None, "abort is idempotent");
+    }
+
+    #[test]
+    fn abort_unbound_returns_none() {
+        let mut t = MappingTable::new();
+        let k = key(6);
+        t.on_syn(k, 0, false).unwrap();
+        assert_eq!(t.abort(k), None);
+        assert_eq!(t.total_closed(), 1);
+    }
+
+    #[test]
+    fn seq_translation_directions() {
+        // Client ISN 1000 (next seq 1001); prefork "our" side next seq 5001;
+        // distributor ISN 8000 (client expects 8001); server next seq 9001.
+        let tr = SeqTranslation::at_binding(1001, 5001, 8001, 9001);
+        // A client packet with seq 1001 must appear to the server as 5001.
+        assert_eq!(tr.seq_c2s(1001), 5001);
+        // A server packet with seq 9001 must appear to the client as 8001.
+        assert_eq!(tr.seq_s2c(9001), 8001);
+        // Client ACKing 8101 (100 bytes of response) = server byte 9101.
+        assert_eq!(tr.ack_c2s(8101), 9101);
+        // Server ACKing 5051 (50 bytes of request) = client byte 1051.
+        assert_eq!(tr.ack_s2c(5051), 1051);
+    }
+
+    #[test]
+    fn seq_translation_wraps() {
+        let tr = SeqTranslation::at_binding(u32::MAX - 1, 10, 5, u32::MAX - 5);
+        // near-wrap client seq maps across the boundary consistently
+        let s = tr.seq_c2s(u32::MAX - 1);
+        assert_eq!(s, 10);
+        assert_eq!(tr.seq_c2s(u32::MAX), 11);
+        assert_eq!(tr.seq_s2c(u32::MAX - 5), 5);
+    }
+
+    #[test]
+    fn fin_during_handshake_allowed() {
+        let mut t = MappingTable::new();
+        let k = key(7);
+        t.on_syn(k, 0, false).unwrap();
+        t.on_client_fin(k).unwrap();
+        t.on_fin_acked(k).unwrap();
+        assert_eq!(t.on_last_ack(k).unwrap(), None);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn conn_key_display() {
+        let k = ConnKey {
+            client_ip: 0x0A00_0001,
+            client_port: 8080,
+        };
+        assert_eq!(k.to_string(), "10.0.0.1:8080");
+    }
+}

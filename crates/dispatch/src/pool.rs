@@ -1,0 +1,319 @@
+//! Pre-forked persistent backend connections (§2.2).
+//!
+//! > "The distributor pre-forks a number of persistent connections
+//! > (supported by HTTP 1.1) to the backend nodes. … Once the distributor
+//! > selects a target server, it also chooses an idle pre-forked connection
+//! > from the available connection list."
+//!
+//! Reusing persistent connections avoids a fresh TCP handshake to the
+//! backend per client request — the mechanism the paper contrasts with
+//! heavy-weight HTTP redirection.
+
+use crate::mapping::PreforkId;
+use cpms_model::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Sequence state of one pre-forked connection (fixed at pre-fork time,
+/// advanced as requests are relayed over it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PreforkConn {
+    /// Next sequence number the distributor will send toward the server.
+    pub our_next_seq: u32,
+    /// Next sequence number expected from the server.
+    pub server_next_seq: u32,
+    /// How many client requests this connection has carried.
+    pub requests_served: u64,
+}
+
+/// Errors from pool operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PoolError {
+    /// No idle pre-forked connection to the node.
+    Exhausted(NodeId),
+    /// Releasing a connection that is not checked out.
+    NotCheckedOut(PreforkId),
+    /// A [`PreforkId`] referring to an unknown node or slot.
+    UnknownConnection(PreforkId),
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::Exhausted(n) => write!(f, "no idle pre-forked connection to node {n}"),
+            PoolError::NotCheckedOut(id) => {
+                write!(f, "connection {}#{} is not checked out", id.node, id.slot)
+            }
+            PoolError::UnknownConnection(id) => {
+                write!(f, "unknown pre-forked connection {}#{}", id.node, id.slot)
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct NodePool {
+    conns: Vec<PreforkConn>,
+    available: Vec<u32>,
+    checked_out: HashSet<u32>,
+}
+
+/// The pool of pre-forked persistent connections, per backend node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConnectionPool {
+    nodes: Vec<NodePool>,
+    checkouts: u64,
+    waits: u64,
+}
+
+impl ConnectionPool {
+    /// Pre-forks `conns_per_node` connections to each of `node_count`
+    /// backends. Initial sequence numbers are deterministic per slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_count` or `conns_per_node` is 0.
+    pub fn prefork(node_count: usize, conns_per_node: u32) -> Self {
+        assert!(node_count > 0, "pool needs at least one node");
+        assert!(conns_per_node > 0, "pool needs at least one connection per node");
+        let nodes = (0..node_count)
+            .map(|n| NodePool {
+                conns: (0..conns_per_node)
+                    .map(|s| PreforkConn {
+                        our_next_seq: 0x1000_0000u32
+                            .wrapping_add((n as u32) << 16)
+                            .wrapping_add(s * 97),
+                        server_next_seq: 0x8000_0000u32
+                            .wrapping_add((n as u32) << 16)
+                            .wrapping_add(s * 89),
+                        requests_served: 0,
+                    })
+                    .collect(),
+                available: (0..conns_per_node).rev().collect(),
+                checked_out: HashSet::new(),
+            })
+            .collect();
+        ConnectionPool {
+            nodes,
+            checkouts: 0,
+            waits: 0,
+        }
+    }
+
+    /// Number of backend nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Idle connections to `node`.
+    pub fn available(&self, node: NodeId) -> usize {
+        self.nodes[node.index()].available.len()
+    }
+
+    /// Connections to `node` currently carrying a request.
+    pub fn in_use(&self, node: NodeId) -> usize {
+        self.nodes[node.index()].checked_out.len()
+    }
+
+    /// Total successful checkouts.
+    pub fn total_checkouts(&self) -> u64 {
+        self.checkouts
+    }
+
+    /// Times a checkout found the node's list empty.
+    pub fn total_exhaustions(&self) -> u64 {
+        self.waits
+    }
+
+    /// Checks out an idle connection to `node`.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::Exhausted`] if every pre-forked connection to the node
+    /// is busy (a real distributor would queue; callers may retry).
+    pub fn checkout(&mut self, node: NodeId) -> Result<PreforkId, PoolError> {
+        let np = &mut self.nodes[node.index()];
+        match np.available.pop() {
+            Some(slot) => {
+                np.checked_out.insert(slot);
+                self.checkouts += 1;
+                Ok(PreforkId { node, slot })
+            }
+            None => {
+                self.waits += 1;
+                Err(PoolError::Exhausted(node))
+            }
+        }
+    }
+
+    /// Sequence state of a connection.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::UnknownConnection`] for an out-of-range id.
+    pub fn conn(&self, id: PreforkId) -> Result<&PreforkConn, PoolError> {
+        self.nodes
+            .get(id.node.index())
+            .and_then(|np| np.conns.get(id.slot as usize))
+            .ok_or(PoolError::UnknownConnection(id))
+    }
+
+    /// Advances a connection's sequence state after relaying one request of
+    /// `request_bytes` and one response of `response_bytes` over it.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::UnknownConnection`] or [`PoolError::NotCheckedOut`].
+    pub fn advance(
+        &mut self,
+        id: PreforkId,
+        request_bytes: u32,
+        response_bytes: u32,
+    ) -> Result<(), PoolError> {
+        let np = self
+            .nodes
+            .get_mut(id.node.index())
+            .ok_or(PoolError::UnknownConnection(id))?;
+        if !np.checked_out.contains(&id.slot) {
+            return Err(PoolError::NotCheckedOut(id));
+        }
+        let conn = np
+            .conns
+            .get_mut(id.slot as usize)
+            .ok_or(PoolError::UnknownConnection(id))?;
+        conn.our_next_seq = conn.our_next_seq.wrapping_add(request_bytes);
+        conn.server_next_seq = conn.server_next_seq.wrapping_add(response_bytes);
+        conn.requests_served += 1;
+        Ok(())
+    }
+
+    /// Releases a connection back to the available list (the paper:
+    /// "releases the pre-forked connection back to available connection
+    /// list").
+    ///
+    /// # Errors
+    ///
+    /// [`PoolError::NotCheckedOut`] if it was not checked out (double
+    /// release) or [`PoolError::UnknownConnection`].
+    pub fn release(&mut self, id: PreforkId) -> Result<(), PoolError> {
+        let np = self
+            .nodes
+            .get_mut(id.node.index())
+            .ok_or(PoolError::UnknownConnection(id))?;
+        if id.slot as usize >= np.conns.len() {
+            return Err(PoolError::UnknownConnection(id));
+        }
+        if !np.checked_out.remove(&id.slot) {
+            return Err(PoolError::NotCheckedOut(id));
+        }
+        np.available.push(id.slot);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefork_counts() {
+        let p = ConnectionPool::prefork(3, 4);
+        assert_eq!(p.node_count(), 3);
+        for n in 0..3 {
+            assert_eq!(p.available(NodeId(n)), 4);
+            assert_eq!(p.in_use(NodeId(n)), 0);
+        }
+    }
+
+    #[test]
+    fn checkout_release_cycle() {
+        let mut p = ConnectionPool::prefork(2, 2);
+        let a = p.checkout(NodeId(0)).unwrap();
+        let b = p.checkout(NodeId(0)).unwrap();
+        assert_ne!(a.slot, b.slot);
+        assert_eq!(p.available(NodeId(0)), 0);
+        assert_eq!(p.in_use(NodeId(0)), 2);
+        assert!(matches!(p.checkout(NodeId(0)), Err(PoolError::Exhausted(_))));
+        assert_eq!(p.total_exhaustions(), 1);
+        p.release(a).unwrap();
+        assert_eq!(p.available(NodeId(0)), 1);
+        let c = p.checkout(NodeId(0)).unwrap();
+        assert_eq!(c.slot, a.slot, "released slot is reused");
+    }
+
+    #[test]
+    fn double_release_rejected() {
+        let mut p = ConnectionPool::prefork(1, 1);
+        let a = p.checkout(NodeId(0)).unwrap();
+        p.release(a).unwrap();
+        assert!(matches!(p.release(a), Err(PoolError::NotCheckedOut(_))));
+    }
+
+    #[test]
+    fn advance_requires_checkout() {
+        let mut p = ConnectionPool::prefork(1, 1);
+        let id = PreforkId {
+            node: NodeId(0),
+            slot: 0,
+        };
+        assert!(matches!(
+            p.advance(id, 10, 10),
+            Err(PoolError::NotCheckedOut(_))
+        ));
+        let id = p.checkout(NodeId(0)).unwrap();
+        let before = *p.conn(id).unwrap();
+        p.advance(id, 100, 2000).unwrap();
+        let after = *p.conn(id).unwrap();
+        assert_eq!(after.our_next_seq, before.our_next_seq.wrapping_add(100));
+        assert_eq!(
+            after.server_next_seq,
+            before.server_next_seq.wrapping_add(2000)
+        );
+        assert_eq!(after.requests_served, 1);
+    }
+
+    #[test]
+    fn unknown_ids_rejected() {
+        let mut p = ConnectionPool::prefork(1, 1);
+        let bad = PreforkId {
+            node: NodeId(5),
+            slot: 0,
+        };
+        assert!(matches!(p.conn(bad), Err(PoolError::UnknownConnection(_))));
+        assert!(matches!(p.release(bad), Err(PoolError::UnknownConnection(_))));
+        let bad_slot = PreforkId {
+            node: NodeId(0),
+            slot: 99,
+        };
+        assert!(matches!(
+            p.release(bad_slot),
+            Err(PoolError::UnknownConnection(_))
+        ));
+    }
+
+    #[test]
+    fn persistent_connections_accumulate_requests() {
+        let mut p = ConnectionPool::prefork(1, 1);
+        for _ in 0..5 {
+            let id = p.checkout(NodeId(0)).unwrap();
+            p.advance(id, 50, 500).unwrap();
+            p.release(id).unwrap();
+        }
+        let id = PreforkId {
+            node: NodeId(0),
+            slot: 0,
+        };
+        assert_eq!(p.conn(id).unwrap().requests_served, 5);
+        assert_eq!(p.total_checkouts(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_pool_panics() {
+        let _ = ConnectionPool::prefork(0, 1);
+    }
+}

@@ -1,0 +1,477 @@
+//! Packet relaying: binding client connections to pre-forked backend
+//! connections and rewriting TCP headers (§2.2, Figure 1).
+//!
+//! > "the distributor handles the consequent packets by changing each
+//! > packet's IP and TCP headers for seamlessly relaying the packet between
+//! > the user connection and the pre-forked connection, so that the client
+//! > and the server can transparently receive and recognize these packets."
+//!
+//! The paper implements this as a Linux kernel module between the NIC
+//! driver and the TCP/IP stack; here the same logic is a deterministic,
+//! fully testable state machine over modelled packets. The live proxy in
+//! `cpms-httpd` performs the equivalent splice at socket level.
+
+use crate::mapping::{ConnKey, MappingError, MappingTable, PreforkId, SeqTranslation};
+use crate::pool::{ConnectionPool, PoolError};
+use cpms_model::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// TCP flags we model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Flags {
+    /// SYN flag.
+    pub syn: bool,
+    /// ACK flag.
+    pub ack: bool,
+    /// FIN flag.
+    pub fin: bool,
+}
+
+/// A modelled TCP segment on either the client or the server side of the
+/// distributor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number (meaningful if `flags.ack`).
+    pub ack: u32,
+    /// Flags.
+    pub flags: Flags,
+    /// Payload length in bytes.
+    pub payload: u32,
+}
+
+/// Errors surfaced by the distributor's relay path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RelayError {
+    /// Mapping-table violation.
+    Mapping(MappingError),
+    /// Connection-pool violation.
+    Pool(PoolError),
+}
+
+impl fmt::Display for RelayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelayError::Mapping(e) => write!(f, "mapping: {e}"),
+            RelayError::Pool(e) => write!(f, "pool: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RelayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RelayError::Mapping(e) => Some(e),
+            RelayError::Pool(e) => Some(e),
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<MappingError> for RelayError {
+    fn from(e: MappingError) -> Self {
+        RelayError::Mapping(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<PoolError> for RelayError {
+    fn from(e: PoolError) -> Self {
+        RelayError::Pool(e)
+    }
+}
+
+/// The distributor's data plane: mapping table + pre-forked connection pool
+/// + header rewriting.
+///
+/// Policy (which node to pick) is injected by the caller — see
+/// [`crate::ContentAwareRouter`] — keeping mechanism and policy separable,
+/// as in the paper where the URL table drives the decision and the kernel
+/// module executes it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Distributor {
+    mapping: MappingTable,
+    pool: ConnectionPool,
+}
+
+impl Distributor {
+    /// Creates a distributor fronting `node_count` backends with
+    /// `conns_per_node` pre-forked persistent connections each.
+    pub fn new(node_count: usize, conns_per_node: u32) -> Self {
+        Distributor {
+            mapping: MappingTable::new(),
+            pool: ConnectionPool::prefork(node_count, conns_per_node),
+        }
+    }
+
+    /// Read access to the mapping table (for monitoring / failover).
+    pub fn mapping(&self) -> &MappingTable {
+        &self.mapping
+    }
+
+    /// Read access to the connection pool.
+    pub fn pool(&self) -> &ConnectionPool {
+        &self.pool
+    }
+
+    /// Handles a client SYN: creates the mapping entry and returns the
+    /// SYN-ACK to send back.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MappingError`] on protocol violations.
+    pub fn accept_syn(
+        &mut self,
+        key: ConnKey,
+        client_isn: u32,
+        http10: bool,
+    ) -> Result<Packet, RelayError> {
+        let isn = self.mapping.on_syn(key, client_isn, http10)?;
+        Ok(Packet {
+            seq: isn,
+            ack: client_isn.wrapping_add(1),
+            flags: Flags {
+                syn: true,
+                ack: true,
+                fin: false,
+            },
+            payload: 0,
+        })
+    }
+
+    /// Handles the client's handshake ACK.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MappingError`].
+    pub fn complete_handshake(&mut self, key: ConnKey) -> Result<(), RelayError> {
+        self.mapping.on_handshake_ack(key)?;
+        Ok(())
+    }
+
+    /// Binds the connection to a pre-forked connection on `node` once the
+    /// routing decision is made, computing the sequence translation.
+    ///
+    /// `client_next_seq` is the sequence number of the first request byte
+    /// (client ISN + 1).
+    ///
+    /// # Errors
+    ///
+    /// [`RelayError::Pool`] when the node's pre-forked list is exhausted;
+    /// [`RelayError::Mapping`] on state violations.
+    pub fn bind(
+        &mut self,
+        key: ConnKey,
+        node: NodeId,
+        client_next_seq: u32,
+    ) -> Result<PreforkId, RelayError> {
+        let entry = self
+            .mapping
+            .get(key)
+            .ok_or(MappingError::UnknownConnection(key))?;
+        let distributor_next_seq = entry.distributor_isn.wrapping_add(1);
+        let prefork = self.pool.checkout(node)?;
+        let conn = self.pool.conn(prefork).expect("just checked out");
+        let translation = SeqTranslation::at_binding(
+            client_next_seq,
+            conn.our_next_seq,
+            distributor_next_seq,
+            conn.server_next_seq,
+        );
+        if let Err(e) = self.mapping.bind(key, prefork, translation) {
+            // Roll the checkout back so the pool slot is not leaked.
+            self.pool.release(prefork).expect("release fresh checkout");
+            return Err(e.into());
+        }
+        Ok(prefork)
+    }
+
+    /// Rewrites a client data packet for the pre-forked connection and
+    /// returns `(backend, rewritten packet)`.
+    ///
+    /// # Errors
+    ///
+    /// [`MappingError::NotBound`] if no binding exists yet.
+    pub fn relay_to_server(
+        &mut self,
+        key: ConnKey,
+        pkt: Packet,
+    ) -> Result<(NodeId, Packet), RelayError> {
+        let (prefork, tr) = self.mapping.binding(key)?;
+        Ok((
+            prefork.node,
+            Packet {
+                seq: tr.seq_c2s(pkt.seq),
+                ack: if pkt.flags.ack { tr.ack_c2s(pkt.ack) } else { 0 },
+                flags: pkt.flags,
+                payload: pkt.payload,
+            },
+        ))
+    }
+
+    /// Rewrites a server data packet for the client connection. When
+    /// `last` is set and the client spoke HTTP/1.0, the distributor sets
+    /// the FIN flag itself (the paper: "the distributor will set the FIN
+    /// flag instead of server when it relay the last packet").
+    ///
+    /// # Errors
+    ///
+    /// [`MappingError::NotBound`] if no binding exists yet.
+    pub fn relay_to_client(
+        &mut self,
+        key: ConnKey,
+        pkt: Packet,
+        last: bool,
+    ) -> Result<Packet, RelayError> {
+        let entry = self
+            .mapping
+            .get(key)
+            .ok_or(MappingError::UnknownConnection(key))?;
+        let http10 = entry.http10;
+        let (_, tr) = self.mapping.binding(key)?;
+        let mut flags = pkt.flags;
+        if last && http10 {
+            flags.fin = true;
+        }
+        Ok(Packet {
+            seq: tr.seq_s2c(pkt.seq),
+            ack: if pkt.flags.ack { tr.ack_s2c(pkt.ack) } else { 0 },
+            flags,
+            payload: pkt.payload,
+        })
+    }
+
+    /// Handles a client FIN: updates state to `FIN_RECEIVED`, emits the ACK
+    /// (state → `HALF_CLOSED`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MappingError`].
+    pub fn client_fin(&mut self, key: ConnKey, fin_seq: u32) -> Result<Packet, RelayError> {
+        self.mapping.on_client_fin(key)?;
+        self.mapping.on_fin_acked(key)?;
+        let entry = self.mapping.get(key).expect("entry exists after fin");
+        Ok(Packet {
+            seq: entry.distributor_isn, // simplification: control-only packet
+            ack: fin_seq.wrapping_add(1),
+            flags: Flags {
+                syn: false,
+                ack: true,
+                fin: false,
+            },
+            payload: 0,
+        })
+    }
+
+    /// Handles the client's ACK of the last relayed packet: deletes the
+    /// entry, advances the pre-forked connection's sequence state by the
+    /// bytes this exchange consumed, and releases it to the available list.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MappingError`]/[`PoolError`].
+    pub fn last_ack(
+        &mut self,
+        key: ConnKey,
+        request_bytes: u32,
+        response_bytes: u32,
+    ) -> Result<(), RelayError> {
+        if let Some(prefork) = self.mapping.on_last_ack(key)? {
+            self.pool.advance(prefork, request_bytes, response_bytes)?;
+            self.pool.release(prefork)?;
+        }
+        Ok(())
+    }
+
+    /// Aborts a connection (client RST or timeout), releasing any binding.
+    pub fn abort(&mut self, key: ConnKey) {
+        if let Some(prefork) = self.mapping.abort(key) {
+            // A real distributor would tear the pre-forked connection down
+            // and re-fork it; we model the simpler release.
+            let _ = self.pool.release(prefork);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(port: u16) -> ConnKey {
+        ConnKey {
+            client_ip: 0x0A00_0002,
+            client_port: port,
+        }
+    }
+
+    /// Drives a full HTTP/1.1 exchange through the distributor and checks
+    /// every rewritten sequence number.
+    #[test]
+    fn full_spliced_exchange() {
+        let mut d = Distributor::new(2, 2);
+        let k = key(40000);
+        let client_isn = 7_000;
+
+        // --- handshake with the distributor
+        let synack = d.accept_syn(k, client_isn, false).unwrap();
+        assert!(synack.flags.syn && synack.flags.ack);
+        assert_eq!(synack.ack, client_isn + 1);
+        d.complete_handshake(k).unwrap();
+
+        // --- routing decision made; bind to node 1
+        let prefork = d.bind(k, NodeId(1), client_isn + 1).unwrap();
+        assert_eq!(prefork.node, NodeId(1));
+        assert_eq!(d.pool().in_use(NodeId(1)), 1);
+        let conn = *d.pool().conn(prefork).unwrap();
+
+        // --- client sends a 200-byte HTTP request
+        let req_pkt = Packet {
+            seq: client_isn + 1,
+            ack: synack.seq.wrapping_add(1),
+            flags: Flags { syn: false, ack: true, fin: false },
+            payload: 200,
+        };
+        let (node, rewritten) = d.relay_to_server(k, req_pkt).unwrap();
+        assert_eq!(node, NodeId(1));
+        // First request byte must map onto the pre-forked connection's
+        // next outgoing byte.
+        assert_eq!(rewritten.seq, conn.our_next_seq);
+        // The client's ACK of the distributor ISN maps to the server's
+        // current sequence position.
+        assert_eq!(rewritten.ack, conn.server_next_seq);
+        assert_eq!(rewritten.payload, 200);
+
+        // --- server responds with 1000 bytes (as seen on the pre-forked
+        // connection), acking the 200 request bytes
+        let resp_pkt = Packet {
+            seq: conn.server_next_seq,
+            ack: conn.our_next_seq.wrapping_add(200),
+            flags: Flags { syn: false, ack: true, fin: false },
+            payload: 1000,
+        };
+        let to_client = d.relay_to_client(k, resp_pkt, true).unwrap();
+        // First response byte appears as the distributor's next byte.
+        assert_eq!(to_client.seq, synack.seq.wrapping_add(1));
+        // The server's ACK maps back to client sequence space.
+        assert_eq!(to_client.ack, client_isn + 1 + 200);
+        assert!(!to_client.flags.fin, "HTTP/1.1: server FIN not forced");
+
+        // --- client closes
+        let fin_seq = client_isn + 1 + 200;
+        let fin_ack = d.client_fin(k, fin_seq).unwrap();
+        assert!(fin_ack.flags.ack);
+        assert_eq!(fin_ack.ack, fin_seq + 1);
+
+        d.last_ack(k, 200, 1000).unwrap();
+        assert!(d.mapping().is_empty());
+        assert_eq!(d.pool().available(NodeId(1)), 2, "connection released");
+        let advanced = d.pool().conn(prefork).unwrap();
+        assert_eq!(advanced.our_next_seq, conn.our_next_seq.wrapping_add(200));
+        assert_eq!(
+            advanced.server_next_seq,
+            conn.server_next_seq.wrapping_add(1000)
+        );
+    }
+
+    #[test]
+    fn http10_gets_fin_on_last_packet() {
+        let mut d = Distributor::new(1, 1);
+        let k = key(1);
+        d.accept_syn(k, 0, true).unwrap();
+        d.complete_handshake(k).unwrap();
+        d.bind(k, NodeId(0), 1).unwrap();
+        let pkt = Packet {
+            seq: 0,
+            ack: 0,
+            flags: Flags::default(),
+            payload: 10,
+        };
+        let mid = d.relay_to_client(k, pkt, false).unwrap();
+        assert!(!mid.flags.fin);
+        let last = d.relay_to_client(k, pkt, true).unwrap();
+        assert!(last.flags.fin, "distributor sets FIN for HTTP/1.0 clients");
+    }
+
+    #[test]
+    fn relay_before_bind_fails() {
+        let mut d = Distributor::new(1, 1);
+        let k = key(2);
+        d.accept_syn(k, 0, false).unwrap();
+        d.complete_handshake(k).unwrap();
+        let pkt = Packet {
+            seq: 1,
+            ack: 0,
+            flags: Flags::default(),
+            payload: 5,
+        };
+        assert!(matches!(
+            d.relay_to_server(k, pkt),
+            Err(RelayError::Mapping(MappingError::NotBound(_)))
+        ));
+    }
+
+    #[test]
+    fn bind_rolls_back_checkout_on_state_error() {
+        let mut d = Distributor::new(1, 1);
+        let k = key(3);
+        d.accept_syn(k, 0, false).unwrap();
+        // handshake NOT complete: bind must fail and must not leak the slot
+        assert!(d.bind(k, NodeId(0), 1).is_err());
+        assert_eq!(d.pool().available(NodeId(0)), 1);
+    }
+
+    #[test]
+    fn pool_exhaustion_surfaces() {
+        let mut d = Distributor::new(1, 1);
+        for (i, port) in [(0u32, 10u16), (1, 11)] {
+            let k = key(port);
+            d.accept_syn(k, i, false).unwrap();
+            d.complete_handshake(k).unwrap();
+        }
+        d.bind(key(10), NodeId(0), 1).unwrap();
+        assert!(matches!(
+            d.bind(key(11), NodeId(0), 2),
+            Err(RelayError::Pool(PoolError::Exhausted(_)))
+        ));
+    }
+
+    #[test]
+    fn abort_releases_resources() {
+        let mut d = Distributor::new(1, 1);
+        let k = key(4);
+        d.accept_syn(k, 0, false).unwrap();
+        d.complete_handshake(k).unwrap();
+        d.bind(k, NodeId(0), 1).unwrap();
+        d.abort(k);
+        assert!(d.mapping().is_empty());
+        assert_eq!(d.pool().available(NodeId(0)), 1);
+        // aborting again is harmless
+        d.abort(k);
+    }
+
+    #[test]
+    fn concurrent_connections_do_not_interfere() {
+        let mut d = Distributor::new(2, 4);
+        let keys: Vec<ConnKey> = (0..4).map(|i| key(100 + i)).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            d.accept_syn(k, (i as u32) * 1000, false).unwrap();
+            d.complete_handshake(k).unwrap();
+            d.bind(k, NodeId((i % 2) as u16), (i as u32) * 1000 + 1).unwrap();
+        }
+        assert_eq!(d.mapping().len(), 4);
+        assert_eq!(d.pool().in_use(NodeId(0)), 2);
+        assert_eq!(d.pool().in_use(NodeId(1)), 2);
+        // Close them in reverse order.
+        for &k in keys.iter().rev() {
+            let fin = d.client_fin(k, 5).unwrap();
+            assert!(fin.flags.ack);
+            d.last_ack(k, 10, 10).unwrap();
+        }
+        assert!(d.mapping().is_empty());
+        assert_eq!(d.pool().available(NodeId(0)), 4);
+        assert_eq!(d.pool().available(NodeId(1)), 4);
+    }
+}

@@ -1,0 +1,192 @@
+#![allow(clippy::needless_range_loop)]
+//! Property tests for the distributor's connection-splicing machinery.
+
+use cpms_dispatch::mapping::{ConnKey, ConnState, MappingTable, SeqTranslation};
+use cpms_dispatch::pool::{ConnectionPool, PoolError};
+use cpms_dispatch::relay::{Distributor, Flags, Packet};
+use cpms_model::NodeId;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    /// Sequence translation is a bijection: translating any sequence number
+    /// client→server and back (via the ACK path) recovers the original, at
+    /// every wrap point.
+    #[test]
+    fn seq_translation_roundtrips(
+        client_seq in any::<u32>(),
+        prefork_seq in any::<u32>(),
+        dist_seq in any::<u32>(),
+        server_seq in any::<u32>(),
+        probe in any::<u32>(),
+    ) {
+        let tr = SeqTranslation::at_binding(client_seq, prefork_seq, dist_seq, server_seq);
+        // c2s then the server acks that byte; ack_s2c maps it back.
+        prop_assert_eq!(tr.ack_s2c(tr.seq_c2s(probe)), probe);
+        // s2c then the client acks; ack_c2s maps it back.
+        prop_assert_eq!(tr.ack_c2s(tr.seq_s2c(probe)), probe);
+    }
+
+    /// The binding anchors are exact: the client's next byte lands on the
+    /// pre-forked connection's next byte, and the server's next byte lands
+    /// on the distributor's next byte.
+    #[test]
+    fn binding_anchors_are_exact(
+        client_seq in any::<u32>(),
+        prefork_seq in any::<u32>(),
+        dist_seq in any::<u32>(),
+        server_seq in any::<u32>(),
+    ) {
+        let tr = SeqTranslation::at_binding(client_seq, prefork_seq, dist_seq, server_seq);
+        prop_assert_eq!(tr.seq_c2s(client_seq), prefork_seq);
+        prop_assert_eq!(tr.seq_s2c(server_seq), dist_seq);
+    }
+
+    /// The pool never double-allocates a slot, never exceeds its size, and
+    /// checkout/release counts always reconcile.
+    #[test]
+    fn pool_never_double_allocates(
+        nodes in 1usize..4,
+        per_node in 1u32..5,
+        ops in prop::collection::vec((0u16..4, any::<bool>()), 1..200),
+    ) {
+        let mut pool = ConnectionPool::prefork(nodes, per_node);
+        let mut held: Vec<Vec<cpms_dispatch::mapping::PreforkId>> = vec![Vec::new(); nodes];
+        for (node_raw, is_checkout) in ops {
+            let node = NodeId(node_raw % nodes as u16);
+            if is_checkout {
+                match pool.checkout(node) {
+                    Ok(id) => {
+                        prop_assert!(!held[node.index()].contains(&id), "double allocation");
+                        held[node.index()].push(id);
+                    }
+                    Err(PoolError::Exhausted(_)) => {
+                        prop_assert_eq!(held[node.index()].len(), per_node as usize);
+                    }
+                    Err(e) => prop_assert!(false, "unexpected error {e}"),
+                }
+            } else if let Some(id) = held[node.index()].pop() {
+                pool.release(id).unwrap();
+            }
+            for n in 0..nodes {
+                let node = NodeId(n as u16);
+                prop_assert_eq!(
+                    pool.available(node) + pool.in_use(node),
+                    per_node as usize
+                );
+                prop_assert_eq!(pool.in_use(node), held[n].len());
+            }
+        }
+    }
+
+    /// The mapping table's state machine matches a reference model under
+    /// arbitrary event sequences: states agree, and entries are deleted
+    /// exactly at close.
+    #[test]
+    fn mapping_state_machine_matches_model(
+        events in prop::collection::vec((0u16..6, 0u8..6), 1..300),
+    ) {
+        let mut table = MappingTable::new();
+        let mut model: HashMap<u16, ConnState> = HashMap::new();
+
+        for (port, event) in events {
+            let key = ConnKey { client_ip: 7, client_port: port };
+            let model_state = model.get(&port).copied();
+            match event {
+                0 => { // SYN
+                    let r = table.on_syn(key, 42, false);
+                    match model_state {
+                        None => {
+                            prop_assert!(r.is_ok());
+                            model.insert(port, ConnState::SynReceived);
+                        }
+                        Some(ConnState::SynReceived) => prop_assert!(r.is_ok()),
+                        Some(_) => prop_assert!(r.is_err()),
+                    }
+                }
+                1 => { // handshake ACK
+                    let r = table.on_handshake_ack(key);
+                    if model_state == Some(ConnState::SynReceived) {
+                        prop_assert!(r.is_ok());
+                        model.insert(port, ConnState::Established);
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
+                2 => { // client FIN
+                    let r = table.on_client_fin(key);
+                    match model_state {
+                        Some(ConnState::Established) | Some(ConnState::SynReceived) => {
+                            prop_assert!(r.is_ok());
+                            model.insert(port, ConnState::FinReceived);
+                        }
+                        _ => prop_assert!(r.is_err()),
+                    }
+                }
+                3 => { // FIN acked
+                    let r = table.on_fin_acked(key);
+                    if model_state == Some(ConnState::FinReceived) {
+                        prop_assert!(r.is_ok());
+                        model.insert(port, ConnState::HalfClosed);
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
+                4 => { // last ACK
+                    let r = table.on_last_ack(key);
+                    if model_state == Some(ConnState::HalfClosed) {
+                        prop_assert!(r.is_ok());
+                        model.remove(&port);
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                }
+                _ => { // abort
+                    table.abort(key);
+                    model.remove(&port);
+                }
+            }
+            // State agreement after every event.
+            match model.get(&port) {
+                Some(state) => {
+                    prop_assert_eq!(table.get(key).map(|e| e.state()), Some(*state))
+                }
+                None => prop_assert!(table.get(key).is_none()),
+            }
+        }
+        prop_assert_eq!(table.len(), model.len());
+    }
+
+    /// Relayed payload bytes are preserved verbatim — header rewriting
+    /// never touches the payload length or flags (except the documented
+    /// HTTP/1.0 FIN case).
+    #[test]
+    fn relay_preserves_payload_and_flags(
+        payload in 0u32..100_000,
+        seq in any::<u32>(),
+        http10 in any::<bool>(),
+    ) {
+        let mut d = Distributor::new(1, 1);
+        let k = ConnKey { client_ip: 1, client_port: 1 };
+        d.accept_syn(k, seq, http10).unwrap();
+        d.complete_handshake(k).unwrap();
+        d.bind(k, NodeId(0), seq.wrapping_add(1)).unwrap();
+
+        let pkt = Packet {
+            seq: seq.wrapping_add(1),
+            ack: 0,
+            flags: Flags { syn: false, ack: false, fin: false },
+            payload,
+        };
+        let (_, out) = d.relay_to_server(k, pkt).unwrap();
+        prop_assert_eq!(out.payload, payload);
+        prop_assert_eq!(out.flags, pkt.flags);
+
+        let back = d.relay_to_client(k, pkt, false).unwrap();
+        prop_assert_eq!(back.payload, payload);
+        prop_assert!(!back.flags.fin);
+
+        let last = d.relay_to_client(k, pkt, true).unwrap();
+        prop_assert_eq!(last.flags.fin, http10, "FIN forced only for HTTP/1.0");
+    }
+}

@@ -1,0 +1,128 @@
+//! A small keep-alive HTTP client used by tests, examples, and the live
+//! benchmark loop (the role WebBench's client processes play in §5.1).
+
+use crate::http::{read_response, write_request, ParseError, Response};
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpStream};
+
+/// A client holding one persistent connection to a server, transparently
+/// reconnecting when the server closes it.
+#[derive(Debug)]
+pub struct HttpClient {
+    addr: SocketAddr,
+    stream: Option<ClientConn>,
+    reconnects: u64,
+    requests: u64,
+}
+
+#[derive(Debug)]
+struct ClientConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl HttpClient {
+    /// Connects to the server.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let mut client = HttpClient {
+            addr,
+            stream: None,
+            reconnects: 0,
+            requests: 0,
+        };
+        client.reconnect()?;
+        client.reconnects = 0; // the initial connect is not a re-connect
+        Ok(client)
+    }
+
+    fn reconnect(&mut self) -> io::Result<()> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        self.stream = Some(ClientConn {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        });
+        self.reconnects += 1;
+        Ok(())
+    }
+
+    /// Times the connection was re-established after the initial connect.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Requests issued.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Issues one GET, reusing the persistent connection and retrying once
+    /// on a stale connection (the server may have closed it between
+    /// requests).
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol failures after the retry.
+    pub fn get(&mut self, path: &str) -> io::Result<Response> {
+        let path: cpms_model::UrlPath = path
+            .parse()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, format!("{e}")))?;
+        self.requests += 1;
+        match self.try_get(&path) {
+            Ok(resp) => Ok(resp),
+            Err(_) => {
+                // Stale or broken connection: reconnect and retry once.
+                self.reconnect()?;
+                self.try_get(&path)
+                    .map_err(|e| io::Error::other(format!("{e}")))
+            }
+        }
+    }
+
+    fn try_get(&mut self, path: &cpms_model::UrlPath) -> Result<Response, ParseError> {
+        let conn = self
+            .stream
+            .as_mut()
+            .ok_or(ParseError::ConnectionClosed)?;
+        write_request(&mut conn.writer, path)?;
+        read_response(&mut conn.reader)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::origin::{OriginServer, SiteContent};
+    use cpms_model::NodeId;
+
+    #[test]
+    fn reconnects_after_server_close() {
+        let mut site = SiteContent::new();
+        site.add_static("/a", b"x".to_vec());
+        let origin = OriginServer::start(NodeId(0), site).unwrap();
+
+        let mut client = HttpClient::connect(origin.addr()).unwrap();
+        assert_eq!(client.get("/a").unwrap().status, 200);
+        assert_eq!(client.reconnects(), 0);
+
+        // Simulate server-side close by making a fresh client whose first
+        // connection we sabotage: drop the stream mid-life.
+        client.stream = None;
+        assert_eq!(client.get("/a").unwrap().status, 200);
+        assert_eq!(client.reconnects(), 1);
+        assert_eq!(client.requests(), 2);
+    }
+
+    #[test]
+    fn rejects_invalid_path() {
+        let mut site = SiteContent::new();
+        site.add_static("/a", b"x".to_vec());
+        let origin = OriginServer::start(NodeId(0), site).unwrap();
+        let mut client = HttpClient::connect(origin.addr()).unwrap();
+        assert!(client.get("no-leading-slash").is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! Minimal HTTP/1.1 wire handling shared by the origin, the proxy, and
+//! the client: request-line + header parsing and response serialization.
+//! Bodies use `Content-Length` exclusively (no chunked encoding), which is
+//! all the 1999-era exchange needs.
+
+use cpms_model::UrlPath;
+use std::io::{self, BufRead, Write};
+
+/// A parsed HTTP request head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method (`GET`, `HEAD`, …). Only `GET` is served.
+    pub method: String,
+    /// The request target, normalized.
+    pub path: UrlPath,
+    /// `true` for HTTP/1.0 (connection closes after the response unless
+    /// `Connection: keep-alive` was sent — mirrored from the paper's
+    /// distributor logic).
+    pub http10: bool,
+    /// Whether the connection should stay open after this exchange.
+    pub keep_alive: bool,
+}
+
+/// A parsed HTTP response head plus body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+/// Errors from reading a request.
+#[derive(Debug)]
+pub enum ParseError {
+    /// The peer closed the connection before a full request arrived.
+    ConnectionClosed,
+    /// Malformed request line or headers.
+    Malformed(&'static str),
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::ConnectionClosed => write!(f, "connection closed"),
+            ParseError::Malformed(what) => write!(f, "malformed request: {what}"),
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[doc(hidden)]
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Reads one request head from a buffered stream.
+///
+/// # Errors
+///
+/// [`ParseError::ConnectionClosed`] on clean EOF before any bytes,
+/// [`ParseError::Malformed`] on bad syntax, [`ParseError::Io`] otherwise.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ParseError> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(ParseError::ConnectionClosed);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(ParseError::Malformed("missing method"))?
+        .to_string();
+    let target = parts.next().ok_or(ParseError::Malformed("missing target"))?;
+    let version = parts.next().ok_or(ParseError::Malformed("missing version"))?;
+    let http10 = match version {
+        "HTTP/1.0" => true,
+        "HTTP/1.1" => false,
+        _ => return Err(ParseError::Malformed("unsupported version")),
+    };
+    let path: UrlPath = target
+        .parse()
+        .map_err(|_| ParseError::Malformed("bad path"))?;
+
+    // Headers: we only care about Connection.
+    let mut keep_alive = !http10;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(ParseError::Malformed("eof in headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("connection") {
+                let value = value.trim();
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+        }
+    }
+    Ok(Request {
+        method,
+        path,
+        http10,
+        keep_alive,
+    })
+}
+
+/// Serializes a request head (used by the client and the proxy's backend
+/// side; always HTTP/1.1 keep-alive on the pre-forked connections).
+///
+/// # Errors
+///
+/// I/O errors from the writer.
+pub fn write_request<W: Write>(writer: &mut W, path: &UrlPath) -> io::Result<()> {
+    write!(
+        writer,
+        "GET {path} HTTP/1.1\r\nHost: cpms\r\nConnection: keep-alive\r\n\r\n"
+    )?;
+    writer.flush()
+}
+
+/// Writes a response with the given status and body.
+///
+/// # Errors
+///
+/// I/O errors from the writer.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    status: u16,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    write!(
+        writer,
+        "HTTP/1.1 {status} {reason}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+/// Reads one response (head + `Content-Length` body) from a buffered
+/// stream.
+///
+/// # Errors
+///
+/// [`ParseError`] variants as for [`read_request`].
+pub fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, ParseError> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(ParseError::ConnectionClosed);
+    }
+    let mut parts = line.split_whitespace();
+    let _version = parts.next().ok_or(ParseError::Malformed("missing version"))?;
+    let status: u16 = parts
+        .next()
+        .ok_or(ParseError::Malformed("missing status"))?
+        .parse()
+        .map_err(|_| ParseError::Malformed("bad status"))?;
+
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(ParseError::Malformed("eof in headers"));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = Some(
+                    value
+                        .trim()
+                        .parse()
+                        .map_err(|_| ParseError::Malformed("bad content-length"))?,
+                );
+            }
+        }
+    }
+    let len = content_length.ok_or(ParseError::Malformed("missing content-length"))?;
+    let mut body = vec![0u8; len];
+    io::Read::read_exact(reader, &mut body)?;
+    Ok(Response { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parse_simple_get() {
+        let raw = b"GET /a/b.html HTTP/1.1\r\nHost: x\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..])).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path.as_str(), "/a/b.html");
+        assert!(!req.http10);
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn parse_http10_close_semantics() {
+        let raw = b"GET / HTTP/1.0\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..])).unwrap();
+        assert!(req.http10);
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+
+        let raw = b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..])).unwrap();
+        assert!(req.keep_alive);
+
+        let raw = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..])).unwrap();
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn parse_strips_query() {
+        let raw = b"GET /cgi-bin/q.cgi?x=1&y=2 HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..])).unwrap();
+        assert_eq!(req.path.as_str(), "/cgi-bin/q.cgi");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            &b"GET /x HTTP/2\r\n\r\n"[..],
+            &b"GET relative HTTP/1.1\r\n\r\n"[..],
+        ] {
+            assert!(matches!(
+                read_request(&mut BufReader::new(raw)),
+                Err(ParseError::Malformed(_))
+            ));
+        }
+        assert!(matches!(
+            read_request(&mut BufReader::new(&b""[..])),
+            Err(ParseError::ConnectionClosed)
+        ));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 200, b"hello world", true).unwrap();
+        let resp = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"hello world");
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let mut wire = Vec::new();
+        let path: UrlPath = "/x/y.gif".parse().unwrap();
+        write_request(&mut wire, &path).unwrap();
+        let req = read_request(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(req.path, path);
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_sequence() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let mut reader = BufReader::new(&raw[..]);
+        assert_eq!(read_request(&mut reader).unwrap().path.as_str(), "/a");
+        assert_eq!(read_request(&mut reader).unwrap().path.as_str(), "/b");
+        assert!(matches!(
+            read_request(&mut reader),
+            Err(ParseError::ConnectionClosed)
+        ));
+    }
+}

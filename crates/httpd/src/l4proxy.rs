@@ -1,0 +1,214 @@
+//! The content-blind layer-4 baseline over real sockets.
+//!
+//! A TCP connection router: when a client connects, pick a backend
+//! *before any HTTP bytes arrive* (round robin over the configured
+//! backends) and splice the two sockets byte-for-byte in both directions.
+//! Because the decision precedes the request, the router cannot honor
+//! partitioned placement — requests for content the chosen node lacks
+//! simply 404 (§2.1: DNS and layer-4 approaches "are content-blind,
+//! because they determine the target server before the client sends out
+//! the HTTP request").
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running layer-4 proxy.
+pub struct L4Proxy {
+    addr: SocketAddr,
+    connections: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for L4Proxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("L4Proxy")
+            .field("addr", &self.addr)
+            .field("connections", &self.connections())
+            .finish()
+    }
+}
+
+impl L4Proxy {
+    /// Starts the proxy, distributing client connections round-robin over
+    /// `backends`.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures.
+    pub fn start(backends: Vec<SocketAddr>) -> io::Result<L4Proxy> {
+        assert!(!backends.is_empty(), "need at least one backend");
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let connections = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let next = Arc::new(AtomicUsize::new(0));
+
+        let accept_thread = {
+            let connections = Arc::clone(&connections);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("cpms-l4".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(client) = stream else { continue };
+                        // Content-blind decision: made before reading a byte.
+                        let idx = next.fetch_add(1, Ordering::Relaxed) % backends.len();
+                        let backend_addr = backends[idx];
+                        connections.fetch_add(1, Ordering::Relaxed);
+                        let _ = std::thread::Builder::new()
+                            .name("l4-conn".to_string())
+                            .spawn(move || {
+                                let _ = splice(client, backend_addr);
+                            });
+                    }
+                })?
+        };
+
+        Ok(L4Proxy {
+            addr,
+            connections,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The proxy's listening address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Client connections accepted.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting new connections.
+    pub fn shutdown(&mut self) {
+        if let Some(thread) = self.accept_thread.take() {
+            self.stop.store(true, Ordering::Release);
+            let _ = TcpStream::connect(self.addr);
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for L4Proxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Bidirectional byte splice between the client and one backend.
+fn splice(client: TcpStream, backend_addr: SocketAddr) -> io::Result<()> {
+    let backend = TcpStream::connect(backend_addr)?;
+    client.set_nodelay(true)?;
+    backend.set_nodelay(true)?;
+
+    let c2s = {
+        let mut from = client.try_clone()?;
+        let mut to = backend.try_clone()?;
+        std::thread::Builder::new()
+            .name("l4-c2s".to_string())
+            .spawn(move || {
+                let _ = copy_until_eof(&mut from, &mut to);
+                let _ = to.shutdown(std::net::Shutdown::Write);
+            })?
+    };
+    let mut from = backend;
+    let mut to = client;
+    let _ = copy_until_eof(&mut from, &mut to);
+    let _ = to.shutdown(std::net::Shutdown::Write);
+    let _ = c2s.join();
+    Ok(())
+}
+
+fn copy_until_eof(from: &mut TcpStream, to: &mut TcpStream) -> io::Result<u64> {
+    let mut buf = [0u8; 16 * 1024];
+    let mut total = 0u64;
+    loop {
+        let n = from.read(&mut buf)?;
+        if n == 0 {
+            return Ok(total);
+        }
+        to.write_all(&buf[..n])?;
+        total += n as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+    use crate::origin::{OriginServer, SiteContent};
+    use cpms_model::NodeId;
+
+    fn start_origin(node: u16, files: &[(&str, &[u8])]) -> OriginServer {
+        let mut site = SiteContent::new();
+        for (path, body) in files {
+            site.add_static(path, body.to_vec());
+        }
+        OriginServer::start(NodeId(node), site).unwrap()
+    }
+
+    #[test]
+    fn splices_full_replication_transparently() {
+        // both nodes have everything: content-blind routing works
+        let o0 = start_origin(0, &[("/a", b"A"), ("/b", b"B")]);
+        let o1 = start_origin(1, &[("/a", b"A"), ("/b", b"B")]);
+        let proxy = L4Proxy::start(vec![o0.addr(), o1.addr()]).unwrap();
+
+        for _ in 0..4 {
+            let mut client = HttpClient::connect(proxy.addr()).unwrap();
+            assert_eq!(client.get("/a").unwrap().body, b"A");
+            assert_eq!(client.get("/b").unwrap().body, b"B");
+        }
+        assert_eq!(proxy.connections(), 4);
+        // round robin: both origins saw traffic
+        assert!(o0.served() > 0);
+        assert!(o1.served() > 0);
+    }
+
+    #[test]
+    fn content_blind_routing_fails_partitioned_placement() {
+        // node 0 has only /a, node 1 has only /b: half the requests 404
+        let o0 = start_origin(0, &[("/a", b"A")]);
+        let o1 = start_origin(1, &[("/b", b"B")]);
+        let proxy = L4Proxy::start(vec![o0.addr(), o1.addr()]).unwrap();
+
+        let mut failures = 0;
+        for _ in 0..8 {
+            let mut client = HttpClient::connect(proxy.addr()).unwrap();
+            if client.get("/a").unwrap().status != 200 {
+                failures += 1;
+            }
+        }
+        assert!(
+            failures > 0,
+            "an L4 router must misroute some partitioned requests"
+        );
+    }
+
+    #[test]
+    fn keep_alive_pins_the_backend() {
+        let o0 = start_origin(0, &[("/who", b"zero")]);
+        let o1 = start_origin(1, &[("/who", b"one")]);
+        let proxy = L4Proxy::start(vec![o0.addr(), o1.addr()]).unwrap();
+        let mut client = HttpClient::connect(proxy.addr()).unwrap();
+        let first = client.get("/who").unwrap().body;
+        for _ in 0..5 {
+            assert_eq!(
+                client.get("/who").unwrap().body,
+                first,
+                "one spliced connection = one backend"
+            );
+        }
+        assert_eq!(client.reconnects(), 0);
+    }
+}

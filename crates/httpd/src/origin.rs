@@ -1,0 +1,322 @@
+//! The origin server: a threaded HTTP/1.1 back end standing in for the
+//! paper's Apache/IIS nodes.
+//!
+//! Serves an in-memory [`SiteContent`]: static paths return stored bytes;
+//! dynamic paths (`.cgi`/`.asp`) burn a configurable execution delay and
+//! return a generated body, mimicking script execution cost.
+
+use crate::http::{read_request, write_response, ParseError};
+use cpms_model::{NodeId, UrlPath};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What one node serves.
+#[derive(Debug, Default)]
+pub struct SiteContent {
+    files: HashMap<UrlPath, Vec<u8>>,
+    dynamic: HashMap<UrlPath, DynamicSpec>,
+}
+
+#[derive(Debug, Clone)]
+struct DynamicSpec {
+    exec: Duration,
+    response_bytes: usize,
+}
+
+impl SiteContent {
+    /// An empty site.
+    pub fn new() -> Self {
+        SiteContent::default()
+    }
+
+    /// Adds a static file.
+    pub fn add_static(&mut self, path: &str, body: Vec<u8>) -> &mut Self {
+        self.files
+            .insert(path.parse().expect("valid path literal"), body);
+        self
+    }
+
+    /// Adds a dynamic endpoint that sleeps `exec` then returns
+    /// `response_bytes` of generated output.
+    pub fn add_dynamic(&mut self, path: &str, exec: Duration, response_bytes: usize) -> &mut Self {
+        self.dynamic.insert(
+            path.parse().expect("valid path literal"),
+            DynamicSpec {
+                exec,
+                response_bytes,
+            },
+        );
+        self
+    }
+
+    /// Number of objects (static + dynamic).
+    pub fn len(&self) -> usize {
+        self.files.len() + self.dynamic.len()
+    }
+
+    /// Whether the site is empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty() && self.dynamic.is_empty()
+    }
+}
+
+/// A running origin server. Dropping it (or calling
+/// [`OriginServer::shutdown`]) stops the accept loop.
+pub struct OriginServer {
+    node: NodeId,
+    addr: SocketAddr,
+    content: Arc<RwLock<SiteContent>>,
+    stop: Arc<AtomicBool>,
+    served: Arc<AtomicU64>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for OriginServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OriginServer")
+            .field("node", &self.node)
+            .field("addr", &self.addr)
+            .field("served", &self.served())
+            .finish()
+    }
+}
+
+impl OriginServer {
+    /// Binds a listener on an ephemeral localhost port and starts serving
+    /// `content`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding the listener.
+    pub fn start(node: NodeId, content: SiteContent) -> io::Result<OriginServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let content = Arc::new(RwLock::new(content));
+        let stop = Arc::new(AtomicBool::new(false));
+        let served = Arc::new(AtomicU64::new(0));
+
+        let accept_thread = {
+            let content = Arc::clone(&content);
+            let stop = Arc::clone(&stop);
+            let served = Arc::clone(&served);
+            std::thread::Builder::new()
+                .name(format!("origin-{node}"))
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let content = Arc::clone(&content);
+                        let served = Arc::clone(&served);
+                        let _ = std::thread::Builder::new()
+                            .name("origin-conn".to_string())
+                            .spawn(move || {
+                                let _ = serve_connection(stream, &content, &served);
+                            });
+                    }
+                })?
+        };
+
+        Ok(OriginServer {
+            node,
+            addr,
+            content,
+            stop,
+            served,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The node identity this origin represents.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The listening address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests served so far (across all connections).
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Adds or replaces a static file while running (content management
+    /// pushing an update to this node).
+    pub fn add_static(&self, path: &str, body: Vec<u8>) {
+        self.content.write().add_static(path, body);
+    }
+
+    /// Removes a file while running (a delete/offload agent's effect).
+    /// Returns whether anything was removed.
+    pub fn remove(&self, path: &UrlPath) -> bool {
+        let mut c = self.content.write();
+        c.files.remove(path).is_some() || c.dynamic.remove(path).is_some()
+    }
+
+    /// Stops accepting connections. In-flight exchanges finish on their
+    /// own threads.
+    pub fn shutdown(&mut self) {
+        if let Some(thread) = self.accept_thread.take() {
+            self.stop.store(true, Ordering::Release);
+            // Unblock accept() with a dummy connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for OriginServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    content: &RwLock<SiteContent>,
+    served: &AtomicU64,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(r) => r,
+            Err(ParseError::ConnectionClosed) => return Ok(()),
+            Err(ParseError::Io(e)) => return Err(e),
+            Err(ParseError::Malformed(_)) => {
+                write_response(&mut writer, 404, b"bad request", false)?;
+                return Ok(());
+            }
+        };
+        let keep_alive = request.keep_alive;
+        // Look the object up under a read lock; release before any
+        // execution delay.
+        enum Found {
+            Static(Vec<u8>),
+            Dynamic(DynamicSpec),
+            Missing,
+        }
+        let found = {
+            let c = content.read();
+            if let Some(body) = c.files.get(&request.path) {
+                Found::Static(body.clone())
+            } else if let Some(spec) = c.dynamic.get(&request.path) {
+                Found::Dynamic(spec.clone())
+            } else {
+                Found::Missing
+            }
+        };
+        match found {
+            Found::Static(body) => {
+                served.fetch_add(1, Ordering::Relaxed);
+                write_response(&mut writer, 200, &body, keep_alive)?;
+            }
+            Found::Dynamic(spec) => {
+                std::thread::sleep(spec.exec);
+                let body = vec![b'd'; spec.response_bytes];
+                served.fetch_add(1, Ordering::Relaxed);
+                write_response(&mut writer, 200, &body, keep_alive)?;
+            }
+            Found::Missing => {
+                write_response(&mut writer, 404, b"not found", keep_alive)?;
+            }
+        }
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+
+    fn site() -> SiteContent {
+        let mut s = SiteContent::new();
+        s.add_static("/index.html", b"home".to_vec());
+        s.add_static("/img/logo.gif", vec![0xFF; 2048]);
+        s.add_dynamic("/cgi-bin/q.cgi", Duration::from_millis(5), 64);
+        s
+    }
+
+    #[test]
+    fn serves_static_and_dynamic() {
+        let origin = OriginServer::start(NodeId(0), site()).unwrap();
+        let mut client = HttpClient::connect(origin.addr()).unwrap();
+        let resp = client.get("/index.html").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"home");
+
+        let resp = client.get("/img/logo.gif").unwrap();
+        assert_eq!(resp.body.len(), 2048);
+
+        let resp = client.get("/cgi-bin/q.cgi").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body.len(), 64);
+
+        let resp = client.get("/missing").unwrap();
+        assert_eq!(resp.status, 404);
+
+        assert_eq!(origin.served(), 3, "404s are not counted as served");
+    }
+
+    #[test]
+    fn keep_alive_reuses_connection() {
+        let origin = OriginServer::start(NodeId(0), site()).unwrap();
+        let mut client = HttpClient::connect(origin.addr()).unwrap();
+        for _ in 0..10 {
+            assert_eq!(client.get("/index.html").unwrap().status, 200);
+        }
+        assert_eq!(client.reconnects(), 0, "all ten on one connection");
+    }
+
+    #[test]
+    fn live_content_updates() {
+        let origin = OriginServer::start(NodeId(0), site()).unwrap();
+        let mut client = HttpClient::connect(origin.addr()).unwrap();
+        origin.add_static("/new.html", b"fresh".to_vec());
+        assert_eq!(client.get("/new.html").unwrap().body, b"fresh");
+        assert!(origin.remove(&"/new.html".parse().unwrap()));
+        assert_eq!(client.get("/new.html").unwrap().status, 404);
+        assert!(!origin.remove(&"/new.html".parse().unwrap()));
+    }
+
+    #[test]
+    fn concurrent_clients() {
+        let origin = OriginServer::start(NodeId(0), site()).unwrap();
+        let addr = origin.addr();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(move || {
+                    let mut client = HttpClient::connect(addr).unwrap();
+                    for _ in 0..20 {
+                        assert_eq!(client.get("/index.html").unwrap().status, 200);
+                    }
+                });
+            }
+        });
+        assert_eq!(origin.served(), 160);
+    }
+
+    #[test]
+    fn shutdown_stops_accepting() {
+        let mut origin = OriginServer::start(NodeId(0), site()).unwrap();
+        let addr = origin.addr();
+        origin.shutdown();
+        // New connections may connect to the dead listener's backlog but
+        // requests must fail.
+        let result = HttpClient::connect(addr).and_then(|mut c| c.get("/index.html"));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! Pre-forked persistent backend connections over real sockets.
+//!
+//! The socket-level twin of [`cpms_dispatch::pool::ConnectionPool`]: at
+//! startup the proxy opens `prefork` TCP connections to every backend and
+//! keeps them alive (HTTP/1.1 keep-alive); each relayed request checks one
+//! out and returns it afterwards. If a node's list is momentarily empty
+//! the pool opens an extra connection rather than queueing, counting the
+//! event (`overflow_connects`) so benches can report pool pressure.
+
+use parking_lot::Mutex;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A pool of persistent connections to a set of backends.
+#[derive(Debug)]
+pub struct SocketPool {
+    backends: Vec<SocketAddr>,
+    idle: Vec<Mutex<Vec<TcpStream>>>,
+    overflow_connects: AtomicU64,
+    checkouts: AtomicU64,
+}
+
+impl SocketPool {
+    /// Opens `prefork` connections to each backend.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures during pre-forking.
+    pub fn prefork(backends: Vec<SocketAddr>, prefork: u32) -> io::Result<Self> {
+        let mut idle = Vec::with_capacity(backends.len());
+        for &addr in &backends {
+            let mut conns = Vec::with_capacity(prefork as usize);
+            for _ in 0..prefork {
+                let stream = TcpStream::connect(addr)?;
+                stream.set_nodelay(true)?;
+                conns.push(stream);
+            }
+            idle.push(Mutex::new(conns));
+        }
+        Ok(SocketPool {
+            backends,
+            idle,
+            overflow_connects: AtomicU64::new(0),
+            checkouts: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of backends.
+    pub fn backend_count(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// The address of backend `idx`.
+    pub fn backend_addr(&self, idx: usize) -> SocketAddr {
+        self.backends[idx]
+    }
+
+    /// Total checkouts so far.
+    pub fn checkouts(&self) -> u64 {
+        self.checkouts.load(Ordering::Relaxed)
+    }
+
+    /// Times a checkout had to open a fresh connection because the
+    /// pre-forked list was empty.
+    pub fn overflow_connects(&self) -> u64 {
+        self.overflow_connects.load(Ordering::Relaxed)
+    }
+
+    /// Idle connections currently pooled for backend `idx`.
+    pub fn idle_count(&self, idx: usize) -> usize {
+        self.idle[idx].lock().len()
+    }
+
+    /// Checks out a connection to backend `idx`, opening a new one if the
+    /// pool is empty.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures when growing.
+    pub fn checkout(&self, idx: usize) -> io::Result<TcpStream> {
+        self.checkouts.fetch_add(1, Ordering::Relaxed);
+        if let Some(conn) = self.idle[idx].lock().pop() {
+            return Ok(conn);
+        }
+        self.overflow_connects.fetch_add(1, Ordering::Relaxed);
+        let stream = TcpStream::connect(self.backends[idx])?;
+        stream.set_nodelay(true)?;
+        Ok(stream)
+    }
+
+    /// Returns a healthy connection to the pool ("releases the pre-forked
+    /// connection back to available connection list").
+    pub fn release(&self, idx: usize, conn: TcpStream) {
+        self.idle[idx].lock().push(conn);
+    }
+
+    /// Discards a connection that saw an error (the next checkout will
+    /// re-open).
+    pub fn discard(&self, _idx: usize, conn: TcpStream) {
+        drop(conn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::origin::{OriginServer, SiteContent};
+    use cpms_model::NodeId;
+
+    fn origin() -> OriginServer {
+        let mut site = SiteContent::new();
+        site.add_static("/x", b"pool".to_vec());
+        OriginServer::start(NodeId(0), site).unwrap()
+    }
+
+    #[test]
+    fn prefork_and_reuse() {
+        let o = origin();
+        let pool = SocketPool::prefork(vec![o.addr()], 3).unwrap();
+        assert_eq!(pool.idle_count(0), 3);
+        let c1 = pool.checkout(0).unwrap();
+        let c2 = pool.checkout(0).unwrap();
+        assert_eq!(pool.idle_count(0), 1);
+        pool.release(0, c1);
+        pool.release(0, c2);
+        assert_eq!(pool.idle_count(0), 3);
+        assert_eq!(pool.checkouts(), 2);
+        assert_eq!(pool.overflow_connects(), 0);
+    }
+
+    #[test]
+    fn grows_on_exhaustion() {
+        let o = origin();
+        let pool = SocketPool::prefork(vec![o.addr()], 1).unwrap();
+        let a = pool.checkout(0).unwrap();
+        let b = pool.checkout(0).unwrap(); // overflow
+        assert_eq!(pool.overflow_connects(), 1);
+        pool.release(0, a);
+        pool.release(0, b);
+        assert_eq!(pool.idle_count(0), 2, "overflow conns join the pool");
+    }
+
+    #[test]
+    fn pooled_connections_actually_work() {
+        let o = origin();
+        let pool = SocketPool::prefork(vec![o.addr()], 2).unwrap();
+        let conn = pool.checkout(0).unwrap();
+        let mut reader = std::io::BufReader::new(conn.try_clone().unwrap());
+        let mut writer = conn;
+        crate::http::write_request(&mut writer, &"/x".parse().unwrap()).unwrap();
+        let resp = crate::http::read_response(&mut reader).unwrap();
+        assert_eq!(resp.body, b"pool");
+        pool.release(0, writer);
+    }
+}

@@ -1,0 +1,377 @@
+//! The content-aware distributor over real sockets.
+//!
+//! The socket-level equivalent of the paper's kernel module (§2.2): accept
+//! the client connection, complete the handshake (done by the OS), read
+//! the HTTP request, consult the URL table, bind the exchange to a
+//! pre-forked persistent backend connection, and relay the response —
+//! while the client sees a single ordinary HTTP server.
+//!
+//! The URL table is shared behind a lock and can be mutated while the
+//! proxy serves (management operations take effect on the next request),
+//! exactly like the paper's controller updating the distributor's table.
+
+use crate::http::{read_request, read_response, write_request, write_response, ParseError};
+use crate::pool::SocketPool;
+use cpms_model::NodeId;
+use cpms_urltable::UrlTable;
+use parking_lot::RwLock;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Shared, live-updatable URL table handle.
+pub type SharedTable = Arc<RwLock<UrlTable>>;
+
+/// Counters the proxy exposes.
+#[derive(Debug, Default)]
+pub struct ProxyStats {
+    /// Requests successfully relayed.
+    pub relayed: AtomicU64,
+    /// Requests with no table record (503 to the client).
+    pub unroutable: AtomicU64,
+    /// Requests whose backend exchange failed (502 to the client).
+    pub backend_errors: AtomicU64,
+}
+
+/// A running content-aware reverse proxy.
+pub struct ContentAwareProxy {
+    addr: SocketAddr,
+    table: SharedTable,
+    stats: Arc<ProxyStats>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ContentAwareProxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ContentAwareProxy")
+            .field("addr", &self.addr)
+            .field("relayed", &self.stats.relayed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ContentAwareProxy {
+    /// Starts the proxy: `backends[i]` is the address of `NodeId(i)`;
+    /// `prefork` persistent connections are opened to each.
+    ///
+    /// # Errors
+    ///
+    /// Bind or pre-fork connection failures.
+    pub fn start(
+        table: UrlTable,
+        backends: Vec<SocketAddr>,
+        prefork: u32,
+    ) -> io::Result<ContentAwareProxy> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let table: SharedTable = Arc::new(RwLock::new(table));
+        let pool = Arc::new(SocketPool::prefork(backends, prefork)?);
+        let in_flight: Arc<Vec<AtomicU32>> = Arc::new(
+            (0..pool.backend_count())
+                .map(|_| AtomicU32::new(0))
+                .collect(),
+        );
+        let stats = Arc::new(ProxyStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let accept_thread = {
+            let table = Arc::clone(&table);
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("cpms-proxy".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let table = Arc::clone(&table);
+                        let pool = Arc::clone(&pool);
+                        let in_flight = Arc::clone(&in_flight);
+                        let stats = Arc::clone(&stats);
+                        let _ = std::thread::Builder::new()
+                            .name("proxy-conn".to_string())
+                            .spawn(move || {
+                                let _ = serve_client(stream, &table, &pool, &in_flight, &stats);
+                            });
+                    }
+                })?
+        };
+
+        Ok(ContentAwareProxy {
+            addr,
+            table,
+            stats,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The proxy's listening address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The live URL table: management operations mutate it while the proxy
+    /// serves.
+    pub fn table(&self) -> SharedTable {
+        Arc::clone(&self.table)
+    }
+
+    /// Requests relayed successfully.
+    pub fn relayed(&self) -> u64 {
+        self.stats.relayed.load(Ordering::Relaxed)
+    }
+
+    /// Requests rejected for lack of a table record.
+    pub fn unroutable(&self) -> u64 {
+        self.stats.unroutable.load(Ordering::Relaxed)
+    }
+
+    /// Requests that failed at the backend.
+    pub fn backend_errors(&self) -> u64 {
+        self.stats.backend_errors.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting new connections.
+    pub fn shutdown(&mut self) {
+        if let Some(thread) = self.accept_thread.take() {
+            self.stop.store(true, Ordering::Release);
+            let _ = TcpStream::connect(self.addr);
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ContentAwareProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_client(
+    stream: TcpStream,
+    table: &RwLock<UrlTable>,
+    pool: &SocketPool,
+    in_flight: &[AtomicU32],
+    stats: &ProxyStats,
+) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(r) => r,
+            Err(ParseError::ConnectionClosed) => return Ok(()),
+            Err(ParseError::Io(e)) => return Err(e),
+            Err(ParseError::Malformed(_)) => {
+                write_response(&mut writer, 404, b"bad request", false)?;
+                return Ok(());
+            }
+        };
+        let keep_alive = request.keep_alive;
+
+        // --- routing decision: URL table lookup + least in-flight replica
+        let target: Option<NodeId> = {
+            let mut t = table.write();
+            t.lookup_and_hit(&request.path).map(|entry| {
+                entry
+                    .locations()
+                    .iter()
+                    .copied()
+                    .min_by_key(|n| in_flight[n.index()].load(Ordering::Relaxed))
+                    .expect("table entries have at least one location")
+            })
+        };
+        let Some(node) = target else {
+            stats.unroutable.fetch_add(1, Ordering::Relaxed);
+            write_response(&mut writer, 503, b"no location for path", keep_alive)?;
+            if keep_alive {
+                continue;
+            }
+            return Ok(());
+        };
+
+        // --- bind to a pre-forked connection and relay
+        in_flight[node.index()].fetch_add(1, Ordering::Relaxed);
+        let exchange = relay_once(pool, node, &request.path);
+        in_flight[node.index()].fetch_sub(1, Ordering::Relaxed);
+
+        match exchange {
+            Ok(response) => {
+                stats.relayed.fetch_add(1, Ordering::Relaxed);
+                write_response(&mut writer, response.status, &response.body, keep_alive)?;
+            }
+            Err(_) => {
+                stats.backend_errors.fetch_add(1, Ordering::Relaxed);
+                write_response(&mut writer, 502, b"backend failure", keep_alive)?;
+            }
+        }
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+fn relay_once(
+    pool: &SocketPool,
+    node: NodeId,
+    path: &cpms_model::UrlPath,
+) -> Result<crate::http::Response, ParseError> {
+    let conn = pool.checkout(node.index())?;
+    let mut backend_reader = BufReader::new(conn.try_clone().map_err(ParseError::Io)?);
+    let mut backend_writer = conn;
+    let result = write_request(&mut backend_writer, path)
+        .map_err(ParseError::Io)
+        .and_then(|()| read_response(&mut backend_reader));
+    match &result {
+        Ok(_) => pool.release(node.index(), backend_writer),
+        Err(_) => pool.discard(node.index(), backend_writer),
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+    use crate::origin::{OriginServer, SiteContent};
+    use cpms_model::{ContentId, ContentKind, UrlPath};
+    use cpms_urltable::UrlEntry;
+
+    fn start_origin(node: u16, files: &[(&str, &[u8])]) -> OriginServer {
+        let mut site = SiteContent::new();
+        for (path, body) in files {
+            site.add_static(path, body.to_vec());
+        }
+        OriginServer::start(NodeId(node), site).unwrap()
+    }
+
+    fn entry(id: u32, nodes: &[u16]) -> UrlEntry {
+        UrlEntry::new(ContentId(id), ContentKind::StaticHtml, 16)
+            .with_locations(nodes.iter().map(|&n| NodeId(n)))
+    }
+
+    #[test]
+    fn routes_by_content() {
+        // node 0 has /a only; node 1 has /b only — partitioned placement
+        let o0 = start_origin(0, &[("/a", b"from-node-0")]);
+        let o1 = start_origin(1, &[("/b", b"from-node-1")]);
+
+        let mut table = UrlTable::new();
+        table.insert("/a".parse().unwrap(), entry(0, &[0])).unwrap();
+        table.insert("/b".parse().unwrap(), entry(1, &[1])).unwrap();
+
+        let proxy =
+            ContentAwareProxy::start(table, vec![o0.addr(), o1.addr()], 2).unwrap();
+        let mut client = HttpClient::connect(proxy.addr()).unwrap();
+
+        assert_eq!(client.get("/a").unwrap().body, b"from-node-0");
+        assert_eq!(client.get("/b").unwrap().body, b"from-node-1");
+        assert_eq!(proxy.relayed(), 2);
+        assert_eq!(o0.served(), 1);
+        assert_eq!(o1.served(), 1);
+    }
+
+    #[test]
+    fn unroutable_paths_get_503() {
+        let o0 = start_origin(0, &[("/a", b"x")]);
+        let mut table = UrlTable::new();
+        table.insert("/a".parse().unwrap(), entry(0, &[0])).unwrap();
+        let proxy = ContentAwareProxy::start(table, vec![o0.addr()], 1).unwrap();
+        let mut client = HttpClient::connect(proxy.addr()).unwrap();
+        let resp = client.get("/unknown").unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(proxy.unroutable(), 1);
+        // the connection survived the 503 (keep-alive)
+        assert_eq!(client.get("/a").unwrap().status, 200);
+        assert_eq!(client.reconnects(), 0);
+    }
+
+    #[test]
+    fn live_table_updates_reroute() {
+        let o0 = start_origin(0, &[("/page", b"old-node")]);
+        let o1 = start_origin(1, &[("/page", b"new-node")]);
+        let mut table = UrlTable::new();
+        table.insert("/page".parse().unwrap(), entry(0, &[0])).unwrap();
+        let proxy =
+            ContentAwareProxy::start(table, vec![o0.addr(), o1.addr()], 1).unwrap();
+        let mut client = HttpClient::connect(proxy.addr()).unwrap();
+        assert_eq!(client.get("/page").unwrap().body, b"old-node");
+
+        // management migrates the page: add node 1, drop node 0
+        {
+            let handle = proxy.table();
+            let mut t = handle.write();
+            let path: UrlPath = "/page".parse().unwrap();
+            t.add_location(&path, NodeId(1)).unwrap();
+            t.remove_location(&path, NodeId(0)).unwrap();
+        }
+        assert_eq!(client.get("/page").unwrap().body, b"new-node");
+    }
+
+    #[test]
+    fn replicated_content_balances_by_in_flight() {
+        let o0 = start_origin(0, &[("/r", b"r0")]);
+        let o1 = start_origin(1, &[("/r", b"r1")]);
+        let mut table = UrlTable::new();
+        table.insert("/r".parse().unwrap(), entry(0, &[0, 1])).unwrap();
+        let proxy =
+            ContentAwareProxy::start(table, vec![o0.addr(), o1.addr()], 2).unwrap();
+        let addr = proxy.addr();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(move || {
+                    let mut client = HttpClient::connect(addr).unwrap();
+                    for _ in 0..25 {
+                        assert_eq!(client.get("/r").unwrap().status, 200);
+                    }
+                });
+            }
+        });
+        // Both replicas served traffic.
+        assert!(o0.served() > 0, "node 0 got {}", o0.served());
+        assert!(o1.served() > 0, "node 1 got {}", o1.served());
+        assert_eq!(o0.served() + o1.served(), 100);
+    }
+
+    #[test]
+    fn backend_failure_yields_502() {
+        // A "backend" that accepts connections and immediately drops them:
+        // pre-forking succeeds, but every relayed exchange dies.
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let dead_addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                drop(conn);
+            }
+        });
+
+        let mut table = UrlTable::new();
+        table.insert("/a".parse().unwrap(), entry(0, &[0])).unwrap();
+        let proxy = ContentAwareProxy::start(table, vec![dead_addr], 1).unwrap();
+        let mut client = HttpClient::connect(proxy.addr()).unwrap();
+        let resp = client.get("/a").unwrap();
+        assert_eq!(resp.status, 502);
+        assert!(proxy.backend_errors() >= 1);
+    }
+
+    #[test]
+    fn table_hit_counters_accumulate() {
+        let o0 = start_origin(0, &[("/a", b"x")]);
+        let mut table = UrlTable::new();
+        table.insert("/a".parse().unwrap(), entry(0, &[0])).unwrap();
+        let proxy = ContentAwareProxy::start(table, vec![o0.addr()], 1).unwrap();
+        let mut client = HttpClient::connect(proxy.addr()).unwrap();
+        for _ in 0..5 {
+            client.get("/a").unwrap();
+        }
+        let handle = proxy.table();
+        let hits = handle.read().lookup(&"/a".parse().unwrap()).unwrap().hits();
+        assert_eq!(hits, 5);
+    }
+}

@@ -1,0 +1,304 @@
+//! Management agents — the "mobile code" of the paper's §3.
+//!
+//! > "Each administrative function is implemented in the form of a Java
+//! > class, which is termed an agent. The brokers distributed on each node
+//! > may download the appropriate classes to perform the corresponding
+//! > management tasks."
+//!
+//! Here an agent is a boxed [`Agent`] implementation shipped to a broker
+//! over its channel. The built-in agents cover the operations the
+//! controller needs (store, delete, rename, replicate, status, listing);
+//! new management functions are added by implementing the trait, without
+//! touching broker or controller code.
+
+use crate::store::{NodeStore, StoreError, StoredFile};
+use cpms_model::{NodeId, UrlPath};
+use std::fmt;
+
+/// What an agent produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AgentOutput {
+    /// The operation completed with nothing to report.
+    Done,
+    /// A listing of the node's files.
+    Listing(Vec<(UrlPath, StoredFile)>),
+    /// A status snapshot of the node.
+    Status {
+        /// Files stored on the node.
+        files: usize,
+        /// Bytes in use.
+        used_bytes: u64,
+        /// Bytes free.
+        free_bytes: u64,
+    },
+    /// The new version of a touched document.
+    Version(u64),
+}
+
+/// Errors an agent can report back to the controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AgentError {
+    /// A store-level failure on the target node.
+    Store(StoreError),
+    /// The broker for the target node is gone (crashed / shut down).
+    BrokerUnavailable(NodeId),
+}
+
+impl fmt::Display for AgentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AgentError::Store(e) => write!(f, "store operation failed: {e}"),
+            AgentError::BrokerUnavailable(n) => write!(f, "broker on {n} unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for AgentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AgentError::Store(e) => Some(e),
+            AgentError::BrokerUnavailable(_) => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<StoreError> for AgentError {
+    fn from(e: StoreError) -> Self {
+        AgentError::Store(e)
+    }
+}
+
+/// A management function executed by a broker against its node's store.
+pub trait Agent: Send {
+    /// Short name for logs and reports.
+    fn name(&self) -> &'static str;
+
+    /// Runs the function on the broker's node.
+    ///
+    /// # Errors
+    ///
+    /// Implementations surface store-level failures as
+    /// [`AgentError::Store`].
+    fn execute(&self, store: &mut NodeStore) -> Result<AgentOutput, AgentError>;
+}
+
+/// Stores a file on the node (used for publishing and as the receiving
+/// half of replication).
+#[derive(Debug, Clone)]
+pub struct StoreFile {
+    /// Destination path.
+    pub path: UrlPath,
+    /// File metadata to store.
+    pub file: StoredFile,
+    /// Whether to overwrite an existing copy (content updates).
+    pub overwrite: bool,
+}
+
+impl Agent for StoreFile {
+    fn name(&self) -> &'static str {
+        "store-file"
+    }
+
+    fn execute(&self, store: &mut NodeStore) -> Result<AgentOutput, AgentError> {
+        store.store(self.path.clone(), self.file, self.overwrite)?;
+        Ok(AgentOutput::Done)
+    }
+}
+
+/// Deletes a file from the node's local filesystem — the paper's worked
+/// example: "one agent is responsible for deleting a file from the local
+/// file system of the node that it executes. If the administrator tries to
+/// offload some pages from a server, the controller will send this agent
+/// to that node."
+#[derive(Debug, Clone)]
+pub struct DeleteFile {
+    /// Path to delete.
+    pub path: UrlPath,
+}
+
+impl Agent for DeleteFile {
+    fn name(&self) -> &'static str {
+        "delete-file"
+    }
+
+    fn execute(&self, store: &mut NodeStore) -> Result<AgentOutput, AgentError> {
+        store.remove(&self.path)?;
+        Ok(AgentOutput::Done)
+    }
+}
+
+/// Renames a file on the node.
+#[derive(Debug, Clone)]
+pub struct RenameFile {
+    /// Current path.
+    pub from: UrlPath,
+    /// New path.
+    pub to: UrlPath,
+}
+
+impl Agent for RenameFile {
+    fn name(&self) -> &'static str {
+        "rename-file"
+    }
+
+    fn execute(&self, store: &mut NodeStore) -> Result<AgentOutput, AgentError> {
+        store.rename(&self.from, self.to.clone())?;
+        Ok(AgentOutput::Done)
+    }
+}
+
+/// Bumps a mutable document's version in place (a content-provider
+/// update).
+#[derive(Debug, Clone)]
+pub struct TouchFile {
+    /// Path to update.
+    pub path: UrlPath,
+}
+
+impl Agent for TouchFile {
+    fn name(&self) -> &'static str {
+        "touch-file"
+    }
+
+    fn execute(&self, store: &mut NodeStore) -> Result<AgentOutput, AgentError> {
+        let version = store.touch(&self.path)?;
+        Ok(AgentOutput::Version(version))
+    }
+}
+
+/// Reports the node's status (files, disk usage) — the broker's monitoring
+/// duty.
+#[derive(Debug, Clone, Default)]
+pub struct StatusProbe;
+
+impl Agent for StatusProbe {
+    fn name(&self) -> &'static str {
+        "status-probe"
+    }
+
+    fn execute(&self, store: &mut NodeStore) -> Result<AgentOutput, AgentError> {
+        Ok(AgentOutput::Status {
+            files: store.len(),
+            used_bytes: store.used_bytes(),
+            free_bytes: store.free_bytes(),
+        })
+    }
+}
+
+/// Lists every file on the node (used to audit the single system image).
+#[derive(Debug, Clone, Default)]
+pub struct ListFiles;
+
+impl Agent for ListFiles {
+    fn name(&self) -> &'static str {
+        "list-files"
+    }
+
+    fn execute(&self, store: &mut NodeStore) -> Result<AgentOutput, AgentError> {
+        let mut listing: Vec<(UrlPath, StoredFile)> =
+            store.iter().map(|(p, f)| (p.clone(), *f)).collect();
+        listing.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(AgentOutput::Listing(listing))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpms_model::ContentId;
+
+    fn p(s: &str) -> UrlPath {
+        s.parse().unwrap()
+    }
+
+    fn store() -> NodeStore {
+        NodeStore::new(NodeId(1), 1 << 20)
+    }
+
+    fn f(id: u32) -> StoredFile {
+        StoredFile {
+            content: ContentId(id),
+            size: 100,
+            version: 0,
+        }
+    }
+
+    #[test]
+    fn store_then_delete() {
+        let mut s = store();
+        let out = StoreFile {
+            path: p("/a"),
+            file: f(1),
+            overwrite: false,
+        }
+        .execute(&mut s)
+        .unwrap();
+        assert_eq!(out, AgentOutput::Done);
+        assert!(s.contains(&p("/a")));
+
+        DeleteFile { path: p("/a") }.execute(&mut s).unwrap();
+        assert!(!s.contains(&p("/a")));
+        let err = DeleteFile { path: p("/a") }.execute(&mut s).unwrap_err();
+        assert!(matches!(err, AgentError::Store(StoreError::NotFound { .. })));
+    }
+
+    #[test]
+    fn rename_and_touch() {
+        let mut s = store();
+        StoreFile {
+            path: p("/old"),
+            file: f(2),
+            overwrite: false,
+        }
+        .execute(&mut s)
+        .unwrap();
+        RenameFile {
+            from: p("/old"),
+            to: p("/new"),
+        }
+        .execute(&mut s)
+        .unwrap();
+        let out = TouchFile { path: p("/new") }.execute(&mut s).unwrap();
+        assert_eq!(out, AgentOutput::Version(1));
+    }
+
+    #[test]
+    fn status_and_listing() {
+        let mut s = store();
+        for i in 0..3 {
+            StoreFile {
+                path: p(&format!("/f{i}")),
+                file: f(i),
+                overwrite: false,
+            }
+            .execute(&mut s)
+            .unwrap();
+        }
+        match StatusProbe.execute(&mut s).unwrap() {
+            AgentOutput::Status {
+                files, used_bytes, ..
+            } => {
+                assert_eq!(files, 3);
+                assert_eq!(used_bytes, 300);
+            }
+            other => panic!("unexpected output {other:?}"),
+        }
+        match ListFiles.execute(&mut s).unwrap() {
+            AgentOutput::Listing(l) => {
+                assert_eq!(l.len(), 3);
+                assert!(l.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+            }
+            other => panic!("unexpected output {other:?}"),
+        }
+    }
+
+    #[test]
+    fn agent_names() {
+        assert_eq!(StatusProbe.name(), "status-probe");
+        assert_eq!(ListFiles.name(), "list-files");
+        assert_eq!(DeleteFile { path: p("/x") }.name(), "delete-file");
+    }
+}

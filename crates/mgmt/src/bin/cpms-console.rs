@@ -1,0 +1,53 @@
+//! The administrator's remote console as a CLI (the paper's §3 remote
+//! console, minus the Java applet).
+//!
+//! Usage:
+//!   cpms-console \[NODES\] \[DISK_MB\]
+//!
+//! Starts NODES broker threads (default 4) with DISK_MB disks (default
+//! 256) and reads commands from stdin — interactively or from a script:
+//!
+//!   echo "publish /a.html html 1024 0,1
+//!         ls
+//!         audit" | cargo run -p cpms-mgmt --bin cpms-console
+
+use cpms_mgmt::console::RemoteConsole;
+use cpms_mgmt::shell::{Shell, ShellOutcome};
+use cpms_mgmt::{Cluster, Controller};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let nodes: usize = args
+        .next()
+        .map(|s| s.parse().expect("NODES must be a number"))
+        .unwrap_or(4);
+    let disk_mb: u64 = args
+        .next()
+        .map(|s| s.parse().expect("DISK_MB must be a number"))
+        .unwrap_or(256);
+
+    eprintln!("cpms-console: {nodes} broker(s), {disk_mb} MB disks. `help` for commands.");
+    let console = RemoteConsole::new(Controller::new(Cluster::start(nodes, disk_mb << 20)));
+    let mut shell = Shell::new(console);
+
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    let interactive = false; // keep prompts off stdout so scripts stay clean
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        match shell.execute(&line) {
+            ShellOutcome::Output(out) => {
+                if !out.is_empty() {
+                    let _ = writeln!(stdout, "{out}");
+                }
+            }
+            ShellOutcome::Quit => break,
+        }
+        if interactive {
+            let _ = write!(stdout, "> ");
+            let _ = stdout.flush();
+        }
+    }
+    shell.shutdown();
+}

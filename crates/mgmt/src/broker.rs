@@ -1,0 +1,214 @@
+//! Brokers: the per-node management daemons.
+//!
+//! > "The broker is a standalone Java application, which executes as a
+//! > daemon process on each backend server in order to perform the
+//! > administrative functions and monitor the status … of the managed
+//! > node."
+//!
+//! Each [`Broker`] runs on its own thread, owns its node's [`NodeStore`],
+//! and executes [`Agent`]s received over a crossbeam channel, replying on
+//! a per-request channel. The [`BrokerHandle`] is the controller's end.
+
+use crate::agent::{Agent, AgentError, AgentOutput};
+use crate::store::NodeStore;
+use cpms_model::NodeId;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use std::thread::JoinHandle;
+
+enum Message {
+    Dispatch {
+        agent: Box<dyn Agent>,
+        reply: Sender<Result<AgentOutput, AgentError>>,
+    },
+    Shutdown,
+}
+
+/// The controller-side handle to one node's broker.
+pub struct BrokerHandle {
+    node: NodeId,
+    sender: Sender<Message>,
+    thread: Option<JoinHandle<NodeStore>>,
+}
+
+impl std::fmt::Debug for BrokerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BrokerHandle")
+            .field("node", &self.node)
+            .field("alive", &self.is_alive())
+            .finish()
+    }
+}
+
+impl BrokerHandle {
+    /// The node this broker manages.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Whether the broker thread is still running.
+    pub fn is_alive(&self) -> bool {
+        self.thread.as_ref().is_some_and(|t| !t.is_finished())
+    }
+
+    /// Ships an agent to the broker and waits for its result.
+    ///
+    /// # Errors
+    ///
+    /// [`AgentError::BrokerUnavailable`] if the broker is down, plus
+    /// whatever the agent itself reports.
+    pub fn dispatch(&self, agent: Box<dyn Agent>) -> Result<AgentOutput, AgentError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.sender
+            .send(Message::Dispatch {
+                agent,
+                reply: reply_tx,
+            })
+            .map_err(|_| AgentError::BrokerUnavailable(self.node))?;
+        reply_rx
+            .recv()
+            .map_err(|_| AgentError::BrokerUnavailable(self.node))?
+    }
+
+    /// Stops the broker and returns its final store state (for inspection
+    /// or migration). Idempotent: returns `None` on repeated calls or if
+    /// the broker already died.
+    pub fn shutdown(&mut self) -> Option<NodeStore> {
+        let thread = self.thread.take()?;
+        let _ = self.sender.send(Message::Shutdown);
+        thread.join().ok()
+    }
+
+    /// Simulates a broker crash: the thread exits without draining its
+    /// queue (for failure-injection tests). The store state is dropped.
+    pub fn kill(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            let _ = self.sender.send(Message::Shutdown);
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for BrokerHandle {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+/// The broker daemon. Construct with [`Broker::spawn`].
+#[derive(Debug)]
+pub struct Broker;
+
+impl Broker {
+    /// Starts a broker thread for `node` managing `store`, returning the
+    /// controller-side handle.
+    pub fn spawn(store: NodeStore) -> BrokerHandle {
+        let node = store.node();
+        let (tx, rx): (Sender<Message>, Receiver<Message>) = unbounded();
+        let thread = std::thread::Builder::new()
+            .name(format!("broker-{node}"))
+            .spawn(move || Broker::run(store, rx))
+            .expect("spawn broker thread");
+        BrokerHandle {
+            node,
+            sender: tx,
+            thread: Some(thread),
+        }
+    }
+
+    fn run(mut store: NodeStore, rx: Receiver<Message>) -> NodeStore {
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                Message::Dispatch { agent, reply } => {
+                    let result = agent.execute(&mut store);
+                    // The controller may have given up; ignore send errors.
+                    let _ = reply.send(result);
+                }
+                Message::Shutdown => break,
+            }
+        }
+        store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{DeleteFile, ListFiles, StatusProbe, StoreFile};
+    use crate::store::StoredFile;
+    use cpms_model::{ContentId, UrlPath};
+
+    fn p(s: &str) -> UrlPath {
+        s.parse().unwrap()
+    }
+
+    fn file(id: u32) -> StoredFile {
+        StoredFile {
+            content: ContentId(id),
+            size: 10,
+            version: 0,
+        }
+    }
+
+    #[test]
+    fn dispatch_roundtrip() {
+        let mut h = Broker::spawn(NodeStore::new(NodeId(3), 1000));
+        assert_eq!(h.node(), NodeId(3));
+        assert!(h.is_alive());
+        h.dispatch(Box::new(StoreFile {
+            path: p("/x"),
+            file: file(1),
+            overwrite: false,
+        }))
+        .unwrap();
+        match h.dispatch(Box::new(StatusProbe)).unwrap() {
+            AgentOutput::Status { files, .. } => assert_eq!(files, 1),
+            other => panic!("{other:?}"),
+        }
+        let store = h.shutdown().expect("final state");
+        assert!(store.contains(&p("/x")));
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let mut h = Broker::spawn(NodeStore::new(NodeId(0), 1000));
+        let err = h
+            .dispatch(Box::new(DeleteFile { path: p("/nope") }))
+            .unwrap_err();
+        assert!(matches!(err, AgentError::Store(_)));
+        h.shutdown();
+    }
+
+    #[test]
+    fn dispatch_after_shutdown_fails() {
+        let mut h = Broker::spawn(NodeStore::new(NodeId(0), 1000));
+        h.shutdown();
+        assert!(!h.is_alive());
+        let err = h.dispatch(Box::new(ListFiles)).unwrap_err();
+        assert!(matches!(err, AgentError::BrokerUnavailable(NodeId(0))));
+        assert!(h.shutdown().is_none(), "second shutdown is a no-op");
+    }
+
+    #[test]
+    fn concurrent_dispatches_serialize() {
+        let h = Broker::spawn(NodeStore::new(NodeId(0), 100_000));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..25 {
+                        h.dispatch(Box::new(StoreFile {
+                            path: p(&format!("/t{t}/f{i}")),
+                            file: file(i),
+                            overwrite: false,
+                        }))
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        match h.dispatch(Box::new(StatusProbe)).unwrap() {
+            AgentOutput::Status { files, .. } => assert_eq!(files, 100),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! The remote console: the administrator-facing face of the management
+//! system.
+//!
+//! > "We first extended the remote console to produce a single, coherent
+//! > view of the Web document tree, comprised of portions that actually
+//! > reside on several different server nodes. The remote console provides
+//! > a file manager interface containing methods for inserting, deleting,
+//! > and renaming files or directories."
+//!
+//! The paper's console is a Java-applet GUI; here it is the same API
+//! surface as a library type, suitable for a CLI or any front end.
+
+use crate::controller::{Controller, MgmtError};
+use cpms_model::{ContentId, ContentKind, NodeId, Priority, UrlPath};
+use serde::{Deserialize, Serialize};
+
+/// One row of the administrator's coherent tree view.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeEntry {
+    /// The object's path in the logical document tree.
+    pub path: UrlPath,
+    /// Its content identity.
+    pub content: ContentId,
+    /// Its kind.
+    pub kind: ContentKind,
+    /// Its size in bytes.
+    pub size: u64,
+    /// Its priority.
+    pub priority: Priority,
+    /// Every node holding a copy — the physical layout the view hides.
+    pub locations: Vec<NodeId>,
+    /// Accumulated request hits (from the distributor).
+    pub hits: u64,
+}
+
+/// The file-manager interface over a [`Controller`].
+#[derive(Debug)]
+pub struct RemoteConsole {
+    controller: Controller,
+}
+
+impl RemoteConsole {
+    /// Wraps a controller.
+    pub fn new(controller: Controller) -> Self {
+        RemoteConsole { controller }
+    }
+
+    /// Access to the underlying controller (for auto-replication wiring).
+    pub fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
+    /// Mutable access to the underlying controller.
+    pub fn controller_mut(&mut self) -> &mut Controller {
+        &mut self.controller
+    }
+
+    /// The single, coherent view of the whole document tree, sorted by
+    /// path. "…makes the administrator oblivious of the presence of
+    /// content segregation on multiple nodes."
+    pub fn tree_view(&self) -> Vec<TreeEntry> {
+        let mut rows: Vec<TreeEntry> = self
+            .controller
+            .table()
+            .iter()
+            .map(|(path, e)| TreeEntry {
+                path,
+                content: e.content(),
+                kind: e.kind(),
+                size: e.size_bytes(),
+                priority: e.priority(),
+                locations: e.locations().to_vec(),
+                hits: e.hits(),
+            })
+            .collect();
+        rows.sort_by(|a, b| a.path.cmp(&b.path));
+        rows
+    }
+
+    /// The view restricted to one directory subtree.
+    pub fn list_dir(&self, prefix: &UrlPath) -> Vec<TreeEntry> {
+        self.tree_view()
+            .into_iter()
+            .filter(|r| r.path.starts_with(prefix))
+            .collect()
+    }
+
+    /// Inserts a new file, assigning it to the given nodes.
+    ///
+    /// # Errors
+    ///
+    /// See [`Controller::publish`].
+    pub fn publish(
+        &mut self,
+        path: &UrlPath,
+        content: ContentId,
+        kind: ContentKind,
+        size: u64,
+        nodes: &[NodeId],
+    ) -> Result<(), MgmtError> {
+        self.controller
+            .publish(path, content, kind, size, Priority::Normal, nodes)
+    }
+
+    /// Inserts a new file with an explicit priority (critical content can
+    /// then be placed or replicated preferentially).
+    ///
+    /// # Errors
+    ///
+    /// See [`Controller::publish`].
+    pub fn publish_with_priority(
+        &mut self,
+        path: &UrlPath,
+        content: ContentId,
+        kind: ContentKind,
+        size: u64,
+        priority: Priority,
+        nodes: &[NodeId],
+    ) -> Result<(), MgmtError> {
+        self.controller
+            .publish(path, content, kind, size, priority, nodes)
+    }
+
+    /// Deletes a file everywhere.
+    ///
+    /// # Errors
+    ///
+    /// See [`Controller::delete`].
+    pub fn delete(&mut self, path: &UrlPath) -> Result<(), MgmtError> {
+        self.controller.delete(path)
+    }
+
+    /// Renames a file or directory subtree.
+    ///
+    /// # Errors
+    ///
+    /// See [`Controller::rename`].
+    pub fn rename(&mut self, from: &UrlPath, to: &UrlPath) -> Result<(), MgmtError> {
+        self.controller.rename(from, to)
+    }
+
+    /// Assigns an additional replica ("the administrator also can assign
+    /// some specific content to multiple server nodes for fault tolerance
+    /// or high availability").
+    ///
+    /// # Errors
+    ///
+    /// See [`Controller::replicate`].
+    pub fn replicate(&mut self, path: &UrlPath, node: NodeId) -> Result<(), MgmtError> {
+        self.controller.replicate(path, node)
+    }
+
+    /// Removes the copy on one node.
+    ///
+    /// # Errors
+    ///
+    /// See [`Controller::offload`].
+    pub fn offload(&mut self, path: &UrlPath, node: NodeId) -> Result<(), MgmtError> {
+        self.controller.offload(path, node)
+    }
+
+    /// Shuts the cluster down, consuming the console.
+    pub fn shutdown(mut self) {
+        self.controller.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::Cluster;
+
+    fn p(s: &str) -> UrlPath {
+        s.parse().unwrap()
+    }
+
+    fn console(nodes: usize) -> RemoteConsole {
+        RemoteConsole::new(Controller::new(Cluster::start(nodes, 1 << 20)))
+    }
+
+    #[test]
+    fn tree_view_is_sorted_and_complete() {
+        let mut c = console(2);
+        c.publish(&p("/b.html"), ContentId(2), ContentKind::StaticHtml, 10, &[NodeId(1)])
+            .unwrap();
+        c.publish(&p("/a.html"), ContentId(1), ContentKind::StaticHtml, 10, &[NodeId(0)])
+            .unwrap();
+        let view = c.tree_view();
+        assert_eq!(view.len(), 2);
+        assert_eq!(view[0].path, p("/a.html"));
+        assert_eq!(view[1].path, p("/b.html"));
+        c.shutdown();
+    }
+
+    #[test]
+    fn list_dir_filters_subtree() {
+        let mut c = console(1);
+        for (i, path) in ["/img/a.gif", "/img/b.gif", "/doc/c.html"].iter().enumerate() {
+            c.publish(&p(path), ContentId(i as u32), ContentKind::Image, 5, &[NodeId(0)])
+                .unwrap();
+        }
+        assert_eq!(c.list_dir(&p("/img")).len(), 2);
+        assert_eq!(c.list_dir(&p("/doc")).len(), 1);
+        assert_eq!(c.list_dir(&UrlPath::root()).len(), 3);
+        c.shutdown();
+    }
+
+    #[test]
+    fn file_manager_operations() {
+        let mut c = console(3);
+        c.publish_with_priority(
+            &p("/shop/cart.asp"),
+            ContentId(1),
+            ContentKind::Asp,
+            50,
+            Priority::Critical,
+            &[NodeId(0)],
+        )
+        .unwrap();
+        c.replicate(&p("/shop/cart.asp"), NodeId(2)).unwrap();
+        c.rename(&p("/shop"), &p("/store")).unwrap();
+        let view = c.tree_view();
+        assert_eq!(view.len(), 1);
+        assert_eq!(view[0].path, p("/store/cart.asp"));
+        assert_eq!(view[0].priority, Priority::Critical);
+        assert_eq!(view[0].locations, vec![NodeId(0), NodeId(2)]);
+        c.offload(&p("/store/cart.asp"), NodeId(0)).unwrap();
+        c.delete(&p("/store/cart.asp")).unwrap();
+        assert!(c.tree_view().is_empty());
+        c.shutdown();
+    }
+}

@@ -1,0 +1,727 @@
+//! The controller: the management brain that lives on the distributor.
+//!
+//! > "One special daemon, called the controller, is responsible for
+//! > receiving requests from the administrator and then invoking brokers
+//! > to perform the delegated tasks by dispatching the corresponding
+//! > agents. … Whenever the administrator changes the document tree, …
+//! > the controller will change the URL table to adapt to these changes,
+//! > and then send the agent that performs the content management function
+//! > to propagate these changes to the whole system."
+//!
+//! Every mutating operation therefore has two halves, in order: dispatch
+//! agents to the affected brokers, then update the URL table — so the
+//! distributor only routes to copies that actually exist.
+
+use crate::agent::{AgentError, AgentOutput, DeleteFile, ListFiles, RenameFile, StatusProbe, StoreFile, TouchFile};
+use crate::broker::{Broker, BrokerHandle};
+use crate::store::{NodeStore, StoredFile};
+use cpms_model::{ContentId, ContentKind, NodeId, Priority, UrlPath};
+use cpms_urltable::{TableError, UrlEntry, UrlTable};
+use std::fmt;
+
+/// Errors from controller operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum MgmtError {
+    /// An agent failed on some broker.
+    Agent(AgentError),
+    /// The URL table rejected the change.
+    Table(TableError),
+    /// Offloading would drop the last copy of an object.
+    LastCopy {
+        /// The object's path.
+        path: UrlPath,
+    },
+    /// The target node does not exist in the cluster.
+    NoSuchNode(NodeId),
+    /// The object is not hosted on the node the operation names.
+    NotHostedOn {
+        /// The object's path.
+        path: UrlPath,
+        /// The node named by the operation.
+        node: NodeId,
+    },
+    /// The object is already hosted on the target node.
+    AlreadyHostedOn {
+        /// The object's path.
+        path: UrlPath,
+        /// The node named by the operation.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for MgmtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MgmtError::Agent(e) => write!(f, "agent failed: {e}"),
+            MgmtError::Table(e) => write!(f, "URL table rejected change: {e}"),
+            MgmtError::LastCopy { path } => {
+                write!(f, "refusing to drop the last copy of {path}")
+            }
+            MgmtError::NoSuchNode(n) => write!(f, "no node {n} in the cluster"),
+            MgmtError::NotHostedOn { path, node } => {
+                write!(f, "{path} is not hosted on {node}")
+            }
+            MgmtError::AlreadyHostedOn { path, node } => {
+                write!(f, "{path} is already hosted on {node}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MgmtError {}
+
+#[doc(hidden)]
+impl From<AgentError> for MgmtError {
+    fn from(e: AgentError) -> Self {
+        MgmtError::Agent(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<TableError> for MgmtError {
+    fn from(e: TableError) -> Self {
+        MgmtError::Table(e)
+    }
+}
+
+/// A running set of brokers, one per node.
+#[derive(Debug)]
+pub struct Cluster {
+    brokers: Vec<BrokerHandle>,
+}
+
+impl Cluster {
+    /// Starts `nodes` brokers, each with `disk_capacity` bytes of store.
+    pub fn start(nodes: usize, disk_capacity: u64) -> Self {
+        Cluster {
+            brokers: (0..nodes)
+                .map(|i| Broker::spawn(NodeStore::new(NodeId(i as u16), disk_capacity)))
+                .collect(),
+        }
+    }
+
+    /// Starts brokers with per-node disk capacities.
+    pub fn start_with_capacities(capacities: &[u64]) -> Self {
+        Cluster {
+            brokers: capacities
+                .iter()
+                .enumerate()
+                .map(|(i, &cap)| Broker::spawn(NodeStore::new(NodeId(i as u16), cap)))
+                .collect(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.brokers.len()
+    }
+
+    /// Whether the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.brokers.is_empty()
+    }
+
+    /// The broker handle for `node`.
+    pub fn broker(&self, node: NodeId) -> Option<&BrokerHandle> {
+        self.brokers.get(node.index())
+    }
+
+    /// Stops every broker.
+    pub fn shutdown(&mut self) {
+        for b in &mut self.brokers {
+            b.shutdown();
+        }
+    }
+
+    /// Kills one node's broker (failure injection for monitoring tests).
+    pub fn kill_node(&mut self, node: NodeId) {
+        if let Some(b) = self.brokers.get_mut(node.index()) {
+            b.kill();
+        }
+    }
+}
+
+/// An observed divergence between the URL table and the brokers' actual
+/// file stores (see [`Controller::verify_consistency`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inconsistency {
+    /// The table lists a location that has no copy of the file.
+    MissingCopy {
+        /// The object's path.
+        path: UrlPath,
+        /// The node that should have it.
+        node: NodeId,
+    },
+    /// A node stores a file the table doesn't know about (orphan).
+    Orphan {
+        /// The orphan's path.
+        path: UrlPath,
+        /// The node storing it.
+        node: NodeId,
+    },
+    /// Copies disagree about the content id.
+    ContentMismatch {
+        /// The object's path.
+        path: UrlPath,
+        /// The node with the divergent copy.
+        node: NodeId,
+    },
+}
+
+/// The management controller: URL table + broker handles.
+#[derive(Debug)]
+pub struct Controller {
+    table: UrlTable,
+    cluster: Cluster,
+}
+
+impl Controller {
+    /// Creates a controller over a running cluster with an empty URL table.
+    pub fn new(cluster: Cluster) -> Self {
+        Controller {
+            table: UrlTable::new(),
+            cluster,
+        }
+    }
+
+    /// The URL table (what the distributor routes from).
+    pub fn table(&self) -> &UrlTable {
+        &self.table
+    }
+
+    /// Number of nodes under management.
+    pub fn node_count(&self) -> usize {
+        self.cluster.len()
+    }
+
+    /// Shuts every broker down.
+    pub fn shutdown(&mut self) {
+        self.cluster.shutdown();
+    }
+
+    /// The underlying broker cluster (for monitoring).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Kills one node's broker (failure injection).
+    pub fn kill_node(&mut self, node: NodeId) {
+        self.cluster.kill_node(node);
+    }
+
+    fn broker(&self, node: NodeId) -> Result<&BrokerHandle, MgmtError> {
+        self.cluster.broker(node).ok_or(MgmtError::NoSuchNode(node))
+    }
+
+    /// Publishes a new object to the given nodes: ships the file to each
+    /// broker, then records it in the URL table. If any store fails, the
+    /// copies already made are rolled back.
+    ///
+    /// # Errors
+    ///
+    /// [`MgmtError::Agent`] on broker failure (after rollback),
+    /// [`MgmtError::Table`] if the path is already published.
+    pub fn publish(
+        &mut self,
+        path: &UrlPath,
+        content: ContentId,
+        kind: ContentKind,
+        size: u64,
+        priority: Priority,
+        nodes: &[NodeId],
+    ) -> Result<(), MgmtError> {
+        if self.table.lookup_exact(path).is_some() {
+            return Err(MgmtError::Table(TableError::AlreadyExists {
+                path: path.clone(),
+            }));
+        }
+        for &n in nodes {
+            self.broker(n)?;
+        }
+        let file = StoredFile {
+            content,
+            size,
+            version: 0,
+        };
+        let mut stored: Vec<NodeId> = Vec::new();
+        for &n in nodes {
+            let result = self.broker(n)?.dispatch(Box::new(StoreFile {
+                path: path.clone(),
+                file,
+                overwrite: false,
+            }));
+            match result {
+                Ok(_) => stored.push(n),
+                Err(e) => {
+                    // roll back the copies already made
+                    for &done in &stored {
+                        let _ = self.broker(done)?.dispatch(Box::new(DeleteFile {
+                            path: path.clone(),
+                        }));
+                    }
+                    return Err(e.into());
+                }
+            }
+        }
+        self.table.insert(
+            path.clone(),
+            UrlEntry::new(content, kind, size)
+                .with_priority(priority)
+                .with_locations(stored),
+        )?;
+        Ok(())
+    }
+
+    /// Deletes an object everywhere: agents to every hosting broker, then
+    /// the table record.
+    ///
+    /// # Errors
+    ///
+    /// [`MgmtError::Table`] if unknown; broker failures are surfaced but
+    /// the table record is still removed (the distributor must stop
+    /// routing to a half-deleted object).
+    pub fn delete(&mut self, path: &UrlPath) -> Result<(), MgmtError> {
+        let locations = self
+            .table
+            .lookup_exact(path)
+            .ok_or_else(|| TableError::NotFound { path: path.clone() })?
+            .locations()
+            .to_vec();
+        let mut first_err: Option<MgmtError> = None;
+        for n in locations {
+            if let Err(e) = self.broker(n)?.dispatch(Box::new(DeleteFile {
+                path: path.clone(),
+            })) {
+                first_err.get_or_insert(e.into());
+            }
+        }
+        self.table.remove(path)?;
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Replicates an object onto `target` (the receiving half of §3.3's
+    /// auto-replication, also exposed to the administrator for manual
+    /// fault-tolerance placement).
+    ///
+    /// # Errors
+    ///
+    /// [`MgmtError::AlreadyHostedOn`] if the target already has a copy;
+    /// [`MgmtError::Agent`] if the copy fails (table untouched).
+    pub fn replicate(&mut self, path: &UrlPath, target: NodeId) -> Result<(), MgmtError> {
+        let entry = self
+            .table
+            .lookup_exact(path)
+            .ok_or_else(|| TableError::NotFound { path: path.clone() })?;
+        if entry.hosted_on(target) {
+            return Err(MgmtError::AlreadyHostedOn {
+                path: path.clone(),
+                node: target,
+            });
+        }
+        let file = StoredFile {
+            content: entry.content(),
+            size: entry.size_bytes(),
+            version: 0,
+        };
+        self.broker(target)?.dispatch(Box::new(StoreFile {
+            path: path.clone(),
+            file,
+            overwrite: false,
+        }))?;
+        self.table.add_location(path, target)?;
+        Ok(())
+    }
+
+    /// Removes the copy of an object from `node` (offloading a server), but
+    /// never the last copy.
+    ///
+    /// # Errors
+    ///
+    /// [`MgmtError::LastCopy`], [`MgmtError::NotHostedOn`], or agent
+    /// failures.
+    pub fn offload(&mut self, path: &UrlPath, node: NodeId) -> Result<(), MgmtError> {
+        let entry = self
+            .table
+            .lookup_exact(path)
+            .ok_or_else(|| TableError::NotFound { path: path.clone() })?;
+        if !entry.hosted_on(node) {
+            return Err(MgmtError::NotHostedOn {
+                path: path.clone(),
+                node,
+            });
+        }
+        if entry.replica_count() <= 1 {
+            return Err(MgmtError::LastCopy { path: path.clone() });
+        }
+        self.broker(node)?.dispatch(Box::new(DeleteFile {
+            path: path.clone(),
+        }))?;
+        self.table.remove_location(path, node)?;
+        Ok(())
+    }
+
+    /// Renames an object or a whole subtree, on every hosting node and in
+    /// the table.
+    ///
+    /// # Errors
+    ///
+    /// Table errors (missing source, occupied destination) are checked
+    /// before any agent is dispatched.
+    pub fn rename(&mut self, from: &UrlPath, to: &UrlPath) -> Result<(), MgmtError> {
+        // Collect the affected records first (file or subtree).
+        let moves: Vec<(UrlPath, UrlPath, Vec<NodeId>)> = self
+            .table
+            .subtree(from)
+            .map(|(path, entry)| {
+                let suffix = &path.as_str()[from.as_str().len()..];
+                let new_path: UrlPath = format!("{}{}", to.as_str(), suffix)
+                    .parse()
+                    .expect("concatenation of valid paths is valid");
+                (path, new_path, entry.locations().to_vec())
+            })
+            .collect();
+        if moves.is_empty() {
+            return Err(MgmtError::Table(TableError::NotFound { path: from.clone() }));
+        }
+        // Table first (it validates the destination atomically)…
+        self.table.rename(from, to)?;
+        // …then propagate to brokers.
+        let mut first_err: Option<MgmtError> = None;
+        for (old, new, locations) in moves {
+            for n in locations {
+                if let Err(e) = self.broker(n)?.dispatch(Box::new(RenameFile {
+                    from: old.clone(),
+                    to: new.clone(),
+                })) {
+                    first_err.get_or_insert(e.into());
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Pushes a content update to every copy of a mutable document,
+    /// returning the new version. §4 recommends keeping mutable documents
+    /// single-copy so this stays a one-node operation.
+    ///
+    /// # Errors
+    ///
+    /// Table or agent errors.
+    pub fn update_content(&mut self, path: &UrlPath) -> Result<u64, MgmtError> {
+        let locations = self
+            .table
+            .lookup_exact(path)
+            .ok_or_else(|| TableError::NotFound { path: path.clone() })?
+            .locations()
+            .to_vec();
+        let mut version = 0;
+        for n in locations {
+            match self.broker(n)?.dispatch(Box::new(TouchFile {
+                path: path.clone(),
+            }))? {
+                AgentOutput::Version(v) => version = version.max(v),
+                other => unreachable!("touch returns a version, got {other:?}"),
+            }
+        }
+        Ok(version)
+    }
+
+    /// Probes every broker for its status.
+    pub fn status(&self) -> Vec<(NodeId, Result<AgentOutput, AgentError>)> {
+        (0..self.cluster.len())
+            .map(|i| {
+                let node = NodeId(i as u16);
+                let result = self
+                    .cluster
+                    .broker(node)
+                    .expect("index in range")
+                    .dispatch(Box::new(StatusProbe));
+                (node, result)
+            })
+            .collect()
+    }
+
+    /// Audits the single system image: every table location must have a
+    /// matching broker copy and vice versa. Returns all divergences
+    /// (empty = consistent).
+    pub fn verify_consistency(&self) -> Vec<Inconsistency> {
+        let mut problems = Vec::new();
+        // Gather each node's actual listing.
+        let mut per_node: Vec<std::collections::HashMap<UrlPath, ContentId>> = Vec::new();
+        for i in 0..self.cluster.len() {
+            let node = NodeId(i as u16);
+            let listing = match self
+                .cluster
+                .broker(node)
+                .expect("index in range")
+                .dispatch(Box::new(ListFiles))
+            {
+                Ok(AgentOutput::Listing(l)) => l,
+                _ => Vec::new(),
+            };
+            per_node.push(listing.into_iter().map(|(p, f)| (p, f.content)).collect());
+        }
+        // Table → brokers.
+        for (path, entry) in self.table.iter() {
+            for &node in entry.locations() {
+                match per_node.get(node.index()).and_then(|m| m.get(&path)) {
+                    None => problems.push(Inconsistency::MissingCopy {
+                        path: path.clone(),
+                        node,
+                    }),
+                    Some(&content) if content != entry.content() => {
+                        problems.push(Inconsistency::ContentMismatch {
+                            path: path.clone(),
+                            node,
+                        })
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        // Brokers → table (orphans).
+        for (i, listing) in per_node.iter().enumerate() {
+            let node = NodeId(i as u16);
+            for path in listing.keys() {
+                let hosted = self
+                    .table
+                    .lookup_exact(path)
+                    .map(|e| e.hosted_on(node))
+                    .unwrap_or(false);
+                if !hosted {
+                    problems.push(Inconsistency::Orphan {
+                        path: path.clone(),
+                        node,
+                    });
+                }
+            }
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> UrlPath {
+        s.parse().unwrap()
+    }
+
+    fn controller(nodes: usize) -> Controller {
+        Controller::new(Cluster::start(nodes, 1 << 20))
+    }
+
+    fn publish(c: &mut Controller, path: &str, id: u32, nodes: &[u16]) {
+        let nodes: Vec<NodeId> = nodes.iter().map(|&n| NodeId(n)).collect();
+        c.publish(
+            &p(path),
+            ContentId(id),
+            ContentKind::StaticHtml,
+            100,
+            Priority::Normal,
+            &nodes,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn publish_reaches_brokers_and_table() {
+        let mut c = controller(3);
+        publish(&mut c, "/a/x.html", 1, &[0, 2]);
+        let entry = c.table().lookup(&p("/a/x.html")).unwrap();
+        assert_eq!(entry.locations(), [NodeId(0), NodeId(2)]);
+        assert!(c.verify_consistency().is_empty());
+        c.shutdown();
+    }
+
+    #[test]
+    fn publish_duplicate_rejected() {
+        let mut c = controller(2);
+        publish(&mut c, "/a", 1, &[0]);
+        let err = c
+            .publish(
+                &p("/a"),
+                ContentId(2),
+                ContentKind::StaticHtml,
+                100,
+                Priority::Normal,
+                &[NodeId(1)],
+            )
+            .unwrap_err();
+        assert!(matches!(err, MgmtError::Table(TableError::AlreadyExists { .. })));
+        assert!(c.verify_consistency().is_empty(), "failed publish left no orphans");
+        c.shutdown();
+    }
+
+    #[test]
+    fn publish_rolls_back_on_disk_full() {
+        let mut c = Controller::new(Cluster::start_with_capacities(&[1 << 20, 50]));
+        // node 1 has only 50 bytes: storing 100 fails after node 0 succeeded
+        let err = c
+            .publish(
+                &p("/big"),
+                ContentId(1),
+                ContentKind::StaticHtml,
+                100,
+                Priority::Normal,
+                &[NodeId(0), NodeId(1)],
+            )
+            .unwrap_err();
+        assert!(matches!(err, MgmtError::Agent(_)));
+        assert!(c.table().is_empty());
+        assert!(c.verify_consistency().is_empty(), "rollback removed partial copies");
+        c.shutdown();
+    }
+
+    #[test]
+    fn replicate_and_offload() {
+        let mut c = controller(3);
+        publish(&mut c, "/a", 1, &[0]);
+        c.replicate(&p("/a"), NodeId(1)).unwrap();
+        assert_eq!(c.table().lookup(&p("/a")).unwrap().replica_count(), 2);
+        assert!(c.verify_consistency().is_empty());
+
+        assert!(matches!(
+            c.replicate(&p("/a"), NodeId(1)),
+            Err(MgmtError::AlreadyHostedOn { .. })
+        ));
+
+        c.offload(&p("/a"), NodeId(0)).unwrap();
+        assert_eq!(
+            c.table().lookup(&p("/a")).unwrap().locations(),
+            [NodeId(1)]
+        );
+        assert!(c.verify_consistency().is_empty());
+
+        // never drop the last copy
+        assert!(matches!(
+            c.offload(&p("/a"), NodeId(1)),
+            Err(MgmtError::LastCopy { .. })
+        ));
+        // not hosted
+        assert!(matches!(
+            c.offload(&p("/a"), NodeId(2)),
+            Err(MgmtError::NotHostedOn { .. })
+        ));
+        c.shutdown();
+    }
+
+    #[test]
+    fn delete_everywhere() {
+        let mut c = controller(3);
+        publish(&mut c, "/a", 1, &[0, 1, 2]);
+        c.delete(&p("/a")).unwrap();
+        assert!(c.table().is_empty());
+        assert!(c.verify_consistency().is_empty());
+        assert!(matches!(
+            c.delete(&p("/a")),
+            Err(MgmtError::Table(TableError::NotFound { .. }))
+        ));
+        c.shutdown();
+    }
+
+    #[test]
+    fn rename_subtree_propagates() {
+        let mut c = controller(2);
+        publish(&mut c, "/img/a.gif", 1, &[0]);
+        publish(&mut c, "/img/deep/b.gif", 2, &[1]);
+        c.rename(&p("/img"), &p("/media")).unwrap();
+        assert!(c.table().lookup(&p("/media/a.gif")).is_some());
+        assert!(c.table().lookup(&p("/media/deep/b.gif")).is_some());
+        assert!(c.verify_consistency().is_empty());
+        c.shutdown();
+    }
+
+    #[test]
+    fn rename_missing_source() {
+        let mut c = controller(1);
+        assert!(matches!(
+            c.rename(&p("/none"), &p("/x")),
+            Err(MgmtError::Table(TableError::NotFound { .. }))
+        ));
+        c.shutdown();
+    }
+
+    #[test]
+    fn update_content_bumps_versions() {
+        let mut c = controller(2);
+        publish(&mut c, "/mutable.html", 1, &[0, 1]);
+        assert_eq!(c.update_content(&p("/mutable.html")).unwrap(), 1);
+        assert_eq!(c.update_content(&p("/mutable.html")).unwrap(), 2);
+        c.shutdown();
+    }
+
+    #[test]
+    fn status_covers_all_nodes() {
+        let mut c = controller(3);
+        publish(&mut c, "/a", 1, &[1]);
+        let status = c.status();
+        assert_eq!(status.len(), 3);
+        match &status[1].1 {
+            Ok(AgentOutput::Status { files, .. }) => assert_eq!(*files, 1),
+            other => panic!("{other:?}"),
+        }
+        c.shutdown();
+    }
+
+    #[test]
+    fn consistency_detects_orphan_and_missing() {
+        let mut c = controller(2);
+        publish(&mut c, "/a", 1, &[0]);
+        // sabotage: delete the file behind the controller's back
+        c.cluster
+            .broker(NodeId(0))
+            .unwrap()
+            .dispatch(Box::new(DeleteFile { path: p("/a") }))
+            .unwrap();
+        let problems = c.verify_consistency();
+        assert!(problems
+            .iter()
+            .any(|i| matches!(i, Inconsistency::MissingCopy { .. })));
+
+        // sabotage: store an unknown file directly
+        c.cluster
+            .broker(NodeId(1))
+            .unwrap()
+            .dispatch(Box::new(StoreFile {
+                path: p("/ghost"),
+                file: StoredFile {
+                    content: ContentId(9),
+                    size: 1,
+                    version: 0,
+                },
+                overwrite: false,
+            }))
+            .unwrap();
+        let problems = c.verify_consistency();
+        assert!(problems
+            .iter()
+            .any(|i| matches!(i, Inconsistency::Orphan { .. })));
+        c.shutdown();
+    }
+
+    #[test]
+    fn no_such_node() {
+        let mut c = controller(1);
+        let err = c
+            .publish(
+                &p("/a"),
+                ContentId(1),
+                ContentKind::StaticHtml,
+                1,
+                Priority::Normal,
+                &[NodeId(9)],
+            )
+            .unwrap_err();
+        assert!(matches!(err, MgmtError::NoSuchNode(NodeId(9))));
+        c.shutdown();
+    }
+}

@@ -1,0 +1,70 @@
+//! # cpms-mgmt
+//!
+//! The paper's **content management system** (§3): the layer that gives
+//! the administrator a *single system image* of a document tree that is
+//! physically partitioned across heterogeneous nodes, and that keeps the
+//! cluster balanced automatically.
+//!
+//! Architecture, mirroring the paper's four components:
+//!
+//! - [`Broker`] — a daemon on each back-end node that executes management
+//!   functions against that node's local file store ([`NodeStore`]). The
+//!   paper implements brokers in Java for portability; here each broker is
+//!   a thread receiving work over a channel.
+//! - [`agent::Agent`] — a management function shipped to a broker
+//!   ("mobile code"): delete a file, store a file, replicate content from
+//!   a peer, report status. New functions are added by implementing the
+//!   trait, matching the paper's "can be tailored or extended … without
+//!   requiring significant redesign".
+//! - [`Controller`] — receives administrator operations, dispatches the
+//!   corresponding agents to the affected brokers, and keeps the
+//!   distributor's URL table in sync ("the controller will change the URL
+//!   table to adapt to these changes").
+//! - [`console::RemoteConsole`] — the administrator-facing file-manager
+//!   API: a coherent view of the whole document tree with insert, delete,
+//!   rename, assign, and replicate operations.
+//!
+//! Plus §3.3's [`autorep::AutoReplicator`]: the load-balancing policy that
+//! replicates popular content to underutilized nodes and sheds copies from
+//! overloaded ones, driven by the paper's `l_i` / `L_j` metrics
+//! ([`cpms_model::load`]).
+//!
+//! # Example
+//!
+//! ```
+//! use cpms_mgmt::{Cluster, Controller, console::RemoteConsole};
+//! use cpms_model::{ContentId, ContentKind, NodeId, UrlPath};
+//!
+//! // Three nodes with 1 GB of disk each.
+//! let cluster = Cluster::start(3, 1 << 30);
+//! let mut console = RemoteConsole::new(Controller::new(cluster));
+//!
+//! let path: UrlPath = "/site/index.html".parse().unwrap();
+//! console.publish(&path, ContentId(0), ContentKind::StaticHtml, 2048, &[NodeId(0)])?;
+//! console.replicate(&path, NodeId(2))?;
+//!
+//! let view = console.tree_view();
+//! assert_eq!(view.len(), 1);
+//! assert_eq!(view[0].locations, vec![NodeId(0), NodeId(2)]);
+//! # console.shutdown();
+//! # Ok::<(), cpms_mgmt::MgmtError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod autorep;
+pub mod broker;
+pub mod console;
+pub mod controller;
+pub mod monitor;
+pub mod shell;
+pub mod store;
+
+pub use agent::{Agent, AgentError, AgentOutput};
+pub use autorep::{AutoReplicator, RebalanceAction};
+pub use broker::{Broker, BrokerHandle};
+pub use controller::{Cluster, Controller, MgmtError};
+pub use monitor::{ClusterMonitor, NodeHealth};
+pub use store::{NodeStore, StoredFile};

@@ -1,0 +1,175 @@
+//! Broker health monitoring.
+//!
+//! §3.1: the broker daemon exists "to perform the administrative functions
+//! and monitor the status (e.g., load situation, failure) of the managed
+//! node". [`ClusterMonitor`] is the controller-side half: it polls every
+//! broker with a [`crate::agent::StatusProbe`] and declares a node down
+//! after a threshold of consecutive failed polls — the signal the
+//! distributor uses to stop routing there and the auto-replicator uses to
+//! exclude replication targets.
+
+use crate::agent::{AgentOutput, StatusProbe};
+use crate::controller::Cluster;
+use cpms_model::NodeId;
+
+/// Health verdict for one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeHealth {
+    /// The broker answered its probe.
+    Healthy {
+        /// Files stored on the node.
+        files: usize,
+        /// Bytes in use.
+        used_bytes: u64,
+        /// Bytes free.
+        free_bytes: u64,
+    },
+    /// Probes are failing but the threshold has not been crossed yet.
+    Suspect {
+        /// Consecutive failed probes so far.
+        misses: u32,
+    },
+    /// The miss threshold was crossed: treat the node as failed.
+    Down,
+}
+
+impl NodeHealth {
+    /// Whether the node should receive traffic and replicas.
+    pub fn is_available(&self) -> bool {
+        matches!(self, NodeHealth::Healthy { .. } | NodeHealth::Suspect { .. })
+    }
+}
+
+/// Polls brokers and tracks consecutive failures per node.
+#[derive(Debug)]
+pub struct ClusterMonitor {
+    misses: Vec<u32>,
+    threshold: u32,
+}
+
+impl ClusterMonitor {
+    /// Creates a monitor for `nodes` brokers declaring a node down after
+    /// `threshold` consecutive failed probes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is 0.
+    pub fn new(nodes: usize, threshold: u32) -> Self {
+        assert!(threshold > 0, "threshold must be at least 1");
+        ClusterMonitor {
+            misses: vec![0; nodes],
+            threshold,
+        }
+    }
+
+    /// Probes every broker once, updating failure counters, and returns
+    /// each node's verdict.
+    pub fn poll(&mut self, cluster: &Cluster) -> Vec<(NodeId, NodeHealth)> {
+        (0..self.misses.len())
+            .map(|i| {
+                let node = NodeId(i as u16);
+                let result = cluster
+                    .broker(node)
+                    .map(|b| b.dispatch(Box::new(StatusProbe)));
+                let health = match result {
+                    Some(Ok(AgentOutput::Status {
+                        files,
+                        used_bytes,
+                        free_bytes,
+                    })) => {
+                        self.misses[i] = 0;
+                        NodeHealth::Healthy {
+                            files,
+                            used_bytes,
+                            free_bytes,
+                        }
+                    }
+                    _ => {
+                        self.misses[i] = self.misses[i].saturating_add(1);
+                        if self.misses[i] >= self.threshold {
+                            NodeHealth::Down
+                        } else {
+                            NodeHealth::Suspect {
+                                misses: self.misses[i],
+                            }
+                        }
+                    }
+                };
+                (node, health)
+            })
+            .collect()
+    }
+
+    /// Convenience: polls through a controller's cluster.
+    pub fn poll_controller(
+        &mut self,
+        controller: &crate::controller::Controller,
+    ) -> Vec<(NodeId, NodeHealth)> {
+        self.poll(controller.cluster())
+    }
+
+    /// Nodes currently past the miss threshold.
+    pub fn down_nodes(&self) -> Vec<NodeId> {
+        self.misses
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m >= self.threshold)
+            .map(|(i, _)| NodeId(i as u16))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::Cluster;
+
+    #[test]
+    fn healthy_cluster_reports_status() {
+        let mut cluster = Cluster::start(3, 1 << 20);
+        let mut monitor = ClusterMonitor::new(3, 2);
+        let verdicts = monitor.poll(&cluster);
+        assert_eq!(verdicts.len(), 3);
+        for (_, health) in &verdicts {
+            assert!(matches!(health, NodeHealth::Healthy { files: 0, .. }));
+            assert!(health.is_available());
+        }
+        assert!(monitor.down_nodes().is_empty());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn failure_detected_after_threshold() {
+        let mut cluster = Cluster::start(2, 1 << 20);
+        let mut monitor = ClusterMonitor::new(2, 2);
+        // Kill node 1's broker behind the monitor's back.
+        cluster.kill_node(NodeId(1));
+
+        let verdicts = monitor.poll(&cluster);
+        assert!(matches!(verdicts[0].1, NodeHealth::Healthy { .. }));
+        assert_eq!(verdicts[1].1, NodeHealth::Suspect { misses: 1 });
+        assert!(verdicts[1].1.is_available(), "grace period before Down");
+
+        let verdicts = monitor.poll(&cluster);
+        assert_eq!(verdicts[1].1, NodeHealth::Down);
+        assert!(!verdicts[1].1.is_available());
+        assert_eq!(monitor.down_nodes(), vec![NodeId(1)]);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn recovery_is_not_modeled_but_counters_reset_on_success() {
+        // A node that answers again after transient misses goes back to
+        // healthy (counters reset).
+        let mut cluster = Cluster::start(1, 1 << 20);
+        let mut monitor = ClusterMonitor::new(1, 3);
+        // two synthetic misses by polling a too-large monitor index?
+        // Instead: healthy poll resets nothing to reset; just assert the
+        // reset path via a healthy poll after constructing state manually.
+        monitor.misses[0] = 2;
+        let verdicts = monitor.poll(&cluster);
+        assert!(matches!(verdicts[0].1, NodeHealth::Healthy { .. }));
+        assert!(monitor.down_nodes().is_empty());
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,338 @@
+//! A scriptable command shell over the remote console — the CLI stand-in
+//! for the paper's Java-applet GUI ("the administrator can download the
+//! remote console and interact with it to perform management operations").
+//!
+//! Used by the `cpms-console` binary; the command language is parsed and
+//! executed here so it is unit-testable without a TTY.
+//!
+//! ```text
+//! publish <path> <kind> <size> <node>[,<node>...]   add content
+//! replicate <path> <node>                           add a copy
+//! offload <path> <node>                             remove a copy
+//! rename <from> <to>                                move file or subtree
+//! delete <path>                                     remove everywhere
+//! touch <path>                                      push a content update
+//! ls [prefix]                                       coherent tree view
+//! status                                            per-node disk/file stats
+//! audit                                             verify table vs brokers
+//! help                                              this text
+//! quit                                              exit
+//! ```
+
+use crate::console::RemoteConsole;
+use cpms_model::{ContentId, ContentKind, NodeId, UrlPath};
+use std::fmt::Write as _;
+
+/// The outcome of executing one command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShellOutcome {
+    /// Command executed; human-readable output to print.
+    Output(String),
+    /// The user asked to exit.
+    Quit,
+}
+
+/// A stateful command shell over a [`RemoteConsole`].
+#[derive(Debug)]
+pub struct Shell {
+    console: RemoteConsole,
+    next_content: u32,
+}
+
+impl Shell {
+    /// Wraps a console. Content ids are auto-assigned per publish.
+    pub fn new(console: RemoteConsole) -> Self {
+        Shell {
+            console,
+            next_content: 0,
+        }
+    }
+
+    /// Access to the wrapped console (for tests and embedding).
+    pub fn console(&self) -> &RemoteConsole {
+        &self.console
+    }
+
+    /// Consumes the shell, shutting the cluster down.
+    pub fn shutdown(self) {
+        self.console.shutdown();
+    }
+
+    /// Parses and executes one command line. Errors never panic; they are
+    /// rendered into the output so a script can keep going.
+    pub fn execute(&mut self, line: &str) -> ShellOutcome {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return ShellOutcome::Output(String::new());
+        }
+        let mut words = line.split_whitespace();
+        let command = words.next().expect("nonempty line has a first word");
+        let args: Vec<&str> = words.collect();
+        match self.dispatch(command, &args) {
+            Ok(ShellOutcome::Quit) => ShellOutcome::Quit,
+            Ok(out) => out,
+            Err(message) => ShellOutcome::Output(format!("error: {message}")),
+        }
+    }
+
+    fn dispatch(&mut self, command: &str, args: &[&str]) -> Result<ShellOutcome, String> {
+        match command {
+            "publish" => {
+                let [path, kind, size, nodes] = expect_args::<4>("publish", args)?;
+                let path = parse_path(path)?;
+                let kind = parse_kind(kind)?;
+                let size: u64 = size.parse().map_err(|_| format!("bad size {size:?}"))?;
+                let nodes = parse_nodes(nodes)?;
+                let id = ContentId(self.next_content);
+                self.console
+                    .publish(&path, id, kind, size, &nodes)
+                    .map_err(|e| e.to_string())?;
+                self.next_content += 1;
+                Ok(ShellOutcome::Output(format!("published {path} as {id}")))
+            }
+            "replicate" => {
+                let [path, node] = expect_args::<2>("replicate", args)?;
+                let path = parse_path(path)?;
+                let node = parse_node(node)?;
+                self.console
+                    .replicate(&path, node)
+                    .map_err(|e| e.to_string())?;
+                Ok(ShellOutcome::Output(format!("replicated {path} to {node}")))
+            }
+            "offload" => {
+                let [path, node] = expect_args::<2>("offload", args)?;
+                let path = parse_path(path)?;
+                let node = parse_node(node)?;
+                self.console
+                    .offload(&path, node)
+                    .map_err(|e| e.to_string())?;
+                Ok(ShellOutcome::Output(format!("offloaded {path} from {node}")))
+            }
+            "rename" => {
+                let [from, to] = expect_args::<2>("rename", args)?;
+                let from = parse_path(from)?;
+                let to = parse_path(to)?;
+                self.console.rename(&from, &to).map_err(|e| e.to_string())?;
+                Ok(ShellOutcome::Output(format!("renamed {from} -> {to}")))
+            }
+            "delete" => {
+                let [path] = expect_args::<1>("delete", args)?;
+                let path = parse_path(path)?;
+                self.console.delete(&path).map_err(|e| e.to_string())?;
+                Ok(ShellOutcome::Output(format!("deleted {path}")))
+            }
+            "touch" => {
+                let [path] = expect_args::<1>("touch", args)?;
+                let path = parse_path(path)?;
+                let version = self
+                    .console
+                    .controller_mut()
+                    .update_content(&path)
+                    .map_err(|e| e.to_string())?;
+                Ok(ShellOutcome::Output(format!("{path} now at version {version}")))
+            }
+            "ls" => {
+                let rows = match args {
+                    [] => self.console.tree_view(),
+                    [prefix] => self.console.list_dir(&parse_path(prefix)?),
+                    _ => return Err("usage: ls [prefix]".to_string()),
+                };
+                let mut out = String::new();
+                for row in &rows {
+                    let nodes: Vec<String> =
+                        row.locations.iter().map(|n| n.to_string()).collect();
+                    let _ = writeln!(
+                        out,
+                        "{:<40} {:>7} {:>9}B {:<9} hits={:<6} on {}",
+                        row.path.to_string(),
+                        row.kind.to_string(),
+                        row.size,
+                        row.priority.to_string(),
+                        row.hits,
+                        nodes.join(",")
+                    );
+                }
+                let _ = write!(out, "{} object(s)", rows.len());
+                Ok(ShellOutcome::Output(out))
+            }
+            "status" => {
+                let mut out = String::new();
+                for (node, status) in self.console.controller().status() {
+                    match status {
+                        Ok(crate::agent::AgentOutput::Status {
+                            files,
+                            used_bytes,
+                            free_bytes,
+                        }) => {
+                            let _ = writeln!(
+                                out,
+                                "{node}: {files} file(s), {used_bytes}B used, {free_bytes}B free"
+                            );
+                        }
+                        Ok(other) => {
+                            let _ = writeln!(out, "{node}: unexpected reply {other:?}");
+                        }
+                        Err(e) => {
+                            let _ = writeln!(out, "{node}: DOWN ({e})");
+                        }
+                    }
+                }
+                Ok(ShellOutcome::Output(out.trim_end().to_string()))
+            }
+            "audit" => {
+                let problems = self.console.controller().verify_consistency();
+                if problems.is_empty() {
+                    Ok(ShellOutcome::Output(
+                        "consistent: URL table and brokers agree".to_string(),
+                    ))
+                } else {
+                    let mut out = String::new();
+                    for p in &problems {
+                        let _ = writeln!(out, "INCONSISTENT: {p:?}");
+                    }
+                    Ok(ShellOutcome::Output(out.trim_end().to_string()))
+                }
+            }
+            "help" => Ok(ShellOutcome::Output(HELP.trim().to_string())),
+            "quit" | "exit" => Ok(ShellOutcome::Quit),
+            other => Err(format!("unknown command {other:?}; try `help`")),
+        }
+    }
+}
+
+const HELP: &str = "
+publish <path> <kind> <size> <node>[,<node>...]
+replicate <path> <node>
+offload <path> <node>
+rename <from> <to>
+delete <path>
+touch <path>
+ls [prefix]
+status
+audit
+help
+quit
+";
+
+fn expect_args<'a, const N: usize>(
+    command: &str,
+    args: &[&'a str],
+) -> Result<[&'a str; N], String> {
+    <[&str; N]>::try_from(args.to_vec())
+        .map_err(|_| format!("{command} takes {N} argument(s), got {}", args.len()))
+}
+
+fn parse_path(s: &str) -> Result<UrlPath, String> {
+    s.parse().map_err(|e| format!("{e}"))
+}
+
+fn parse_kind(s: &str) -> Result<ContentKind, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "html" => Ok(ContentKind::StaticHtml),
+        "image" | "img" => Ok(ContentKind::Image),
+        "cgi" => Ok(ContentKind::Cgi),
+        "asp" => Ok(ContentKind::Asp),
+        "video" => Ok(ContentKind::Video),
+        "static" | "other" => Ok(ContentKind::OtherStatic),
+        other => Err(format!(
+            "unknown kind {other:?} (html|image|cgi|asp|video|static)"
+        )),
+    }
+}
+
+fn parse_node(s: &str) -> Result<NodeId, String> {
+    let raw = s.strip_prefix('n').unwrap_or(s);
+    raw.parse::<u16>()
+        .map(NodeId)
+        .map_err(|_| format!("bad node {s:?} (use e.g. `2` or `n2`)"))
+}
+
+fn parse_nodes(s: &str) -> Result<Vec<NodeId>, String> {
+    s.split(',').map(parse_node).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{Cluster, Controller};
+
+    fn shell() -> Shell {
+        Shell::new(RemoteConsole::new(Controller::new(Cluster::start(
+            3,
+            1 << 20,
+        ))))
+    }
+
+    fn out(shell: &mut Shell, line: &str) -> String {
+        match shell.execute(line) {
+            ShellOutcome::Output(s) => s,
+            ShellOutcome::Quit => panic!("unexpected quit"),
+        }
+    }
+
+    #[test]
+    fn full_admin_session() {
+        let mut sh = shell();
+        assert!(out(&mut sh, "publish /index.html html 2048 0,1").starts_with("published"));
+        assert!(out(&mut sh, "publish /cgi-bin/q.cgi cgi 512 n2").starts_with("published"));
+        assert!(out(&mut sh, "replicate /index.html 2").starts_with("replicated"));
+        let listing = out(&mut sh, "ls");
+        assert!(listing.contains("/index.html"));
+        assert!(listing.contains("2 object(s)"));
+        assert!(out(&mut sh, "rename /cgi-bin /scripts").starts_with("renamed"));
+        assert!(out(&mut sh, "ls /scripts").contains("/scripts/q.cgi"));
+        assert!(out(&mut sh, "touch /index.html").contains("version 1"));
+        assert!(out(&mut sh, "offload /index.html n0").starts_with("offloaded"));
+        assert!(out(&mut sh, "audit").starts_with("consistent"));
+        let status = out(&mut sh, "status");
+        assert!(status.contains("n0:") && status.contains("n2:"));
+        assert!(out(&mut sh, "delete /index.html").starts_with("deleted"));
+        assert_eq!(sh.execute("quit"), ShellOutcome::Quit);
+        sh.shutdown();
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut sh = shell();
+        assert!(out(&mut sh, "delete /nope").starts_with("error:"));
+        assert!(out(&mut sh, "publish bad-path html 1 0").starts_with("error:"));
+        assert!(out(&mut sh, "publish /x html 1 99").starts_with("error:"));
+        assert!(out(&mut sh, "publish /x html notasize 0").starts_with("error:"));
+        assert!(out(&mut sh, "publish /x nonsense 1 0").starts_with("error:"));
+        assert!(out(&mut sh, "replicate /x").starts_with("error:"));
+        assert!(out(&mut sh, "frobnicate").starts_with("error:"));
+        // the shell survived all of it
+        assert!(out(&mut sh, "ls").contains("0 object(s)"));
+        sh.shutdown();
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let mut sh = shell();
+        assert_eq!(out(&mut sh, ""), "");
+        assert_eq!(out(&mut sh, "   "), "");
+        assert_eq!(out(&mut sh, "# a comment"), "");
+        sh.shutdown();
+    }
+
+    #[test]
+    fn node_syntax_variants() {
+        assert_eq!(parse_node("3").unwrap(), NodeId(3));
+        assert_eq!(parse_node("n3").unwrap(), NodeId(3));
+        assert!(parse_node("x3").is_err());
+        assert_eq!(
+            parse_nodes("0,n1,2").unwrap(),
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
+    }
+
+    #[test]
+    fn help_lists_commands() {
+        let mut sh = shell();
+        let help = out(&mut sh, "help");
+        for cmd in ["publish", "replicate", "offload", "rename", "delete", "audit"] {
+            assert!(help.contains(cmd), "help missing {cmd}");
+        }
+        sh.shutdown();
+    }
+}

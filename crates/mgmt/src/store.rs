@@ -1,0 +1,288 @@
+//! Per-node local file stores.
+//!
+//! A [`NodeStore`] models one back-end node's local filesystem as the
+//! management system sees it: the set of content files present, their
+//! sizes and versions, and the disk-capacity budget. Brokers execute
+//! agents against their node's store.
+
+use cpms_model::{ContentId, NodeId, UrlPath};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// One file as stored on a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoredFile {
+    /// Which content object this file is a copy of.
+    pub content: ContentId,
+    /// Size in bytes.
+    pub size: u64,
+    /// Monotone version, bumped on each update (mutable documents).
+    pub version: u64,
+}
+
+/// Errors from store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// The path has no file on this node.
+    NotFound {
+        /// The missing path.
+        path: UrlPath,
+    },
+    /// Storing would exceed the node's disk capacity.
+    DiskFull {
+        /// The path being stored.
+        path: UrlPath,
+        /// Bytes that would be needed.
+        needed: u64,
+        /// Bytes actually free.
+        free: u64,
+    },
+    /// A file already exists at the path (store with `overwrite = false`).
+    AlreadyExists {
+        /// The conflicting path.
+        path: UrlPath,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NotFound { path } => write!(f, "no file at {path}"),
+            StoreError::DiskFull { path, needed, free } => {
+                write!(f, "disk full storing {path}: need {needed} bytes, {free} free")
+            }
+            StoreError::AlreadyExists { path } => write!(f, "file already exists at {path}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// One node's local content files plus disk accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeStore {
+    node: NodeId,
+    files: HashMap<UrlPath, StoredFile>,
+    capacity_bytes: u64,
+    used_bytes: u64,
+}
+
+impl NodeStore {
+    /// Creates an empty store for `node` with the given disk capacity.
+    pub fn new(node: NodeId, capacity_bytes: u64) -> Self {
+        NodeStore {
+            node,
+            files: HashMap::new(),
+            capacity_bytes,
+            used_bytes: 0,
+        }
+    }
+
+    /// The node this store belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of files stored.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Disk capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Bytes in use.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Bytes free.
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity_bytes - self.used_bytes
+    }
+
+    /// The file at `path`, if present.
+    pub fn get(&self, path: &UrlPath) -> Option<&StoredFile> {
+        self.files.get(path)
+    }
+
+    /// Whether a copy of `path` exists here.
+    pub fn contains(&self, path: &UrlPath) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Stores (or overwrites) a file.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::DiskFull`] if the file does not fit;
+    /// [`StoreError::AlreadyExists`] if `overwrite` is false and the path
+    /// is taken.
+    pub fn store(
+        &mut self,
+        path: UrlPath,
+        file: StoredFile,
+        overwrite: bool,
+    ) -> Result<(), StoreError> {
+        let existing = self.files.get(&path).copied();
+        if existing.is_some() && !overwrite {
+            return Err(StoreError::AlreadyExists { path });
+        }
+        let freed = existing.map(|f| f.size).unwrap_or(0);
+        let needed = file.size;
+        let free = self.capacity_bytes - (self.used_bytes - freed);
+        if needed > free {
+            return Err(StoreError::DiskFull { path, needed, free });
+        }
+        self.used_bytes = self.used_bytes - freed + needed;
+        self.files.insert(path, file);
+        Ok(())
+    }
+
+    /// Removes the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] if absent.
+    pub fn remove(&mut self, path: &UrlPath) -> Result<StoredFile, StoreError> {
+        match self.files.remove(path) {
+            Some(f) => {
+                self.used_bytes -= f.size;
+                Ok(f)
+            }
+            None => Err(StoreError::NotFound { path: path.clone() }),
+        }
+    }
+
+    /// Renames a file (same node, metadata only).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] / [`StoreError::AlreadyExists`].
+    pub fn rename(&mut self, from: &UrlPath, to: UrlPath) -> Result<(), StoreError> {
+        if self.files.contains_key(&to) {
+            return Err(StoreError::AlreadyExists { path: to });
+        }
+        let f = self
+            .files
+            .remove(from)
+            .ok_or_else(|| StoreError::NotFound { path: from.clone() })?;
+        self.files.insert(to, f);
+        Ok(())
+    }
+
+    /// Bumps the version of a mutable document in place.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] if absent.
+    pub fn touch(&mut self, path: &UrlPath) -> Result<u64, StoreError> {
+        match self.files.get_mut(path) {
+            Some(f) => {
+                f.version += 1;
+                Ok(f.version)
+            }
+            None => Err(StoreError::NotFound { path: path.clone() }),
+        }
+    }
+
+    /// Lists all files, in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&UrlPath, &StoredFile)> {
+        self.files.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> UrlPath {
+        s.parse().unwrap()
+    }
+
+    fn file(id: u32, size: u64) -> StoredFile {
+        StoredFile {
+            content: ContentId(id),
+            size,
+            version: 0,
+        }
+    }
+
+    #[test]
+    fn store_and_accounting() {
+        let mut s = NodeStore::new(NodeId(0), 1000);
+        s.store(p("/a"), file(1, 400), false).unwrap();
+        assert_eq!(s.used_bytes(), 400);
+        assert_eq!(s.free_bytes(), 600);
+        assert!(s.contains(&p("/a")));
+        s.remove(&p("/a")).unwrap();
+        assert_eq!(s.used_bytes(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn disk_full_rejected() {
+        let mut s = NodeStore::new(NodeId(0), 1000);
+        s.store(p("/a"), file(1, 800), false).unwrap();
+        let err = s.store(p("/b"), file(2, 300), false).unwrap_err();
+        assert!(matches!(err, StoreError::DiskFull { free: 200, .. }));
+        assert_eq!(s.len(), 1, "failed store leaves state unchanged");
+    }
+
+    #[test]
+    fn overwrite_frees_old_size() {
+        let mut s = NodeStore::new(NodeId(0), 1000);
+        s.store(p("/a"), file(1, 900), false).unwrap();
+        // overwriting with a smaller file must account for freeing 900
+        s.store(p("/a"), file(1, 950), true).unwrap();
+        assert_eq!(s.used_bytes(), 950);
+        let err = s.store(p("/a"), file(1, 1100), true).unwrap_err();
+        assert!(matches!(err, StoreError::DiskFull { .. }));
+    }
+
+    #[test]
+    fn no_overwrite_flag() {
+        let mut s = NodeStore::new(NodeId(0), 1000);
+        s.store(p("/a"), file(1, 10), false).unwrap();
+        assert!(matches!(
+            s.store(p("/a"), file(2, 10), false),
+            Err(StoreError::AlreadyExists { .. })
+        ));
+    }
+
+    #[test]
+    fn rename_moves_metadata() {
+        let mut s = NodeStore::new(NodeId(0), 1000);
+        s.store(p("/a"), file(1, 10), false).unwrap();
+        s.rename(&p("/a"), p("/b")).unwrap();
+        assert!(!s.contains(&p("/a")));
+        assert_eq!(s.get(&p("/b")).unwrap().content, ContentId(1));
+        assert!(matches!(
+            s.rename(&p("/missing"), p("/c")),
+            Err(StoreError::NotFound { .. })
+        ));
+        s.store(p("/c"), file(2, 10), false).unwrap();
+        assert!(matches!(
+            s.rename(&p("/b"), p("/c")),
+            Err(StoreError::AlreadyExists { .. })
+        ));
+    }
+
+    #[test]
+    fn touch_bumps_version() {
+        let mut s = NodeStore::new(NodeId(0), 1000);
+        s.store(p("/a"), file(1, 10), false).unwrap();
+        assert_eq!(s.touch(&p("/a")).unwrap(), 1);
+        assert_eq!(s.touch(&p("/a")).unwrap(), 2);
+        assert!(s.touch(&p("/zzz")).is_err());
+    }
+}

@@ -1,0 +1,291 @@
+//! Web content objects and their classification.
+//!
+//! The paper partitions content "by type (e.g., static HTML pages, CGI
+//! scripts, multimedia files, etc.) or by some other policy (e.g.,
+//! priority)" (§1.2). [`ContentKind`] captures the type dimension and
+//! [`Priority`] the policy dimension.
+
+use crate::path::UrlPath;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Stable numeric identity of a content object within a corpus.
+///
+/// Identifiers are dense (assigned 0..n by the corpus builder) so they can
+/// index per-object statistics arrays.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ContentId(pub u32);
+
+impl ContentId {
+    /// The raw index value.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ContentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// The type of a web object, which determines both its resource profile and
+/// which placement partition it belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum ContentKind {
+    /// Plain HTML page.
+    StaticHtml,
+    /// Inline image (GIF/JPEG/PNG).
+    Image,
+    /// CGI script: CPU-intensive dynamic content.
+    Cgi,
+    /// ASP page: dynamic content served by IIS nodes in the paper's testbed.
+    Asp,
+    /// Large multimedia object (streaming audio/video) with long connections.
+    Video,
+    /// Other static file (CSS, text, archives, …).
+    OtherStatic,
+}
+
+impl ContentKind {
+    /// All kinds, in a stable order.
+    pub const ALL: [ContentKind; 6] = [
+        ContentKind::StaticHtml,
+        ContentKind::Image,
+        ContentKind::Cgi,
+        ContentKind::Asp,
+        ContentKind::Video,
+        ContentKind::OtherStatic,
+    ];
+
+    /// Whether serving this kind executes code (CGI/ASP) rather than reading
+    /// a file. Dynamic requests are CPU-bound; the paper gives them load
+    /// constants `load_CPU = 10, load_Disk = 5` (§3.3).
+    pub const fn is_dynamic(self) -> bool {
+        matches!(self, ContentKind::Cgi | ContentKind::Asp)
+    }
+
+    /// Whether this kind is served from a file on disk.
+    pub const fn is_static(self) -> bool {
+        !self.is_dynamic()
+    }
+
+    /// Whether this kind has real-time streaming requirements and large
+    /// transfers ("long connection requests", §1.1).
+    pub const fn is_multimedia(self) -> bool {
+        matches!(self, ContentKind::Video)
+    }
+
+    /// Classifies a path by its extension, the way the paper's administrator
+    /// "roughly partitioned the document tree by content type" (§5.3).
+    ///
+    /// ```
+    /// use cpms_model::{ContentKind, UrlPath};
+    /// let p: UrlPath = "/cgi-bin/search.cgi".parse().unwrap();
+    /// assert_eq!(ContentKind::classify(&p), ContentKind::Cgi);
+    /// ```
+    pub fn classify(path: &UrlPath) -> ContentKind {
+        match path.extension().map(str::to_ascii_lowercase).as_deref() {
+            Some("html") | Some("htm") => ContentKind::StaticHtml,
+            Some("gif") | Some("jpg") | Some("jpeg") | Some("png") | Some("ico") => {
+                ContentKind::Image
+            }
+            Some("cgi") | Some("pl") => ContentKind::Cgi,
+            Some("asp") => ContentKind::Asp,
+            Some("mpg") | Some("mpeg") | Some("avi") | Some("mov") | Some("rm") | Some("mp3") => {
+                ContentKind::Video
+            }
+            _ => ContentKind::OtherStatic,
+        }
+    }
+
+    /// Short lowercase label for reports (`cgi`, `asp`, `static`, …).
+    pub const fn label(self) -> &'static str {
+        match self {
+            ContentKind::StaticHtml => "html",
+            ContentKind::Image => "image",
+            ContentKind::Cgi => "cgi",
+            ContentKind::Asp => "asp",
+            ContentKind::Video => "video",
+            ContentKind::OtherStatic => "static",
+        }
+    }
+}
+
+impl fmt::Display for ContentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Administrative priority of a content object (§1.1: "not all content is
+/// equally important to the client and service provider").
+///
+/// Higher priorities can be pinned to more capable nodes or replicated more
+/// widely by placement policies.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum Priority {
+    /// Ordinary content.
+    #[default]
+    Normal,
+    /// Important content (e.g. product lists, shopping pages) that should be
+    /// separated or given more resources.
+    Critical,
+    /// Content that may be served degraded or shed first under overload.
+    Background,
+}
+
+impl Priority {
+    /// Numeric rank; larger means more important.
+    pub const fn rank(self) -> u8 {
+        match self {
+            Priority::Background => 0,
+            Priority::Normal => 1,
+            Priority::Critical => 2,
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Priority::Normal => "normal",
+            Priority::Critical => "critical",
+            Priority::Background => "background",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single web object: the unit of placement, replication, and routing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContentItem {
+    path: UrlPath,
+    kind: ContentKind,
+    size_bytes: u64,
+    priority: Priority,
+    /// Whether the object is mutated by the content provider (§4: mutable
+    /// documents should be pinned to one node to keep consistency trivial).
+    mutable: bool,
+}
+
+impl ContentItem {
+    /// Creates an item with [`Priority::Normal`] and `mutable = false`.
+    pub fn new(path: UrlPath, kind: ContentKind, size_bytes: u64) -> Self {
+        ContentItem {
+            path,
+            kind,
+            size_bytes,
+            priority: Priority::Normal,
+            mutable: false,
+        }
+    }
+
+    /// Sets the administrative priority (builder-style).
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Marks the object as mutable (builder-style).
+    #[must_use]
+    pub fn with_mutable(mut self, mutable: bool) -> Self {
+        self.mutable = mutable;
+        self
+    }
+
+    /// The object's URL path.
+    pub fn path(&self) -> &UrlPath {
+        &self.path
+    }
+
+    /// The object's kind.
+    pub fn kind(&self) -> ContentKind {
+        self.kind
+    }
+
+    /// Size of the object in bytes. For dynamic content this is the size of
+    /// the *response* it generates (used for transfer-time modelling).
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// The object's administrative priority.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// Whether the content provider mutates this object.
+    pub fn is_mutable(&self) -> bool {
+        self.mutable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> UrlPath {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn classify_by_extension() {
+        assert_eq!(ContentKind::classify(&p("/index.html")), ContentKind::StaticHtml);
+        assert_eq!(ContentKind::classify(&p("/a/logo.GIF")), ContentKind::Image);
+        assert_eq!(ContentKind::classify(&p("/cgi-bin/q.cgi")), ContentKind::Cgi);
+        assert_eq!(ContentKind::classify(&p("/shop/cart.asp")), ContentKind::Asp);
+        assert_eq!(ContentKind::classify(&p("/media/clip.mpg")), ContentKind::Video);
+        assert_eq!(ContentKind::classify(&p("/data/file.zip")), ContentKind::OtherStatic);
+        assert_eq!(ContentKind::classify(&p("/noext")), ContentKind::OtherStatic);
+    }
+
+    #[test]
+    fn dynamic_static_partition() {
+        for kind in ContentKind::ALL {
+            assert_ne!(kind.is_dynamic(), kind.is_static());
+        }
+        assert!(ContentKind::Cgi.is_dynamic());
+        assert!(ContentKind::Asp.is_dynamic());
+        assert!(ContentKind::Video.is_static());
+        assert!(ContentKind::Video.is_multimedia());
+        assert!(!ContentKind::Image.is_multimedia());
+    }
+
+    #[test]
+    fn priority_ranks() {
+        assert!(Priority::Critical.rank() > Priority::Normal.rank());
+        assert!(Priority::Normal.rank() > Priority::Background.rank());
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+
+    #[test]
+    fn item_builders() {
+        let item = ContentItem::new(p("/x.html"), ContentKind::StaticHtml, 1024)
+            .with_priority(Priority::Critical)
+            .with_mutable(true);
+        assert_eq!(item.size_bytes(), 1024);
+        assert_eq!(item.priority(), Priority::Critical);
+        assert!(item.is_mutable());
+    }
+
+    #[test]
+    fn content_id_display_and_index() {
+        assert_eq!(ContentId(7).to_string(), "c7");
+        assert_eq!(ContentId(7).index(), 7);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let item = ContentItem::new(p("/x.cgi"), ContentKind::Cgi, 10);
+        let json = serde_json::to_string(&item).unwrap();
+        let back: ContentItem = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, item);
+    }
+}

@@ -1,0 +1,426 @@
+//! Heterogeneous server-node descriptions.
+//!
+//! The paper's testbed (§5.1): "three 150 MHz machines with 64 MB of memory
+//! and 4 GB IDE disks, two 200 MHz machines with 128 MB of memory and 4 GB
+//! SCSI disks, and four 350 MHz machines with 128 MB of memory and 8 GB SCSI
+//! disks", all on 100 Mbps fast-ethernet. [`NodeSpec`] encodes those
+//! parameters plus derived service-rate figures used by the simulator, and
+//! the static per-node `Weight` used by the §3.3 load metric.
+
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identity of a back-end server node within a cluster.
+///
+/// Dense indices (assigned 0..n by the cluster builder) so they can index
+/// per-node state arrays.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The raw index value.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Disk technology of a node; determines sequential bandwidth and seek time
+/// in the simulator's disk model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DiskKind {
+    /// Late-90s IDE disk: slower transfers, longer seeks.
+    Ide,
+    /// Late-90s SCSI disk: faster transfers, shorter seeks, better queueing.
+    Scsi,
+}
+
+impl DiskKind {
+    /// Sustained sequential transfer bandwidth in bytes/second.
+    pub const fn bandwidth_bytes_per_sec(self) -> u64 {
+        match self {
+            DiskKind::Ide => 6 * 1024 * 1024,   // ~6 MB/s
+            DiskKind::Scsi => 15 * 1024 * 1024, // ~15 MB/s
+        }
+    }
+
+    /// Average positioning (seek + rotational) latency in microseconds.
+    pub const fn seek_micros(self) -> u64 {
+        match self {
+            DiskKind::Ide => 14_000, // ~14 ms
+            DiskKind::Scsi => 9_000, // ~9 ms
+        }
+    }
+}
+
+impl fmt::Display for DiskKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DiskKind::Ide => "IDE",
+            DiskKind::Scsi => "SCSI",
+        })
+    }
+}
+
+/// Operating system / server software of a node, recorded to mirror the
+/// paper's mixed Windows NT + IIS / Linux + Apache testbed. ASP content can
+/// only be placed on IIS nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ServerSoftware {
+    /// Linux running Apache.
+    #[default]
+    LinuxApache,
+    /// Windows NT running IIS.
+    NtIis,
+}
+
+impl fmt::Display for ServerSoftware {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ServerSoftware::LinuxApache => "Linux/Apache",
+            ServerSoftware::NtIis => "NT/IIS",
+        })
+    }
+}
+
+/// Hardware/software description of one back-end server.
+///
+/// Constructed via [`NodeSpec::builder`] or one of the `testbed_*` presets
+/// mirroring the paper's machines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    cpu_mhz: u32,
+    mem_bytes: u64,
+    disk: DiskKind,
+    disk_bytes: u64,
+    nic_bits_per_sec: u64,
+    software: ServerSoftware,
+}
+
+/// Reference CPU speed against which dynamic-content service times are
+/// scaled: the paper's fastest testbed machine (350 MHz).
+pub const REFERENCE_CPU_MHZ: u32 = 350;
+
+impl NodeSpec {
+    /// Starts building a custom node specification.
+    pub fn builder() -> NodeSpecBuilder {
+        NodeSpecBuilder::default()
+    }
+
+    /// Paper testbed preset: 150 MHz, 64 MB RAM, 4 GB IDE disk.
+    pub fn testbed_150() -> Self {
+        NodeSpec {
+            cpu_mhz: 150,
+            mem_bytes: 64 << 20,
+            disk: DiskKind::Ide,
+            disk_bytes: 4 << 30,
+            nic_bits_per_sec: 100_000_000,
+            software: ServerSoftware::LinuxApache,
+        }
+    }
+
+    /// Paper testbed preset: 200 MHz, 128 MB RAM, 4 GB SCSI disk.
+    pub fn testbed_200() -> Self {
+        NodeSpec {
+            cpu_mhz: 200,
+            mem_bytes: 128 << 20,
+            disk: DiskKind::Scsi,
+            disk_bytes: 4 << 30,
+            nic_bits_per_sec: 100_000_000,
+            software: ServerSoftware::LinuxApache,
+        }
+    }
+
+    /// Paper testbed preset: 350 MHz, 128 MB RAM, 8 GB SCSI disk.
+    pub fn testbed_350() -> Self {
+        NodeSpec {
+            cpu_mhz: 350,
+            mem_bytes: 128 << 20,
+            disk: DiskKind::Scsi,
+            disk_bytes: 8 << 30,
+            nic_bits_per_sec: 100_000_000,
+            software: ServerSoftware::LinuxApache,
+        }
+    }
+
+    /// The full nine-machine heterogeneous cluster from §5.1, with the
+    /// NT/IIS flag set on two of the fast machines (the paper says "some of
+    /// the back-end servers run Windows NT with IIS").
+    pub fn paper_testbed() -> Vec<NodeSpec> {
+        let mut nodes = vec![
+            NodeSpec::testbed_150(),
+            NodeSpec::testbed_150(),
+            NodeSpec::testbed_150(),
+            NodeSpec::testbed_200(),
+            NodeSpec::testbed_200(),
+            NodeSpec::testbed_350(),
+            NodeSpec::testbed_350(),
+            NodeSpec::testbed_350(),
+            NodeSpec::testbed_350(),
+        ];
+        nodes[7].software = ServerSoftware::NtIis;
+        nodes[8].software = ServerSoftware::NtIis;
+        nodes
+    }
+
+    /// CPU clock speed in MHz.
+    pub fn cpu_mhz(&self) -> u32 {
+        self.cpu_mhz
+    }
+
+    /// Main-memory size in bytes. A fixed fraction of it acts as the file
+    /// cache in the simulator.
+    pub fn mem_bytes(&self) -> u64 {
+        self.mem_bytes
+    }
+
+    /// Disk technology.
+    pub fn disk(&self) -> DiskKind {
+        self.disk
+    }
+
+    /// Disk capacity in bytes.
+    pub fn disk_bytes(&self) -> u64 {
+        self.disk_bytes
+    }
+
+    /// Network interface speed in bits/second.
+    pub fn nic_bits_per_sec(&self) -> u64 {
+        self.nic_bits_per_sec
+    }
+
+    /// Installed server software.
+    pub fn software(&self) -> ServerSoftware {
+        self.software
+    }
+
+    /// CPU speed relative to the reference 350 MHz machine; a 175 MHz node
+    /// has ratio 0.5 and takes twice as long on CPU-bound work.
+    pub fn cpu_ratio(&self) -> f64 {
+        self.cpu_mhz as f64 / REFERENCE_CPU_MHZ as f64
+    }
+
+    /// The static `Weight` of §3.3: "a static weighting value which is based
+    /// on the capacity of each server".
+    ///
+    /// We combine CPU and disk capability relative to the reference machine;
+    /// a `testbed_350` node has weight 1.0 by construction.
+    pub fn weight(&self) -> f64 {
+        let cpu = self.cpu_ratio();
+        let disk = self.disk.bandwidth_bytes_per_sec() as f64
+            / DiskKind::Scsi.bandwidth_bytes_per_sec() as f64;
+        (cpu + disk) / 2.0
+    }
+
+    /// Whether this node can serve the given content kind (ASP requires IIS).
+    pub fn can_serve_kind(&self, kind: crate::content::ContentKind) -> bool {
+        match kind {
+            crate::content::ContentKind::Asp => self.software == ServerSoftware::NtIis,
+            _ => true,
+        }
+    }
+}
+
+impl Default for NodeSpec {
+    fn default() -> Self {
+        NodeSpec::testbed_350()
+    }
+}
+
+impl fmt::Display for NodeSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} MHz / {} MB / {} {} GB / {}",
+            self.cpu_mhz,
+            self.mem_bytes >> 20,
+            self.disk,
+            self.disk_bytes >> 30,
+            self.software
+        )
+    }
+}
+
+/// Builder for [`NodeSpec`], for clusters beyond the paper presets.
+#[derive(Debug, Clone)]
+pub struct NodeSpecBuilder {
+    cpu_mhz: u32,
+    mem_bytes: u64,
+    disk: DiskKind,
+    disk_bytes: u64,
+    nic_bits_per_sec: u64,
+    software: ServerSoftware,
+}
+
+impl Default for NodeSpecBuilder {
+    fn default() -> Self {
+        let base = NodeSpec::testbed_350();
+        NodeSpecBuilder {
+            cpu_mhz: base.cpu_mhz,
+            mem_bytes: base.mem_bytes,
+            disk: base.disk,
+            disk_bytes: base.disk_bytes,
+            nic_bits_per_sec: base.nic_bits_per_sec,
+            software: base.software,
+        }
+    }
+}
+
+impl NodeSpecBuilder {
+    /// Sets the CPU clock in MHz.
+    pub fn cpu_mhz(&mut self, mhz: u32) -> &mut Self {
+        self.cpu_mhz = mhz;
+        self
+    }
+
+    /// Sets the memory size in megabytes.
+    pub fn mem_mb(&mut self, mb: u64) -> &mut Self {
+        self.mem_bytes = mb << 20;
+        self
+    }
+
+    /// Sets the disk kind.
+    pub fn disk(&mut self, disk: DiskKind) -> &mut Self {
+        self.disk = disk;
+        self
+    }
+
+    /// Sets the disk capacity in gigabytes.
+    pub fn disk_gb(&mut self, gb: u64) -> &mut Self {
+        self.disk_bytes = gb << 30;
+        self
+    }
+
+    /// Sets the NIC speed in megabits/second.
+    pub fn nic_mbps(&mut self, mbps: u64) -> &mut Self {
+        self.nic_bits_per_sec = mbps * 1_000_000;
+        self
+    }
+
+    /// Sets the server software.
+    pub fn software(&mut self, software: ServerSoftware) -> &mut Self {
+        self.software = software;
+        self
+    }
+
+    /// Validates and builds the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidNodeSpec`] if any capacity is zero.
+    pub fn build(&self) -> Result<NodeSpec, ModelError> {
+        if self.cpu_mhz == 0 {
+            return Err(ModelError::InvalidNodeSpec { field: "cpu_mhz" });
+        }
+        if self.mem_bytes == 0 {
+            return Err(ModelError::InvalidNodeSpec { field: "mem_bytes" });
+        }
+        if self.disk_bytes == 0 {
+            return Err(ModelError::InvalidNodeSpec { field: "disk_bytes" });
+        }
+        if self.nic_bits_per_sec == 0 {
+            return Err(ModelError::InvalidNodeSpec {
+                field: "nic_bits_per_sec",
+            });
+        }
+        Ok(NodeSpec {
+            cpu_mhz: self.cpu_mhz,
+            mem_bytes: self.mem_bytes,
+            disk: self.disk,
+            disk_bytes: self.disk_bytes,
+            nic_bits_per_sec: self.nic_bits_per_sec,
+            software: self.software,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::content::ContentKind;
+
+    #[test]
+    fn paper_testbed_matches_section_5_1() {
+        let nodes = NodeSpec::paper_testbed();
+        assert_eq!(nodes.len(), 9);
+        assert_eq!(nodes.iter().filter(|n| n.cpu_mhz() == 150).count(), 3);
+        assert_eq!(nodes.iter().filter(|n| n.cpu_mhz() == 200).count(), 2);
+        assert_eq!(nodes.iter().filter(|n| n.cpu_mhz() == 350).count(), 4);
+        assert!(nodes
+            .iter()
+            .filter(|n| n.cpu_mhz() == 150)
+            .all(|n| n.disk() == DiskKind::Ide && n.mem_bytes() == 64 << 20));
+        assert!(nodes
+            .iter()
+            .any(|n| n.software() == ServerSoftware::NtIis));
+    }
+
+    #[test]
+    fn weight_orders_by_capacity() {
+        let w150 = NodeSpec::testbed_150().weight();
+        let w200 = NodeSpec::testbed_200().weight();
+        let w350 = NodeSpec::testbed_350().weight();
+        assert!(w150 < w200, "{w150} < {w200}");
+        assert!(w200 < w350, "{w200} < {w350}");
+        assert!((w350 - 1.0).abs() < 1e-9, "reference machine has weight 1");
+    }
+
+    #[test]
+    fn cpu_ratio_reference() {
+        assert!((NodeSpec::testbed_350().cpu_ratio() - 1.0).abs() < 1e-9);
+        assert!((NodeSpec::testbed_150().cpu_ratio() - 150.0 / 350.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn asp_requires_iis() {
+        let linux = NodeSpec::testbed_350();
+        let mut b = NodeSpec::builder();
+        let nt = b.software(ServerSoftware::NtIis).build().unwrap();
+        assert!(!linux.can_serve_kind(ContentKind::Asp));
+        assert!(nt.can_serve_kind(ContentKind::Asp));
+        assert!(linux.can_serve_kind(ContentKind::Cgi));
+        assert!(nt.can_serve_kind(ContentKind::StaticHtml));
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(NodeSpec::builder().cpu_mhz(0).build().is_err());
+        assert!(NodeSpec::builder().mem_mb(0).build().is_err());
+        assert!(NodeSpec::builder().disk_gb(0).build().is_err());
+        assert!(NodeSpec::builder().nic_mbps(0).build().is_err());
+        let spec = NodeSpec::builder()
+            .cpu_mhz(500)
+            .mem_mb(256)
+            .disk(DiskKind::Scsi)
+            .disk_gb(16)
+            .nic_mbps(1000)
+            .build()
+            .unwrap();
+        assert_eq!(spec.cpu_mhz(), 500);
+        assert_eq!(spec.nic_bits_per_sec(), 1_000_000_000);
+    }
+
+    #[test]
+    fn disk_kind_parameters_ordered() {
+        assert!(
+            DiskKind::Scsi.bandwidth_bytes_per_sec() > DiskKind::Ide.bandwidth_bytes_per_sec()
+        );
+        assert!(DiskKind::Scsi.seek_micros() < DiskKind::Ide.seek_micros());
+    }
+
+    #[test]
+    fn display_formats() {
+        let s = NodeSpec::testbed_150().to_string();
+        assert!(s.contains("150 MHz"));
+        assert!(s.contains("IDE"));
+        assert_eq!(NodeId(3).to_string(), "n3");
+    }
+}

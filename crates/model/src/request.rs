@@ -1,0 +1,178 @@
+//! Client requests as seen by the distributor and the simulator.
+
+use crate::content::{ContentId, ContentKind};
+use crate::path::UrlPath;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Unique identity of a request within one experiment run.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct RequestId(pub u64);
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Coarse request classes used for per-class reporting (Figure 4 reports
+/// CGI, ASP, and static separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+pub enum RequestClass {
+    /// Request for any static file (HTML, image, other).
+    Static,
+    /// Request executing a CGI script.
+    Cgi,
+    /// Request executing an ASP page.
+    Asp,
+    /// Request for a large multimedia file.
+    Video,
+}
+
+impl RequestClass {
+    /// All classes, in report order.
+    pub const ALL: [RequestClass; 4] = [
+        RequestClass::Static,
+        RequestClass::Cgi,
+        RequestClass::Asp,
+        RequestClass::Video,
+    ];
+
+    /// Maps a content kind to its request class.
+    pub const fn from_kind(kind: ContentKind) -> RequestClass {
+        match kind {
+            ContentKind::Cgi => RequestClass::Cgi,
+            ContentKind::Asp => RequestClass::Asp,
+            ContentKind::Video => RequestClass::Video,
+            ContentKind::StaticHtml | ContentKind::Image | ContentKind::OtherStatic => {
+                RequestClass::Static
+            }
+        }
+    }
+
+    /// Short lowercase label for reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            RequestClass::Static => "static",
+            RequestClass::Cgi => "cgi",
+            RequestClass::Asp => "asp",
+            RequestClass::Video => "video",
+        }
+    }
+}
+
+impl fmt::Display for RequestClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One HTTP request flowing through the system.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Unique id within the run.
+    pub id: RequestId,
+    /// Which client issued it (index into the closed-loop client population).
+    pub client: u32,
+    /// Requested object.
+    pub content: ContentId,
+    /// Requested path (what the distributor actually parses).
+    pub path: UrlPath,
+    /// Kind of the requested object.
+    pub kind: ContentKind,
+    /// Response size in bytes.
+    pub size_bytes: u64,
+    /// Time the request was issued.
+    pub issued_at: SimTime,
+}
+
+impl Request {
+    /// The request's reporting class.
+    pub fn class(&self) -> RequestClass {
+        RequestClass::from_kind(self.kind)
+    }
+}
+
+/// Completion record for one request, produced by the simulator or the live
+/// proxy and consumed by metrics collectors.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestOutcome {
+    /// Which request completed.
+    pub id: RequestId,
+    /// The class it belonged to.
+    pub class: RequestClass,
+    /// The node that served it.
+    pub served_by: crate::node::NodeId,
+    /// When it was issued.
+    pub issued_at: SimTime,
+    /// When the last byte reached the client.
+    pub completed_at: SimTime,
+    /// Whether the file was served from the node's memory cache.
+    pub cache_hit: bool,
+    /// Response size in bytes.
+    pub size_bytes: u64,
+    /// Administrative priority of the content served (for differentiated
+    /// QoS reporting, §1.2).
+    pub priority: crate::content::Priority,
+}
+
+impl RequestOutcome {
+    /// Client-perceived response time.
+    pub fn response_time(&self) -> SimDuration {
+        self.completed_at.saturating_duration_since(self.issued_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+
+    #[test]
+    fn class_mapping() {
+        assert_eq!(RequestClass::from_kind(ContentKind::Cgi), RequestClass::Cgi);
+        assert_eq!(RequestClass::from_kind(ContentKind::Asp), RequestClass::Asp);
+        assert_eq!(RequestClass::from_kind(ContentKind::Video), RequestClass::Video);
+        assert_eq!(RequestClass::from_kind(ContentKind::StaticHtml), RequestClass::Static);
+        assert_eq!(RequestClass::from_kind(ContentKind::Image), RequestClass::Static);
+        assert_eq!(RequestClass::from_kind(ContentKind::OtherStatic), RequestClass::Static);
+    }
+
+    #[test]
+    fn response_time_is_saturating() {
+        let o = RequestOutcome {
+            id: RequestId(1),
+            class: RequestClass::Static,
+            served_by: NodeId(0),
+            issued_at: SimTime::from_micros(100),
+            completed_at: SimTime::from_micros(350),
+            cache_hit: true,
+            size_bytes: 1024,
+            priority: crate::content::Priority::Normal,
+        };
+        assert_eq!(o.response_time(), SimDuration::from_micros(250));
+    }
+
+    #[test]
+    fn request_class_accessor() {
+        let r = Request {
+            id: RequestId(0),
+            client: 0,
+            content: ContentId(0),
+            path: "/a.cgi".parse().unwrap(),
+            kind: ContentKind::Cgi,
+            size_bytes: 100,
+            issued_at: SimTime::ZERO,
+        };
+        assert_eq!(r.class(), RequestClass::Cgi);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let labels: Vec<_> = RequestClass::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels, ["static", "cgi", "asp", "video"]);
+    }
+}

@@ -1,0 +1,136 @@
+//! The shared NFS file-server model (configuration 2 of §5.3).
+//!
+//! Under the shared-filesystem placement every web node fetches file data
+//! from one NFS server over the LAN. The model captures the two costs the
+//! paper blames for configuration 2's poor showing: per-request RPC +
+//! remote transfer latency, and the NFS server's single disk and NIC as a
+//! convoy bottleneck shared by the whole cluster.
+
+use crate::service::ServiceModel;
+use crate::station::Station;
+use cpms_model::{ContentId, NodeSpec, SimDuration, SimTime};
+use cpms_urltable::lru::LruCache;
+
+/// The simulated NFS server.
+#[derive(Debug)]
+pub struct NfsServer {
+    spec: NodeSpec,
+    /// The server's disk (shared by every web node's misses).
+    pub disk: Station,
+    /// The server's NIC (every fetched byte crosses it).
+    pub nic: Station,
+    cache: LruCache<ContentId, ()>,
+    fetches: u64,
+}
+
+impl NfsServer {
+    /// Creates an NFS server from a hardware spec (its RAM acts as the
+    /// server-side buffer cache).
+    pub fn new(spec: NodeSpec, service: &ServiceModel) -> Self {
+        let cache_capacity = (spec.mem_bytes() as f64 * service.cache_fraction) as u64;
+        NfsServer {
+            spec,
+            disk: Station::new(),
+            nic: Station::new(),
+            cache: LruCache::new(cache_capacity),
+            fetches: 0,
+        }
+    }
+
+    /// The server's hardware description.
+    pub fn spec(&self) -> &NodeSpec {
+        &self.spec
+    }
+
+    /// Total remote fetches served.
+    pub fn fetches(&self) -> u64 {
+        self.fetches
+    }
+
+    /// Server-side buffer-cache hit rate.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+
+    /// Services a remote fetch of `content` (`size` bytes) arriving at the
+    /// server at time `arrival`; returns when the last byte leaves the
+    /// server's NIC.
+    ///
+    /// Path: RPC processing, then (on buffer-cache miss) a disk read, then
+    /// the transfer over the server NIC. The caller adds LAN latency on
+    /// both sides.
+    pub fn fetch(
+        &mut self,
+        content: ContentId,
+        size: u64,
+        arrival: SimTime,
+        service: &ServiceModel,
+    ) -> SimTime {
+        self.fetches += 1;
+        let after_rpc = arrival + service.nfs_rpc_overhead;
+        let data_ready = if self.cache.get(&content).is_some() {
+            after_rpc
+        } else {
+            let seek = SimDuration::from_micros(self.spec.disk().seek_micros());
+            let transfer = SimDuration::from_secs_f64(
+                size as f64 / self.spec.disk().bandwidth_bytes_per_sec() as f64,
+            );
+            let done = self.disk.schedule(after_rpc, seek + transfer);
+            if service.cacheable(size, self.cache.capacity()) {
+                self.cache.insert(content, (), size);
+            }
+            done
+        };
+        let nic_time =
+            SimDuration::from_secs_f64(size as f64 * 8.0 / self.spec.nic_bits_per_sec() as f64);
+        self.nic.schedule(data_ready, nic_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> NfsServer {
+        NfsServer::new(NodeSpec::testbed_350(), &ServiceModel::paper_defaults())
+    }
+
+    #[test]
+    fn first_fetch_pays_disk_second_hits_cache() {
+        let svc = ServiceModel::paper_defaults();
+        let mut s = server();
+        let t1 = s.fetch(ContentId(1), 10_000, SimTime::ZERO, &svc);
+        // serve again much later (no queueing): should be faster (no disk)
+        let later = SimTime::from_secs(10);
+        let t2 = s.fetch(ContentId(1), 10_000, later, &svc);
+        let first_cost = t1.duration_since(SimTime::ZERO);
+        let second_cost = t2.duration_since(later);
+        assert!(second_cost < first_cost, "{second_cost} < {first_cost}");
+        assert_eq!(s.fetches(), 2);
+    }
+
+    #[test]
+    fn concurrent_fetches_queue_on_shared_disk() {
+        let svc = ServiceModel::paper_defaults();
+        let mut s = server();
+        // two different objects arriving simultaneously: second waits for
+        // the first's disk read.
+        let t1 = s.fetch(ContentId(1), 1 << 20, SimTime::ZERO, &svc);
+        let t2 = s.fetch(ContentId(2), 1 << 20, SimTime::ZERO, &svc);
+        assert!(t2 > t1, "shared disk serializes misses");
+    }
+
+    #[test]
+    fn fetch_time_scales_with_size() {
+        let svc = ServiceModel::paper_defaults();
+        let mut s = server();
+        let small = s
+            .fetch(ContentId(1), 1_000, SimTime::ZERO, &svc)
+            .duration_since(SimTime::ZERO);
+        let mut s2 = server();
+        let big = s2
+            .fetch(ContentId(2), 1 << 20, SimTime::ZERO, &svc)
+            .duration_since(SimTime::ZERO);
+        assert!(big > small);
+    }
+}

@@ -1,0 +1,207 @@
+//! Per-node resource models.
+
+use crate::service::ServiceModel;
+use crate::station::Station;
+use cpms_model::{ContentId, NodeSpec, SimDuration};
+use cpms_urltable::lru::LruCache;
+
+/// One simulated back-end server: CPU, disk, NIC stations plus a
+/// byte-capacity LRU file cache derived from the node's RAM.
+#[derive(Debug)]
+pub struct SimNode {
+    spec: NodeSpec,
+    /// HTTP processing and dynamic-content execution.
+    pub cpu: Station,
+    /// Local file reads.
+    pub disk: Station,
+    /// Response transmission.
+    pub nic: Station,
+    cache: LruCache<ContentId, ()>,
+    cache_capacity: u64,
+    window_hits_base: u64,
+    window_misses_base: u64,
+}
+
+/// Transfer granule for disk and NIC service: large files are moved in
+/// chunks of this size so concurrent short requests interleave with long
+/// transfers, approximating TCP/OS fair sharing instead of head-of-line
+/// blocking a 12 MB video behind the whole queue.
+pub const TRANSFER_CHUNK_BYTES: u64 = 64 * 1024;
+
+impl SimNode {
+    /// Creates a node from its hardware spec, sizing the file cache as
+    /// `service.cache_fraction` of RAM.
+    pub fn new(spec: NodeSpec, service: &ServiceModel) -> Self {
+        let cache_capacity = (spec.mem_bytes() as f64 * service.cache_fraction) as u64;
+        SimNode {
+            spec,
+            cpu: Station::new(),
+            disk: Station::new(),
+            nic: Station::new(),
+            cache: LruCache::new(cache_capacity),
+            cache_capacity,
+            window_hits_base: 0,
+            window_misses_base: 0,
+        }
+    }
+
+    /// The node's hardware description.
+    pub fn spec(&self) -> &NodeSpec {
+        &self.spec
+    }
+
+    /// File-cache capacity in bytes.
+    pub fn cache_capacity(&self) -> u64 {
+        self.cache_capacity
+    }
+
+    /// Checks the file cache for `content`, updating recency and hit/miss
+    /// statistics.
+    pub fn cache_lookup(&mut self, content: ContentId) -> bool {
+        self.cache.get(&content).is_some()
+    }
+
+    /// Inserts `content` (of `size` bytes) into the cache if the service
+    /// model deems it cacheable.
+    pub fn cache_insert(&mut self, content: ContentId, size: u64, service: &ServiceModel) {
+        if service.cacheable(size, self.cache_capacity) {
+            self.cache.insert(content, (), size);
+        }
+    }
+
+    /// Drops a content object from the cache (management delete/offload).
+    pub fn cache_evict(&mut self, content: ContentId) {
+        self.cache.remove(&content);
+    }
+
+    /// The cache hit rate observed so far (lifetime).
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+
+    /// The cache hit rate since the last call to this method (per
+    /// measurement window), then resets the window baseline.
+    pub fn window_cache_hit_rate(&mut self) -> f64 {
+        let hits = self.cache.hits() - self.window_hits_base;
+        let misses = self.cache.misses() - self.window_misses_base;
+        self.window_hits_base = self.cache.hits();
+        self.window_misses_base = self.cache.misses();
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 / (hits + misses) as f64
+        }
+    }
+
+    /// Disk time to read `size` bytes: positioning + sequential transfer.
+    pub fn disk_time(&self, size: u64) -> SimDuration {
+        let seek = SimDuration::from_micros(self.spec.disk().seek_micros());
+        let transfer = SimDuration::from_secs_f64(
+            size as f64 / self.spec.disk().bandwidth_bytes_per_sec() as f64,
+        );
+        seek + transfer
+    }
+
+    /// Disk time for one transfer chunk: the first chunk of a file pays the
+    /// positioning cost (scaled by the service model's seeks-per-file),
+    /// sequential continuation chunks only the transfer.
+    pub fn disk_chunk_time(&self, chunk: u64, first: bool, service: &ServiceModel) -> SimDuration {
+        let transfer = SimDuration::from_secs_f64(
+            chunk as f64 / self.spec.disk().bandwidth_bytes_per_sec() as f64,
+        );
+        if first {
+            SimDuration::from_micros(self.spec.disk().seek_micros())
+                .mul_f64(service.disk_seeks_per_file)
+                + transfer
+        } else {
+            transfer
+        }
+    }
+
+    /// NIC time to transmit `size` bytes.
+    pub fn nic_time(&self, size: u64) -> SimDuration {
+        SimDuration::from_secs_f64(size as f64 * 8.0 / self.spec.nic_bits_per_sec() as f64)
+    }
+
+    /// CPU time for request parse/response overhead on this node.
+    pub fn parse_time(&self, service: &ServiceModel) -> SimDuration {
+        service.parse_time(self.spec.cpu_ratio())
+    }
+
+    /// CPU time to execute dynamic content on this node.
+    pub fn exec_time(
+        &self,
+        kind: cpms_model::ContentKind,
+        content: ContentId,
+        service: &ServiceModel,
+    ) -> SimDuration {
+        service.exec_time(kind, content, self.spec.cpu_ratio())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpms_model::ContentKind;
+
+    fn node() -> SimNode {
+        SimNode::new(NodeSpec::testbed_350(), &ServiceModel::paper_defaults())
+    }
+
+    #[test]
+    fn cache_capacity_is_fraction_of_ram() {
+        let n = node();
+        let expected = (128u64 << 20) as f64 * 0.5;
+        assert_eq!(n.cache_capacity(), expected as u64);
+    }
+
+    #[test]
+    fn cache_hit_after_insert() {
+        let svc = ServiceModel::paper_defaults();
+        let mut n = node();
+        assert!(!n.cache_lookup(ContentId(1)));
+        n.cache_insert(ContentId(1), 4096, &svc);
+        assert!(n.cache_lookup(ContentId(1)));
+        n.cache_evict(ContentId(1));
+        assert!(!n.cache_lookup(ContentId(1)));
+    }
+
+    #[test]
+    fn huge_files_bypass_cache() {
+        let svc = ServiceModel::paper_defaults();
+        let mut n = node();
+        let huge = n.cache_capacity(); // > 25% of capacity
+        n.cache_insert(ContentId(2), huge, &svc);
+        assert!(!n.cache_lookup(ContentId(2)));
+    }
+
+    #[test]
+    fn disk_time_includes_seek_and_transfer() {
+        let n = node(); // SCSI: 9ms seek, 15 MB/s
+        let t = n.disk_time(15 * 1024 * 1024);
+        // 9 ms + 1 s
+        assert!((t.as_secs_f64() - 1.009).abs() < 0.001, "{t}");
+        let ide = SimNode::new(NodeSpec::testbed_150(), &ServiceModel::paper_defaults());
+        assert!(ide.disk_time(1 << 20) > n.disk_time(1 << 20));
+    }
+
+    #[test]
+    fn nic_time_at_100mbps() {
+        let n = node();
+        // 12.5 MB at 100 Mbps = 1 s
+        let t = n.nic_time(12_500_000);
+        assert!((t.as_secs_f64() - 1.0).abs() < 0.001);
+    }
+
+    #[test]
+    fn slow_node_parses_slower() {
+        let svc = ServiceModel::paper_defaults();
+        let fast = node();
+        let slow = SimNode::new(NodeSpec::testbed_150(), &svc);
+        assert!(slow.parse_time(&svc) > fast.parse_time(&svc));
+        assert!(
+            slow.exec_time(ContentKind::Cgi, ContentId(3), &svc)
+                > fast.exec_time(ContentKind::Cgi, ContentId(3), &svc)
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Per-object records of the URL table.
+
+use cpms_model::{ContentId, ContentKind, NodeId, Priority};
+use serde::{Deserialize, Serialize};
+
+/// The record the URL table keeps per content object.
+///
+/// The paper (§2.2): "The URL table holds content-related information (e.g.,
+/// location of the document, document sizes, priority, hits, etc.), which
+/// helps the distributor to make the routing decisions."
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UrlEntry {
+    content: ContentId,
+    kind: ContentKind,
+    size_bytes: u64,
+    priority: Priority,
+    locations: Vec<NodeId>,
+    hits: u64,
+}
+
+impl UrlEntry {
+    /// Creates an entry with no locations, normal priority, zero hits.
+    pub fn new(content: ContentId, kind: ContentKind, size_bytes: u64) -> Self {
+        UrlEntry {
+            content,
+            kind,
+            size_bytes,
+            priority: Priority::Normal,
+            locations: Vec::new(),
+            hits: 0,
+        }
+    }
+
+    /// Sets the hosting nodes (builder-style). Duplicates are removed,
+    /// preserving first occurrence order.
+    #[must_use]
+    pub fn with_locations<I: IntoIterator<Item = NodeId>>(mut self, locations: I) -> Self {
+        self.locations.clear();
+        for n in locations {
+            if !self.locations.contains(&n) {
+                self.locations.push(n);
+            }
+        }
+        self
+    }
+
+    /// Sets the priority (builder-style).
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// The identity of the content object.
+    pub fn content(&self) -> ContentId {
+        self.content
+    }
+
+    /// The content kind.
+    pub fn kind(&self) -> ContentKind {
+        self.kind
+    }
+
+    /// Document size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Administrative priority.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// Nodes currently hosting a copy of the object, in insertion order.
+    pub fn locations(&self) -> &[NodeId] {
+        &self.locations
+    }
+
+    /// Number of replicas.
+    pub fn replica_count(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Accumulated hit count (bumped by the distributor on each routed
+    /// request).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Records one routed request.
+    pub fn record_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Adds a replica location. Returns `false` if the node already hosted
+    /// the object.
+    pub fn add_location(&mut self, node: NodeId) -> bool {
+        if self.locations.contains(&node) {
+            false
+        } else {
+            self.locations.push(node);
+            true
+        }
+    }
+
+    /// Removes a replica location. Returns `false` if the node did not host
+    /// the object. Callers that must preserve availability should check
+    /// [`UrlEntry::replica_count`] first — the table itself permits dropping
+    /// the last copy (e.g. when deleting content), the *management* layer
+    /// enforces the never-drop-last-copy policy.
+    pub fn remove_location(&mut self, node: NodeId) -> bool {
+        if let Some(pos) = self.locations.iter().position(|n| *n == node) {
+            self.locations.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `node` hosts a copy.
+    pub fn hosted_on(&self, node: NodeId) -> bool {
+        self.locations.contains(&node)
+    }
+
+    /// Approximate in-memory footprint of this record in bytes, used for the
+    /// §5.2 memory accounting. Counts the struct plus the location vector's
+    /// heap allocation.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<UrlEntry>() + self.locations.capacity() * std::mem::size_of::<NodeId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> UrlEntry {
+        UrlEntry::new(ContentId(1), ContentKind::StaticHtml, 2048)
+    }
+
+    #[test]
+    fn with_locations_dedups() {
+        let e = entry().with_locations([NodeId(1), NodeId(2), NodeId(1)]);
+        assert_eq!(e.locations(), [NodeId(1), NodeId(2)]);
+        assert_eq!(e.replica_count(), 2);
+    }
+
+    #[test]
+    fn add_remove_location() {
+        let mut e = entry();
+        assert!(e.add_location(NodeId(1)));
+        assert!(!e.add_location(NodeId(1)));
+        assert!(e.hosted_on(NodeId(1)));
+        assert!(e.remove_location(NodeId(1)));
+        assert!(!e.remove_location(NodeId(1)));
+        assert!(!e.hosted_on(NodeId(1)));
+        assert_eq!(e.replica_count(), 0);
+    }
+
+    #[test]
+    fn hits_accumulate() {
+        let mut e = entry();
+        assert_eq!(e.hits(), 0);
+        e.record_hit();
+        e.record_hit();
+        assert_eq!(e.hits(), 2);
+    }
+
+    #[test]
+    fn memory_accounting_grows_with_replicas() {
+        let small = entry().with_locations([NodeId(1)]);
+        let large = entry().with_locations((0..64).map(NodeId));
+        assert!(large.memory_bytes() > small.memory_bytes());
+        assert!(small.memory_bytes() >= std::mem::size_of::<UrlEntry>());
+    }
+
+    #[test]
+    fn builder_priority() {
+        let e = entry().with_priority(Priority::Critical);
+        assert_eq!(e.priority(), Priority::Critical);
+    }
+}

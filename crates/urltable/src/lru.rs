@@ -1,0 +1,444 @@
+//! A weight-bounded LRU cache with O(1) operations.
+//!
+//! Used twice in this system, matching two uses in the paper:
+//!
+//! 1. the URL table's recently-accessed-entry cache (§5.2, "a proven
+//!    technique for demultiplexing speedup") — weight = 1 per entry,
+//! 2. the simulator's per-node file memory cache — weight = object size in
+//!    bytes, which is what makes content partitioning shrink working sets
+//!    and raise hit rates (the mechanism behind Figure 2).
+//!
+//! Implementation: a slab of nodes forming an intrusive doubly-linked list
+//! (most-recent at head), with a `HashMap` from key to slab index.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Slot<K, V> {
+    key: K,
+    /// `None` only while the slot sits on the free list.
+    value: Option<V>,
+    weight: u64,
+    prev: usize,
+    next: usize,
+}
+
+/// An LRU cache holding entries up to a total weight capacity.
+///
+/// Each entry carries a caller-supplied weight; inserting evicts
+/// least-recently-used entries until the total fits. An entry heavier than
+/// the whole capacity is rejected rather than evicting everything.
+///
+/// # Example
+///
+/// ```
+/// use cpms_urltable::lru::LruCache;
+///
+/// let mut cache: LruCache<&str, u32> = LruCache::new(2);
+/// cache.insert("a", 1, 1);
+/// cache.insert("b", 2, 1);
+/// cache.get(&"a");           // "a" is now most recent
+/// cache.insert("c", 3, 1);   // evicts "b"
+/// assert!(cache.contains(&"a"));
+/// assert!(!cache.contains(&"b"));
+/// assert!(cache.contains(&"c"));
+/// ```
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: u64,
+    used: u64,
+    slots: Vec<Slot<K, V>>,
+    free: Vec<usize>,
+    index: HashMap<K, usize>,
+    head: usize,
+    tail: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache with the given total weight capacity.
+    ///
+    /// A capacity of 0 creates a cache that stores nothing (all inserts are
+    /// rejected), which is useful for "cache disabled" ablations.
+    pub fn new(capacity: u64) -> Self {
+        LruCache {
+            capacity,
+            used: 0,
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Total weight capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Total weight currently stored.
+    pub fn used_weight(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of entries currently stored.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Cache hits recorded by [`LruCache::get`].
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses recorded by [`LruCache::get`].
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries evicted to make room.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Hit rate over all `get` calls so far (0.0 if none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Looks up `key`, marking it most-recently-used on hit and counting
+    /// hit/miss statistics.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.index.get(key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                self.move_to_front(idx);
+                self.slots[idx].value.as_ref()
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up `key` without touching recency or statistics.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.index
+            .get(key)
+            .and_then(|&idx| self.slots[idx].value.as_ref())
+    }
+
+    /// Whether `key` is cached (does not touch recency or statistics).
+    pub fn contains(&self, key: &K) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Inserts `key → value` with the given weight, evicting LRU entries as
+    /// needed. Returns `true` if the entry was stored, `false` if its weight
+    /// exceeds the whole capacity (in which case nothing is evicted).
+    ///
+    /// Re-inserting an existing key replaces its value and weight and marks
+    /// it most-recently-used.
+    pub fn insert(&mut self, key: K, value: V, weight: u64) -> bool {
+        if weight > self.capacity {
+            return false;
+        }
+        if let Some(&idx) = self.index.get(&key) {
+            self.used = self.used - self.slots[idx].weight + weight;
+            self.slots[idx].value = Some(value);
+            self.slots[idx].weight = weight;
+            self.move_to_front(idx);
+            self.evict_to_fit();
+            return true;
+        }
+        self.used += weight;
+        let idx = self.alloc_slot(key.clone(), value, weight);
+        self.index.insert(key, idx);
+        self.push_front(idx);
+        self.evict_to_fit();
+        true
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let idx = self.index.remove(key)?;
+        self.unlink(idx);
+        self.used -= self.slots[idx].weight;
+        self.free.push(idx);
+        self.slots[idx].value.take()
+    }
+
+    /// Removes every entry (statistics are preserved).
+    pub fn clear(&mut self) {
+        self.index.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.used = 0;
+    }
+
+    /// Iterates from most- to least-recently-used.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        Iter {
+            cache: self,
+            cursor: self.head,
+        }
+    }
+
+    fn alloc_slot(&mut self, key: K, value: V, weight: u64) -> usize {
+        let slot = Slot {
+            key,
+            value: Some(value),
+            weight,
+            prev: NIL,
+            next: NIL,
+        };
+        if let Some(idx) = self.free.pop() {
+            self.slots[idx] = slot;
+            idx
+        } else {
+            self.slots.push(slot);
+            self.slots.len() - 1
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = NIL;
+    }
+
+    fn move_to_front(&mut self, idx: usize) {
+        if self.head == idx {
+            return;
+        }
+        self.unlink(idx);
+        self.push_front(idx);
+    }
+
+    fn evict_to_fit(&mut self) {
+        while self.used > self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "over capacity with empty list");
+            let key = self.slots[victim].key.clone();
+            self.index.remove(&key);
+            self.unlink(victim);
+            self.used -= self.slots[victim].weight;
+            self.slots[victim].value = None;
+            self.free.push(victim);
+            self.evictions += 1;
+        }
+    }
+}
+
+/// Iterator over cache entries from most- to least-recently-used.
+#[derive(Debug)]
+pub struct Iter<'a, K, V> {
+    cache: &'a LruCache<K, V>,
+    cursor: usize,
+}
+
+impl<'a, K: Eq + Hash + Clone, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let slot = &self.cache.slots[self.cursor];
+        self.cursor = slot.next;
+        Some((
+            &slot.key,
+            slot.value.as_ref().expect("linked slot holds a value"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_insert_get() {
+        let mut c: LruCache<u32, String> = LruCache::new(10);
+        assert!(c.insert(1, "one".into(), 1));
+        assert_eq!(c.get(&1), Some(&"one".to_string()));
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evicts_lru_order() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        c.insert(1, 10, 1);
+        c.insert(2, 20, 1);
+        c.insert(3, 30, 1);
+        c.get(&1); // 1 most recent; LRU order now 2, 3, 1
+        c.insert(4, 40, 1); // evicts 2
+        assert!(!c.contains(&2));
+        assert!(c.contains(&1));
+        assert!(c.contains(&3));
+        assert!(c.contains(&4));
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn weighted_eviction() {
+        let mut c: LruCache<u32, ()> = LruCache::new(100);
+        c.insert(1, (), 60);
+        c.insert(2, (), 30);
+        assert_eq!(c.used_weight(), 90);
+        c.insert(3, (), 50); // must evict 1 (LRU, weight 60): 30+50=80 fits
+        assert!(!c.contains(&1));
+        assert_eq!(c.used_weight(), 80);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn oversized_entry_rejected() {
+        let mut c: LruCache<u32, ()> = LruCache::new(10);
+        c.insert(1, (), 5);
+        assert!(!c.insert(2, (), 11));
+        // nothing was evicted
+        assert!(c.contains(&1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let mut c: LruCache<u32, ()> = LruCache::new(0);
+        assert!(!c.insert(1, (), 1));
+        assert!(c.is_empty());
+        // zero-weight entries do fit in a zero-capacity cache? weight 0 <= 0
+        assert!(c.insert(2, (), 0));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_updates_value_and_weight() {
+        let mut c: LruCache<u32, u32> = LruCache::new(10);
+        c.insert(1, 100, 4);
+        c.insert(1, 200, 8);
+        assert_eq!(c.peek(&1), Some(&200));
+        assert_eq!(c.used_weight(), 8);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_larger_weight_can_evict_others() {
+        let mut c: LruCache<u32, ()> = LruCache::new(10);
+        c.insert(1, (), 5);
+        c.insert(2, (), 5);
+        c.insert(2, (), 9); // now 5+9 > 10: evict LRU (=1)
+        assert!(!c.contains(&1));
+        assert!(c.contains(&2));
+        assert_eq!(c.used_weight(), 9);
+    }
+
+    #[test]
+    fn remove_returns_value_and_frees_weight() {
+        let mut c: LruCache<u32, String> = LruCache::new(10);
+        c.insert(1, "x".into(), 7);
+        assert_eq!(c.remove(&1), Some("x".to_string()));
+        assert_eq!(c.remove(&1), None);
+        assert_eq!(c.used_weight(), 0);
+        assert!(c.is_empty());
+        // slot is reused
+        c.insert(2, "y".into(), 3);
+        assert_eq!(c.get(&2), Some(&"y".to_string()));
+    }
+
+    #[test]
+    fn iter_is_mru_first() {
+        let mut c: LruCache<u32, ()> = LruCache::new(10);
+        c.insert(1, (), 1);
+        c.insert(2, (), 1);
+        c.insert(3, (), 1);
+        c.get(&1);
+        let order: Vec<u32> = c.iter().map(|(k, _)| *k).collect();
+        assert_eq!(order, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn clear_resets_contents_not_stats() {
+        let mut c: LruCache<u32, ()> = LruCache::new(2);
+        c.insert(1, (), 1);
+        c.get(&1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.used_weight(), 0);
+        assert_eq!(c.hits(), 1);
+        c.insert(2, (), 1);
+        assert!(c.contains(&2));
+    }
+
+    #[test]
+    fn peek_does_not_promote() {
+        let mut c: LruCache<u32, ()> = LruCache::new(2);
+        c.insert(1, (), 1);
+        c.insert(2, (), 1);
+        c.peek(&1); // no promotion
+        c.insert(3, (), 1); // evicts 1 (still LRU)
+        assert!(!c.contains(&1));
+        assert_eq!(c.hits(), 0, "peek does not count hits");
+    }
+
+    #[test]
+    fn heavy_churn_consistency() {
+        let mut c: LruCache<u32, u32> = LruCache::new(50);
+        for i in 0..1_000u32 {
+            c.insert(i, i, (i % 7 + 1) as u64);
+            if i % 3 == 0 {
+                c.remove(&(i / 2));
+            }
+            assert!(c.used_weight() <= 50);
+            let n_linked = c.iter().count();
+            assert_eq!(n_linked, c.len());
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Property-based tests for the URL table and LRU cache invariants.
+
+use cpms_model::{ContentId, ContentKind, NodeId, UrlPath};
+use cpms_urltable::lru::LruCache;
+use cpms_urltable::{LookupCache, UrlEntry, UrlTable};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+fn segment_strategy() -> impl Strategy<Value = String> {
+    "[a-z]{1,4}"
+}
+
+fn path_strategy() -> impl Strategy<Value = UrlPath> {
+    prop::collection::vec(segment_strategy(), 1..5).prop_map(|segs| {
+        let mut p = UrlPath::root();
+        for s in segs {
+            p = p.join(&s).expect("generated segments are valid");
+        }
+        p
+    })
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(UrlPath, u32),
+    Remove(UrlPath),
+    AddLoc(UrlPath, u16),
+    RemoveLoc(UrlPath, u16),
+    Hit(UrlPath),
+}
+
+fn dir_strategy() -> impl Strategy<Value = UrlPath> {
+    prop::collection::vec(segment_strategy(), 0..3).prop_map(|segs| {
+        let mut p = UrlPath::root();
+        for s in segs {
+            p = p.join(&s).expect("generated segments are valid");
+        }
+        p
+    })
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (path_strategy(), any::<u32>()).prop_map(|(p, id)| Op::Insert(p, id)),
+        path_strategy().prop_map(Op::Remove),
+        (path_strategy(), 0u16..8).prop_map(|(p, n)| Op::AddLoc(p, n)),
+        (path_strategy(), 0u16..8).prop_map(|(p, n)| Op::RemoveLoc(p, n)),
+        path_strategy().prop_map(Op::Hit),
+    ]
+}
+
+proptest! {
+    /// The table agrees with a flat HashMap model under arbitrary operation
+    /// sequences (ignoring operations the table rejects).
+    #[test]
+    fn table_matches_flat_model(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut table = UrlTable::new();
+        let mut model: HashMap<UrlPath, (u32, HashSet<u16>, u64)> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(p, id) => {
+                    let r = table.insert(
+                        p.clone(),
+                        UrlEntry::new(ContentId(id), ContentKind::StaticHtml, 64),
+                    );
+                    if r.is_ok() {
+                        prop_assert!(!model.contains_key(&p));
+                        model.insert(p, (id, HashSet::new(), 0));
+                    }
+                }
+                Op::Remove(p) => {
+                    let r = table.remove(&p);
+                    prop_assert_eq!(r.is_ok(), model.remove(&p).is_some());
+                }
+                Op::AddLoc(p, n) => {
+                    let r = table.add_location(&p, NodeId(n));
+                    match model.get_mut(&p) {
+                        Some((_, locs, _)) => {
+                            prop_assert_eq!(r.unwrap(), locs.insert(n));
+                        }
+                        None => prop_assert!(r.is_err()),
+                    }
+                }
+                Op::RemoveLoc(p, n) => {
+                    let r = table.remove_location(&p, NodeId(n));
+                    match model.get_mut(&p) {
+                        Some((_, locs, _)) => {
+                            prop_assert_eq!(r.unwrap(), locs.remove(&n));
+                        }
+                        None => prop_assert!(r.is_err()),
+                    }
+                }
+                Op::Hit(p) => {
+                    let r = table.lookup_and_hit(&p);
+                    match model.get_mut(&p) {
+                        Some((_, _, hits)) => {
+                            *hits += 1;
+                            prop_assert!(r.is_some());
+                        }
+                        None => prop_assert!(r.is_none()),
+                    }
+                }
+            }
+        }
+
+        // Final state equivalence.
+        prop_assert_eq!(table.len(), model.len());
+        for (p, (id, locs, hits)) in &model {
+            let entry = table.lookup(p).expect("model entry present in table");
+            prop_assert_eq!(entry.content(), ContentId(*id));
+            prop_assert_eq!(entry.hits(), *hits);
+            let table_locs: HashSet<u16> = entry.locations().iter().map(|n| n.0).collect();
+            prop_assert_eq!(&table_locs, locs);
+        }
+        // And the iterator covers exactly the model keys.
+        let iter_paths: HashSet<UrlPath> = table.iter().map(|(p, _)| p).collect();
+        let model_paths: HashSet<UrlPath> = model.keys().cloned().collect();
+        prop_assert_eq!(iter_paths, model_paths);
+    }
+
+    /// Renaming a subtree preserves record count and relocates every path.
+    #[test]
+    fn rename_preserves_records(
+        files in prop::collection::hash_set("[a-z]{1,4}", 1..10),
+    ) {
+        let mut table = UrlTable::new();
+        let src: UrlPath = "/src".parse().unwrap();
+        for f in &files {
+            let p = src.join(f).unwrap();
+            table.insert(p, UrlEntry::new(ContentId(0), ContentKind::Image, 1)).unwrap();
+        }
+        let dst: UrlPath = "/dst/deep".parse().unwrap();
+        table.rename(&src, &dst).unwrap();
+        prop_assert_eq!(table.len(), files.len());
+        for f in &files {
+            prop_assert!(table.lookup(&dst.join(f).unwrap()).is_some());
+            prop_assert!(table.lookup(&src.join(f).unwrap()).is_none());
+        }
+    }
+
+    /// The LRU cache never exceeds its weight capacity and its length always
+    /// matches the number of reachable (linked) entries.
+    #[test]
+    fn lru_respects_capacity(
+        capacity in 1u64..100,
+        ops in prop::collection::vec((0u32..50, 1u64..20, any::<bool>()), 1..300),
+    ) {
+        let mut cache: LruCache<u32, u32> = LruCache::new(capacity);
+        for (key, weight, is_insert) in ops {
+            if is_insert {
+                let stored = cache.insert(key, key, weight);
+                prop_assert_eq!(stored, weight <= capacity);
+            } else {
+                cache.remove(&key);
+            }
+            prop_assert!(cache.used_weight() <= capacity);
+            prop_assert_eq!(cache.iter().count(), cache.len());
+        }
+    }
+
+    /// The routing view (exact record, else deepest ancestor default) is
+    /// exactly what `lookup` returns, modelled independently from the set
+    /// of inserted records and defaults.
+    #[test]
+    fn dir_defaults_match_reference_model(
+        records in prop::collection::hash_map(path_strategy(), any::<u32>(), 0..20),
+        defaults in prop::collection::hash_map(dir_strategy(), any::<u32>(), 0..6),
+        probes in prop::collection::vec(path_strategy(), 1..40),
+    ) {
+        let mut table = UrlTable::new();
+        let mut inserted: HashMap<UrlPath, u32> = HashMap::new();
+        for (p, id) in &records {
+            if table
+                .insert(p.clone(), UrlEntry::new(ContentId(*id), ContentKind::StaticHtml, 1))
+                .is_ok()
+            {
+                inserted.insert(p.clone(), *id);
+            }
+        }
+        let mut set_defaults: HashMap<UrlPath, u32> = HashMap::new();
+        for (d, id) in &defaults {
+            if table
+                .set_dir_default(d, UrlEntry::new(ContentId(*id), ContentKind::Image, 1))
+                .is_ok()
+            {
+                set_defaults.insert(d.clone(), *id);
+            }
+        }
+        for probe in probes {
+            let got = table.lookup(&probe).map(|e| e.content().0);
+            // Reference model: exact record wins; else the default of the
+            // deepest ancestor directory (root included, probing the
+            // directory itself included) that has one.
+            let expected = inserted.get(&probe).copied().or_else(|| {
+                let mut best: Option<(usize, u32)> = None;
+                for (d, id) in &set_defaults {
+                    if probe.starts_with(d) {
+                        let depth = d.depth();
+                        if best.map(|(bd, _)| depth > bd).unwrap_or(true) {
+                            best = Some((depth, *id));
+                        }
+                    }
+                }
+                best.map(|(_, id)| id)
+            });
+            prop_assert_eq!(got, expected, "probe {}", probe);
+        }
+    }
+
+    /// A cached lookup always returns exactly what an uncached table lookup
+    /// returns, under interleaved mutations (cache coherence).
+    #[test]
+    fn lookup_cache_is_coherent(
+        ops in prop::collection::vec(op_strategy(), 1..150),
+        probes in prop::collection::vec(path_strategy(), 1..50),
+    ) {
+        let mut table = UrlTable::new();
+        let mut cache = LookupCache::new(8);
+        let mut probe_iter = probes.into_iter().cycle();
+        for op in ops {
+            match op {
+                Op::Insert(p, id) => {
+                    let _ = table.insert(
+                        p,
+                        UrlEntry::new(ContentId(id), ContentKind::Cgi, 8),
+                    );
+                }
+                Op::Remove(p) => { let _ = table.remove(&p); }
+                Op::AddLoc(p, n) => { let _ = table.add_location(&p, NodeId(n)); }
+                Op::RemoveLoc(p, n) => { let _ = table.remove_location(&p, NodeId(n)); }
+                Op::Hit(p) => { let _ = table.lookup_and_hit(&p); }
+            }
+            // After every mutation, a probe through the cache must agree
+            // with the table (for routing-relevant fields).
+            let probe = probe_iter.next().unwrap();
+            let via_cache = cache.lookup(&table, &probe);
+            let via_table = table.lookup(&probe);
+            match (via_cache, via_table) {
+                (None, None) => {}
+                (Some(c), Some(t)) => {
+                    prop_assert_eq!(c.content(), t.content());
+                    prop_assert_eq!(c.locations(), t.locations());
+                    prop_assert_eq!(c.size_bytes(), t.size_bytes());
+                }
+                (c, t) => prop_assert!(false, "cache {:?} vs table {:?}", c.is_some(), t.is_some()),
+            }
+        }
+    }
+}

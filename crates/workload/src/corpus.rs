@@ -1,0 +1,401 @@
+//! Synthetic web-site corpus generation.
+//!
+//! Builds a document tree whose composition matches the workload
+//! characterization the paper cites: mostly small HTML and images with
+//! heavy-tailed sizes, a sliver of very large multimedia files that
+//! dominates storage bytes (World Cup invariant), and — for Workload B
+//! experiments — CGI scripts and ASP pages.
+
+use crate::sizes::SizeModel;
+use cpms_model::{ContentId, ContentItem, ContentKind, Priority, RequestClass, UrlPath};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Object-count fractions per kind; must sum to 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KindFractions {
+    /// Plain HTML pages.
+    pub html: f64,
+    /// Images.
+    pub image: f64,
+    /// Other static files.
+    pub other: f64,
+    /// CGI scripts.
+    pub cgi: f64,
+    /// ASP pages.
+    pub asp: f64,
+    /// Large multimedia files (World Cup: ~0.3 % of objects).
+    pub video: f64,
+}
+
+impl KindFractions {
+    /// Defaults modelled on the cited traces: predominantly images and
+    /// HTML, ~5 % dynamic scripts, 0.3 % large multimedia.
+    pub fn paper_defaults() -> Self {
+        KindFractions {
+            html: 0.30,
+            image: 0.45,
+            other: 0.177,
+            cgi: 0.04,
+            asp: 0.03,
+            video: 0.003,
+        }
+    }
+
+    fn is_valid(&self) -> bool {
+        let all = [self.html, self.image, self.other, self.cgi, self.asp, self.video];
+        all.iter().all(|f| (0.0..=1.0).contains(f) && f.is_finite())
+            && (all.iter().sum::<f64>() - 1.0).abs() < 1e-9
+    }
+}
+
+/// A generated web site: the unit the placement policies, the URL table,
+/// and the workload sampler all operate on.
+///
+/// Object ids are dense (`ContentId(0)..ContentId(len-1)`), and within each
+/// request class the builder records a popularity order: the id at class
+/// rank 0 is that class's hottest object.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Corpus {
+    items: Vec<ContentItem>,
+    /// Ids per request class, hottest first.
+    by_class: [(RequestClass, Vec<ContentId>); 4],
+}
+
+impl Corpus {
+    /// All objects; `items()[id.index()]` is the object with that id.
+    pub fn items(&self) -> &[ContentItem] {
+        &self.items
+    }
+
+    /// The object with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range for this corpus.
+    pub fn get(&self, id: ContentId) -> &ContentItem {
+        &self.items[id.index()]
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total bytes across all objects.
+    pub fn total_bytes(&self) -> u64 {
+        self.items.iter().map(|i| i.size_bytes()).sum()
+    }
+
+    /// Ids of the given request class, hottest (popularity rank 0) first.
+    pub fn class_ids(&self, class: RequestClass) -> &[ContentId] {
+        &self
+            .by_class
+            .iter()
+            .find(|(c, _)| *c == class)
+            .expect("all classes present")
+            .1
+    }
+
+    /// Iterates `(id, item)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ContentId, &ContentItem)> {
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| (ContentId(i as u32), item))
+    }
+}
+
+/// Builder for [`Corpus`].
+///
+/// # Example
+///
+/// ```
+/// use cpms_workload::CorpusBuilder;
+///
+/// let corpus = CorpusBuilder::paper_site().seed(1).build();
+/// assert_eq!(corpus.len(), 8_700);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CorpusBuilder {
+    total_objects: usize,
+    fractions: KindFractions,
+    static_sizes: SizeModel,
+    dynamic_sizes: SizeModel,
+    multimedia_sizes: SizeModel,
+    critical_fraction: f64,
+    mutable_fraction: f64,
+    seed: u64,
+}
+
+impl CorpusBuilder {
+    /// A corpus the size of the authors' web site: "Our Web site contains
+    /// about 8700 Web objects" (§5.2).
+    pub fn paper_site() -> Self {
+        CorpusBuilder {
+            total_objects: 8_700,
+            fractions: KindFractions::paper_defaults(),
+            static_sizes: SizeModel::static_objects(),
+            dynamic_sizes: SizeModel::dynamic_responses(),
+            multimedia_sizes: SizeModel::multimedia_objects(),
+            critical_fraction: 0.02,
+            mutable_fraction: 0.01,
+            seed: 0,
+        }
+    }
+
+    /// A small corpus for tests and examples.
+    pub fn small_site() -> Self {
+        let mut b = CorpusBuilder::paper_site();
+        b.total_objects = 500;
+        b
+    }
+
+    /// Sets the total object count.
+    pub fn total_objects(mut self, n: usize) -> Self {
+        self.total_objects = n;
+        self
+    }
+
+    /// Sets the per-kind object fractions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fractions do not sum to 1.
+    pub fn fractions(mut self, fractions: KindFractions) -> Self {
+        assert!(fractions.is_valid(), "kind fractions must sum to 1");
+        self.fractions = fractions;
+        self
+    }
+
+    /// Sets the RNG seed (corpus generation is fully deterministic).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the fraction of objects marked [`Priority::Critical`].
+    pub fn critical_fraction(mut self, f: f64) -> Self {
+        self.critical_fraction = f;
+        self
+    }
+
+    /// Sets the fraction of objects marked mutable.
+    pub fn mutable_fraction(mut self, f: f64) -> Self {
+        self.mutable_fraction = f;
+        self
+    }
+
+    /// Generates the corpus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_objects` is 0.
+    pub fn build(&self) -> Corpus {
+        assert!(self.total_objects > 0, "corpus must have at least one object");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = self.total_objects;
+
+        // Integer counts per kind; remainder goes to images (the most
+        // numerous kind in the cited traces). Video gets at least one
+        // object whenever its fraction is nonzero so the World Cup
+        // invariant tests are meaningful at small corpus sizes.
+        let count = |f: f64| (f * n as f64).round() as usize;
+        let mut n_html = count(self.fractions.html);
+        let n_cgi = count(self.fractions.cgi);
+        let n_asp = count(self.fractions.asp);
+        let n_other = count(self.fractions.other);
+        let mut n_video = count(self.fractions.video);
+        if n_video == 0 && self.fractions.video > 0.0 {
+            n_video = 1;
+        }
+        let used = n_html + n_cgi + n_asp + n_other + n_video;
+        let n_image = if used < n {
+            n - used
+        } else {
+            // over-rounded: shrink html to fit, floor at 0
+            let excess = used - n;
+            n_html = n_html.saturating_sub(excess);
+            n - (n_html + n_cgi + n_asp + n_other + n_video).min(n)
+        };
+
+        let mut items: Vec<ContentItem> = Vec::with_capacity(n);
+        let push_kind = |items: &mut Vec<ContentItem>,
+                             rng: &mut StdRng,
+                             kind: ContentKind,
+                             count: usize,
+                             dir: &str,
+                             ext: &str,
+                             sizes: &SizeModel| {
+            for i in 0..count {
+                // Spread files over subdirectories to exercise the
+                // multi-level table (depth 3).
+                let path: UrlPath = format!("/{dir}/d{}/f{}.{ext}", i % 23, i)
+                    .parse()
+                    .expect("generated paths are valid");
+                let size = sizes.sample(rng);
+                items.push(ContentItem::new(path, kind, size));
+            }
+        };
+
+        push_kind(&mut items, &mut rng, ContentKind::StaticHtml, n_html, "html", "html", &self.static_sizes);
+        push_kind(&mut items, &mut rng, ContentKind::Image, n_image, "img", "gif", &self.static_sizes);
+        push_kind(&mut items, &mut rng, ContentKind::OtherStatic, n_other, "files", "dat", &self.static_sizes);
+        push_kind(&mut items, &mut rng, ContentKind::Cgi, n_cgi, "cgi-bin", "cgi", &self.dynamic_sizes);
+        push_kind(&mut items, &mut rng, ContentKind::Asp, n_asp, "asp", "asp", &self.dynamic_sizes);
+        push_kind(&mut items, &mut rng, ContentKind::Video, n_video, "video", "mpg", &self.multimedia_sizes);
+
+        // Mark critical / mutable objects deterministically from the front
+        // of each kind run (the hottest objects — criticality correlates
+        // with importance, per §1.1's "product lists or shopping-related
+        // pages").
+        let n_critical = (self.critical_fraction * n as f64).round() as usize;
+        let n_mutable = (self.mutable_fraction * n as f64).round() as usize;
+        for idx in 0..n_critical.min(items.len()) {
+            items[idx] = items[idx].clone().with_priority(Priority::Critical);
+        }
+        for idx in 0..n_mutable.min(items.len()) {
+            items[idx] = items[idx].clone().with_mutable(true);
+        }
+
+        // Popularity order per class: shuffle ids within each class so
+        // popularity is uncorrelated with generation order, then record the
+        // permutation. Rank 0 = hottest.
+        use rand::seq::SliceRandom;
+        let mut by_class: [(RequestClass, Vec<ContentId>); 4] = [
+            (RequestClass::Static, Vec::new()),
+            (RequestClass::Cgi, Vec::new()),
+            (RequestClass::Asp, Vec::new()),
+            (RequestClass::Video, Vec::new()),
+        ];
+        for (i, item) in items.iter().enumerate() {
+            let class = RequestClass::from_kind(item.kind());
+            by_class
+                .iter_mut()
+                .find(|(c, _)| *c == class)
+                .expect("class present")
+                .1
+                .push(ContentId(i as u32));
+        }
+        for (_, ids) in &mut by_class {
+            ids.shuffle(&mut rng);
+        }
+
+        Corpus { items, by_class }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_site_has_8700_objects() {
+        let c = CorpusBuilder::paper_site().seed(1).build();
+        assert_eq!(c.len(), 8_700);
+    }
+
+    #[test]
+    fn kind_composition_matches_fractions() {
+        let c = CorpusBuilder::paper_site().seed(2).build();
+        let count = |k: ContentKind| c.items().iter().filter(|i| i.kind() == k).count();
+        let n = c.len() as f64;
+        assert!((count(ContentKind::StaticHtml) as f64 / n - 0.30).abs() < 0.02);
+        assert!((count(ContentKind::Image) as f64 / n - 0.45).abs() < 0.02);
+        assert!((count(ContentKind::Cgi) as f64 / n - 0.04).abs() < 0.01);
+        assert!((count(ContentKind::Asp) as f64 / n - 0.03).abs() < 0.01);
+        // World Cup invariant: large files ≈ 0.3% of objects…
+        let video_frac = count(ContentKind::Video) as f64 / n;
+        assert!((video_frac - 0.003).abs() < 0.002, "video fraction {video_frac}");
+    }
+
+    #[test]
+    fn world_cup_bytes_invariant() {
+        // …but they dominate storage: paper quotes 53.9% of bytes. We allow
+        // a generous band since the size models are parameterized.
+        let c = CorpusBuilder::paper_site().seed(3).build();
+        let video_bytes: u64 = c
+            .items()
+            .iter()
+            .filter(|i| i.kind() == ContentKind::Video)
+            .map(|i| i.size_bytes())
+            .sum();
+        let share = video_bytes as f64 / c.total_bytes() as f64;
+        assert!(
+            (0.3..0.95).contains(&share),
+            "multimedia byte share {share:.3}; expected to dominate storage"
+        );
+    }
+
+    #[test]
+    fn ids_are_dense_and_paths_unique() {
+        let c = CorpusBuilder::small_site().seed(4).build();
+        let mut paths: Vec<&str> = c.items().iter().map(|i| i.path().as_str()).collect();
+        paths.sort_unstable();
+        let before = paths.len();
+        paths.dedup();
+        assert_eq!(before, paths.len(), "all corpus paths are unique");
+        for (id, item) in c.iter() {
+            assert_eq!(c.get(id), item);
+        }
+    }
+
+    #[test]
+    fn class_ids_partition_the_corpus() {
+        let c = CorpusBuilder::small_site().seed(5).build();
+        let total: usize = RequestClass::ALL.iter().map(|&cl| c.class_ids(cl).len()).collect::<Vec<_>>().iter().sum();
+        assert_eq!(total, c.len());
+        for &cl in &RequestClass::ALL {
+            for &id in c.class_ids(cl) {
+                assert_eq!(RequestClass::from_kind(c.get(id).kind()), cl);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = CorpusBuilder::small_site().seed(9).build();
+        let b = CorpusBuilder::small_site().seed(9).build();
+        assert_eq!(a, b);
+        let c = CorpusBuilder::small_site().seed(10).build();
+        assert_ne!(a, c, "different seed should give different sizes");
+    }
+
+    #[test]
+    fn critical_and_mutable_marked() {
+        let c = CorpusBuilder::paper_site().seed(6).build();
+        let critical = c.items().iter().filter(|i| i.priority() == Priority::Critical).count();
+        let mutable = c.items().iter().filter(|i| i.is_mutable()).count();
+        assert!(critical > 0);
+        assert!(mutable > 0);
+        assert!((critical as f64 / c.len() as f64 - 0.02).abs() < 0.005);
+        assert!((mutable as f64 / c.len() as f64 - 0.01).abs() < 0.005);
+    }
+
+    #[test]
+    fn small_corpus_still_has_video() {
+        let c = CorpusBuilder::small_site().seed(7).build();
+        assert!(
+            c.items().iter().any(|i| i.kind() == ContentKind::Video),
+            "video floor of 1 object"
+        );
+    }
+
+    #[test]
+    fn paths_have_depth_for_multilevel_table() {
+        let c = CorpusBuilder::small_site().seed(8).build();
+        assert!(c.items().iter().all(|i| i.path().depth() == 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one object")]
+    fn zero_objects_panics() {
+        let _ = CorpusBuilder::small_site().total_objects(0).build();
+    }
+}

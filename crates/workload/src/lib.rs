@@ -1,0 +1,56 @@
+//! # cpms-workload
+//!
+//! WebBench-like synthetic workload generation (§5.1 of the paper).
+//!
+//! The paper drove its testbed with 96 WebBench client processes emitting
+//! request streams whose "file size, request distribution, file popularity"
+//! follow the web-server workload characterization literature it cites:
+//!
+//! - Arlitt & Williamson, *Web server workload characterization* (1996),
+//! - Arlitt & Jin, *1998 World Cup workload* (1999): large files are
+//!   ~0.3 % of objects, ~54 % of stored bytes, and ~0.1 % of requests,
+//! - Barford & Crovella, *Generating representative web workloads* (1998):
+//!   heavy-tailed sizes (lognormal body, Pareto tail), Zipf popularity.
+//!
+//! This crate reproduces those statistical models:
+//!
+//! - [`zipf::ZipfSampler`] — Zipf-distributed popularity ranks,
+//! - [`sizes::SizeModel`] — hybrid lognormal/Pareto file sizes,
+//! - [`corpus::CorpusBuilder`] — a synthetic web site matching the cited
+//!   invariants (defaults sized to the paper's ~8 700-object site),
+//! - [`spec::WorkloadSpec`] — Workload A (all static) and Workload B
+//!   (significant CGI/ASP dynamic content),
+//! - [`sampler::RequestSampler`] — turns a corpus + spec into a request
+//!   stream for the simulator or the live proxy,
+//! - [`trace::Trace`] — recorded request streams for replay.
+//!
+//! # Example
+//!
+//! ```
+//! use cpms_workload::{CorpusBuilder, WorkloadSpec, RequestSampler};
+//! use rand::SeedableRng;
+//!
+//! let corpus = CorpusBuilder::paper_site().seed(7).build();
+//! let spec = WorkloadSpec::workload_b();
+//! let sampler = RequestSampler::new(&corpus, &spec, 42);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let item = sampler.sample(&corpus, &mut rng);
+//! assert!(item.size_bytes() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod sampler;
+pub mod sizes;
+pub mod spec;
+pub mod trace;
+pub mod zipf;
+
+pub use corpus::{Corpus, CorpusBuilder};
+pub use sampler::RequestSampler;
+pub use sizes::SizeModel;
+pub use spec::{ClassMix, WorkloadSpec};
+pub use trace::Trace;
+pub use zipf::ZipfSampler;

@@ -1,0 +1,260 @@
+//! Turning a corpus + workload spec into a request stream.
+
+use crate::corpus::Corpus;
+use crate::spec::WorkloadSpec;
+use crate::zipf::ZipfSampler;
+use cpms_model::{ContentId, ContentItem, RequestClass};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples requests according to a [`WorkloadSpec`]: first the request
+/// class (by the spec's mix), then an object within the class (Zipf over
+/// the corpus's per-class popularity order).
+///
+/// This two-stage design guarantees the class shares exactly match the
+/// spec (the paper reports per-class throughput in Figure 4) while keeping
+/// intra-class popularity skewed.
+#[derive(Debug, Clone)]
+pub struct RequestSampler {
+    /// `(class, cumulative mix share, ids hottest-first, zipf)` per class
+    /// with nonzero share.
+    classes: Vec<ClassSampler>,
+    rng: StdRng,
+}
+
+#[derive(Debug, Clone)]
+struct ClassSampler {
+    class: RequestClass,
+    cumulative_share: f64,
+    ids: Vec<ContentId>,
+    zipf: ZipfSampler,
+}
+
+impl RequestSampler {
+    /// Creates a sampler. `seed` initializes the internal RNG used by
+    /// [`RequestSampler::next_id`]; the `sample*` methods use a caller
+    /// RNG instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is invalid, or gives a nonzero share to a class
+    /// the corpus has no objects of (e.g. Workload B over a static-only
+    /// corpus).
+    pub fn new(corpus: &Corpus, spec: &WorkloadSpec, seed: u64) -> Self {
+        assert!(spec.is_valid(), "workload spec must be valid");
+        let mut classes = Vec::new();
+        let mut acc = 0.0;
+        for &class in &RequestClass::ALL {
+            let share = spec.mix.share(class);
+            if share == 0.0 {
+                continue;
+            }
+            let ids = corpus.class_ids(class).to_vec();
+            assert!(
+                !ids.is_empty(),
+                "workload {} gives {class} share {share} but the corpus has no such objects",
+                spec.name
+            );
+            acc += share;
+            classes.push(ClassSampler {
+                class,
+                cumulative_share: acc,
+                zipf: ZipfSampler::new(ids.len(), spec.zipf_alpha),
+                ids,
+            });
+        }
+        RequestSampler {
+            classes,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Creates a sampler whose per-class popularity order is rotated by
+    /// `rotation` positions: objects that were cold become the new Zipf
+    /// head. Models the access-pattern shifts the paper's auto-replication
+    /// is meant to track ("self-configure with respect to the change of
+    /// content access pattern", §7).
+    ///
+    /// # Panics
+    ///
+    /// As for [`RequestSampler::new`].
+    pub fn with_rotated_popularity(
+        corpus: &Corpus,
+        spec: &WorkloadSpec,
+        seed: u64,
+        rotation: usize,
+    ) -> Self {
+        let mut sampler = RequestSampler::new(corpus, spec, seed);
+        for cs in &mut sampler.classes {
+            let n = cs.ids.len();
+            cs.ids.rotate_left(rotation % n.max(1));
+        }
+        sampler
+    }
+
+    /// Samples one content id using the caller's RNG.
+    pub fn sample_id<R: Rng + ?Sized>(&self, rng: &mut R) -> ContentId {
+        let u: f64 = rng.gen::<f64>() * self.classes.last().expect("nonempty").cumulative_share;
+        let cs = self
+            .classes
+            .iter()
+            .find(|c| u < c.cumulative_share)
+            .unwrap_or_else(|| self.classes.last().expect("nonempty"));
+        let rank = cs.zipf.sample(rng);
+        cs.ids[rank]
+    }
+
+    /// Samples one object (borrowing from `corpus`) using the caller's RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `corpus` is not the corpus this sampler was built from
+    /// (id out of range).
+    pub fn sample<'c, R: Rng + ?Sized>(&self, corpus: &'c Corpus, rng: &mut R) -> &'c ContentItem {
+        corpus.get(self.sample_id(rng))
+    }
+
+    /// Samples one content id from the internal seeded RNG.
+    pub fn next_id(&mut self) -> ContentId {
+        let u: f64 =
+            self.rng.gen::<f64>() * self.classes.last().expect("nonempty").cumulative_share;
+        let idx = self
+            .classes
+            .iter()
+            .position(|c| u < c.cumulative_share)
+            .unwrap_or(self.classes.len() - 1);
+        let rank = self.classes[idx].zipf.sample(&mut self.rng);
+        self.classes[idx].ids[rank]
+    }
+
+    /// The classes this sampler can emit, with their shares normalized to 1.
+    pub fn classes(&self) -> Vec<(RequestClass, f64)> {
+        let total = self.classes.last().expect("nonempty").cumulative_share;
+        let mut prev = 0.0;
+        self.classes
+            .iter()
+            .map(|c| {
+                let share = (c.cumulative_share - prev) / total;
+                prev = c.cumulative_share;
+                (c.class, share)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusBuilder;
+    use crate::spec::WorkloadSpec;
+    use std::collections::HashMap;
+
+    #[test]
+    fn class_shares_match_spec() {
+        let corpus = CorpusBuilder::paper_site().seed(1).build();
+        let spec = WorkloadSpec::workload_b();
+        let sampler = RequestSampler::new(&corpus, &spec, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mut counts: HashMap<RequestClass, u32> = HashMap::new();
+        for _ in 0..n {
+            let item = sampler.sample(&corpus, &mut rng);
+            *counts.entry(RequestClass::from_kind(item.kind())).or_insert(0) += 1;
+        }
+        let frac = |c: RequestClass| *counts.get(&c).unwrap_or(&0) as f64 / n as f64;
+        assert!((frac(RequestClass::Cgi) - 0.14).abs() < 0.01);
+        assert!((frac(RequestClass::Asp) - 0.10).abs() < 0.01);
+        assert!((frac(RequestClass::Static) - 0.758).abs() < 0.01);
+        assert!((frac(RequestClass::Video) - 0.002).abs() < 0.002);
+    }
+
+    #[test]
+    fn workload_a_never_emits_dynamic() {
+        let corpus = CorpusBuilder::small_site().seed(2).build();
+        let sampler = RequestSampler::new(&corpus, &WorkloadSpec::workload_a(), 0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let item = sampler.sample(&corpus, &mut rng);
+            assert!(!item.kind().is_dynamic());
+        }
+    }
+
+    #[test]
+    fn popularity_is_skewed_within_class() {
+        let corpus = CorpusBuilder::paper_site().seed(3).build();
+        let sampler = RequestSampler::new(&corpus, &WorkloadSpec::workload_a(), 0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts: HashMap<ContentId, u32> = HashMap::new();
+        let n = 100_000;
+        for _ in 0..n {
+            *counts.entry(sampler.sample_id(&mut rng)).or_insert(0) += 1;
+        }
+        // The hottest static object should get far more than uniform share.
+        let hottest = corpus.class_ids(RequestClass::Static)[0];
+        let hottest_count = *counts.get(&hottest).unwrap_or(&0);
+        let uniform = n as f64 / corpus.class_ids(RequestClass::Static).len() as f64;
+        assert!(
+            hottest_count as f64 > 20.0 * uniform,
+            "hottest got {hottest_count}, uniform would be {uniform:.1}"
+        );
+    }
+
+    #[test]
+    fn rotation_moves_the_hot_set() {
+        let corpus = CorpusBuilder::paper_site().seed(8).build();
+        let spec = WorkloadSpec::workload_a();
+        let plain = RequestSampler::new(&corpus, &spec, 0);
+        let rotated =
+            RequestSampler::with_rotated_popularity(&corpus, &spec, 0, 1_000);
+        let mut rng = StdRng::seed_from_u64(5);
+        let count_hottest = |s: &RequestSampler, hottest: ContentId, rng: &mut StdRng| {
+            (0..20_000).filter(|_| s.sample_id(rng) == hottest).count()
+        };
+        let old_hot = corpus.class_ids(RequestClass::Static)[0];
+        let before = count_hottest(&plain, old_hot, &mut rng);
+        let after = count_hottest(&rotated, old_hot, &mut rng);
+        assert!(
+            before > 20 * after.max(1),
+            "old hot object must go cold after rotation: {before} vs {after}"
+        );
+    }
+
+    #[test]
+    fn next_id_is_deterministic() {
+        let corpus = CorpusBuilder::small_site().seed(5).build();
+        let spec = WorkloadSpec::workload_b();
+        let mut a = RequestSampler::new(&corpus, &spec, 99);
+        let mut b = RequestSampler::new(&corpus, &spec, 99);
+        let ids_a: Vec<ContentId> = (0..100).map(|_| a.next_id()).collect();
+        let ids_b: Vec<ContentId> = (0..100).map(|_| b.next_id()).collect();
+        assert_eq!(ids_a, ids_b);
+    }
+
+    #[test]
+    fn classes_report_normalized_shares() {
+        let corpus = CorpusBuilder::small_site().seed(6).build();
+        let sampler = RequestSampler::new(&corpus, &WorkloadSpec::workload_b(), 0);
+        let classes = sampler.classes();
+        let total: f64 = classes.iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(classes.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "no such objects")]
+    fn spec_corpus_mismatch_panics() {
+        // A corpus with zero dynamic objects cannot serve Workload B.
+        let corpus = CorpusBuilder::small_site()
+            .fractions(crate::corpus::KindFractions {
+                html: 0.5,
+                image: 0.5,
+                other: 0.0,
+                cgi: 0.0,
+                asp: 0.0,
+                video: 0.0,
+            })
+            .seed(7)
+            .build();
+        let _ = RequestSampler::new(&corpus, &WorkloadSpec::workload_b(), 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Workload specifications: the paper's Workload A and Workload B.
+//!
+//! §5.1: "We created two workloads that model the Web server workload
+//! characterization (e.g., file size, request distribution, file
+//! popularity, etc.) published in papers \[9,10,27\]. The first workload
+//! (workload A) consists of static content, and the second workload
+//! (Workload B) includes a significant amount of dynamic content (e.g. CGI
+//! and ASP)."
+
+use cpms_model::RequestClass;
+use serde::{Deserialize, Serialize};
+
+/// Request-class shares of a workload; must sum to 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassMix {
+    /// Share of requests for static files (HTML, images, other).
+    pub static_share: f64,
+    /// Share of requests executing CGI scripts.
+    pub cgi_share: f64,
+    /// Share of requests executing ASP pages.
+    pub asp_share: f64,
+    /// Share of requests for large multimedia files. The World Cup trace
+    /// the paper cites gives large files ~0.1 % of requests.
+    pub video_share: f64,
+}
+
+impl ClassMix {
+    /// The share of the given class.
+    pub fn share(&self, class: RequestClass) -> f64 {
+        match class {
+            RequestClass::Static => self.static_share,
+            RequestClass::Cgi => self.cgi_share,
+            RequestClass::Asp => self.asp_share,
+            RequestClass::Video => self.video_share,
+        }
+    }
+
+    /// Whether the shares are each in `[0, 1]` and sum to 1 (±1e-9).
+    pub fn is_valid(&self) -> bool {
+        let shares = [
+            self.static_share,
+            self.cgi_share,
+            self.asp_share,
+            self.video_share,
+        ];
+        shares.iter().all(|s| (0.0..=1.0).contains(s) && s.is_finite())
+            && (shares.iter().sum::<f64>() - 1.0).abs() < 1e-9
+    }
+}
+
+/// A complete workload description: class mix plus popularity skew.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Human-readable name used in reports ("workload-A", …).
+    pub name: String,
+    /// Request-class shares.
+    pub mix: ClassMix,
+    /// Zipf skew of object popularity *within* each class. Web traces give
+    /// ~0.8 (Almeida et al., the paper's \[8\]).
+    pub zipf_alpha: f64,
+}
+
+impl WorkloadSpec {
+    /// Workload A: static content only (large multimedia files get the
+    /// World Cup's ~0.1 % request share; everything else is ordinary static
+    /// content).
+    pub fn workload_a() -> Self {
+        WorkloadSpec {
+            name: "workload-A".to_string(),
+            mix: ClassMix {
+                static_share: 0.999,
+                cgi_share: 0.0,
+                asp_share: 0.0,
+                video_share: 0.001,
+            },
+            zipf_alpha: 0.8,
+        }
+    }
+
+    /// Workload B: "a significant amount of dynamic content (e.g. CGI and
+    /// ASP)". The paper does not publish exact shares; we default to
+    /// 14 % CGI + 10 % ASP, in line with late-90s dynamic-content fractions
+    /// used by WebBench's standard dynamic test suites.
+    pub fn workload_b() -> Self {
+        WorkloadSpec {
+            name: "workload-B".to_string(),
+            mix: ClassMix {
+                static_share: 0.758,
+                cgi_share: 0.14,
+                asp_share: 0.10,
+                video_share: 0.002,
+            },
+            zipf_alpha: 0.8,
+        }
+    }
+
+    /// Validates the spec.
+    pub fn is_valid(&self) -> bool {
+        self.mix.is_valid() && self.zipf_alpha >= 0.0 && self.zipf_alpha.is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        assert!(WorkloadSpec::workload_a().is_valid());
+        assert!(WorkloadSpec::workload_b().is_valid());
+    }
+
+    #[test]
+    fn workload_a_is_static_only() {
+        let a = WorkloadSpec::workload_a();
+        assert_eq!(a.mix.cgi_share, 0.0);
+        assert_eq!(a.mix.asp_share, 0.0);
+        assert!(a.mix.static_share > 0.99);
+    }
+
+    #[test]
+    fn workload_b_has_significant_dynamic() {
+        let b = WorkloadSpec::workload_b();
+        assert!(b.mix.cgi_share + b.mix.asp_share > 0.15);
+    }
+
+    #[test]
+    fn share_accessor() {
+        let b = WorkloadSpec::workload_b();
+        assert_eq!(b.mix.share(cpms_model::RequestClass::Cgi), b.mix.cgi_share);
+        assert_eq!(b.mix.share(cpms_model::RequestClass::Static), b.mix.static_share);
+        assert_eq!(b.mix.share(cpms_model::RequestClass::Video), b.mix.video_share);
+        assert_eq!(b.mix.share(cpms_model::RequestClass::Asp), b.mix.asp_share);
+    }
+
+    #[test]
+    fn invalid_mixes_detected() {
+        let bad = ClassMix {
+            static_share: 0.9,
+            cgi_share: 0.3,
+            asp_share: 0.0,
+            video_share: 0.0,
+        };
+        assert!(!bad.is_valid());
+        let negative = ClassMix {
+            static_share: 1.2,
+            cgi_share: -0.2,
+            asp_share: 0.0,
+            video_share: 0.0,
+        };
+        assert!(!negative.is_valid());
+    }
+}

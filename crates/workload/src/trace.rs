@@ -1,0 +1,137 @@
+//! Recorded request traces.
+//!
+//! A [`Trace`] freezes a request stream so experiments can replay the exact
+//! same sequence across placement schemes — the apples-to-apples comparison
+//! behind Figures 2 and 3.
+
+use crate::corpus::Corpus;
+use crate::sampler::RequestSampler;
+use cpms_model::{ContentId, RequestClass};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A recorded sequence of content requests.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Trace {
+    requests: Vec<ContentId>,
+}
+
+impl Trace {
+    /// Records `n` requests from the sampler's internal RNG.
+    pub fn record(sampler: &mut RequestSampler, n: usize) -> Self {
+        Trace {
+            requests: (0..n).map(|_| sampler.next_id()).collect(),
+        }
+    }
+
+    /// Builds a trace from explicit ids.
+    pub fn from_ids<I: IntoIterator<Item = ContentId>>(ids: I) -> Self {
+        Trace {
+            requests: ids.into_iter().collect(),
+        }
+    }
+
+    /// The recorded ids in order.
+    pub fn ids(&self) -> &[ContentId] {
+        &self.requests
+    }
+
+    /// Number of recorded requests.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Iterates over the ids in order.
+    pub fn iter(&self) -> impl Iterator<Item = ContentId> + '_ {
+        self.requests.iter().copied()
+    }
+
+    /// Per-class request counts, resolved against `corpus`.
+    pub fn class_counts(&self, corpus: &Corpus) -> HashMap<RequestClass, usize> {
+        let mut counts = HashMap::new();
+        for &id in &self.requests {
+            let class = RequestClass::from_kind(corpus.get(id).kind());
+            *counts.entry(class).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Per-object hit counts.
+    pub fn object_counts(&self) -> HashMap<ContentId, usize> {
+        let mut counts = HashMap::new();
+        for &id in &self.requests {
+            *counts.entry(id).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+impl FromIterator<ContentId> for Trace {
+    fn from_iter<I: IntoIterator<Item = ContentId>>(iter: I) -> Self {
+        Trace::from_ids(iter)
+    }
+}
+
+impl Extend<ContentId> for Trace {
+    fn extend<I: IntoIterator<Item = ContentId>>(&mut self, iter: I) {
+        self.requests.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusBuilder;
+    use crate::spec::WorkloadSpec;
+
+    #[test]
+    fn record_and_replay() {
+        let corpus = CorpusBuilder::small_site().seed(1).build();
+        let mut sampler = RequestSampler::new(&corpus, &WorkloadSpec::workload_a(), 11);
+        let trace = Trace::record(&mut sampler, 1_000);
+        assert_eq!(trace.len(), 1_000);
+        // replay order is stable
+        let first_ten: Vec<ContentId> = trace.iter().take(10).collect();
+        assert_eq!(&trace.ids()[..10], first_ten.as_slice());
+    }
+
+    #[test]
+    fn class_counts_consistent() {
+        let corpus = CorpusBuilder::small_site().seed(2).build();
+        let mut sampler = RequestSampler::new(&corpus, &WorkloadSpec::workload_b(), 12);
+        let trace = Trace::record(&mut sampler, 5_000);
+        let counts = trace.class_counts(&corpus);
+        let total: usize = counts.values().sum();
+        assert_eq!(total, 5_000);
+        assert!(counts[&RequestClass::Cgi] > 0);
+    }
+
+    #[test]
+    fn object_counts_sum() {
+        let trace = Trace::from_ids([ContentId(1), ContentId(1), ContentId(2)]);
+        let counts = trace.object_counts();
+        assert_eq!(counts[&ContentId(1)], 2);
+        assert_eq!(counts[&ContentId(2)], 1);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut trace: Trace = [ContentId(5)].into_iter().collect();
+        trace.extend([ContentId(6)]);
+        assert_eq!(trace.ids(), [ContentId(5), ContentId(6)]);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let trace = Trace::from_ids([ContentId(1), ContentId(2)]);
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
+    }
+}

@@ -1,0 +1,196 @@
+//! Zipf-distributed popularity.
+//!
+//! Web object popularity is famously Zipf-like (Almeida et al. 1996, cited
+//! as \[8\] in the paper): the *r*-th most popular object receives requests
+//! proportional to `1 / r^alpha`, with `alpha` near 0.8–1.0 for web-server
+//! traces.
+
+use rand::Rng;
+
+/// Samples ranks `0..n` with probability proportional to `1/(rank+1)^alpha`.
+///
+/// Uses a precomputed CDF and binary search: O(n) memory, O(log n) per
+/// sample, exact (no rejection).
+///
+/// # Example
+///
+/// ```
+/// use cpms_workload::ZipfSampler;
+/// use rand::SeedableRng;
+///
+/// let zipf = ZipfSampler::new(1000, 0.8);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut firsts = 0;
+/// for _ in 0..10_000 {
+///     if zipf.sample(&mut rng) == 0 { firsts += 1; }
+/// }
+/// // rank 0 should receive far more than the uniform 10 requests
+/// assert!(firsts > 200);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+    alpha: f64,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` ranks with skew `alpha`.
+    ///
+    /// `alpha = 0` degenerates to the uniform distribution; typical web
+    /// traces have `alpha ≈ 0.8`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha` is negative or not finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "ZipfSampler needs at least one rank");
+        assert!(
+            alpha >= 0.0 && alpha.is_finite(),
+            "alpha must be non-negative and finite"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating point: the last entry must be exactly 1.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        ZipfSampler { cdf, alpha }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is over an empty range (never true by
+    /// construction; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The skew parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Samples a rank in `0..len()`; rank 0 is the most popular.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.rank_for_quantile(u)
+    }
+
+    /// The rank whose CDF interval contains quantile `u ∈ [0, 1)`.
+    pub fn rank_for_quantile(&self, u: f64) -> usize {
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf values are finite"))
+        {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// The probability mass of `rank`.
+    pub fn probability(&self, rank: usize) -> f64 {
+        if rank >= self.cdf.len() {
+            return 0.0;
+        }
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = ZipfSampler::new(100, 0.8);
+        let sum: f64 = (0..100).map(|r| z.probability(r)).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
+    }
+
+    #[test]
+    fn monotonically_decreasing_mass() {
+        let z = ZipfSampler::new(50, 1.0);
+        for r in 1..50 {
+            assert!(
+                z.probability(r) <= z.probability(r - 1) + 1e-12,
+                "mass must decrease with rank"
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.probability(r) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empirical_skew_matches_theory() {
+        let z = ZipfSampler::new(1000, 0.8);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let mut count0 = 0u32;
+        for _ in 0..n {
+            if z.sample(&mut rng) == 0 {
+                count0 += 1;
+            }
+        }
+        let expected = z.probability(0);
+        let observed = count0 as f64 / n as f64;
+        assert!(
+            (observed - expected).abs() < 0.01,
+            "observed {observed}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn quantile_edges() {
+        let z = ZipfSampler::new(10, 0.8);
+        assert_eq!(z.rank_for_quantile(0.0), 0);
+        assert_eq!(z.rank_for_quantile(0.9999999), 9);
+        // exactly the top of the first bucket lands in the next rank
+        let q0 = z.probability(0);
+        assert_eq!(z.rank_for_quantile(q0 / 2.0), 0);
+    }
+
+    #[test]
+    fn single_rank() {
+        let z = ZipfSampler::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.probability(0), 1.0);
+        assert_eq!(z.probability(1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = ZipfSampler::new(0, 0.8);
+    }
+
+    #[test]
+    fn concentration_increases_with_alpha() {
+        let z_low = ZipfSampler::new(1000, 0.5);
+        let z_high = ZipfSampler::new(1000, 1.2);
+        let top10_low: f64 = (0..10).map(|r| z_low.probability(r)).sum();
+        let top10_high: f64 = (0..10).map(|r| z_high.probability(r)).sum();
+        assert!(top10_high > top10_low);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for workload generation invariants.
+
+use cpms_model::RequestClass;
+use cpms_workload::corpus::KindFractions;
+use cpms_workload::{CorpusBuilder, RequestSampler, Trace, WorkloadSpec, ZipfSampler};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Corpus generation: dense ids, unique paths, exact object count,
+    /// classes partition the id space — for any size and seed.
+    #[test]
+    fn corpus_invariants(total in 10usize..3_000, seed in 0u64..10_000) {
+        let corpus = CorpusBuilder::small_site().total_objects(total).seed(seed).build();
+        prop_assert_eq!(corpus.len(), total);
+        let mut paths: Vec<&str> = corpus.items().iter().map(|i| i.path().as_str()).collect();
+        paths.sort_unstable();
+        let n = paths.len();
+        paths.dedup();
+        prop_assert_eq!(paths.len(), n, "unique paths");
+        let by_class: usize = RequestClass::ALL
+            .iter()
+            .map(|&c| corpus.class_ids(c).len())
+            .sum();
+        prop_assert_eq!(by_class, total, "classes partition the corpus");
+        for &class in &RequestClass::ALL {
+            for &id in corpus.class_ids(class) {
+                prop_assert!(id.index() < total);
+                prop_assert_eq!(RequestClass::from_kind(corpus.get(id).kind()), class);
+            }
+        }
+        prop_assert!(corpus.total_bytes() > 0);
+    }
+
+    /// The Zipf CDF is a proper distribution for any size/alpha.
+    #[test]
+    fn zipf_is_a_distribution(n in 1usize..5_000, alpha in 0.0f64..2.5) {
+        let z = ZipfSampler::new(n, alpha);
+        let total: f64 = (0..n).map(|r| z.probability(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "sums to {total}");
+        // quantile function maps [0,1) into range
+        for q in [0.0, 0.25, 0.5, 0.75, 0.999_999] {
+            prop_assert!(z.rank_for_quantile(q) < n);
+        }
+    }
+
+    /// Sampled ids always belong to a class the workload spec allows.
+    #[test]
+    fn sampler_respects_spec(seed in 0u64..1_000, workload_b in any::<bool>()) {
+        let corpus = CorpusBuilder::small_site().seed(seed).build();
+        let spec = if workload_b {
+            WorkloadSpec::workload_b()
+        } else {
+            WorkloadSpec::workload_a()
+        };
+        let sampler = RequestSampler::new(&corpus, &spec, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        for _ in 0..500 {
+            let id = sampler.sample_id(&mut rng);
+            prop_assert!(id.index() < corpus.len());
+            let class = RequestClass::from_kind(corpus.get(id).kind());
+            prop_assert!(
+                spec.mix.share(class) > 0.0,
+                "sampled {class} with zero share"
+            );
+        }
+    }
+
+    /// Trace record/replay round-trips through serde and preserves counts.
+    #[test]
+    fn trace_roundtrip(seed in 0u64..1_000, len in 1usize..2_000) {
+        let corpus = CorpusBuilder::small_site().seed(seed).build();
+        let mut sampler = RequestSampler::new(&corpus, &WorkloadSpec::workload_a(), seed);
+        let trace = Trace::record(&mut sampler, len);
+        prop_assert_eq!(trace.len(), len);
+        let json = serde_json::to_string(&trace).expect("serialize");
+        let back: Trace = serde_json::from_str(&json).expect("deserialize");
+        prop_assert_eq!(&back, &trace);
+        let class_total: usize = back.class_counts(&corpus).values().sum();
+        prop_assert_eq!(class_total, len);
+        let object_total: usize = back.object_counts().values().sum();
+        prop_assert_eq!(object_total, len);
+    }
+
+    /// Custom kind fractions are honored approximately at scale.
+    #[test]
+    fn fractions_respected(html in 0.1f64..0.6) {
+        let image = 0.9 - html;
+        let fractions = KindFractions {
+            html,
+            image,
+            other: 0.05,
+            cgi: 0.03,
+            asp: 0.01,
+            video: 0.01,
+        };
+        let corpus = CorpusBuilder::small_site()
+            .total_objects(2_000)
+            .fractions(fractions)
+            .seed(1)
+            .build();
+        let n_html = corpus
+            .items()
+            .iter()
+            .filter(|i| i.kind() == cpms_model::ContentKind::StaticHtml)
+            .count();
+        let got = n_html as f64 / corpus.len() as f64;
+        prop_assert!((got - html).abs() < 0.05, "asked {html:.2}, got {got:.2}");
+    }
+}
