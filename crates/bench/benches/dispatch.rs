@@ -2,7 +2,6 @@
 //! (the §2.3/[24] "overhead of content-aware routing" claim) and the
 //! packet-splicing data plane.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cpms_dispatch::mapping::ConnKey;
 use cpms_dispatch::relay::{Distributor, Flags, Packet};
 use cpms_dispatch::{
@@ -11,6 +10,7 @@ use cpms_dispatch::{
 use cpms_model::{NodeId, NodeSpec, UrlPath};
 use cpms_sim::placement;
 use cpms_workload::{CorpusBuilder, RequestSampler, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;

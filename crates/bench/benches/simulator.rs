@@ -1,11 +1,11 @@
 //! Criterion benchmark of the discrete-event simulator's event throughput
 //! (simulated seconds per wall-clock second at paper scale).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use cpms_dispatch::{ContentAwareRouter, WeightedLeastConnections};
 use cpms_model::{NodeSpec, SimDuration};
 use cpms_sim::{placement, SimConfig, Simulation};
 use cpms_workload::{CorpusBuilder, WorkloadSpec};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 fn bench_sim(c: &mut Criterion) {

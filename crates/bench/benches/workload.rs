@@ -1,8 +1,8 @@
 //! Criterion benchmarks for workload generation: corpus construction and
 //! per-request sampling rates.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cpms_workload::{CorpusBuilder, RequestSampler, Trace, WorkloadSpec, ZipfSampler};
+use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;

@@ -75,7 +75,9 @@ fn run(metric: Metric, intervals: u32) -> Vec<IntervalRow> {
         Box::new(ContentAwareRouter::new(4096)),
         &WorkloadSpec::workload_a(),
     );
-    let planner = AutoReplicator::new(0.15).with_max_actions(32).with_hot_candidates(16);
+    let planner = AutoReplicator::new(0.15)
+        .with_max_actions(32)
+        .with_hot_candidates(16);
 
     let _ = sim.run_window(SimDuration::from_secs(5)); // warm-up
     let mut rows = Vec::new();

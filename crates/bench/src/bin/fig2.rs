@@ -29,7 +29,10 @@ fn main() {
             .seed(7)
     };
 
-    eprintln!("fig2: sweeping {} client counts x 3 configurations...", clients.len());
+    eprintln!(
+        "fig2: sweeping {} client counts x 3 configurations...",
+        clients.len()
+    );
 
     let full = base()
         .placement(PlacementPolicy::FullReplication)
@@ -45,7 +48,9 @@ fn main() {
         .placement(PlacementPolicy::PartitionedByType {
             segregate_dynamic: false,
         })
-        .router(RouterChoice::ContentAware { cache_entries: 4096 })
+        .router(RouterChoice::ContentAware {
+            cache_entries: 4096,
+        })
         .build()
         .sweep_clients(&clients);
 
@@ -58,8 +63,14 @@ fn main() {
     println!("Figure 2 — Benefit of content partition (Workload A)\n");
     println!("{}", render_throughput_table(&series));
 
-    let sat: Vec<f64> = series.iter().map(FigureSeries::saturated_throughput).collect();
-    println!("at saturation ({} clients):", clients.last().expect("nonempty"));
+    let sat: Vec<f64> = series
+        .iter()
+        .map(FigureSeries::saturated_throughput)
+        .collect();
+    println!(
+        "at saturation ({} clients):",
+        clients.last().expect("nonempty")
+    );
     println!(
         "  partitioned / full-replication = {:.2}x   (paper: consistently greater)",
         sat[2] / sat[0]

@@ -31,7 +31,10 @@ fn main() {
             .seed(7)
     };
 
-    eprintln!("fig3: sweeping {} client counts x 2 configurations...", clients.len());
+    eprintln!(
+        "fig3: sweeping {} client counts x 2 configurations...",
+        clients.len()
+    );
 
     let full = base()
         .placement(PlacementPolicy::FullReplicationCapable)
@@ -42,7 +45,9 @@ fn main() {
         .placement(PlacementPolicy::PartitionedByType {
             segregate_dynamic: true,
         })
-        .router(RouterChoice::ContentAware { cache_entries: 4096 })
+        .router(RouterChoice::ContentAware {
+            cache_entries: 4096,
+        })
         .build()
         .sweep_clients(&clients);
 

@@ -32,7 +32,8 @@ fn run(rebalance: bool) -> Vec<Row> {
     let weights: Vec<f64> = specs.iter().map(NodeSpec::weight).collect();
 
     // Balanced start: partitioned + the initial hot set replicated.
-    let mut table = placement::partition_by_type(&corpus, &specs, placement::StaticSpread::AllNodes);
+    let mut table =
+        placement::partition_by_type(&corpus, &specs, placement::StaticSpread::AllNodes);
     placement::replicate_hot_content(&mut table, &corpus, &specs, 0.02, 2);
 
     let mut config = SimConfig::builder();
@@ -44,7 +45,9 @@ fn run(rebalance: bool) -> Vec<Row> {
         Box::new(ContentAwareRouter::new(4096)),
         &spec,
     );
-    let planner = AutoReplicator::new(0.15).with_max_actions(24).with_hot_candidates(12);
+    let planner = AutoReplicator::new(0.15)
+        .with_max_actions(24)
+        .with_hot_candidates(12);
     let _ = sim.run_window(SimDuration::from_secs(5)); // warm-up
 
     let mut rows = Vec::new();

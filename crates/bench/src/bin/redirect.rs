@@ -30,7 +30,9 @@ fn main() {
     eprintln!("redirect: comparing splicing vs HTTP redirection across client RTTs...");
 
     let spliced = base()
-        .router(RouterChoice::ContentAware { cache_entries: 4096 })
+        .router(RouterChoice::ContentAware {
+            cache_entries: 4096,
+        })
         .build()
         .run();
 

@@ -118,7 +118,10 @@ fn main() {
         }
     }
     let compact_time = start.elapsed();
-    assert_eq!(resolved, LOOKUPS, "every path resolves via its directory default");
+    assert_eq!(
+        resolved, LOOKUPS,
+        "every path resolves via its directory default"
+    );
     println!(
         "\nablation — directory-granular table: {} defaults (vs {} records), \
          {} bytes ({:.1}% of per-object), avg lookup {:.3} µs",

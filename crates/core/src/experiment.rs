@@ -3,9 +3,9 @@
 
 use crate::placement::PlacementPolicy;
 use crate::routing::RouterChoice;
+use cpms_mgmt::AutoReplicator;
 #[allow(unused_imports)] // referenced in docs
 use cpms_model::ClusterConfig;
-use cpms_mgmt::AutoReplicator;
 use cpms_model::{LoadTracker, NodeSpec, SimDuration, WorkloadKind};
 use cpms_sim::{SimConfig, SimReport, Simulation};
 use cpms_workload::{Corpus, CorpusBuilder, WorkloadSpec};
@@ -277,8 +277,7 @@ impl Experiment {
                     |id| Some(self.corpus.get(id).path().clone()),
                     |node, kind| specs[node.index()].can_serve_kind(kind),
                 );
-                rebalance_actions +=
-                    AutoReplicator::apply_to_table(&actions, sim.table_mut());
+                rebalance_actions += AutoReplicator::apply_to_table(&actions, sim.table_mut());
                 // Offloaded copies leave the node's cache too.
                 for action in &actions {
                     if let cpms_mgmt::RebalanceAction::Offload { path, from } = action {
@@ -307,10 +306,7 @@ impl Experiment {
 
     /// Runs the experiment at each client count, reusing the corpus.
     pub fn sweep_clients(&self, clients: &[u32]) -> Vec<ExperimentResult> {
-        clients
-            .iter()
-            .map(|&c| self.run_with_clients(c))
-            .collect()
+        clients.iter().map(|&c| self.run_with_clients(c)).collect()
     }
 }
 
@@ -370,10 +366,7 @@ mod tests {
 
     #[test]
     fn nfs_policy_engages_nfs_server() {
-        let result = quick()
-            .placement(PlacementPolicy::SharedNfs)
-            .build()
-            .run();
+        let result = quick().placement(PlacementPolicy::SharedNfs).build().run();
         let nfs = result.report.nfs.expect("nfs report present");
         assert!(nfs.fetches > 0);
     }

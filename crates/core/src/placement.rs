@@ -167,7 +167,11 @@ mod tests {
             },
         ] {
             let table = policy.build_table(&corpus, &specs);
-            assert_eq!(table.len(), corpus.len(), "{policy}: every object has a record");
+            assert_eq!(
+                table.len(),
+                corpus.len(),
+                "{policy}: every object has a record"
+            );
             for (path, e) in table.iter() {
                 assert!(e.replica_count() >= 1, "{policy}: {path} has a location");
             }

@@ -43,10 +43,7 @@ impl FigureSeries {
 
     /// The throughput at the highest client count (the saturation figure).
     pub fn saturated_throughput(&self) -> f64 {
-        self.points
-            .last()
-            .map(|p| p.throughput_rps)
-            .unwrap_or(0.0)
+        self.points.last().map(|p| p.throughput_rps).unwrap_or(0.0)
     }
 }
 
@@ -142,8 +139,8 @@ pub fn render_class_gains(rows: &[ClassGainRow]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cpms_sim::SimReport;
     use cpms_model::SimDuration;
+    use cpms_sim::SimReport;
 
     fn result(clients: u32, completed: u64) -> ExperimentResult {
         ExperimentResult {

@@ -163,7 +163,10 @@ mod tests {
         let (table, mut state, path) = setup();
         let mut r = ContentAwareRouter::new(16);
         state.set_alive(NodeId(1), false);
-        assert_eq!(r.route(&req(&path), &state, &table).unwrap().node, NodeId(2));
+        assert_eq!(
+            r.route(&req(&path), &state, &table).unwrap().node,
+            NodeId(2)
+        );
         state.set_alive(NodeId(2), false);
         assert!(r.route(&req(&path), &state, &table).is_none());
     }
@@ -179,7 +182,11 @@ mod tests {
         state.connection_opened(NodeId(1));
         state.connection_opened(NodeId(2));
         let d = r.route(&req(&path), &state, &table).unwrap();
-        assert_eq!(d.node, NodeId(3), "cache must observe table generation bump");
+        assert_eq!(
+            d.node,
+            NodeId(3),
+            "cache must observe table generation bump"
+        );
     }
 
     #[test]
@@ -195,8 +202,7 @@ mod tests {
     #[test]
     fn decision_cost_override() {
         let (table, state, path) = setup();
-        let mut r =
-            ContentAwareRouter::new(16).with_decision_cost(SimDuration::from_micros(99));
+        let mut r = ContentAwareRouter::new(16).with_decision_cost(SimDuration::from_micros(99));
         let d = r.route(&req(&path), &state, &table).unwrap();
         assert_eq!(d.cost, SimDuration::from_micros(99));
     }

@@ -228,7 +228,9 @@ mod tests {
         let t = UrlTable::new();
         let p: UrlPath = "/x".parse().unwrap();
         assert!(RoundRobin::new().route(&req(&p), &s, &t).is_none());
-        assert!(WeightedLeastConnections::new().route(&req(&p), &s, &t).is_none());
+        assert!(WeightedLeastConnections::new()
+            .route(&req(&p), &s, &t)
+            .is_none());
         assert!(RandomRouter::new(1).route(&req(&p), &s, &t).is_none());
     }
 

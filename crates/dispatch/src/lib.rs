@@ -9,7 +9,10 @@
 //!    distributor** ([`ContentAwareRouter`]) and the baselines it is
 //!    compared against — layer-4 routing with *Weighted Least Connections*
 //!    ([`WeightedLeastConnections`], the paper's previous work \[2\]),
-//!    round-robin, and DNS-style client-sticky routing.
+//!    round-robin, and DNS-style client-sticky routing. The live
+//!    multi-worker distributor uses [`LiveRouter`] — the same
+//!    content-aware policy reading *published snapshots* of the URL table
+//!    through a per-worker cache (see [`cpms_urltable::snapshot`]).
 //!
 //! 2. **Connection-splicing mechanics**: the kernel-module machinery of
 //!    §2.2 reproduced as a deterministic state machine — the
@@ -51,6 +54,7 @@
 pub mod content_aware;
 pub mod failover;
 pub mod l4;
+pub mod live;
 pub mod mapping;
 pub mod pool;
 pub mod redirect;
@@ -58,6 +62,7 @@ pub mod relay;
 pub mod router;
 
 pub use content_aware::ContentAwareRouter;
-pub use redirect::HttpRedirectRouter;
 pub use l4::{RandomRouter, RoundRobin, WeightedLeastConnections};
+pub use live::LiveRouter;
+pub use redirect::HttpRedirectRouter;
 pub use router::{ClusterState, DnsRoundRobin, RouteDecision, Router, RoutingRequest};

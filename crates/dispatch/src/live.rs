@@ -1,0 +1,160 @@
+//! The content-aware routing policy against a *published snapshot* of the
+//! URL table — what each worker thread of the live distributor runs.
+//!
+//! [`ContentAwareRouter`](crate::ContentAwareRouter) serves the simulator,
+//! where one single-threaded event loop owns the table and mutates it in
+//! place. The live proxy (`cpms-httpd`) is multi-worker: the controller
+//! publishes immutable table snapshots through a
+//! [`TablePublisher`](cpms_urltable::TablePublisher) and every worker
+//! consumes them through its own [`LiveRouter`], which pins a snapshot
+//! and keeps a private [`LookupCache`](cpms_urltable::LookupCache) — no
+//! shared mutable state on the per-request path.
+
+use cpms_model::{NodeId, UrlPath};
+use cpms_urltable::entry::UrlEntry;
+use cpms_urltable::{SnapshotHandle, SnapshotReader};
+use std::sync::Arc;
+
+/// A per-worker content-aware router over published table snapshots.
+///
+/// Each request costs one atomic generation load (staleness check), a
+/// private-cache lookup, and a replica choice by the caller-supplied load
+/// metric — the live twin of the simulator router's least-normalized-load
+/// rule, with "load" supplied by the worker (e.g. in-flight request
+/// counts).
+#[derive(Debug)]
+pub struct LiveRouter {
+    reader: SnapshotReader,
+    lookups: u64,
+    misses: u64,
+}
+
+impl LiveRouter {
+    /// Creates a worker router over `handle` with a private cache of
+    /// `cache_entries` recent records.
+    pub fn new(handle: &SnapshotHandle, cache_entries: u64) -> Self {
+        LiveRouter {
+            reader: handle.reader(cache_entries),
+            lookups: 0,
+            misses: 0,
+        }
+    }
+
+    /// Routes `path`: looks the record up in the freshest published
+    /// snapshot and picks the hosting node minimising `load_of`. Returns
+    /// the node and the record (the caller still needs sizes/kind for
+    /// relaying and accounting).
+    ///
+    /// `None` means unroutable — no record, or a record with no location
+    /// the caller can serve from (`load_of` may return `u64::MAX` to veto
+    /// a node, e.g. one whose backend address is unknown).
+    pub fn route(
+        &mut self,
+        path: &UrlPath,
+        load_of: impl Fn(NodeId) -> u64,
+    ) -> Option<(NodeId, Arc<UrlEntry>)> {
+        self.lookups += 1;
+        let Some(entry) = self.reader.lookup(path) else {
+            self.misses += 1;
+            return None;
+        };
+        let (_, node) = entry
+            .locations()
+            .iter()
+            .copied()
+            .map(|n| (load_of(n), n))
+            .filter(|&(load, _)| load != u64::MAX)
+            .min_by_key(|&(load, n)| (load, n.0))?;
+        Some((node, entry))
+    }
+
+    /// Total routing lookups performed by this worker.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Lookups that found no routable record.
+    pub fn unroutable(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate of this worker's private cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.reader.cache_hit_rate()
+    }
+
+    /// The generation of the snapshot this worker currently pins.
+    pub fn pinned_generation(&self) -> u64 {
+        self.reader.pinned_generation()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpms_model::{ContentId, ContentKind};
+    use cpms_urltable::{TablePublisher, UrlTable};
+
+    fn p(s: &str) -> UrlPath {
+        s.parse().unwrap()
+    }
+
+    fn publisher() -> TablePublisher {
+        let mut table = UrlTable::new();
+        table
+            .insert(
+                p("/a"),
+                UrlEntry::new(ContentId(1), ContentKind::StaticHtml, 64)
+                    .with_locations([NodeId(0), NodeId(1)]),
+            )
+            .unwrap();
+        TablePublisher::new(table)
+    }
+
+    #[test]
+    fn routes_to_least_loaded_replica() {
+        let publisher = publisher();
+        let mut router = LiveRouter::new(&publisher.handle(), 16);
+        let loads = [5u64, 2u64];
+        let (node, entry) = router.route(&p("/a"), |n| loads[n.index()]).unwrap();
+        assert_eq!(node, NodeId(1));
+        assert_eq!(entry.content(), ContentId(1));
+    }
+
+    #[test]
+    fn vetoed_nodes_are_skipped() {
+        let publisher = publisher();
+        let mut router = LiveRouter::new(&publisher.handle(), 16);
+        let (node, _) = router
+            .route(&p("/a"), |n| if n == NodeId(0) { u64::MAX } else { 9 })
+            .unwrap();
+        assert_eq!(node, NodeId(1));
+        assert!(
+            router.route(&p("/a"), |_| u64::MAX).is_none(),
+            "all replicas vetoed"
+        );
+    }
+
+    #[test]
+    fn observes_publications_through_private_cache() {
+        let publisher = publisher();
+        let mut router = LiveRouter::new(&publisher.handle(), 16);
+        router.route(&p("/a"), |_| 0).unwrap(); // warm the cache
+        publisher.update(|t| {
+            t.add_location(&p("/a"), NodeId(2)).unwrap();
+            t.remove_location(&p("/a"), NodeId(0)).unwrap();
+            t.remove_location(&p("/a"), NodeId(1)).unwrap();
+        });
+        let (node, _) = router.route(&p("/a"), |_| 0).unwrap();
+        assert_eq!(node, NodeId(2), "stale cached locations must not win");
+    }
+
+    #[test]
+    fn counts_unroutable() {
+        let publisher = publisher();
+        let mut router = LiveRouter::new(&publisher.handle(), 16);
+        assert!(router.route(&p("/missing"), |_| 0).is_none());
+        assert_eq!(router.unroutable(), 1);
+        assert_eq!(router.lookups(), 1);
+    }
+}

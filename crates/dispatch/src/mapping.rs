@@ -237,7 +237,12 @@ impl MappingTable {
     ///
     /// [`MappingError::InvalidTransition`] if the connection is already
     /// past the handshake.
-    pub fn on_syn(&mut self, key: ConnKey, client_isn: u32, http10: bool) -> Result<u32, MappingError> {
+    pub fn on_syn(
+        &mut self,
+        key: ConnKey,
+        client_isn: u32,
+        http10: bool,
+    ) -> Result<u32, MappingError> {
         if let Some(e) = self.entries.get(&key) {
             return if e.state == ConnState::SynReceived {
                 Ok(e.distributor_isn) // SYN retransmission

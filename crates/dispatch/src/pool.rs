@@ -79,7 +79,10 @@ impl ConnectionPool {
     /// Panics if `node_count` or `conns_per_node` is 0.
     pub fn prefork(node_count: usize, conns_per_node: u32) -> Self {
         assert!(node_count > 0, "pool needs at least one node");
-        assert!(conns_per_node > 0, "pool needs at least one connection per node");
+        assert!(
+            conns_per_node > 0,
+            "pool needs at least one connection per node"
+        );
         let nodes = (0..node_count)
             .map(|n| NodePool {
                 conns: (0..conns_per_node)
@@ -237,7 +240,10 @@ mod tests {
         assert_ne!(a.slot, b.slot);
         assert_eq!(p.available(NodeId(0)), 0);
         assert_eq!(p.in_use(NodeId(0)), 2);
-        assert!(matches!(p.checkout(NodeId(0)), Err(PoolError::Exhausted(_))));
+        assert!(matches!(
+            p.checkout(NodeId(0)),
+            Err(PoolError::Exhausted(_))
+        ));
         assert_eq!(p.total_exhaustions(), 1);
         p.release(a).unwrap();
         assert_eq!(p.available(NodeId(0)), 1);
@@ -284,7 +290,10 @@ mod tests {
             slot: 0,
         };
         assert!(matches!(p.conn(bad), Err(PoolError::UnknownConnection(_))));
-        assert!(matches!(p.release(bad), Err(PoolError::UnknownConnection(_))));
+        assert!(matches!(
+            p.release(bad),
+            Err(PoolError::UnknownConnection(_))
+        ));
         let bad_slot = PreforkId {
             node: NodeId(0),
             slot: 99,

@@ -205,7 +205,11 @@ impl Distributor {
             prefork.node,
             Packet {
                 seq: tr.seq_c2s(pkt.seq),
-                ack: if pkt.flags.ack { tr.ack_c2s(pkt.ack) } else { 0 },
+                ack: if pkt.flags.ack {
+                    tr.ack_c2s(pkt.ack)
+                } else {
+                    0
+                },
                 flags: pkt.flags,
                 payload: pkt.payload,
             },
@@ -238,7 +242,11 @@ impl Distributor {
         }
         Ok(Packet {
             seq: tr.seq_s2c(pkt.seq),
-            ack: if pkt.flags.ack { tr.ack_s2c(pkt.ack) } else { 0 },
+            ack: if pkt.flags.ack {
+                tr.ack_s2c(pkt.ack)
+            } else {
+                0
+            },
             flags,
             payload: pkt.payload,
         })
@@ -331,7 +339,11 @@ mod tests {
         let req_pkt = Packet {
             seq: client_isn + 1,
             ack: synack.seq.wrapping_add(1),
-            flags: Flags { syn: false, ack: true, fin: false },
+            flags: Flags {
+                syn: false,
+                ack: true,
+                fin: false,
+            },
             payload: 200,
         };
         let (node, rewritten) = d.relay_to_server(k, req_pkt).unwrap();
@@ -349,7 +361,11 @@ mod tests {
         let resp_pkt = Packet {
             seq: conn.server_next_seq,
             ack: conn.our_next_seq.wrapping_add(200),
-            flags: Flags { syn: false, ack: true, fin: false },
+            flags: Flags {
+                syn: false,
+                ack: true,
+                fin: false,
+            },
             payload: 1000,
         };
         let to_client = d.relay_to_client(k, resp_pkt, true).unwrap();
@@ -459,7 +475,8 @@ mod tests {
         for (i, &k) in keys.iter().enumerate() {
             d.accept_syn(k, (i as u32) * 1000, false).unwrap();
             d.complete_handshake(k).unwrap();
-            d.bind(k, NodeId((i % 2) as u16), (i as u32) * 1000 + 1).unwrap();
+            d.bind(k, NodeId((i % 2) as u16), (i as u32) * 1000 + 1)
+                .unwrap();
         }
         assert_eq!(d.mapping().len(), 4);
         assert_eq!(d.pool().in_use(NodeId(0)), 2);

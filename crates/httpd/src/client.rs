@@ -84,10 +84,7 @@ impl HttpClient {
     }
 
     fn try_get(&mut self, path: &cpms_model::UrlPath) -> Result<Response, ParseError> {
-        let conn = self
-            .stream
-            .as_mut()
-            .ok_or(ParseError::ConnectionClosed)?;
+        let conn = self.stream.as_mut().ok_or(ParseError::ConnectionClosed)?;
         write_request(&mut conn.writer, path)?;
         read_response(&mut conn.reader)
     }

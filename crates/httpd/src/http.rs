@@ -76,8 +76,12 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ParseError> {
         .next()
         .ok_or(ParseError::Malformed("missing method"))?
         .to_string();
-    let target = parts.next().ok_or(ParseError::Malformed("missing target"))?;
-    let version = parts.next().ok_or(ParseError::Malformed("missing version"))?;
+    let target = parts
+        .next()
+        .ok_or(ParseError::Malformed("missing target"))?;
+    let version = parts
+        .next()
+        .ok_or(ParseError::Malformed("missing version"))?;
     let http10 = match version {
         "HTTP/1.0" => true,
         "HTTP/1.1" => false,
@@ -171,7 +175,9 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> Result<Response, ParseError>
         return Err(ParseError::ConnectionClosed);
     }
     let mut parts = line.split_whitespace();
-    let _version = parts.next().ok_or(ParseError::Malformed("missing version"))?;
+    let _version = parts
+        .next()
+        .ok_or(ParseError::Malformed("missing version"))?;
     let status: u16 = parts
         .next()
         .ok_or(ParseError::Malformed("missing status"))?

@@ -6,56 +6,127 @@
 //! pre-forked persistent backend connection, and relay the response —
 //! while the client sees a single ordinary HTTP server.
 //!
-//! The URL table is shared behind a lock and can be mutated while the
-//! proxy serves (management operations take effect on the next request),
-//! exactly like the paper's controller updating the distributor's table.
+//! The proxy is **multi-worker**: `workers` threads share the listening
+//! socket (each holds its own handle to it) and serve accepted
+//! connections to completion. Workers never share mutable routing state —
+//! each owns a [`LiveRouter`] (pinned URL-table snapshot + private lookup
+//! cache), a shard of the pre-forked connection pool, its own counters,
+//! and a private hit ledger. The only cross-worker state is the shared
+//! in-flight counters used for replica choice and the snapshot
+//! publication protocol itself.
+//!
+//! Management mutates the table through the proxy's [`TablePublisher`]:
+//! each mutation publishes a fresh immutable snapshot, which workers pick
+//! up on their next request via one atomic generation check — the live
+//! analogue of the paper's controller updating the distributor's table.
 
 use crate::http::{read_request, read_response, write_request, write_response, ParseError};
 use crate::pool::SocketPool;
+use cpms_dispatch::LiveRouter;
 use cpms_model::NodeId;
-use cpms_urltable::UrlTable;
-use parking_lot::RwLock;
+use cpms_urltable::{SnapshotHandle, TablePublisher, UrlTable};
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-/// Shared, live-updatable URL table handle.
-pub type SharedTable = Arc<RwLock<UrlTable>>;
+/// Workers spawned by [`ContentAwareProxy::start`].
+pub const DEFAULT_WORKERS: usize = 4;
 
-/// Counters the proxy exposes.
+/// One worker's counters. Written by exactly one thread; read by anyone.
 #[derive(Debug, Default)]
-pub struct ProxyStats {
+pub struct WorkerStats {
     /// Requests successfully relayed.
     pub relayed: AtomicU64,
     /// Requests with no table record (503 to the client).
     pub unroutable: AtomicU64,
     /// Requests whose backend exchange failed (502 to the client).
     pub backend_errors: AtomicU64,
+    /// Connections this worker accepted.
+    pub connections: AtomicU64,
+}
+
+/// Counters the proxy exposes: per-worker cells, aggregated on read, so
+/// workers never contend on a shared counter cache line.
+#[derive(Debug)]
+pub struct ProxyStats {
+    workers: Vec<WorkerStats>,
+}
+
+impl ProxyStats {
+    fn new(workers: usize) -> Self {
+        ProxyStats {
+            workers: (0..workers).map(|_| WorkerStats::default()).collect(),
+        }
+    }
+
+    /// Number of workers.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// One worker's counters.
+    pub fn worker(&self, idx: usize) -> &WorkerStats {
+        &self.workers[idx]
+    }
+
+    /// Requests relayed, summed over workers.
+    pub fn relayed(&self) -> u64 {
+        self.sum(|w| &w.relayed)
+    }
+
+    /// Unroutable requests, summed over workers.
+    pub fn unroutable(&self) -> u64 {
+        self.sum(|w| &w.unroutable)
+    }
+
+    /// Backend failures, summed over workers.
+    pub fn backend_errors(&self) -> u64 {
+        self.sum(|w| &w.backend_errors)
+    }
+
+    /// Accepted connections, summed over workers.
+    pub fn connections(&self) -> u64 {
+        self.sum(|w| &w.connections)
+    }
+
+    fn sum(&self, cell: impl Fn(&WorkerStats) -> &AtomicU64) -> u64 {
+        self.workers
+            .iter()
+            .map(|w| cell(w).load(Ordering::Relaxed))
+            .sum()
+    }
 }
 
 /// A running content-aware reverse proxy.
 pub struct ContentAwareProxy {
     addr: SocketAddr,
-    table: SharedTable,
+    publisher: TablePublisher,
     stats: Arc<ProxyStats>,
+    pools: Arc<Vec<SocketPool>>,
+    ledgers: Arc<Vec<Mutex<HashMap<cpms_model::UrlPath, u64>>>>,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for ContentAwareProxy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ContentAwareProxy")
             .field("addr", &self.addr)
-            .field("relayed", &self.stats.relayed.load(Ordering::Relaxed))
+            .field("workers", &self.workers.len())
+            .field("relayed", &self.stats.relayed())
             .finish()
     }
 }
 
 impl ContentAwareProxy {
-    /// Starts the proxy: `backends[i]` is the address of `NodeId(i)`;
-    /// `prefork` persistent connections are opened to each.
+    /// Starts the proxy with [`DEFAULT_WORKERS`] worker threads:
+    /// `backends[i]` is the address of `NodeId(i)`; `prefork` persistent
+    /// connections are opened to each backend, sharded across workers.
     ///
     /// # Errors
     ///
@@ -65,49 +136,77 @@ impl ContentAwareProxy {
         backends: Vec<SocketAddr>,
         prefork: u32,
     ) -> io::Result<ContentAwareProxy> {
+        Self::start_with_workers(table, backends, prefork, DEFAULT_WORKERS)
+    }
+
+    /// Starts the proxy with an explicit worker count (≥ 1). Each worker
+    /// accepts from the shared listener and serves its connections to
+    /// completion, so `workers` bounds the number of concurrently served
+    /// keep-alive clients.
+    ///
+    /// # Errors
+    ///
+    /// Bind or pre-fork connection failures.
+    pub fn start_with_workers(
+        table: UrlTable,
+        backends: Vec<SocketAddr>,
+        prefork: u32,
+        workers: usize,
+    ) -> io::Result<ContentAwareProxy> {
+        assert!(workers >= 1, "a proxy needs at least one worker");
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
-        let table: SharedTable = Arc::new(RwLock::new(table));
-        let pool = Arc::new(SocketPool::prefork(backends, prefork)?);
-        let in_flight: Arc<Vec<AtomicU32>> = Arc::new(
-            (0..pool.backend_count())
-                .map(|_| AtomicU32::new(0))
-                .collect(),
+        let publisher = TablePublisher::new(table);
+
+        // Shard the pre-forked connections: each worker owns a private
+        // pool so checkouts never cross threads.
+        let per_worker = (prefork as usize).div_ceil(workers) as u32;
+        let pools: Arc<Vec<SocketPool>> = Arc::new(
+            (0..workers)
+                .map(|_| SocketPool::prefork(backends.clone(), per_worker))
+                .collect::<io::Result<_>>()?,
         );
-        let stats = Arc::new(ProxyStats::default());
+        let in_flight: Arc<Vec<AtomicU32>> =
+            Arc::new((0..backends.len()).map(|_| AtomicU32::new(0)).collect());
+        let stats = Arc::new(ProxyStats::new(workers));
+        let ledgers: Arc<Vec<Mutex<HashMap<cpms_model::UrlPath, u64>>>> =
+            Arc::new((0..workers).map(|_| Mutex::new(HashMap::new())).collect());
         let stop = Arc::new(AtomicBool::new(false));
 
-        let accept_thread = {
-            let table = Arc::clone(&table);
-            let stats = Arc::clone(&stats);
-            let stop = Arc::clone(&stop);
-            std::thread::Builder::new()
-                .name("cpms-proxy".to_string())
-                .spawn(move || {
-                    for stream in listener.incoming() {
-                        if stop.load(Ordering::Acquire) {
-                            break;
-                        }
-                        let Ok(stream) = stream else { continue };
-                        let table = Arc::clone(&table);
-                        let pool = Arc::clone(&pool);
-                        let in_flight = Arc::clone(&in_flight);
-                        let stats = Arc::clone(&stats);
-                        let _ = std::thread::Builder::new()
-                            .name("proxy-conn".to_string())
-                            .spawn(move || {
-                                let _ = serve_client(stream, &table, &pool, &in_flight, &stats);
-                            });
-                    }
-                })?
-        };
+        let handles = (0..workers)
+            .map(|idx| {
+                let listener = listener.try_clone()?;
+                let handle = publisher.handle();
+                let pools = Arc::clone(&pools);
+                let in_flight = Arc::clone(&in_flight);
+                let stats = Arc::clone(&stats);
+                let ledgers = Arc::clone(&ledgers);
+                let stop = Arc::clone(&stop);
+                std::thread::Builder::new()
+                    .name(format!("cpms-proxy-{idx}"))
+                    .spawn(move || {
+                        worker_loop(
+                            idx,
+                            &listener,
+                            &handle,
+                            &pools[idx],
+                            &in_flight,
+                            &stats,
+                            &ledgers,
+                            &stop,
+                        )
+                    })
+            })
+            .collect::<io::Result<Vec<_>>>()?;
 
         Ok(ContentAwareProxy {
             addr,
-            table,
+            publisher,
             stats,
+            pools,
+            ledgers,
             stop,
-            accept_thread: Some(accept_thread),
+            workers: handles,
         })
     }
 
@@ -116,33 +215,91 @@ impl ContentAwareProxy {
         self.addr
     }
 
-    /// The live URL table: management operations mutate it while the proxy
-    /// serves.
-    pub fn table(&self) -> SharedTable {
-        Arc::clone(&self.table)
+    /// The URL-table publisher: management operations go through here and
+    /// take effect on each worker's next request.
+    pub fn publisher(&self) -> &TablePublisher {
+        &self.publisher
     }
 
-    /// Requests relayed successfully.
+    /// A read-only handle to the published snapshot sequence.
+    pub fn handle(&self) -> SnapshotHandle {
+        self.publisher.handle()
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.stats.worker_count()
+    }
+
+    /// Per-worker counters (aggregates are on the struct).
+    pub fn stats(&self) -> &ProxyStats {
+        &self.stats
+    }
+
+    /// Requests relayed successfully (all workers).
     pub fn relayed(&self) -> u64 {
-        self.stats.relayed.load(Ordering::Relaxed)
+        self.stats.relayed()
     }
 
-    /// Requests rejected for lack of a table record.
+    /// Requests rejected for lack of a table record (all workers).
     pub fn unroutable(&self) -> u64 {
-        self.stats.unroutable.load(Ordering::Relaxed)
+        self.stats.unroutable()
     }
 
-    /// Requests that failed at the backend.
+    /// Requests that failed at the backend (all workers).
     pub fn backend_errors(&self) -> u64 {
-        self.stats.backend_errors.load(Ordering::Relaxed)
+        self.stats.backend_errors()
     }
 
-    /// Stops accepting new connections.
+    /// Checkouts that had to open a fresh backend connection, summed over
+    /// the per-worker pool shards.
+    pub fn overflow_connects(&self) -> u64 {
+        self.pools.iter().map(SocketPool::overflow_connects).sum()
+    }
+
+    /// Routed hits recorded by workers but not yet folded into the table,
+    /// summed across ledgers.
+    pub fn pending_hits(&self) -> u64 {
+        self.ledgers
+            .iter()
+            .map(|l| l.lock().values().sum::<u64>())
+            .sum()
+    }
+
+    /// Drains every worker's hit ledger into the published table (one
+    /// snapshot publication, no generation bump — hit counts are not
+    /// routing data). The management plane calls this periodically to see
+    /// per-object hit counts without putting a write on the request path.
+    pub fn flush_hits(&self) {
+        let mut drained: HashMap<cpms_model::UrlPath, u64> = HashMap::new();
+        for ledger in self.ledgers.iter() {
+            for (path, count) in ledger.lock().drain() {
+                *drained.entry(path).or_insert(0) += count;
+            }
+        }
+        if drained.is_empty() {
+            return;
+        }
+        self.publisher.update(|t| {
+            for (path, count) in &drained {
+                t.record_hits(path, *count);
+            }
+        });
+    }
+
+    /// Stops accepting new connections and joins every worker.
     pub fn shutdown(&mut self) {
-        if let Some(thread) = self.accept_thread.take() {
-            self.stop.store(true, Ordering::Release);
+        if self.workers.is_empty() {
+            return;
+        }
+        self.stop.store(true, Ordering::Release);
+        // Wake each worker blocked in accept(); a woken worker re-checks
+        // the flag and exits without serving.
+        for _ in 0..self.workers.len() {
             let _ = TcpStream::connect(self.addr);
-            let _ = thread.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
         }
     }
 }
@@ -153,20 +310,77 @@ impl Drop for ContentAwareProxy {
     }
 }
 
-fn serve_client(
-    stream: TcpStream,
-    table: &RwLock<UrlTable>,
+/// How long a worker waits on an idle keep-alive connection before
+/// re-checking the stop flag.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    idx: usize,
+    listener: &TcpListener,
+    handle: &SnapshotHandle,
     pool: &SocketPool,
     in_flight: &[AtomicU32],
     stats: &ProxyStats,
+    ledgers: &[Mutex<HashMap<cpms_model::UrlPath, u64>>],
+    stop: &AtomicBool,
+) {
+    let mut router = LiveRouter::new(handle, 1024);
+    let worker_stats = stats.worker(idx);
+    let ledger = &ledgers[idx];
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if stop.load(Ordering::Acquire) {
+                return;
+            }
+            continue;
+        };
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        worker_stats.connections.fetch_add(1, Ordering::Relaxed);
+        let _ = serve_client(
+            stream,
+            &mut router,
+            pool,
+            in_flight,
+            worker_stats,
+            ledger,
+            stop,
+        );
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+    }
+}
+
+fn serve_client(
+    stream: TcpStream,
+    router: &mut LiveRouter,
+    pool: &SocketPool,
+    in_flight: &[AtomicU32],
+    stats: &WorkerStats,
+    ledger: &Mutex<HashMap<cpms_model::UrlPath, u64>>,
+    stop: &AtomicBool,
 ) -> io::Result<()> {
     stream.set_nodelay(true)?;
+    // Poll the stop flag while parked on an idle keep-alive connection so
+    // shutdown never hangs on a silent client.
+    stream.set_read_timeout(Some(IDLE_POLL))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     loop {
         let request = match read_request(&mut reader) {
             Ok(r) => r,
             Err(ParseError::ConnectionClosed) => return Ok(()),
+            Err(ParseError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::Acquire) {
+                    return Ok(());
+                }
+                continue;
+            }
             Err(ParseError::Io(e)) => return Err(e),
             Err(ParseError::Malformed(_)) => {
                 write_response(&mut writer, 404, b"bad request", false)?;
@@ -175,19 +389,14 @@ fn serve_client(
         };
         let keep_alive = request.keep_alive;
 
-        // --- routing decision: URL table lookup + least in-flight replica
-        let target: Option<NodeId> = {
-            let mut t = table.write();
-            t.lookup_and_hit(&request.path).map(|entry| {
-                entry
-                    .locations()
-                    .iter()
-                    .copied()
-                    .min_by_key(|n| in_flight[n.index()].load(Ordering::Relaxed))
-                    .expect("table entries have at least one location")
-            })
-        };
-        let Some(node) = target else {
+        // --- routing decision: snapshot lookup + least in-flight replica.
+        // Nodes without a configured backend address are vetoed.
+        let target = router.route(&request.path, |n| {
+            in_flight
+                .get(n.index())
+                .map_or(u64::MAX, |c| u64::from(c.load(Ordering::Relaxed)))
+        });
+        let Some((node, _entry)) = target else {
             stats.unroutable.fetch_add(1, Ordering::Relaxed);
             write_response(&mut writer, 503, b"no location for path", keep_alive)?;
             if keep_alive {
@@ -195,6 +404,7 @@ fn serve_client(
             }
             return Ok(());
         };
+        *ledger.lock().entry(request.path.clone()).or_insert(0) += 1;
 
         // --- bind to a pre-forked connection and relay
         in_flight[node.index()].fetch_add(1, Ordering::Relaxed);
@@ -266,8 +476,7 @@ mod tests {
         table.insert("/a".parse().unwrap(), entry(0, &[0])).unwrap();
         table.insert("/b".parse().unwrap(), entry(1, &[1])).unwrap();
 
-        let proxy =
-            ContentAwareProxy::start(table, vec![o0.addr(), o1.addr()], 2).unwrap();
+        let proxy = ContentAwareProxy::start(table, vec![o0.addr(), o1.addr()], 2).unwrap();
         let mut client = HttpClient::connect(proxy.addr()).unwrap();
 
         assert_eq!(client.get("/a").unwrap().body, b"from-node-0");
@@ -297,20 +506,21 @@ mod tests {
         let o0 = start_origin(0, &[("/page", b"old-node")]);
         let o1 = start_origin(1, &[("/page", b"new-node")]);
         let mut table = UrlTable::new();
-        table.insert("/page".parse().unwrap(), entry(0, &[0])).unwrap();
-        let proxy =
-            ContentAwareProxy::start(table, vec![o0.addr(), o1.addr()], 1).unwrap();
+        table
+            .insert("/page".parse().unwrap(), entry(0, &[0]))
+            .unwrap();
+        let proxy = ContentAwareProxy::start(table, vec![o0.addr(), o1.addr()], 1).unwrap();
         let mut client = HttpClient::connect(proxy.addr()).unwrap();
         assert_eq!(client.get("/page").unwrap().body, b"old-node");
 
-        // management migrates the page: add node 1, drop node 0
-        {
-            let handle = proxy.table();
-            let mut t = handle.write();
-            let path: UrlPath = "/page".parse().unwrap();
+        // management migrates the page: one snapshot publication adds
+        // node 1 and drops node 0 atomically — no worker can observe the
+        // intermediate state.
+        let path: UrlPath = "/page".parse().unwrap();
+        proxy.publisher().update(|t| {
             t.add_location(&path, NodeId(1)).unwrap();
             t.remove_location(&path, NodeId(0)).unwrap();
-        }
+        });
         assert_eq!(client.get("/page").unwrap().body, b"new-node");
     }
 
@@ -319,9 +529,10 @@ mod tests {
         let o0 = start_origin(0, &[("/r", b"r0")]);
         let o1 = start_origin(1, &[("/r", b"r1")]);
         let mut table = UrlTable::new();
-        table.insert("/r".parse().unwrap(), entry(0, &[0, 1])).unwrap();
-        let proxy =
-            ContentAwareProxy::start(table, vec![o0.addr(), o1.addr()], 2).unwrap();
+        table
+            .insert("/r".parse().unwrap(), entry(0, &[0, 1]))
+            .unwrap();
+        let proxy = ContentAwareProxy::start(table, vec![o0.addr(), o1.addr()], 2).unwrap();
         let addr = proxy.addr();
         std::thread::scope(|scope| {
             for _ in 0..4 {
@@ -337,6 +548,38 @@ mod tests {
         assert!(o0.served() > 0, "node 0 got {}", o0.served());
         assert!(o1.served() > 0, "node 1 got {}", o1.served());
         assert_eq!(o0.served() + o1.served(), 100);
+    }
+
+    #[test]
+    fn workers_split_connections() {
+        let o0 = start_origin(0, &[("/w", b"w")]);
+        let mut table = UrlTable::new();
+        table.insert("/w".parse().unwrap(), entry(0, &[0])).unwrap();
+        let proxy = ContentAwareProxy::start_with_workers(table, vec![o0.addr()], 4, 4).unwrap();
+        let addr = proxy.addr();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(move || {
+                    let mut client = HttpClient::connect(addr).unwrap();
+                    for _ in 0..10 {
+                        assert_eq!(client.get("/w").unwrap().status, 200);
+                    }
+                });
+            }
+        });
+        assert_eq!(proxy.relayed(), 40);
+        assert_eq!(proxy.stats().connections(), 4);
+        // Aggregation really is a sum of per-worker cells.
+        let per_worker: u64 = (0..proxy.worker_count())
+            .map(|i| proxy.stats().worker(i).relayed.load(Ordering::Relaxed))
+            .sum();
+        assert_eq!(per_worker, 40);
+        // With 4 concurrent keep-alive clients and 4 workers, the work
+        // cannot all land on one worker.
+        let busy_workers = (0..proxy.worker_count())
+            .filter(|&i| proxy.stats().worker(i).relayed.load(Ordering::Relaxed) > 0)
+            .count();
+        assert!(busy_workers > 1, "only {busy_workers} worker(s) served");
     }
 
     #[test]
@@ -370,8 +613,17 @@ mod tests {
         for _ in 0..5 {
             client.get("/a").unwrap();
         }
-        let handle = proxy.table();
-        let hits = handle.read().lookup(&"/a".parse().unwrap()).unwrap().hits();
+        // Hits accrue in per-worker ledgers, off the request path…
+        assert_eq!(proxy.pending_hits(), 5);
+        // …and folding them in makes them visible in the published table.
+        proxy.flush_hits();
+        assert_eq!(proxy.pending_hits(), 0);
+        let hits = proxy
+            .handle()
+            .load()
+            .lookup(&"/a".parse().unwrap())
+            .unwrap()
+            .hits();
         assert_eq!(hits, 5);
     }
 }

@@ -2,9 +2,7 @@
 //! arbitrary bodies, requests for arbitrary valid paths, and the parser
 //! never panics on garbage.
 
-use cpms_httpd::http::{
-    read_request, read_response, write_request, write_response, ParseError,
-};
+use cpms_httpd::http::{read_request, read_response, write_request, write_response, ParseError};
 use cpms_model::UrlPath;
 use proptest::prelude::*;
 use std::io::BufReader;
@@ -14,7 +12,11 @@ fn path_strategy() -> impl Strategy<Value = UrlPath> {
         let mut p = UrlPath::root();
         for s in segs {
             // generated segments can be "." or ".."; replace those
-            let s = if s == "." || s == ".." { "dot".to_string() } else { s };
+            let s = if s == "." || s == ".." {
+                "dot".to_string()
+            } else {
+                s
+            };
             p = p.join(&s).expect("valid segment");
         }
         p

@@ -242,7 +242,10 @@ mod tests {
         DeleteFile { path: p("/a") }.execute(&mut s).unwrap();
         assert!(!s.contains(&p("/a")));
         let err = DeleteFile { path: p("/a") }.execute(&mut s).unwrap_err();
-        assert!(matches!(err, AgentError::Store(StoreError::NotFound { .. })));
+        assert!(matches!(
+            err,
+            AgentError::Store(StoreError::NotFound { .. })
+        ));
     }
 
     #[test]

@@ -160,9 +160,7 @@ impl AutoReplicator {
                         .iter()
                         .filter(|l| {
                             let n = l.node;
-                            n != hot.node
-                                && !entry.hosted_on(n)
-                                && can_host(n, entry.kind())
+                            n != hot.node && !entry.hosted_on(n) && can_host(n, entry.kind())
                         })
                         .min_by_key(|l| planned_additions[l.node.index()])
                         .map(|l| l.node);
@@ -358,10 +356,9 @@ mod tests {
             "falls back to the capable cold node: {actions:?}"
         );
         assert!(
-            !actions.iter().any(|a| matches!(
-                a,
-                RebalanceAction::Replicate { to: NodeId(2), .. }
-            )),
+            !actions
+                .iter()
+                .any(|a| matches!(a, RebalanceAction::Replicate { to: NodeId(2), .. })),
             "never targets the incapable node: {actions:?}"
         );
 
@@ -424,7 +421,9 @@ mod tests {
                 .unwrap();
             resolve.insert(ContentId(i), path);
         }
-        let planner = AutoReplicator::new(0.1).with_max_actions(3).with_hot_candidates(20);
+        let planner = AutoReplicator::new(0.1)
+            .with_max_actions(3)
+            .with_hot_candidates(20);
         let actions = planner.plan(
             &tracker,
             &table,
@@ -468,13 +467,20 @@ mod tests {
         let planner = AutoReplicator::new(0.25);
         let actions = planner.plan(
             &tracker,
-            controller.table(),
+            &controller.table(),
             |id| (id == ContentId(1)).then(|| p("/hot.html")),
             |_, _| true,
         );
         let results = AutoReplicator::apply_to_controller(&actions, &mut controller);
         assert!(results.iter().all(Result::is_ok), "{results:?}");
-        assert!(controller.table().lookup(&p("/hot.html")).unwrap().replica_count() > 1);
+        assert!(
+            controller
+                .table()
+                .lookup(&p("/hot.html"))
+                .unwrap()
+                .replica_count()
+                > 1
+        );
         assert!(controller.verify_consistency().is_empty());
         controller.shutdown();
     }

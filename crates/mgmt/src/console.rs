@@ -181,10 +181,22 @@ mod tests {
     #[test]
     fn tree_view_is_sorted_and_complete() {
         let mut c = console(2);
-        c.publish(&p("/b.html"), ContentId(2), ContentKind::StaticHtml, 10, &[NodeId(1)])
-            .unwrap();
-        c.publish(&p("/a.html"), ContentId(1), ContentKind::StaticHtml, 10, &[NodeId(0)])
-            .unwrap();
+        c.publish(
+            &p("/b.html"),
+            ContentId(2),
+            ContentKind::StaticHtml,
+            10,
+            &[NodeId(1)],
+        )
+        .unwrap();
+        c.publish(
+            &p("/a.html"),
+            ContentId(1),
+            ContentKind::StaticHtml,
+            10,
+            &[NodeId(0)],
+        )
+        .unwrap();
         let view = c.tree_view();
         assert_eq!(view.len(), 2);
         assert_eq!(view[0].path, p("/a.html"));
@@ -195,9 +207,18 @@ mod tests {
     #[test]
     fn list_dir_filters_subtree() {
         let mut c = console(1);
-        for (i, path) in ["/img/a.gif", "/img/b.gif", "/doc/c.html"].iter().enumerate() {
-            c.publish(&p(path), ContentId(i as u32), ContentKind::Image, 5, &[NodeId(0)])
-                .unwrap();
+        for (i, path) in ["/img/a.gif", "/img/b.gif", "/doc/c.html"]
+            .iter()
+            .enumerate()
+        {
+            c.publish(
+                &p(path),
+                ContentId(i as u32),
+                ContentKind::Image,
+                5,
+                &[NodeId(0)],
+            )
+            .unwrap();
         }
         assert_eq!(c.list_dir(&p("/img")).len(), 2);
         assert_eq!(c.list_dir(&p("/doc")).len(), 1);

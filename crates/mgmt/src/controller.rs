@@ -12,12 +12,15 @@
 //! agents to the affected brokers, then update the URL table — so the
 //! distributor only routes to copies that actually exist.
 
-use crate::agent::{AgentError, AgentOutput, DeleteFile, ListFiles, RenameFile, StatusProbe, StoreFile, TouchFile};
+use crate::agent::{
+    AgentError, AgentOutput, DeleteFile, ListFiles, RenameFile, StatusProbe, StoreFile, TouchFile,
+};
 use crate::broker::{Broker, BrokerHandle};
 use crate::store::{NodeStore, StoredFile};
 use cpms_model::{ContentId, ContentKind, NodeId, Priority, UrlPath};
-use cpms_urltable::{TableError, UrlEntry, UrlTable};
+use cpms_urltable::{SnapshotHandle, TableError, TablePublisher, UrlEntry, UrlTable};
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors from controller operations.
 #[derive(Debug)]
@@ -169,10 +172,16 @@ pub enum Inconsistency {
     },
 }
 
-/// The management controller: URL table + broker handles.
+/// The management controller: URL-table publisher + broker handles.
+///
+/// The table is never mutated in place: every management operation builds
+/// and publishes a fresh immutable snapshot through a [`TablePublisher`],
+/// which live distributor workers observe via [`Controller::handle`]
+/// (§2.2's "the controller will change the URL table to adapt to these
+/// changes").
 #[derive(Debug)]
 pub struct Controller {
-    table: UrlTable,
+    publisher: TablePublisher,
     cluster: Cluster,
 }
 
@@ -180,14 +189,24 @@ impl Controller {
     /// Creates a controller over a running cluster with an empty URL table.
     pub fn new(cluster: Cluster) -> Self {
         Controller {
-            table: UrlTable::new(),
+            publisher: TablePublisher::default(),
             cluster,
         }
     }
 
-    /// The URL table (what the distributor routes from).
-    pub fn table(&self) -> &UrlTable {
-        &self.table
+    /// The current URL-table snapshot (what the distributor routes from).
+    pub fn table(&self) -> Arc<UrlTable> {
+        self.publisher.snapshot()
+    }
+
+    /// The snapshot publisher the controller mutates through.
+    pub fn publisher(&self) -> &TablePublisher {
+        &self.publisher
+    }
+
+    /// A handle for distributor workers to observe table publications.
+    pub fn handle(&self) -> SnapshotHandle {
+        self.publisher.handle()
     }
 
     /// Number of nodes under management.
@@ -231,7 +250,7 @@ impl Controller {
         priority: Priority,
         nodes: &[NodeId],
     ) -> Result<(), MgmtError> {
-        if self.table.lookup_exact(path).is_some() {
+        if self.table().lookup_exact(path).is_some() {
             return Err(MgmtError::Table(TableError::AlreadyExists {
                 path: path.clone(),
             }));
@@ -256,20 +275,22 @@ impl Controller {
                 Err(e) => {
                     // roll back the copies already made
                     for &done in &stored {
-                        let _ = self.broker(done)?.dispatch(Box::new(DeleteFile {
-                            path: path.clone(),
-                        }));
+                        let _ = self
+                            .broker(done)?
+                            .dispatch(Box::new(DeleteFile { path: path.clone() }));
                     }
                     return Err(e.into());
                 }
             }
         }
-        self.table.insert(
-            path.clone(),
-            UrlEntry::new(content, kind, size)
-                .with_priority(priority)
-                .with_locations(stored),
-        )?;
+        self.publisher.update(|t| {
+            t.insert(
+                path.clone(),
+                UrlEntry::new(content, kind, size)
+                    .with_priority(priority)
+                    .with_locations(stored),
+            )
+        })?;
         Ok(())
     }
 
@@ -283,20 +304,21 @@ impl Controller {
     /// routing to a half-deleted object).
     pub fn delete(&mut self, path: &UrlPath) -> Result<(), MgmtError> {
         let locations = self
-            .table
+            .table()
             .lookup_exact(path)
             .ok_or_else(|| TableError::NotFound { path: path.clone() })?
             .locations()
             .to_vec();
         let mut first_err: Option<MgmtError> = None;
         for n in locations {
-            if let Err(e) = self.broker(n)?.dispatch(Box::new(DeleteFile {
-                path: path.clone(),
-            })) {
+            if let Err(e) = self
+                .broker(n)?
+                .dispatch(Box::new(DeleteFile { path: path.clone() }))
+            {
                 first_err.get_or_insert(e.into());
             }
         }
-        self.table.remove(path)?;
+        self.publisher.update(|t| t.remove(path))?;
         match first_err {
             Some(e) => Err(e),
             None => Ok(()),
@@ -312,8 +334,8 @@ impl Controller {
     /// [`MgmtError::AlreadyHostedOn`] if the target already has a copy;
     /// [`MgmtError::Agent`] if the copy fails (table untouched).
     pub fn replicate(&mut self, path: &UrlPath, target: NodeId) -> Result<(), MgmtError> {
-        let entry = self
-            .table
+        let snapshot = self.table();
+        let entry = snapshot
             .lookup_exact(path)
             .ok_or_else(|| TableError::NotFound { path: path.clone() })?;
         if entry.hosted_on(target) {
@@ -332,7 +354,7 @@ impl Controller {
             file,
             overwrite: false,
         }))?;
-        self.table.add_location(path, target)?;
+        self.publisher.update(|t| t.add_location(path, target))?;
         Ok(())
     }
 
@@ -344,8 +366,8 @@ impl Controller {
     /// [`MgmtError::LastCopy`], [`MgmtError::NotHostedOn`], or agent
     /// failures.
     pub fn offload(&mut self, path: &UrlPath, node: NodeId) -> Result<(), MgmtError> {
-        let entry = self
-            .table
+        let snapshot = self.table();
+        let entry = snapshot
             .lookup_exact(path)
             .ok_or_else(|| TableError::NotFound { path: path.clone() })?;
         if !entry.hosted_on(node) {
@@ -357,10 +379,9 @@ impl Controller {
         if entry.replica_count() <= 1 {
             return Err(MgmtError::LastCopy { path: path.clone() });
         }
-        self.broker(node)?.dispatch(Box::new(DeleteFile {
-            path: path.clone(),
-        }))?;
-        self.table.remove_location(path, node)?;
+        self.broker(node)?
+            .dispatch(Box::new(DeleteFile { path: path.clone() }))?;
+        self.publisher.update(|t| t.remove_location(path, node))?;
         Ok(())
     }
 
@@ -374,7 +395,7 @@ impl Controller {
     pub fn rename(&mut self, from: &UrlPath, to: &UrlPath) -> Result<(), MgmtError> {
         // Collect the affected records first (file or subtree).
         let moves: Vec<(UrlPath, UrlPath, Vec<NodeId>)> = self
-            .table
+            .table()
             .subtree(from)
             .map(|(path, entry)| {
                 let suffix = &path.as_str()[from.as_str().len()..];
@@ -385,10 +406,12 @@ impl Controller {
             })
             .collect();
         if moves.is_empty() {
-            return Err(MgmtError::Table(TableError::NotFound { path: from.clone() }));
+            return Err(MgmtError::Table(TableError::NotFound {
+                path: from.clone(),
+            }));
         }
         // Table first (it validates the destination atomically)…
-        self.table.rename(from, to)?;
+        self.publisher.update(|t| t.rename(from, to))?;
         // …then propagate to brokers.
         let mut first_err: Option<MgmtError> = None;
         for (old, new, locations) in moves {
@@ -416,16 +439,17 @@ impl Controller {
     /// Table or agent errors.
     pub fn update_content(&mut self, path: &UrlPath) -> Result<u64, MgmtError> {
         let locations = self
-            .table
+            .table()
             .lookup_exact(path)
             .ok_or_else(|| TableError::NotFound { path: path.clone() })?
             .locations()
             .to_vec();
         let mut version = 0;
         for n in locations {
-            match self.broker(n)?.dispatch(Box::new(TouchFile {
-                path: path.clone(),
-            }))? {
+            match self
+                .broker(n)?
+                .dispatch(Box::new(TouchFile { path: path.clone() }))?
+            {
                 AgentOutput::Version(v) => version = version.max(v),
                 other => unreachable!("touch returns a version, got {other:?}"),
             }
@@ -469,7 +493,8 @@ impl Controller {
             per_node.push(listing.into_iter().map(|(p, f)| (p, f.content)).collect());
         }
         // Table → brokers.
-        for (path, entry) in self.table.iter() {
+        let table = self.table();
+        for (path, entry) in table.iter() {
             for &node in entry.locations() {
                 match per_node.get(node.index()).and_then(|m| m.get(&path)) {
                     None => problems.push(Inconsistency::MissingCopy {
@@ -490,8 +515,7 @@ impl Controller {
         for (i, listing) in per_node.iter().enumerate() {
             let node = NodeId(i as u16);
             for path in listing.keys() {
-                let hosted = self
-                    .table
+                let hosted = table
                     .lookup_exact(path)
                     .map(|e| e.hosted_on(node))
                     .unwrap_or(false);
@@ -536,7 +560,8 @@ mod tests {
     fn publish_reaches_brokers_and_table() {
         let mut c = controller(3);
         publish(&mut c, "/a/x.html", 1, &[0, 2]);
-        let entry = c.table().lookup(&p("/a/x.html")).unwrap();
+        let table = c.table();
+        let entry = table.lookup(&p("/a/x.html")).unwrap();
         assert_eq!(entry.locations(), [NodeId(0), NodeId(2)]);
         assert!(c.verify_consistency().is_empty());
         c.shutdown();
@@ -556,8 +581,14 @@ mod tests {
                 &[NodeId(1)],
             )
             .unwrap_err();
-        assert!(matches!(err, MgmtError::Table(TableError::AlreadyExists { .. })));
-        assert!(c.verify_consistency().is_empty(), "failed publish left no orphans");
+        assert!(matches!(
+            err,
+            MgmtError::Table(TableError::AlreadyExists { .. })
+        ));
+        assert!(
+            c.verify_consistency().is_empty(),
+            "failed publish left no orphans"
+        );
         c.shutdown();
     }
 
@@ -577,7 +608,10 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, MgmtError::Agent(_)));
         assert!(c.table().is_empty());
-        assert!(c.verify_consistency().is_empty(), "rollback removed partial copies");
+        assert!(
+            c.verify_consistency().is_empty(),
+            "rollback removed partial copies"
+        );
         c.shutdown();
     }
 
@@ -595,10 +629,7 @@ mod tests {
         ));
 
         c.offload(&p("/a"), NodeId(0)).unwrap();
-        assert_eq!(
-            c.table().lookup(&p("/a")).unwrap().locations(),
-            [NodeId(1)]
-        );
+        assert_eq!(c.table().lookup(&p("/a")).unwrap().locations(), [NodeId(1)]);
         assert!(c.verify_consistency().is_empty());
 
         // never drop the last copy

@@ -36,7 +36,10 @@ pub enum NodeHealth {
 impl NodeHealth {
     /// Whether the node should receive traffic and replicas.
     pub fn is_available(&self) -> bool {
-        matches!(self, NodeHealth::Healthy { .. } | NodeHealth::Suspect { .. })
+        matches!(
+            self,
+            NodeHealth::Healthy { .. } | NodeHealth::Suspect { .. }
+        )
     }
 }
 

@@ -106,7 +106,9 @@ impl Shell {
                 self.console
                     .offload(&path, node)
                     .map_err(|e| e.to_string())?;
-                Ok(ShellOutcome::Output(format!("offloaded {path} from {node}")))
+                Ok(ShellOutcome::Output(format!(
+                    "offloaded {path} from {node}"
+                )))
             }
             "rename" => {
                 let [from, to] = expect_args::<2>("rename", args)?;
@@ -129,7 +131,9 @@ impl Shell {
                     .controller_mut()
                     .update_content(&path)
                     .map_err(|e| e.to_string())?;
-                Ok(ShellOutcome::Output(format!("{path} now at version {version}")))
+                Ok(ShellOutcome::Output(format!(
+                    "{path} now at version {version}"
+                )))
             }
             "ls" => {
                 let rows = match args {
@@ -139,8 +143,7 @@ impl Shell {
                 };
                 let mut out = String::new();
                 for row in &rows {
-                    let nodes: Vec<String> =
-                        row.locations.iter().map(|n| n.to_string()).collect();
+                    let nodes: Vec<String> = row.locations.iter().map(|n| n.to_string()).collect();
                     let _ = writeln!(
                         out,
                         "{:<40} {:>7} {:>9}B {:<9} hits={:<6} on {}",
@@ -330,7 +333,14 @@ mod tests {
     fn help_lists_commands() {
         let mut sh = shell();
         let help = out(&mut sh, "help");
-        for cmd in ["publish", "replicate", "offload", "rename", "delete", "audit"] {
+        for cmd in [
+            "publish",
+            "replicate",
+            "offload",
+            "rename",
+            "delete",
+            "audit",
+        ] {
             assert!(help.contains(cmd), "help missing {cmd}");
         }
         sh.shutdown();

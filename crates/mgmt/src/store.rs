@@ -51,7 +51,10 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::NotFound { path } => write!(f, "no file at {path}"),
             StoreError::DiskFull { path, needed, free } => {
-                write!(f, "disk full storing {path}: need {needed} bytes, {free} free")
+                write!(
+                    f,
+                    "disk full storing {path}: need {needed} bytes, {free} free"
+                )
             }
             StoreError::AlreadyExists { path } => write!(f, "file already exists at {path}"),
         }

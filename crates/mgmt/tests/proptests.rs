@@ -23,7 +23,9 @@ const NODES: usize = 4;
 const SLOTS: u8 = 12;
 
 fn slot_path(slot: u8) -> UrlPath {
-    format!("/dir{}/file{}.html", slot % 3, slot).parse().unwrap()
+    format!("/dir{}/file{}.html", slot % 3, slot)
+        .parse()
+        .unwrap()
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {

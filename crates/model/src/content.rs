@@ -237,13 +237,31 @@ mod tests {
 
     #[test]
     fn classify_by_extension() {
-        assert_eq!(ContentKind::classify(&p("/index.html")), ContentKind::StaticHtml);
+        assert_eq!(
+            ContentKind::classify(&p("/index.html")),
+            ContentKind::StaticHtml
+        );
         assert_eq!(ContentKind::classify(&p("/a/logo.GIF")), ContentKind::Image);
-        assert_eq!(ContentKind::classify(&p("/cgi-bin/q.cgi")), ContentKind::Cgi);
-        assert_eq!(ContentKind::classify(&p("/shop/cart.asp")), ContentKind::Asp);
-        assert_eq!(ContentKind::classify(&p("/media/clip.mpg")), ContentKind::Video);
-        assert_eq!(ContentKind::classify(&p("/data/file.zip")), ContentKind::OtherStatic);
-        assert_eq!(ContentKind::classify(&p("/noext")), ContentKind::OtherStatic);
+        assert_eq!(
+            ContentKind::classify(&p("/cgi-bin/q.cgi")),
+            ContentKind::Cgi
+        );
+        assert_eq!(
+            ContentKind::classify(&p("/shop/cart.asp")),
+            ContentKind::Asp
+        );
+        assert_eq!(
+            ContentKind::classify(&p("/media/clip.mpg")),
+            ContentKind::Video
+        );
+        assert_eq!(
+            ContentKind::classify(&p("/data/file.zip")),
+            ContentKind::OtherStatic
+        );
+        assert_eq!(
+            ContentKind::classify(&p("/noext")),
+            ContentKind::OtherStatic
+        );
     }
 
     #[test]

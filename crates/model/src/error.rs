@@ -34,7 +34,10 @@ impl fmt::Display for ModelError {
                 write!(f, "invalid URL path {input:?}: {reason}")
             }
             ModelError::InvalidNodeSpec { field } => {
-                write!(f, "invalid node specification: field `{field}` out of range")
+                write!(
+                    f,
+                    "invalid node specification: field `{field}` out of range"
+                )
             }
             ModelError::InvalidConfig { field, reason } => {
                 write!(f, "invalid configuration: field `{field}`: {reason}")

@@ -155,9 +155,8 @@ impl LoadTracker {
                 let mut sum = 0.0;
                 let mut requests = 0;
                 for acc in contents.values() {
-                    let mean_time = SimDuration::from_micros(
-                        acc.total_time.as_micros() / acc.hits.max(1),
-                    );
+                    let mean_time =
+                        SimDuration::from_micros(acc.total_time.as_micros() / acc.hits.max(1));
                     let l_i = request_load(acc.kind, mean_time);
                     sum += l_i * acc.hits as f64;
                     requests += acc.hits;

@@ -324,7 +324,9 @@ impl NodeSpecBuilder {
             return Err(ModelError::InvalidNodeSpec { field: "mem_bytes" });
         }
         if self.disk_bytes == 0 {
-            return Err(ModelError::InvalidNodeSpec { field: "disk_bytes" });
+            return Err(ModelError::InvalidNodeSpec {
+                field: "disk_bytes",
+            });
         }
         if self.nic_bits_per_sec == 0 {
             return Err(ModelError::InvalidNodeSpec {
@@ -358,9 +360,7 @@ mod tests {
             .iter()
             .filter(|n| n.cpu_mhz() == 150)
             .all(|n| n.disk() == DiskKind::Ide && n.mem_bytes() == 64 << 20));
-        assert!(nodes
-            .iter()
-            .any(|n| n.software() == ServerSoftware::NtIis));
+        assert!(nodes.iter().any(|n| n.software() == ServerSoftware::NtIis));
     }
 
     #[test]
@@ -410,9 +410,7 @@ mod tests {
 
     #[test]
     fn disk_kind_parameters_ordered() {
-        assert!(
-            DiskKind::Scsi.bandwidth_bytes_per_sec() > DiskKind::Ide.bandwidth_bytes_per_sec()
-        );
+        assert!(DiskKind::Scsi.bandwidth_bytes_per_sec() > DiskKind::Ide.bandwidth_bytes_per_sec());
         assert!(DiskKind::Scsi.seek_micros() < DiskKind::Ide.seek_micros());
     }
 

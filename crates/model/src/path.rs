@@ -75,10 +75,7 @@ impl UrlPath {
                 reason: "path must start with '/'",
             });
         }
-        if path_part
-            .bytes()
-            .any(|b| b.is_ascii_control() || b == b' ')
-        {
+        if path_part.bytes().any(|b| b.is_ascii_control() || b == b' ') {
             return Err(ModelError::InvalidPath {
                 input: input.to_string(),
                 reason: "path contains whitespace or control characters",
@@ -262,7 +259,10 @@ mod tests {
     fn strips_query_and_fragment() {
         assert_eq!(UrlPath::parse("/x?y=1").unwrap().as_str(), "/x");
         assert_eq!(UrlPath::parse("/x#frag").unwrap().as_str(), "/x");
-        assert_eq!(UrlPath::parse("/cgi/run?q=a#b").unwrap().as_str(), "/cgi/run");
+        assert_eq!(
+            UrlPath::parse("/cgi/run?q=a#b").unwrap().as_str(),
+            "/cgi/run"
+        );
     }
 
     #[test]
@@ -289,7 +289,10 @@ mod tests {
     #[test]
     fn segments_and_levels() {
         let p = UrlPath::parse("/products/cgi-bin/list.cgi").unwrap();
-        assert_eq!(p.segments().collect::<Vec<_>>(), ["products", "cgi-bin", "list.cgi"]);
+        assert_eq!(
+            p.segments().collect::<Vec<_>>(),
+            ["products", "cgi-bin", "list.cgi"]
+        );
         assert_eq!(p.segment(0), Some("products"));
         assert_eq!(p.segment(2), Some("list.cgi"));
         assert_eq!(p.segment(3), None);

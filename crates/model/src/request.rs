@@ -135,10 +135,22 @@ mod tests {
     fn class_mapping() {
         assert_eq!(RequestClass::from_kind(ContentKind::Cgi), RequestClass::Cgi);
         assert_eq!(RequestClass::from_kind(ContentKind::Asp), RequestClass::Asp);
-        assert_eq!(RequestClass::from_kind(ContentKind::Video), RequestClass::Video);
-        assert_eq!(RequestClass::from_kind(ContentKind::StaticHtml), RequestClass::Static);
-        assert_eq!(RequestClass::from_kind(ContentKind::Image), RequestClass::Static);
-        assert_eq!(RequestClass::from_kind(ContentKind::OtherStatic), RequestClass::Static);
+        assert_eq!(
+            RequestClass::from_kind(ContentKind::Video),
+            RequestClass::Video
+        );
+        assert_eq!(
+            RequestClass::from_kind(ContentKind::StaticHtml),
+            RequestClass::Static
+        );
+        assert_eq!(
+            RequestClass::from_kind(ContentKind::Image),
+            RequestClass::Static
+        );
+        assert_eq!(
+            RequestClass::from_kind(ContentKind::OtherStatic),
+            RequestClass::Static
+        );
     }
 
     #[test]

@@ -245,11 +245,7 @@ impl Collector {
     /// Finalizes the window: produces class reports and the load samples,
     /// leaving the collector empty for the next window. Node/dispatcher/NFS
     /// figures are filled in by the simulation, which owns those resources.
-    pub fn drain(
-        &mut self,
-        window: SimDuration,
-        in_flight_at_end: u64,
-    ) -> SimReport {
+    pub fn drain(&mut self, window: SimDuration, in_flight_at_end: u64) -> SimReport {
         let mut classes: Vec<ClassReport> = Vec::new();
         for class in RequestClass::ALL {
             let Some(mut times) = self.response_micros.remove(&class) else {

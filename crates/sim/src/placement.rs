@@ -94,11 +94,7 @@ pub fn partition_by_type(corpus: &Corpus, specs: &[NodeSpec], spread: StaticSpre
         .filter(|n| specs[n.index()].can_serve_kind(ContentKind::Asp))
         .collect();
 
-    let mut by_cpu: Vec<NodeId> = ids
-        .iter()
-        .copied()
-        .filter(|n| !iis.contains(n))
-        .collect();
+    let mut by_cpu: Vec<NodeId> = ids.iter().copied().filter(|n| !iis.contains(n)).collect();
     by_cpu.sort_by(|a, b| specs[b.index()].cpu_mhz().cmp(&specs[a.index()].cpu_mhz()));
     let cgi_count = (by_cpu.len().div_ceil(2)).max(1).min(by_cpu.len().max(1));
     let cgi_hosts: Vec<NodeId> = if by_cpu.is_empty() {
@@ -113,7 +109,11 @@ pub fn partition_by_type(corpus: &Corpus, specs: &[NodeSpec], spread: StaticSpre
         iis.clone()
     };
 
-    let max_disk = specs.iter().map(NodeSpec::disk_bytes).max().expect("nonempty");
+    let max_disk = specs
+        .iter()
+        .map(NodeSpec::disk_bytes)
+        .max()
+        .expect("nonempty");
     let video_hosts: Vec<NodeId> = ids
         .iter()
         .copied()
@@ -268,7 +268,10 @@ pub fn replicate_hot_content(
                     .partial_cmp(&specs[a.index()].weight())
                     .expect("finite")
             });
-            for n in candidates.into_iter().take(copies.saturating_sub(current.len())) {
+            for n in candidates
+                .into_iter()
+                .take(copies.saturating_sub(current.len()))
+            {
                 table
                     .add_location(path, n)
                     .expect("entry exists: looked up above");
@@ -283,7 +286,9 @@ pub fn replicate_hot_content(
 /// according to the variety of content."
 ///
 /// Existing placements for critical objects are *replaced*: the old
-/// locations are dropped in favour of the top-weight capable nodes.
+/// locations are dropped in favour of nodes drawn from the strongest
+/// half of the capable nodes, rotating between objects so the (hot)
+/// critical set does not all pile onto one fixed machine.
 /// Mutable critical objects keep a single copy (§4).
 ///
 /// # Panics
@@ -297,6 +302,7 @@ pub fn pin_critical_content(
 ) {
     use cpms_model::Priority;
     assert!(copies >= 1, "copies must be at least 1");
+    let mut rotation = 0usize;
     for (id, item) in corpus.iter() {
         if item.priority() != Priority::Critical {
             continue;
@@ -319,7 +325,16 @@ pub fn pin_critical_content(
                 .expect("finite")
         });
         let target_copies = if item.is_mutable() { 1 } else { copies };
-        let new: Vec<NodeId> = candidates.into_iter().take(target_copies).collect();
+        // Critical content is the hottest content; spreading it across
+        // the strong tier (rather than the same top nodes every time)
+        // is what actually buys it better queueing behaviour.
+        let pool = candidates
+            .len()
+            .min(candidates.len().div_ceil(2).max(target_copies));
+        let new: Vec<NodeId> = (0..target_copies.min(pool))
+            .map(|k| candidates[(rotation + k) % pool])
+            .collect();
+        rotation = rotation.wrapping_add(1);
         if new.is_empty() {
             continue;
         }
@@ -401,7 +416,10 @@ mod tests {
             let spec = &specs[node.index()];
             match e.kind() {
                 ContentKind::Asp => {
-                    assert!(spec.can_serve_kind(ContentKind::Asp), "ASP on IIS only: {path}")
+                    assert!(
+                        spec.can_serve_kind(ContentKind::Asp),
+                        "ASP on IIS only: {path}"
+                    )
                 }
                 ContentKind::Video => {
                     assert_eq!(spec.disk_bytes(), max_disk, "video on big disks: {path}")
@@ -499,7 +517,10 @@ mod tests {
 
     #[test]
     fn hot_replication_skips_mutable() {
-        let c = CorpusBuilder::small_site().seed(6).mutable_fraction(1.0).build();
+        let c = CorpusBuilder::small_site()
+            .seed(6)
+            .mutable_fraction(1.0)
+            .build();
         let specs = NodeSpec::paper_testbed();
         let mut t = partition_by_type(&c, &specs, StaticSpread::AllNodes);
         replicate_hot_content(&mut t, &c, &specs, 1.0, 4);
@@ -515,7 +536,10 @@ mod tests {
     #[test]
     fn critical_content_pinned_to_strongest_nodes() {
         use cpms_model::Priority;
-        let c = CorpusBuilder::paper_site().seed(9).critical_fraction(0.05).build();
+        let c = CorpusBuilder::paper_site()
+            .seed(9)
+            .critical_fraction(0.05)
+            .build();
         let specs = NodeSpec::paper_testbed();
         let mut t = partition_by_type(&c, &specs, StaticSpread::AllNodes);
         pin_critical_content(&mut t, &c, &specs, 2);

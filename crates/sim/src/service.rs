@@ -135,7 +135,10 @@ mod tests {
     fn exec_time_varies_across_objects() {
         let m = ServiceModel::paper_defaults();
         let times: std::collections::HashSet<u64> = (0..50u32)
-            .map(|id| m.exec_time(ContentKind::Cgi, ContentId(id), 1.0).as_micros())
+            .map(|id| {
+                m.exec_time(ContentKind::Cgi, ContentId(id), 1.0)
+                    .as_micros()
+            })
             .collect();
         assert!(times.len() > 20, "per-script costs should be diverse");
     }

@@ -10,8 +10,8 @@ use crate::service::ServiceModel;
 use crate::station::Station;
 use cpms_dispatch::{ClusterState, Router, RoutingRequest};
 use cpms_model::{
-    ContentId, ContentKind, LoadSample, NodeId, NodeSpec, RequestClass, RequestId,
-    RequestOutcome, SimDuration, SimTime,
+    ContentId, ContentKind, LoadSample, NodeId, NodeSpec, RequestClass, RequestId, RequestOutcome,
+    SimDuration, SimTime,
 };
 use cpms_urltable::UrlTable;
 use cpms_workload::{Corpus, RequestSampler, Trace, WorkloadSpec};
@@ -162,14 +162,22 @@ struct Job {
 
 #[derive(Debug)]
 enum Event {
-    Issue { client: u32 },
+    Issue {
+        client: u32,
+    },
     ArriveNode(Job),
     CpuDone(Job),
     /// One disk granule read; `remaining` bytes still to read.
-    DiskChunk { job: Job, remaining: u64 },
+    DiskChunk {
+        job: Job,
+        remaining: u64,
+    },
     DataReady(Job),
     /// One NIC granule sent; `remaining` bytes still to send.
-    NicChunk { job: Job, remaining: u64 },
+    NicChunk {
+        job: Job,
+        remaining: u64,
+    },
     Done(Job),
 }
 
@@ -436,10 +444,8 @@ impl<'c> Simulation<'c> {
             None => {
                 self.collector.on_unroutable();
                 if self.config.arrival == Arrival::ClosedLoop {
-                    self.queue.push(
-                        self.now + self.config.retry_delay,
-                        Event::Issue { client },
-                    );
+                    self.queue
+                        .push(self.now + self.config.retry_delay, Event::Issue { client });
                 }
                 return;
             }
@@ -459,8 +465,8 @@ impl<'c> Simulation<'c> {
         } else {
             decision.cost + self.config.service.relay_cost(size)
         };
-        let dispatched_at = self.dispatcher.schedule(self.now, dispatch_cost)
-            + decision.client_latency;
+        let dispatched_at =
+            self.dispatcher.schedule(self.now, dispatch_cost) + decision.client_latency;
         self.state.connection_opened(decision.node);
         self.in_flight += 1;
         let job = Job {
@@ -532,9 +538,10 @@ impl<'c> Simulation<'c> {
             // at the disk instead of waiting behind a whole video.
             let chunk = job.size.min(crate::node::TRANSFER_CHUNK_BYTES);
             let remaining = job.size - chunk;
-            let done = node
-                .disk
-                .schedule(self.now, node.disk_chunk_time(chunk, true, &self.config.service));
+            let done = node.disk.schedule(
+                self.now,
+                node.disk_chunk_time(chunk, true, &self.config.service),
+            );
             node.cache_insert(job.content, job.size, &self.config.service);
             self.queue.push(done, Event::DiskChunk { job, remaining });
         }
@@ -547,9 +554,10 @@ impl<'c> Simulation<'c> {
         }
         let node = &mut self.nodes[job.node.index()];
         let chunk = remaining.min(crate::node::TRANSFER_CHUNK_BYTES);
-        let done = node
-            .disk
-            .schedule(self.now, node.disk_chunk_time(chunk, false, &self.config.service));
+        let done = node.disk.schedule(
+            self.now,
+            node.disk_chunk_time(chunk, false, &self.config.service),
+        );
         self.queue.push(
             done,
             Event::DiskChunk {
@@ -674,7 +682,11 @@ mod tests {
             &WorkloadSpec::workload_a(),
         );
         let report = sim.run(SimDuration::from_secs(2), SimDuration::from_secs(10));
-        assert!(report.throughput_rps() > 50.0, "{}", report.throughput_rps());
+        assert!(
+            report.throughput_rps() > 50.0,
+            "{}",
+            report.throughput_rps()
+        );
         assert_eq!(report.misroutes, 0);
         assert_eq!(report.unroutable, 0);
         assert!(report.class(RequestClass::Static).is_some());
@@ -732,7 +744,8 @@ mod tests {
     fn content_blind_routing_over_partitioned_misroutes() {
         let corpus = small_corpus();
         let specs = vec![NodeSpec::testbed_350(); 4];
-        let table = placement::partition_by_type(&corpus, &specs, placement::StaticSpread::AllNodes);
+        let table =
+            placement::partition_by_type(&corpus, &specs, placement::StaticSpread::AllNodes);
         let mut sim = Simulation::new(
             config(8),
             &corpus,
@@ -751,7 +764,8 @@ mod tests {
     fn content_aware_routing_over_partitioned_never_misroutes() {
         let corpus = small_corpus();
         let specs = vec![NodeSpec::testbed_350(); 4];
-        let table = placement::partition_by_type(&corpus, &specs, placement::StaticSpread::AllNodes);
+        let table =
+            placement::partition_by_type(&corpus, &specs, placement::StaticSpread::AllNodes);
         let mut sim = Simulation::new(
             config(8),
             &corpus,
@@ -783,10 +797,15 @@ mod tests {
 
     #[test]
     fn nfs_mode_slower_than_local_disk() {
-        let corpus = CorpusBuilder::small_site().seed(5).total_objects(2_000).build();
+        let corpus = CorpusBuilder::small_site()
+            .seed(5)
+            .total_objects(2_000)
+            .build();
         let mk = |nfs: bool| {
             let mut b = SimConfig::builder();
-            b.nodes(vec![NodeSpec::testbed_350(); 4]).clients(48).seed(2);
+            b.nodes(vec![NodeSpec::testbed_350(); 4])
+                .clients(48)
+                .seed(2);
             if nfs {
                 b.nfs(NodeSpec::testbed_350());
             }
@@ -943,14 +962,16 @@ mod tests {
     fn trace_replay_is_identical_across_policies() {
         use cpms_workload::{RequestSampler, Trace};
         let corpus = small_corpus();
-        let mut sampler =
-            RequestSampler::new(&corpus, &WorkloadSpec::workload_a(), 31);
+        let mut sampler = RequestSampler::new(&corpus, &WorkloadSpec::workload_a(), 31);
         let trace = Trace::record(&mut sampler, 2_000);
 
         let run = |router: Box<dyn cpms_dispatch::Router>| {
             let table = placement::replicate_everywhere(&corpus, 3);
             let mut config = SimConfig::builder();
-            config.nodes(vec![NodeSpec::testbed_350(); 3]).clients(8).seed(2);
+            config
+                .nodes(vec![NodeSpec::testbed_350(); 3])
+                .clients(8)
+                .seed(2);
             let mut sim = Simulation::new(
                 config.build(),
                 &corpus,
@@ -978,13 +999,16 @@ mod tests {
 
     #[test]
     fn trace_remaining_reports_progress() {
-        use cpms_workload::Trace;
         use cpms_model::ContentId;
+        use cpms_workload::Trace;
         let corpus = small_corpus();
         let table = placement::replicate_everywhere(&corpus, 2);
         let trace = Trace::from_ids([ContentId(0), ContentId(1), ContentId(2)]);
         let mut config = SimConfig::builder();
-        config.nodes(vec![NodeSpec::testbed_350(); 2]).clients(1).seed(1);
+        config
+            .nodes(vec![NodeSpec::testbed_350(); 2])
+            .clients(1)
+            .seed(1);
         let mut sim = Simulation::new(
             config.build(),
             &corpus,
@@ -1005,7 +1029,11 @@ mod tests {
         let specs = NodeSpec::paper_testbed();
         let table = placement::replicate_everywhere(&corpus, specs.len());
         let mut sim = Simulation::new(
-            SimConfig::builder().nodes(specs).clients(64).seed(8).build(),
+            SimConfig::builder()
+                .nodes(specs)
+                .clients(64)
+                .seed(8)
+                .build(),
             &corpus,
             table,
             Box::new(WeightedLeastConnections::new()),

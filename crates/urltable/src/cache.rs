@@ -13,11 +13,12 @@ use crate::entry::UrlEntry;
 use crate::lru::LruCache;
 use crate::table::UrlTable;
 use cpms_model::UrlPath;
+use std::sync::Arc;
 
 /// An LRU cache of recently routed URL-table records.
 #[derive(Debug)]
 pub struct LookupCache {
-    cache: LruCache<UrlPath, (u64, UrlEntry)>,
+    cache: LruCache<UrlPath, (u64, Arc<UrlEntry>)>,
 }
 
 impl LookupCache {
@@ -29,23 +30,29 @@ impl LookupCache {
     }
 
     /// Looks up `path`, consulting the cache first and falling back to the
-    /// table on miss or staleness. Returns a clone of the record (the
-    /// distributor immediately uses it for a routing decision).
+    /// table on miss or staleness. Returns a shared handle to the record
+    /// (the distributor immediately uses it for a routing decision).
+    ///
+    /// Records are cached behind an `Arc`: a table miss deep-clones the
+    /// record exactly once, and every subsequent cache hit is a pointer
+    /// bump rather than a clone of the whole entry (locations vector
+    /// included).
     ///
     /// Stale entries (cached before the table's current generation) are
     /// treated as misses and refreshed.
-    pub fn lookup(&mut self, table: &UrlTable, path: &UrlPath) -> Option<UrlEntry> {
+    pub fn lookup(&mut self, table: &UrlTable, path: &UrlPath) -> Option<Arc<UrlEntry>> {
         let generation = table.generation();
         if let Some((cached_gen, entry)) = self.cache.get(path) {
             if *cached_gen == generation {
-                return Some(entry.clone());
+                return Some(Arc::clone(entry));
             }
         }
         match table.lookup(path) {
             Some(entry) => {
+                let entry = Arc::new(entry.clone());
                 self.cache
-                    .insert(path.clone(), (generation, entry.clone()), 1);
-                Some(entry.clone())
+                    .insert(path.clone(), (generation, Arc::clone(&entry)), 1);
+                Some(entry)
             }
             None => {
                 // Negative results are not cached: the paper's distributor
@@ -119,6 +126,18 @@ mod tests {
         assert!(c.lookup(&t, &p("/a.html")).is_some()); // hit
         assert_eq!(c.raw_hits(), 1);
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn hits_share_one_allocation() {
+        let t = table_with(&["/a.html"]);
+        let mut c = LookupCache::new(16);
+        let first = c.lookup(&t, &p("/a.html")).unwrap();
+        let second = c.lookup(&t, &p("/a.html")).unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "a hit returns the cached record, not a fresh clone"
+        );
     }
 
     #[test]

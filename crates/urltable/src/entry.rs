@@ -92,6 +92,12 @@ impl UrlEntry {
         self.hits += 1;
     }
 
+    /// Records `count` routed requests at once (folding in a distributor
+    /// worker's batched hit ledger).
+    pub fn add_hits(&mut self, count: u64) {
+        self.hits += count;
+    }
+
     /// Adds a replica location. Returns `false` if the node already hosted
     /// the object.
     pub fn add_location(&mut self, node: NodeId) -> bool {

@@ -17,6 +17,10 @@
 //!   priority, hit count),
 //! - [`LookupCache`] — the recently-accessed-entry cache, built on a
 //!   generic O(1) [`lru::LruCache`],
+//! - [`TablePublisher`] / [`SnapshotHandle`] / [`SnapshotReader`] — the
+//!   copy-on-write snapshot protocol that lets many distributor workers
+//!   read the table wait-free while the controller publishes mutations
+//!   (see `snapshot`),
 //! - memory-footprint accounting reproducing the §5.2 measurement
 //!   (~8 700 objects ⇒ ~260 KB).
 //!
@@ -45,10 +49,12 @@
 pub mod cache;
 pub mod entry;
 pub mod lru;
+pub mod snapshot;
 pub mod stats;
 pub mod table;
 
 pub use cache::LookupCache;
 pub use entry::UrlEntry;
+pub use snapshot::{SnapshotHandle, SnapshotReader, TablePublisher};
 pub use stats::TableStats;
 pub use table::{TableError, UrlTable};

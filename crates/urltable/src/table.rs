@@ -191,6 +191,29 @@ impl UrlTable {
     /// its hit counter — what the distributor does per routed request. Hit
     /// bumps do **not** change the table generation.
     pub fn lookup_and_hit(&mut self, path: &UrlPath) -> Option<&UrlEntry> {
+        let entry = self.routed_entry_mut(path)?;
+        entry.record_hit();
+        Some(&*entry)
+    }
+
+    /// Adds `count` hits to the record routing `path` (exact or ancestor
+    /// default), returning whether a record was found. Used by distributors
+    /// that batch per-worker hit ledgers and fold them into the table
+    /// periodically instead of taking a write path per request. Like
+    /// [`UrlTable::lookup_and_hit`], this does **not** change the
+    /// generation.
+    pub fn record_hits(&mut self, path: &UrlPath, count: u64) -> bool {
+        match self.routed_entry_mut(path) {
+            Some(entry) => {
+                entry.add_hits(count);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The mutable record that `lookup` would resolve `path` to.
+    fn routed_entry_mut(&mut self, path: &UrlPath) -> Option<&mut UrlEntry> {
         // Walk with indices to sidestep the borrow of the returned entry.
         enum Hit {
             Exact,
@@ -227,10 +250,7 @@ impl UrlTable {
         };
         match hit {
             Hit::Exact => match self.find_mut(path)? {
-                Child::Leaf(e) => {
-                    e.record_hit();
-                    Some(&*e)
-                }
+                Child::Leaf(e) => Some(e),
                 Child::Dir(_) => None,
             },
             Hit::Default { depth } => {
@@ -241,9 +261,7 @@ impl UrlTable {
                         _ => unreachable!("default depth walked a directory chain"),
                     };
                 }
-                let entry = dir.default.as_deref_mut().expect("default at this depth");
-                entry.record_hit();
-                Some(&*entry)
+                Some(dir.default.as_deref_mut().expect("default at this depth"))
             }
             Hit::Miss => None,
         }
@@ -277,8 +295,9 @@ impl UrlTable {
                 }
             };
         }
-        dir.default = Some(Box::new(entry));
-        self.dir_defaults += 1;
+        if dir.default.replace(Box::new(entry)).is_none() {
+            self.dir_defaults += 1;
+        }
         self.generation += 1;
         Ok(())
     }
@@ -334,7 +353,11 @@ impl UrlTable {
         Ok(entry)
     }
 
-    fn remove_rec(dir: &mut Dir, segments: &[String], path: &UrlPath) -> Result<UrlEntry, TableError> {
+    fn remove_rec(
+        dir: &mut Dir,
+        segments: &[String],
+        path: &UrlPath,
+    ) -> Result<UrlEntry, TableError> {
         let (first, rest) = segments.split_first().expect("segments nonempty");
         if rest.is_empty() {
             match dir.children.get(first) {
@@ -597,7 +620,10 @@ mod tests {
         t.insert(p("/a/b/c.html"), e(1)).unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.lookup(&p("/a/b/c.html")).unwrap().content(), ContentId(1));
-        assert!(t.lookup(&p("/a/b")).is_none(), "directories are not records");
+        assert!(
+            t.lookup(&p("/a/b")).is_none(),
+            "directories are not records"
+        );
         assert!(t.is_dir(&p("/a/b")));
         let removed = t.remove(&p("/a/b/c.html")).unwrap();
         assert_eq!(removed.content(), ContentId(1));
@@ -655,16 +681,15 @@ mod tests {
         assert_eq!(t.generation(), g + 1, "no-op does not bump generation");
         assert!(t.remove_location(&p("/x"), NodeId(5)).unwrap());
         assert_eq!(t.generation(), g + 2);
-        assert!(t
-            .add_location(&p("/missing"), NodeId(1))
-            .is_err());
+        assert!(t.add_location(&p("/missing"), NodeId(1)).is_err());
     }
 
     #[test]
     fn rename_file() {
         let mut t = UrlTable::new();
         t.insert(p("/old/name.html"), e(1)).unwrap();
-        t.rename(&p("/old/name.html"), &p("/new/dir/name.html")).unwrap();
+        t.rename(&p("/old/name.html"), &p("/new/dir/name.html"))
+            .unwrap();
         assert!(t.lookup(&p("/old/name.html")).is_none());
         assert_eq!(
             t.lookup(&p("/new/dir/name.html")).unwrap().content(),
@@ -680,7 +705,10 @@ mod tests {
         t.insert(p("/img/a.gif"), e(1)).unwrap();
         t.insert(p("/img/sub/b.gif"), e(2)).unwrap();
         t.rename(&p("/img"), &p("/media")).unwrap();
-        assert_eq!(t.lookup(&p("/media/a.gif")).unwrap().content(), ContentId(1));
+        assert_eq!(
+            t.lookup(&p("/media/a.gif")).unwrap().content(),
+            ContentId(1)
+        );
         assert_eq!(
             t.lookup(&p("/media/sub/b.gif")).unwrap().content(),
             ContentId(2)
@@ -700,9 +728,14 @@ mod tests {
         );
         assert_eq!(
             t.rename(&p("/missing"), &p("/c")),
-            Err(TableError::NotFound { path: p("/missing") })
+            Err(TableError::NotFound {
+                path: p("/missing")
+            })
         );
-        assert_eq!(t.rename(&UrlPath::root(), &p("/c")), Err(TableError::IsRoot));
+        assert_eq!(
+            t.rename(&UrlPath::root(), &p("/c")),
+            Err(TableError::IsRoot)
+        );
     }
 
     #[test]
@@ -711,8 +744,10 @@ mod tests {
         t.insert(p("/img/a.gif"), e(1)).unwrap();
         t.insert(p("/img/b.gif"), e(2)).unwrap();
         t.insert(p("/doc/c.html"), e(3)).unwrap();
-        let mut under_img: Vec<String> =
-            t.subtree(&p("/img")).map(|(path, _)| path.to_string()).collect();
+        let mut under_img: Vec<String> = t
+            .subtree(&p("/img"))
+            .map(|(path, _)| path.to_string())
+            .collect();
         under_img.sort();
         assert_eq!(under_img, ["/img/a.gif", "/img/b.gif"]);
         assert_eq!(t.subtree(&UrlPath::root()).count(), 3);
@@ -725,7 +760,8 @@ mod tests {
     fn iter_covers_all() {
         let mut t = UrlTable::new();
         for i in 0..50u32 {
-            t.insert(p(&format!("/d{}/f{}.html", i % 5, i)), e(i)).unwrap();
+            t.insert(p(&format!("/d{}/f{}.html", i % 5, i)), e(i))
+                .unwrap();
         }
         assert_eq!(t.iter().count(), 50);
         let ids: std::collections::HashSet<u32> =
@@ -738,7 +774,8 @@ mod tests {
         let mut t = UrlTable::new();
         let m0 = t.memory_bytes();
         for i in 0..1000u32 {
-            t.insert(p(&format!("/dir{}/file{}.html", i % 10, i)), e(i)).unwrap();
+            t.insert(p(&format!("/dir{}/file{}.html", i % 10, i)), e(i))
+                .unwrap();
         }
         let m1 = t.memory_bytes();
         assert!(m1 > m0 + 1000 * std::mem::size_of::<UrlEntry>());
@@ -758,7 +795,10 @@ mod tests {
         assert_eq!(hit.locations(), [NodeId(4)]);
         // ...but exact records win
         t.insert(p("/img/hot.gif"), e(7)).unwrap();
-        assert_eq!(t.lookup(&p("/img/hot.gif")).unwrap().content(), ContentId(7));
+        assert_eq!(
+            t.lookup(&p("/img/hot.gif")).unwrap().content(),
+            ContentId(7)
+        );
         assert!(t.lookup_exact(&p("/img/cold.gif")).is_none());
         // outside the subtree, nothing resolves
         assert!(t.lookup(&p("/doc/y.html")).is_none());
@@ -778,7 +818,10 @@ mod tests {
             UrlEntry::new(ContentId(2), ContentKind::Video, 0).with_locations([NodeId(8)]),
         )
         .unwrap();
-        assert_eq!(t.lookup(&p("/anything.txt")).unwrap().content(), ContentId(1));
+        assert_eq!(
+            t.lookup(&p("/anything.txt")).unwrap().content(),
+            ContentId(1)
+        );
         assert_eq!(
             t.lookup(&p("/video/clip.mpg")).unwrap().content(),
             ContentId(2),

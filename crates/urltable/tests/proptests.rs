@@ -2,7 +2,7 @@
 
 use cpms_model::{ContentId, ContentKind, NodeId, UrlPath};
 use cpms_urltable::lru::LruCache;
-use cpms_urltable::{LookupCache, UrlEntry, UrlTable};
+use cpms_urltable::{LookupCache, TableError, UrlEntry, UrlTable};
 use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 
@@ -246,5 +246,423 @@ proptest! {
                 (c, t) => prop_assert!(false, "cache {:?} vs table {:?}", c.is_some(), t.is_some()),
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Full mutation-op model: every public mutation (insert, remove, rename,
+// add/remove_location, set/remove_dir_default, hit) against a flat reference
+// model that also predicts the exact error variant and the generation
+// counter.
+// ---------------------------------------------------------------------------
+
+/// Paths over a deliberately tiny alphabet so that collisions — and with
+/// them the AlreadyExists / DestinationExists / NotADirectory / NotFound
+/// error paths — occur constantly.
+fn tight_path_strategy() -> impl Strategy<Value = UrlPath> {
+    prop::collection::vec("[abc]", 1..4).prop_map(|segs| {
+        let mut p = UrlPath::root();
+        for s in segs {
+            p = p.join(&s).expect("generated segments are valid");
+        }
+        p
+    })
+}
+
+/// Directory paths for defaults; may be the root.
+fn tight_dir_strategy() -> impl Strategy<Value = UrlPath> {
+    prop::collection::vec("[abc]", 0..3).prop_map(|segs| {
+        let mut p = UrlPath::root();
+        for s in segs {
+            p = p.join(&s).expect("generated segments are valid");
+        }
+        p
+    })
+}
+
+#[derive(Debug, Clone)]
+enum FullOp {
+    Insert(UrlPath, u32),
+    Remove(UrlPath),
+    Rename(UrlPath, UrlPath),
+    AddLoc(UrlPath, u16),
+    RemoveLoc(UrlPath, u16),
+    SetDefault(UrlPath, u32),
+    RemoveDefault(UrlPath),
+    Hit(UrlPath),
+}
+
+fn full_op_strategy() -> impl Strategy<Value = FullOp> {
+    prop_oneof![
+        (tight_path_strategy(), any::<u32>()).prop_map(|(p, id)| FullOp::Insert(p, id)),
+        tight_path_strategy().prop_map(FullOp::Remove),
+        (tight_path_strategy(), tight_path_strategy()).prop_map(|(f, t)| FullOp::Rename(f, t)),
+        (tight_path_strategy(), 0u16..8).prop_map(|(p, n)| FullOp::AddLoc(p, n)),
+        (tight_path_strategy(), 0u16..8).prop_map(|(p, n)| FullOp::RemoveLoc(p, n)),
+        (tight_dir_strategy(), any::<u32>()).prop_map(|(d, id)| FullOp::SetDefault(d, id)),
+        tight_dir_strategy().prop_map(FullOp::RemoveDefault),
+        tight_path_strategy().prop_map(FullOp::Hit),
+    ]
+}
+
+/// Every non-root strict prefix of `path`, shallowest first.
+fn strict_prefixes(path: &UrlPath) -> Vec<UrlPath> {
+    let segs: Vec<&str> = path.segments().collect();
+    let mut out = Vec::new();
+    let mut cur = UrlPath::root();
+    for seg in &segs[..segs.len().saturating_sub(1)] {
+        cur = cur.join(seg).expect("prefix of a valid path is valid");
+        out.push(cur.clone());
+    }
+    out
+}
+
+/// `path` with the `from` prefix replaced by `to` (callers guarantee
+/// `path.starts_with(from)`).
+fn replace_prefix(path: &UrlPath, from: &UrlPath, to: &UrlPath) -> UrlPath {
+    let mut out = to.clone();
+    for seg in path.segments().skip(from.depth()) {
+        out = out.join(seg).expect("segments of a valid path are valid");
+    }
+    out
+}
+
+#[derive(Debug, Clone)]
+struct Rec {
+    id: u32,
+    locs: HashSet<u16>,
+    hits: u64,
+}
+
+impl Rec {
+    fn new(id: u32) -> Self {
+        Rec {
+            id,
+            locs: HashSet::new(),
+            hits: 0,
+        }
+    }
+}
+
+/// Flat reference model of the trie: records and directory defaults as maps,
+/// plus the set of *currently existing* interior directory nodes. The dirs
+/// set is what lets the model predict DestinationExists / NotFound exactly:
+/// the table prunes emptied directories after remove/detach but deliberately
+/// keeps them after `remove_dir_default`, so node existence is not derivable
+/// from the two maps alone.
+#[derive(Debug, Default)]
+struct RefModel {
+    records: HashMap<UrlPath, Rec>,
+    defaults: HashMap<UrlPath, Rec>,
+    dirs: HashSet<UrlPath>,
+}
+
+impl RefModel {
+    fn node_exists(&self, p: &UrlPath) -> bool {
+        p.is_root() || self.records.contains_key(p) || self.dirs.contains(p)
+    }
+
+    /// Whether directory `q` still holds anything: a default of its own or
+    /// any record / directory / default strictly below it.
+    fn occupied(&self, q: &UrlPath) -> bool {
+        self.defaults.keys().any(|d| d.starts_with(q))
+            || self.records.keys().any(|r| r != q && r.starts_with(q))
+            || self.dirs.iter().any(|d| d != q && d.starts_with(q))
+    }
+
+    /// Mirrors the table's bottom-up pruning of emptied directories along
+    /// `p`'s ancestry after a detach/remove at `p`.
+    fn prune_above(&mut self, p: &UrlPath) {
+        for q in strict_prefixes(p).into_iter().rev() {
+            if self.occupied(&q) {
+                break;
+            }
+            self.dirs.remove(&q);
+        }
+    }
+
+    fn add_dir_chain(&mut self, prefixes: Vec<UrlPath>) {
+        for q in prefixes {
+            self.dirs.insert(q);
+        }
+    }
+}
+
+proptest! {
+    /// The table agrees with the reference model under arbitrary sequences
+    /// of *all* public mutation ops — including the exact error variant for
+    /// every rejected operation and the generation counter after every op.
+    #[test]
+    fn mutation_ops_match_reference_model(
+        ops in prop::collection::vec(full_op_strategy(), 1..250),
+    ) {
+        let mut table = UrlTable::new();
+        let mut model = RefModel::default();
+
+        for op in ops {
+            let g0 = table.generation();
+            let mut bumped = false;
+            match op {
+                FullOp::Insert(p, id) => {
+                    let r = table.insert(
+                        p.clone(),
+                        UrlEntry::new(ContentId(id), ContentKind::StaticHtml, 64),
+                    );
+                    if strict_prefixes(&p).iter().any(|q| model.records.contains_key(q)) {
+                        prop_assert!(
+                            matches!(r, Err(TableError::NotADirectory { .. })),
+                            "insert {} through a file: {:?}", p, r
+                        );
+                    } else if model.node_exists(&p) {
+                        prop_assert!(
+                            matches!(r, Err(TableError::AlreadyExists { .. })),
+                            "insert {} onto existing node: {:?}", p, r
+                        );
+                    } else {
+                        prop_assert!(r.is_ok(), "insert {} should succeed: {:?}", p, r);
+                        model.add_dir_chain(strict_prefixes(&p));
+                        model.records.insert(p, Rec::new(id));
+                        bumped = true;
+                    }
+                }
+                FullOp::Remove(p) => {
+                    let r = table.remove(&p);
+                    match model.records.remove(&p) {
+                        Some(rec) => {
+                            let entry = r.expect("model says a record exists");
+                            prop_assert_eq!(entry.content(), ContentId(rec.id));
+                            prop_assert_eq!(entry.hits(), rec.hits);
+                            model.prune_above(&p);
+                            bumped = true;
+                        }
+                        None => prop_assert!(
+                            matches!(r, Err(TableError::NotFound { .. })),
+                            "remove {}: {:?}", p, r
+                        ),
+                    }
+                }
+                FullOp::Rename(from, to) => {
+                    let r = table.rename(&from, &to);
+                    if model.node_exists(&to) {
+                        prop_assert!(
+                            matches!(r, Err(TableError::DestinationExists { .. })),
+                            "rename {} -> {}: {:?}", from, to, r
+                        );
+                    } else if !model.node_exists(&from) {
+                        prop_assert!(
+                            matches!(r, Err(TableError::NotFound { .. })),
+                            "rename {} -> {}: {:?}", from, to, r
+                        );
+                    } else if strict_prefixes(&to)
+                        .iter()
+                        .any(|q| model.records.contains_key(q) && !q.starts_with(&from))
+                    {
+                        // The attach walk runs on the post-detach tree, so
+                        // leaves inside the moved subtree cannot block it.
+                        prop_assert!(
+                            matches!(r, Err(TableError::NotADirectory { .. })),
+                            "rename {} -> {} through a file: {:?}", from, to, r
+                        );
+                    } else {
+                        prop_assert!(r.is_ok(), "rename {} -> {} should succeed: {:?}", from, to, r);
+                        let rewrite = |k: &UrlPath| {
+                            if k.starts_with(&from) {
+                                replace_prefix(k, &from, &to)
+                            } else {
+                                k.clone()
+                            }
+                        };
+                        model.records =
+                            model.records.drain().map(|(k, v)| (rewrite(&k), v)).collect();
+                        model.defaults =
+                            model.defaults.drain().map(|(k, v)| (rewrite(&k), v)).collect();
+                        model.dirs = model.dirs.drain().map(|k| rewrite(&k)).collect();
+                        model.prune_above(&from);
+                        model.add_dir_chain(strict_prefixes(&to));
+                        bumped = true;
+                    }
+                }
+                FullOp::AddLoc(p, n) => {
+                    let r = table.add_location(&p, NodeId(n));
+                    match model.records.get_mut(&p) {
+                        Some(rec) => {
+                            let changed = rec.locs.insert(n);
+                            prop_assert_eq!(r.unwrap(), changed);
+                            bumped = changed;
+                        }
+                        None => prop_assert!(
+                            matches!(r, Err(TableError::NotFound { .. })),
+                            "add_location {}: {:?}", p, r
+                        ),
+                    }
+                }
+                FullOp::RemoveLoc(p, n) => {
+                    let r = table.remove_location(&p, NodeId(n));
+                    match model.records.get_mut(&p) {
+                        Some(rec) => {
+                            let changed = rec.locs.remove(&n);
+                            prop_assert_eq!(r.unwrap(), changed);
+                            bumped = changed;
+                        }
+                        None => prop_assert!(
+                            matches!(r, Err(TableError::NotFound { .. })),
+                            "remove_location {}: {:?}", p, r
+                        ),
+                    }
+                }
+                FullOp::SetDefault(d, id) => {
+                    let r = table.set_dir_default(
+                        &d,
+                        UrlEntry::new(ContentId(id), ContentKind::Image, 32),
+                    );
+                    if model.records.keys().any(|rec| d.starts_with(rec)) {
+                        prop_assert!(
+                            matches!(r, Err(TableError::NotADirectory { .. })),
+                            "set_dir_default {} through a file: {:?}", d, r
+                        );
+                    } else {
+                        prop_assert!(r.is_ok(), "set_dir_default {} should succeed: {:?}", d, r);
+                        if !d.is_root() {
+                            model.add_dir_chain(strict_prefixes(&d));
+                            model.dirs.insert(d.clone());
+                        }
+                        // Replacing an existing default installs a fresh
+                        // entry (hit count restarts at zero).
+                        model.defaults.insert(d, Rec::new(id));
+                        bumped = true;
+                    }
+                }
+                FullOp::RemoveDefault(d) => {
+                    let r = table.remove_dir_default(&d);
+                    match model.defaults.remove(&d) {
+                        Some(rec) => {
+                            let entry = r.expect("model says a default exists");
+                            prop_assert_eq!(entry.content(), ContentId(rec.id));
+                            prop_assert_eq!(entry.hits(), rec.hits);
+                            // The table keeps the now-possibly-empty
+                            // directory chain alive; the model's dirs set is
+                            // deliberately not pruned here.
+                            bumped = true;
+                        }
+                        None => prop_assert!(
+                            matches!(r, Err(TableError::NotFound { .. })),
+                            "remove_dir_default {}: {:?}", d, r
+                        ),
+                    }
+                }
+                FullOp::Hit(p) => {
+                    let got = table.lookup_and_hit(&p).map(|e| (e.content().0, e.hits()));
+                    let expected = if let Some(rec) = model.records.get_mut(&p) {
+                        rec.hits += 1;
+                        Some((rec.id, rec.hits))
+                    } else {
+                        match model
+                            .defaults
+                            .iter_mut()
+                            .filter(|(d, _)| p.starts_with(d))
+                            .max_by_key(|(d, _)| d.depth())
+                        {
+                            Some((_, rec)) => {
+                                rec.hits += 1;
+                                Some((rec.id, rec.hits))
+                            }
+                            None => None,
+                        }
+                    };
+                    prop_assert_eq!(got, expected, "hit {}", p);
+                }
+            }
+            prop_assert_eq!(
+                table.generation(),
+                g0 + u64::from(bumped),
+                "generation after {:?}", (&bumped,)
+            );
+        }
+
+        // Final state equivalence: counts, every record, every default, and
+        // the iterator's view.
+        prop_assert_eq!(table.len(), model.records.len());
+        prop_assert_eq!(table.dir_default_count(), model.defaults.len());
+        for (p, rec) in &model.records {
+            let entry = table.lookup(p).expect("model record present in table");
+            prop_assert_eq!(entry.content(), ContentId(rec.id));
+            prop_assert_eq!(entry.hits(), rec.hits);
+            let locs: HashSet<u16> = entry.locations().iter().map(|n| n.0).collect();
+            prop_assert_eq!(&locs, &rec.locs);
+        }
+        for (d, rec) in &model.defaults {
+            // Looking up the directory itself resolves its own default.
+            let entry = table.lookup(d).expect("model default present in table");
+            prop_assert_eq!(entry.content(), ContentId(rec.id));
+            prop_assert_eq!(entry.hits(), rec.hits);
+        }
+        let iter_paths: HashSet<UrlPath> = table.iter().map(|(p, _)| p).collect();
+        let model_paths: HashSet<UrlPath> = model.records.keys().cloned().collect();
+        prop_assert_eq!(iter_paths, model_paths);
+    }
+
+    /// `set_dir_default` through a file and `insert` below a file always
+    /// fail with NotADirectory and leave the table untouched.
+    #[test]
+    fn paths_through_files_are_rejected(
+        file in tight_path_strategy(),
+        below in prop::collection::vec("[abc]", 1..3),
+    ) {
+        let mut table = UrlTable::new();
+        table
+            .insert(file.clone(), UrlEntry::new(ContentId(1), ContentKind::StaticHtml, 8))
+            .unwrap();
+        let mut deeper = file.clone();
+        for seg in below {
+            deeper = deeper.join(&seg).unwrap();
+        }
+        let g = table.generation();
+
+        let r = table.set_dir_default(&deeper, UrlEntry::new(ContentId(2), ContentKind::Image, 8));
+        prop_assert!(matches!(r, Err(TableError::NotADirectory { .. })));
+        let r = table.insert(deeper.clone(), UrlEntry::new(ContentId(3), ContentKind::Cgi, 8));
+        prop_assert!(matches!(r, Err(TableError::NotADirectory { .. })));
+
+        prop_assert_eq!(table.generation(), g);
+        prop_assert_eq!(table.len(), 1);
+        prop_assert_eq!(table.dir_default_count(), 0);
+        prop_assert_eq!(table.lookup(&file).unwrap().content(), ContentId(1));
+        prop_assert!(table.lookup(&deeper).is_none());
+    }
+
+    /// Renaming onto any existing node — record or directory — fails with
+    /// DestinationExists and both subtrees survive unchanged.
+    #[test]
+    fn rename_onto_existing_node_is_rejected(
+        src in tight_path_strategy(),
+        dst_file in tight_path_strategy(),
+        dst_child in "[abc]",
+    ) {
+        prop_assume!(!src.starts_with(&dst_file) && !dst_file.starts_with(&src));
+        let mut table = UrlTable::new();
+        table
+            .insert(src.clone(), UrlEntry::new(ContentId(1), ContentKind::StaticHtml, 8))
+            .unwrap();
+        table
+            .insert(
+                dst_file.join(&dst_child).unwrap(),
+                UrlEntry::new(ContentId(2), ContentKind::StaticHtml, 8),
+            )
+            .unwrap();
+        let g = table.generation();
+
+        // Destination is an existing record.
+        let r = table.rename(&src, &dst_file.join(&dst_child).unwrap());
+        prop_assert!(matches!(r, Err(TableError::DestinationExists { .. })));
+        // Destination is an existing directory.
+        let r = table.rename(&src, &dst_file);
+        prop_assert!(matches!(r, Err(TableError::DestinationExists { .. })));
+
+        prop_assert_eq!(table.generation(), g);
+        prop_assert_eq!(table.lookup(&src).unwrap().content(), ContentId(1));
+        prop_assert_eq!(
+            table.lookup(&dst_file.join(&dst_child).unwrap()).unwrap().content(),
+            ContentId(2)
+        );
     }
 }

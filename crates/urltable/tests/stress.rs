@@ -1,0 +1,236 @@
+//! Concurrency stress tests for the snapshot-publication protocol:
+//! reader threads with private per-thread caches race a writer that
+//! publishes table mutations through [`TablePublisher`].
+//!
+//! The invariants checked here are the ones the multi-worker distributor
+//! relies on:
+//!
+//! 1. **Generation monotonicity** — a reader's pinned generation never goes
+//!    backwards, and the handle's published generation only advances.
+//! 2. **Publication visibility** — once a delete has been *published*
+//!    (`update` returned and the fact was made visible to the reader via a
+//!    Release/Acquire flag), no subsequent lookup may still route the
+//!    deleted path.
+//! 3. **Snapshot atomicity** — mutations applied inside one `update`
+//!    closure become visible together or not at all.
+
+use cpms_model::{ContentId, ContentKind, NodeId, UrlPath};
+use cpms_urltable::{TablePublisher, UrlEntry, UrlTable};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn p(s: &str) -> UrlPath {
+    s.parse().unwrap()
+}
+
+fn stress_paths(n: usize) -> Vec<UrlPath> {
+    (0..n).map(|i| p(&format!("/stress/obj{i}"))).collect()
+}
+
+/// Readers with small private caches hammer every path while the writer
+/// churns replica sets and then deletes each record. After a delete has
+/// been published, readers must never route the path again; pinned and
+/// published generations must be monotone throughout.
+#[test]
+fn published_deletes_are_never_resurrected() {
+    const PATHS: usize = 48;
+    const READERS: usize = 4;
+
+    let paths = stress_paths(PATHS);
+    let mut table = UrlTable::new();
+    for (i, path) in paths.iter().enumerate() {
+        table
+            .insert(
+                path.clone(),
+                UrlEntry::new(ContentId(i as u32), ContentKind::StaticHtml, 64)
+                    .with_locations([NodeId(0)]),
+            )
+            .unwrap();
+    }
+    let publisher = TablePublisher::new(table);
+    let deleted: Arc<Vec<AtomicBool>> =
+        Arc::new((0..PATHS).map(|_| AtomicBool::new(false)).collect());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        for _ in 0..READERS {
+            let handle = publisher.handle();
+            let deleted = Arc::clone(&deleted);
+            let stop = Arc::clone(&stop);
+            let paths = &paths;
+            scope.spawn(move || {
+                // A cache much smaller than the path set keeps evictions and
+                // refills in play while snapshots swap underneath.
+                let mut reader = handle.reader(16);
+                let mut last_pinned = reader.pinned_generation();
+                let mut last_published = handle.generation();
+                while !stop.load(Ordering::Relaxed) {
+                    for (i, path) in paths.iter().enumerate() {
+                        let was_deleted = deleted[i].load(Ordering::Acquire);
+                        let entry = reader.lookup(path);
+                        let pinned = reader.pinned_generation();
+                        assert!(
+                            pinned >= last_pinned,
+                            "pinned generation went backwards: {last_pinned} -> {pinned}"
+                        );
+                        last_pinned = pinned;
+                        let published = handle.generation();
+                        assert!(
+                            published >= last_published,
+                            "published generation went backwards"
+                        );
+                        last_published = published;
+                        match entry {
+                            Some(e) => {
+                                assert!(
+                                    !was_deleted,
+                                    "lookup routed {path} after its delete was published"
+                                );
+                                assert_eq!(e.content(), ContentId(i as u32));
+                                assert!(
+                                    !e.locations().is_empty(),
+                                    "published snapshots never have empty replica sets"
+                                );
+                            }
+                            None => {
+                                // A miss before the delete is impossible: the
+                                // record is present from the initial table
+                                // until its single delete.
+                                assert!(
+                                    was_deleted,
+                                    "lookup missed {path} before its delete was published"
+                                );
+                            }
+                        }
+                    }
+                }
+            });
+        }
+
+        // Writer: churn each record's replica set, then delete it and only
+        // afterwards raise the flag the readers check (Release pairs with
+        // the readers' Acquire loads).
+        for (i, path) in paths.iter().enumerate() {
+            for round in 1u16..4 {
+                publisher
+                    .update(|t| t.add_location(path, NodeId(round)))
+                    .unwrap();
+                publisher
+                    .update(|t| t.remove_location(path, NodeId(round)))
+                    .unwrap();
+            }
+            publisher.update(|t| t.remove(path)).unwrap();
+            deleted[i].store(true, Ordering::Release);
+            if i % 8 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // Everything was deleted; the final snapshot agrees.
+    assert_eq!(publisher.snapshot().len(), 0);
+}
+
+/// Mutations grouped in a single `update` closure are published as one
+/// snapshot: readers pinning a table can never see the pair half-applied.
+#[test]
+fn multi_mutation_updates_are_atomic() {
+    const CYCLES: usize = 400;
+    const READERS: usize = 3;
+
+    let a = p("/pair/a.html");
+    let b = p("/pair/b.html");
+    let publisher = TablePublisher::new(UrlTable::new());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        for _ in 0..READERS {
+            let handle = publisher.handle();
+            let stop = Arc::clone(&stop);
+            let (a, b) = (a.clone(), b.clone());
+            scope.spawn(move || {
+                let mut reader = handle.reader(8);
+                while !stop.load(Ordering::Relaxed) {
+                    // One pinned snapshot for both probes.
+                    let table = reader.table();
+                    let has_a = table.lookup(&a).is_some();
+                    let has_b = table.lookup(&b).is_some();
+                    assert_eq!(
+                        has_a, has_b,
+                        "insert/remove pair observed half-applied (a={has_a}, b={has_b})"
+                    );
+                }
+            });
+        }
+
+        for i in 0..CYCLES {
+            publisher
+                .update(|t| {
+                    t.insert(
+                        a.clone(),
+                        UrlEntry::new(ContentId(0), ContentKind::StaticHtml, 8)
+                            .with_locations([NodeId(0)]),
+                    )?;
+                    t.insert(
+                        b.clone(),
+                        UrlEntry::new(ContentId(1), ContentKind::StaticHtml, 8)
+                            .with_locations([NodeId(1)]),
+                    )
+                })
+                .unwrap();
+            publisher
+                .update(|t| {
+                    t.remove(&a)?;
+                    t.remove(&b).map(|_| ())
+                })
+                .unwrap();
+            if i % 64 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    assert_eq!(publisher.snapshot().len(), 0);
+    assert_eq!(publisher.generation(), publisher.handle().generation());
+}
+
+/// Hit-count publications (e.g. the proxy's `flush_hits`) do not advance the
+/// routing generation, so readers keep their pins and caches; a routing
+/// mutation immediately afterwards still re-pins them.
+#[test]
+fn hit_publications_do_not_force_repins() {
+    let path = p("/hot/page.html");
+    let mut table = UrlTable::new();
+    table
+        .insert(
+            path.clone(),
+            UrlEntry::new(ContentId(7), ContentKind::StaticHtml, 16).with_locations([NodeId(0)]),
+        )
+        .unwrap();
+    let publisher = TablePublisher::new(table);
+    let handle = publisher.handle();
+    let mut reader = handle.reader(8);
+    assert!(reader.lookup(&path).is_some());
+    let pinned = reader.pinned_generation();
+
+    // Fold in hit counts: a publication, but not a routing change.
+    publisher.update(|t| t.record_hits(&path, 1000));
+    assert!(reader.lookup(&path).is_some());
+    assert_eq!(
+        reader.pinned_generation(),
+        pinned,
+        "hit-only publications must not move the routing generation"
+    );
+
+    // A genuine routing mutation does re-pin, and the reader sees both the
+    // new replica and the accumulated hits.
+    publisher
+        .update(|t| t.add_location(&path, NodeId(3)))
+        .unwrap();
+    let entry = reader.lookup(&path).expect("record still routed");
+    assert!(reader.pinned_generation() > pinned);
+    assert!(entry.locations().contains(&NodeId(3)));
+    assert_eq!(entry.hits(), 1000);
+}

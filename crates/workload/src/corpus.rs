@@ -44,7 +44,9 @@ impl KindFractions {
     }
 
     fn is_valid(&self) -> bool {
-        let all = [self.html, self.image, self.other, self.cgi, self.asp, self.video];
+        let all = [
+            self.html, self.image, self.other, self.cgi, self.asp, self.video,
+        ];
         all.iter().all(|f| (0.0..=1.0).contains(f) && f.is_finite())
             && (all.iter().sum::<f64>() - 1.0).abs() < 1e-9
     }
@@ -198,7 +200,10 @@ impl CorpusBuilder {
     ///
     /// Panics if `total_objects` is 0.
     pub fn build(&self) -> Corpus {
-        assert!(self.total_objects > 0, "corpus must have at least one object");
+        assert!(
+            self.total_objects > 0,
+            "corpus must have at least one object"
+        );
         let mut rng = StdRng::seed_from_u64(self.seed);
         let n = self.total_objects;
 
@@ -227,12 +232,12 @@ impl CorpusBuilder {
 
         let mut items: Vec<ContentItem> = Vec::with_capacity(n);
         let push_kind = |items: &mut Vec<ContentItem>,
-                             rng: &mut StdRng,
-                             kind: ContentKind,
-                             count: usize,
-                             dir: &str,
-                             ext: &str,
-                             sizes: &SizeModel| {
+                         rng: &mut StdRng,
+                         kind: ContentKind,
+                         count: usize,
+                         dir: &str,
+                         ext: &str,
+                         sizes: &SizeModel| {
             for i in 0..count {
                 // Spread files over subdirectories to exercise the
                 // multi-level table (depth 3).
@@ -244,12 +249,60 @@ impl CorpusBuilder {
             }
         };
 
-        push_kind(&mut items, &mut rng, ContentKind::StaticHtml, n_html, "html", "html", &self.static_sizes);
-        push_kind(&mut items, &mut rng, ContentKind::Image, n_image, "img", "gif", &self.static_sizes);
-        push_kind(&mut items, &mut rng, ContentKind::OtherStatic, n_other, "files", "dat", &self.static_sizes);
-        push_kind(&mut items, &mut rng, ContentKind::Cgi, n_cgi, "cgi-bin", "cgi", &self.dynamic_sizes);
-        push_kind(&mut items, &mut rng, ContentKind::Asp, n_asp, "asp", "asp", &self.dynamic_sizes);
-        push_kind(&mut items, &mut rng, ContentKind::Video, n_video, "video", "mpg", &self.multimedia_sizes);
+        push_kind(
+            &mut items,
+            &mut rng,
+            ContentKind::StaticHtml,
+            n_html,
+            "html",
+            "html",
+            &self.static_sizes,
+        );
+        push_kind(
+            &mut items,
+            &mut rng,
+            ContentKind::Image,
+            n_image,
+            "img",
+            "gif",
+            &self.static_sizes,
+        );
+        push_kind(
+            &mut items,
+            &mut rng,
+            ContentKind::OtherStatic,
+            n_other,
+            "files",
+            "dat",
+            &self.static_sizes,
+        );
+        push_kind(
+            &mut items,
+            &mut rng,
+            ContentKind::Cgi,
+            n_cgi,
+            "cgi-bin",
+            "cgi",
+            &self.dynamic_sizes,
+        );
+        push_kind(
+            &mut items,
+            &mut rng,
+            ContentKind::Asp,
+            n_asp,
+            "asp",
+            "asp",
+            &self.dynamic_sizes,
+        );
+        push_kind(
+            &mut items,
+            &mut rng,
+            ContentKind::Video,
+            n_video,
+            "video",
+            "mpg",
+            &self.multimedia_sizes,
+        );
 
         // Mark critical / mutable objects deterministically from the front
         // of each kind run (the hottest objects — criticality correlates
@@ -285,6 +338,16 @@ impl CorpusBuilder {
         }
         for (_, ids) in &mut by_class {
             ids.shuffle(&mut rng);
+            // Criticality correlates with popularity (§1.1: "product lists
+            // or shopping-related pages" are both important and hot): pull
+            // the read-mostly critical objects to the hottest ranks,
+            // keeping the shuffled order within each band. Mutable objects
+            // stay at their shuffled rank — their single copy (§4) should
+            // not be a popularity hotspot.
+            ids.sort_by_key(|id| {
+                let item = &items[id.0 as usize];
+                item.priority() != Priority::Critical || item.is_mutable()
+            });
         }
 
         Corpus { items, by_class }
@@ -312,7 +375,10 @@ mod tests {
         assert!((count(ContentKind::Asp) as f64 / n - 0.03).abs() < 0.01);
         // World Cup invariant: large files ≈ 0.3% of objects…
         let video_frac = count(ContentKind::Video) as f64 / n;
-        assert!((video_frac - 0.003).abs() < 0.002, "video fraction {video_frac}");
+        assert!(
+            (video_frac - 0.003).abs() < 0.002,
+            "video fraction {video_frac}"
+        );
     }
 
     #[test]
@@ -349,7 +415,12 @@ mod tests {
     #[test]
     fn class_ids_partition_the_corpus() {
         let c = CorpusBuilder::small_site().seed(5).build();
-        let total: usize = RequestClass::ALL.iter().map(|&cl| c.class_ids(cl).len()).collect::<Vec<_>>().iter().sum();
+        let total: usize = RequestClass::ALL
+            .iter()
+            .map(|&cl| c.class_ids(cl).len())
+            .collect::<Vec<_>>()
+            .iter()
+            .sum();
         assert_eq!(total, c.len());
         for &cl in &RequestClass::ALL {
             for &id in c.class_ids(cl) {
@@ -370,7 +441,11 @@ mod tests {
     #[test]
     fn critical_and_mutable_marked() {
         let c = CorpusBuilder::paper_site().seed(6).build();
-        let critical = c.items().iter().filter(|i| i.priority() == Priority::Critical).count();
+        let critical = c
+            .items()
+            .iter()
+            .filter(|i| i.priority() == Priority::Critical)
+            .count();
         let mutable = c.items().iter().filter(|i| i.is_mutable()).count();
         assert!(critical > 0);
         assert!(mutable > 0);

@@ -159,7 +159,9 @@ mod tests {
         let mut counts: HashMap<RequestClass, u32> = HashMap::new();
         for _ in 0..n {
             let item = sampler.sample(&corpus, &mut rng);
-            *counts.entry(RequestClass::from_kind(item.kind())).or_insert(0) += 1;
+            *counts
+                .entry(RequestClass::from_kind(item.kind()))
+                .or_insert(0) += 1;
         }
         let frac = |c: RequestClass| *counts.get(&c).unwrap_or(&0) as f64 / n as f64;
         assert!((frac(RequestClass::Cgi) - 0.14).abs() < 0.01);
@@ -204,8 +206,7 @@ mod tests {
         let corpus = CorpusBuilder::paper_site().seed(8).build();
         let spec = WorkloadSpec::workload_a();
         let plain = RequestSampler::new(&corpus, &spec, 0);
-        let rotated =
-            RequestSampler::with_rotated_popularity(&corpus, &spec, 0, 1_000);
+        let rotated = RequestSampler::with_rotated_popularity(&corpus, &spec, 0, 1_000);
         let mut rng = StdRng::seed_from_u64(5);
         let count_hottest = |s: &RequestSampler, hottest: ContentId, rng: &mut StdRng| {
             (0..20_000).filter(|_| s.sample_id(rng) == hottest).count()

@@ -43,7 +43,9 @@ impl ClassMix {
             self.asp_share,
             self.video_share,
         ];
-        shares.iter().all(|s| (0.0..=1.0).contains(s) && s.is_finite())
+        shares
+            .iter()
+            .all(|s| (0.0..=1.0).contains(s) && s.is_finite())
             && (shares.iter().sum::<f64>() - 1.0).abs() < 1e-9
     }
 }
@@ -128,8 +130,14 @@ mod tests {
     fn share_accessor() {
         let b = WorkloadSpec::workload_b();
         assert_eq!(b.mix.share(cpms_model::RequestClass::Cgi), b.mix.cgi_share);
-        assert_eq!(b.mix.share(cpms_model::RequestClass::Static), b.mix.static_share);
-        assert_eq!(b.mix.share(cpms_model::RequestClass::Video), b.mix.video_share);
+        assert_eq!(
+            b.mix.share(cpms_model::RequestClass::Static),
+            b.mix.static_share
+        );
+        assert_eq!(
+            b.mix.share(cpms_model::RequestClass::Video),
+            b.mix.video_share
+        );
         assert_eq!(b.mix.share(cpms_model::RequestClass::Asp), b.mix.asp_share);
     }
 

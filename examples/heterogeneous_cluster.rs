@@ -37,7 +37,9 @@ fn main() {
         .placement(PlacementPolicy::PartitionedByType {
             segregate_dynamic: true,
         })
-        .router(RouterChoice::ContentAware { cache_entries: 4096 })
+        .router(RouterChoice::ContentAware {
+            cache_entries: 4096,
+        })
         .rebalance(RebalanceConfig::default())
         .build()
         .sweep_clients(&clients);
@@ -49,10 +51,7 @@ fn main() {
     println!("{}", render_throughput_table(&series));
 
     let last = clients.len() - 1;
-    println!(
-        "Per-class gains at saturation ({} clients):",
-        clients[last]
-    );
+    println!("Per-class gains at saturation ({} clients):", clients[last]);
     let gains = class_gains(&baseline[last], &proposed[last]);
     println!("{}", render_class_gains(&gains));
 

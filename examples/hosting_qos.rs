@@ -50,7 +50,13 @@ fn main() {
     // consistency stays a centralized, trivial problem.
     let feed: UrlPath = "/customer-c/news.html".parse().expect("valid");
     console
-        .publish(&feed, ContentId(9), ContentKind::StaticHtml, 2 * 1024, &[NodeId(2)])
+        .publish(
+            &feed,
+            ContentId(9),
+            ContentKind::StaticHtml,
+            2 * 1024,
+            &[NodeId(2)],
+        )
         .expect("publish feed");
     for edition in 1..=3u64 {
         let version = console
@@ -93,7 +99,10 @@ fn main() {
 
     // The audit proves brokers and the URL table agree.
     let problems = console.controller().verify_consistency();
-    assert!(problems.is_empty(), "single system image intact: {problems:?}");
+    assert!(
+        problems.is_empty(),
+        "single system image intact: {problems:?}"
+    );
     println!("consistency audit: table and brokers agree on every copy");
     console.shutdown();
 }

@@ -44,8 +44,7 @@ fn main() -> std::io::Result<()> {
         table
             .insert(
                 path.parse().expect("valid path"),
-                UrlEntry::new(ContentId(i as u32), *kind, 1024)
-                    .with_locations([NodeId(*node)]),
+                UrlEntry::new(ContentId(i as u32), *kind, 1024).with_locations([NodeId(*node)]),
             )
             .expect("fresh table");
     }
@@ -67,17 +66,15 @@ fn main() -> std::io::Result<()> {
         );
     }
 
-    // --- live management: replicate the home page onto the image node
+    // --- live management: replicate the home page onto the image node,
+    // published as a fresh table snapshot the workers pick up atomically
     println!("\nmanagement: replicating /index.html onto n1 (live)");
     origins[1].add_static("/index.html", b"<html>welcome</html>".to_vec());
-    {
-        let handle = proxy.table();
-        let path: UrlPath = "/index.html".parse().expect("valid");
-        handle
-            .write()
-            .add_location(&path, NodeId(1))
-            .expect("entry exists");
-    }
+    let path: UrlPath = "/index.html".parse().expect("valid");
+    proxy
+        .publisher()
+        .update(|t| t.add_location(&path, NodeId(1)))
+        .expect("entry exists");
 
     // Both replicas now serve traffic.
     for _ in 0..50 {

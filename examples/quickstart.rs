@@ -37,7 +37,9 @@ fn main() {
         .placement(PlacementPolicy::PartitionedByType {
             segregate_dynamic: false,
         })
-        .router(RouterChoice::ContentAware { cache_entries: 1024 })
+        .router(RouterChoice::ContentAware {
+            cache_entries: 1024,
+        })
         .build()
         .sweep_clients(&clients);
 

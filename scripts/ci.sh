@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, tests, formatting, and lints for the whole workspace
+# (repo crates and vendored stand-ins alike). Run from anywhere; operates
+# on the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: all gates passed"

@@ -34,7 +34,9 @@ fn figure2_ordering_holds() {
         .placement(PlacementPolicy::PartitionedByType {
             segregate_dynamic: false,
         })
-        .router(RouterChoice::ContentAware { cache_entries: 4096 })
+        .router(RouterChoice::ContentAware {
+            cache_entries: 4096,
+        })
         .workload(WorkloadKind::A)
         .build()
         .sweep_clients(&CLIENTS);
@@ -89,7 +91,9 @@ fn figure3_proposed_system_wins_workload_b() {
         .placement(PlacementPolicy::PartitionedByType {
             segregate_dynamic: true,
         })
-        .router(RouterChoice::ContentAware { cache_entries: 4096 })
+        .router(RouterChoice::ContentAware {
+            cache_entries: 4096,
+        })
         .workload(WorkloadKind::B)
         .build()
         .sweep_clients(&CLIENTS);
@@ -121,7 +125,9 @@ fn figure4_every_class_gains_at_saturation() {
         .placement(PlacementPolicy::PartitionedByType {
             segregate_dynamic: true,
         })
-        .router(RouterChoice::ContentAware { cache_entries: 4096 })
+        .router(RouterChoice::ContentAware {
+            cache_entries: 4096,
+        })
         .workload(WorkloadKind::B)
         .clients(clients)
         .build()

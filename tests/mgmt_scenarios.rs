@@ -63,7 +63,13 @@ fn mutable_content_stays_consistent_on_one_node() {
     let mut console = RemoteConsole::new(Controller::new(Cluster::start(3, 10 << 20)));
     let feed = p("/news/today.html");
     console
-        .publish(&feed, ContentId(1), ContentKind::StaticHtml, 2048, &[NodeId(1)])
+        .publish(
+            &feed,
+            ContentId(1),
+            ContentKind::StaticHtml,
+            2048,
+            &[NodeId(1)],
+        )
         .unwrap();
     for expected in 1..=5u64 {
         let version = console.controller_mut().update_content(&feed).unwrap();
@@ -113,7 +119,7 @@ fn auto_replication_moves_real_copies() {
     let planner = AutoReplicator::new(0.2).with_max_actions(8);
     let actions = planner.plan(
         &tracker,
-        controller.table(),
+        &controller.table(),
         |id| Some(p(&format!("/hot/page{}.html", id.0))),
         |_, _| true,
     );
@@ -255,7 +261,7 @@ fn monitor_excludes_dead_nodes_from_replication() {
     let planner = AutoReplicator::new(0.2);
     let actions = planner.plan(
         &tracker,
-        controller.table(),
+        &controller.table(),
         |id| (id == ContentId(1)).then(|| p("/hot.html")),
         |node, _| !down.contains(&node),
     );

@@ -55,7 +55,10 @@ fn content_aware_proxy_serves_partitioned_site() {
     let proxy = ContentAwareProxy::start(table, backends, 2).unwrap();
 
     let mut client = HttpClient::connect(proxy.addr()).unwrap();
-    assert_eq!(client.get("/index.html").unwrap().body, b"<html>home</html>");
+    assert_eq!(
+        client.get("/index.html").unwrap().body,
+        b"<html>home</html>"
+    );
     assert_eq!(client.get("/img/logo.gif").unwrap().body.len(), 8 * 1024);
     let dynamic = client.get("/cgi-bin/q.cgi").unwrap();
     assert_eq!(dynamic.status, 200);
@@ -100,7 +103,7 @@ fn migration_under_live_traffic() {
     let backends = origins.iter().map(|o| o.addr()).collect();
     let proxy = ContentAwareProxy::start(table, backends, 2).unwrap();
     let addr = proxy.addr();
-    let table_handle = proxy.table();
+    let publisher = proxy.publisher();
 
     let stop = std::sync::atomic::AtomicBool::new(false);
     let failures = std::sync::atomic::AtomicU64::new(0);
@@ -123,15 +126,13 @@ fn migration_under_live_traffic() {
         scope.spawn(|| {
             std::thread::sleep(Duration::from_millis(30));
             origins[2].add_static("/index.html", b"<html>home</html>".to_vec());
-            {
-                let mut t = table_handle.write();
-                t.add_location(&p("/index.html"), NodeId(2)).unwrap();
-            }
+            publisher
+                .update(|t| t.add_location(&p("/index.html"), NodeId(2)))
+                .unwrap();
             std::thread::sleep(Duration::from_millis(30));
-            {
-                let mut t = table_handle.write();
-                t.remove_location(&p("/index.html"), NodeId(0)).unwrap();
-            }
+            publisher
+                .update(|t| t.remove_location(&p("/index.html"), NodeId(0)))
+                .unwrap();
             // only after the table stops routing there is the copy deleted
             std::thread::sleep(Duration::from_millis(30));
             origins[0].remove(&p("/index.html"));
@@ -169,12 +170,8 @@ fn proxy_prefers_less_loaded_replica() {
                 .with_locations([NodeId(0), NodeId(1)]),
         )
         .unwrap();
-    let proxy = ContentAwareProxy::start(
-        table,
-        vec![fast_origin.addr(), slow_origin.addr()],
-        2,
-    )
-    .unwrap();
+    let proxy =
+        ContentAwareProxy::start(table, vec![fast_origin.addr(), slow_origin.addr()], 2).unwrap();
     let addr = proxy.addr();
 
     std::thread::scope(|scope| {

@@ -21,7 +21,9 @@ fn per_priority_reports_are_emitted() {
         .placement(PlacementPolicy::PartitionedByType {
             segregate_dynamic: false,
         })
-        .router(RouterChoice::ContentAware { cache_entries: 2048 })
+        .router(RouterChoice::ContentAware {
+            cache_entries: 2048,
+        })
         .build()
         .run();
     // The corpus marks ~2% of objects critical; both bands must appear.
@@ -30,7 +32,10 @@ fn per_priority_reports_are_emitted() {
     assert!(critical.is_some(), "critical traffic reported");
     assert!(normal.is_some(), "normal traffic reported");
     let total: u64 = result.report.priorities.iter().map(|p| p.completed).sum();
-    assert_eq!(total, result.report.completed, "priority bands partition traffic");
+    assert_eq!(
+        total, result.report.completed,
+        "priority bands partition traffic"
+    );
 }
 
 #[test]
@@ -42,7 +47,9 @@ fn qos_pinning_improves_critical_latency() {
         .placement(PlacementPolicy::PartitionedByType {
             segregate_dynamic: false,
         })
-        .router(RouterChoice::ContentAware { cache_entries: 2048 })
+        .router(RouterChoice::ContentAware {
+            cache_entries: 2048,
+        })
         .build()
         .run();
     let pinned = base()
@@ -50,7 +57,9 @@ fn qos_pinning_improves_critical_latency() {
             segregate_dynamic: false,
             critical_copies: 2,
         })
-        .router(RouterChoice::ContentAware { cache_entries: 2048 })
+        .router(RouterChoice::ContentAware {
+            cache_entries: 2048,
+        })
         .build()
         .run();
 
@@ -80,7 +89,9 @@ fn critical_beats_normal_under_pinning() {
             segregate_dynamic: false,
             critical_copies: 3,
         })
-        .router(RouterChoice::ContentAware { cache_entries: 2048 })
+        .router(RouterChoice::ContentAware {
+            cache_entries: 2048,
+        })
         .build()
         .run();
     let critical = pinned

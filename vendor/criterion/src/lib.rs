@@ -1,0 +1,201 @@
+//! Offline stand-in for the `criterion` benchmark harness (see
+//! `vendor/README.md`).
+//!
+//! Implements the API surface this workspace's benches use: [`Criterion`],
+//! [`Criterion::benchmark_group`] with `sample_size` / `bench_function` /
+//! `finish`, [`Bencher::iter`] and [`Bencher::iter_batched`],
+//! [`BatchSize`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Measurement is a plain wall-clock harness: after a short
+//! warm-up it times `sample_size` samples and reports the median
+//! nanoseconds per iteration. There are no plots, no statistics beyond
+//! the median, and no saved baselines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost. All variants behave the same
+/// here: setup runs untimed before every routine invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine invocation.
+    PerIteration,
+}
+
+/// The measurement handle passed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    /// Median nanoseconds per iteration, filled in by `iter`/`iter_batched`.
+    result_ns: f64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            result_ns: 0.0,
+        }
+    }
+
+    /// Times `routine`, called repeatedly in batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Grow the batch until one batch takes at least ~1ms so Instant
+        // overhead stays negligible, then take `sample_size` samples.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            if start.elapsed() >= Duration::from_millis(1) || batch >= (1 << 24) {
+                break;
+            }
+            batch *= 2;
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        self.result_ns = median(&mut samples);
+    }
+
+    /// Times `routine` on fresh input from `setup` (setup is untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            samples.push(start.elapsed().as_nanos() as f64);
+        }
+        self.result_ns = median(&mut samples);
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN timing"));
+    samples[samples.len() / 2]
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark; `f` receives a [`Bencher`] and must call
+    /// `iter` or `iter_batched` on it.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        println!(
+            "{}/{:<40} time: [{}]",
+            self.name,
+            id,
+            format_ns(bencher.result_ns)
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundles benchmark functions into a single group-runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Expands to `main`, running each group in order. Command-line
+/// arguments (cargo passes `--bench`) are ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("vendor_smoke");
+        group.sample_size(3);
+        group.bench_function("add", |b| b.iter(|| 1u64 + 1));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::PerIteration)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        trivial_bench(&mut c);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(format_ns(12.34), "12.3 ns");
+        assert_eq!(format_ns(1_500.0), "1.500 µs");
+        assert_eq!(format_ns(2_000_000.0), "2.000 ms");
+        assert_eq!(format_ns(3_000_000_000.0), "3.000 s");
+    }
+}

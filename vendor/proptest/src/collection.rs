@@ -1,0 +1,95 @@
+//! Sized collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A strategy producing `Vec`s whose length falls in a half-open range.
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates vectors of `element`-generated values with a length drawn
+/// uniformly from `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = draw_len(&self.size, rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+fn draw_len(size: &Range<usize>, rng: &mut TestRng) -> usize {
+    assert!(
+        size.start < size.end,
+        "empty size range for collection strategy"
+    );
+    size.start + rng.below((size.end - size.start) as u64) as usize
+}
+
+/// A strategy producing `HashSet`s. The target length is drawn from
+/// `size`, but duplicate draws can make the set smaller.
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Generates hash sets of `element`-generated values.
+pub fn hash_set<S: Strategy>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+where
+    S::Value: std::hash::Hash + Eq,
+{
+    HashSetStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for HashSetStrategy<S>
+where
+    S::Value: std::hash::Hash + Eq,
+{
+    type Value = std::collections::HashSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = draw_len(&self.size, rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A strategy producing `HashMap`s. The target length is drawn from
+/// `size`, but duplicate keys can make the map smaller.
+pub struct HashMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: Range<usize>,
+}
+
+/// Generates hash maps with `key`/`value`-generated entries.
+pub fn hash_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: Range<usize>,
+) -> HashMapStrategy<K, V>
+where
+    K::Value: std::hash::Hash + Eq,
+{
+    HashMapStrategy { key, value, size }
+}
+
+impl<K: Strategy, V: Strategy> Strategy for HashMapStrategy<K, V>
+where
+    K::Value: std::hash::Hash + Eq,
+{
+    type Value = std::collections::HashMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = draw_len(&self.size, rng);
+        (0..len)
+            .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+            .collect()
+    }
+}

@@ -1,0 +1,291 @@
+//! The [`Strategy`] trait and the combinators this workspace uses.
+
+use crate::test_runner::TestRng;
+use std::fmt;
+use std::ops::Range;
+
+/// A boxed, type-erased strategy (what [`Strategy::boxed`] returns and
+/// `prop_oneof!` collects).
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+/// A recipe for generating test inputs.
+pub trait Strategy {
+    /// The generated input type.
+    type Value: fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Erases the concrete strategy type (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// Picks uniformly among several strategies with the same value type
+/// (built by `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: fmt::Debug> Union<T> {
+    /// Builds a union over `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    #[must_use]
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap, clippy::cast_lossless)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            #[allow(clippy::cast_possible_truncation, clippy::cast_lossless)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // A uniform draw in [0, 1) with 53 bits of precision.
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let v = f64::from(self.start) + unit * (f64::from(self.end) - f64::from(self.start));
+                if (v as $t) < self.end { v as $t } else { self.start }
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// String literals act as regex-subset string strategies, as in real
+/// proptest. Supported syntax: literal characters, `[a-z0-9_]` classes
+/// (ranges and singletons), `.` (printable ASCII), and the quantifiers
+/// `{n}`, `{m,n}`, `?`, `*`, `+` (the unbounded ones capped at 8).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_regex(self, rng)
+    }
+}
+
+enum RegexPiece {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    AnyPrintable,
+}
+
+impl RegexPiece {
+    fn generate(&self, rng: &mut TestRng) -> char {
+        match self {
+            RegexPiece::Literal(c) => *c,
+            RegexPiece::AnyPrintable => {
+                char::from_u32(0x20 + rng.below(0x5f) as u32).expect("printable ascii")
+            }
+            RegexPiece::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(lo, hi)| u64::from(*hi as u32 - *lo as u32 + 1))
+                    .sum();
+                let mut pick = rng.below(total);
+                for (lo, hi) in ranges {
+                    let size = u64::from(*hi as u32 - *lo as u32 + 1);
+                    if pick < size {
+                        return char::from_u32(*lo as u32 + pick as u32).expect("class char");
+                    }
+                    pick -= size;
+                }
+                unreachable!("pick is within total")
+            }
+        }
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> RegexPiece {
+    let mut ranges = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .expect("unterminated character class in regex strategy");
+        if c == ']' {
+            break;
+        }
+        if chars.peek() == Some(&'-') {
+            let mut lookahead = chars.clone();
+            lookahead.next();
+            match lookahead.peek() {
+                Some(&hi) if hi != ']' => {
+                    chars.next();
+                    chars.next();
+                    assert!(c <= hi, "inverted range in regex strategy class");
+                    ranges.push((c, hi));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        ranges.push((c, c));
+    }
+    assert!(
+        !ranges.is_empty(),
+        "empty character class in regex strategy"
+    );
+    RegexPiece::Class(ranges)
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (u64, u64) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad regex quantifier"),
+                    hi.trim().parse().expect("bad regex quantifier"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad regex quantifier");
+                    (n, n)
+                }
+            }
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn generate_from_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let piece = match c {
+            '[' => parse_class(&mut chars),
+            '.' => RegexPiece::AnyPrintable,
+            '\\' => RegexPiece::Literal(chars.next().expect("trailing backslash in regex")),
+            other => RegexPiece::Literal(other),
+        };
+        let (lo, hi) = parse_quantifier(&mut chars);
+        let count = lo + if hi > lo { rng.below(hi - lo + 1) } else { 0 };
+        for _ in 0..count {
+            out.push(piece.generate(rng));
+        }
+    }
+    out
+}

@@ -1,0 +1,138 @@
+//! Deterministic case generation and the test-running loop.
+
+use crate::strategy::Strategy;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Runner configuration. Only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed or rejected property-test case (produced by `prop_assert!`
+/// and `prop_assume!`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    msg: String,
+    reject: bool,
+}
+
+impl TestCaseError {
+    /// Creates a failure carrying `msg`.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError {
+            msg: msg.into(),
+            reject: false,
+        }
+    }
+
+    /// Creates a rejection (`prop_assume!` miss): the case is skipped
+    /// rather than counted as a failure.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError {
+            msg: msg.into(),
+            reject: true,
+        }
+    }
+
+    /// Whether this is a rejection rather than a failure.
+    #[must_use]
+    pub fn is_reject(&self) -> bool {
+        self.reject
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// The random source handed to strategies (SplitMix64; deterministic per
+/// test name so failures reproduce run to run).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Derives a generator from a property-test name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
+        for byte in name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: seed }
+    }
+
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "TestRng::below(0)");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// Runs `test` against `config.cases` generated inputs, panicking on the
+/// first falsified case with the input's `Debug` form.
+///
+/// # Panics
+///
+/// Panics when a case fails or the test body itself panics.
+pub fn run<S: Strategy>(
+    config: &ProptestConfig,
+    name: &str,
+    strategy: &S,
+    test: impl Fn(S::Value) -> Result<(), TestCaseError>,
+) {
+    let mut rng = TestRng::from_name(name);
+    for case in 0..config.cases {
+        let input = strategy.generate(&mut rng);
+        let repr = format!("{input:?}");
+        match catch_unwind(AssertUnwindSafe(|| test(input))) {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) if e.is_reject() => {}
+            Ok(Err(e)) => panic!(
+                "proptest `{name}` falsified at case {case}/{}: {e}\n  input: {repr}",
+                config.cases
+            ),
+            Err(payload) => {
+                eprintln!(
+                    "proptest `{name}` panicked at case {case}/{}\n  input: {repr}",
+                    config.cases
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}

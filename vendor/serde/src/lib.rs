@@ -1,0 +1,468 @@
+//! Offline stand-in for the `serde` crate (see `vendor/README.md`).
+//!
+//! The real serde is a zero-copy (de)serialization framework; this
+//! workspace only ever derives `Serialize`/`Deserialize` and round-trips
+//! through JSON via `serde_json`, so the stand-in collapses the data-model
+//! machinery into a single JSON-shaped [`value::Value`] tree:
+//!
+//! - [`Serialize::to_value`] renders a type into a [`value::Value`],
+//! - [`Deserialize::from_value`] rebuilds a type from one,
+//! - the `serde_derive` proc-macros (re-exported here, like the real
+//!   crate's `derive` feature) generate both impls with the same external
+//!   JSON conventions as real serde: structs as objects, newtype structs
+//!   transparent, unit enum variants as strings, data-carrying variants
+//!   externally tagged.
+//!
+//! The committed artifact `configs/paper_testbed.json` (written by real
+//! serde before vendoring) parses unchanged under these conventions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+use value::{Map, Number, Value};
+
+/// Error produced while building or interpreting a [`Value`] tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error carrying `msg`.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type renderable into a JSON-shaped [`Value`] tree.
+pub trait Serialize {
+    /// Renders `self` as a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// A type rebuildable from a JSON-shaped [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value from `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when `v` has the wrong shape.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// Called when a struct field is absent from its object. Errors by
+    /// default; `Option` overrides this to yield `None`, matching serde's
+    /// treatment of missing optional fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] unless the type tolerates absence.
+    #[doc(hidden)]
+    fn missing_field(field: &'static str) -> Result<Self, Error> {
+        Err(Error::custom(format!("missing field `{field}`")))
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::custom("expected boolean"))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                #[allow(clippy::cast_lossless)]
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| Error::custom("expected unsigned integer"))?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!("integer {n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = i64::from(*self);
+                if n < 0 {
+                    Value::Number(Number::NegInt(n))
+                } else {
+                    #[allow(clippy::cast_sign_loss)]
+                    Value::Number(Number::PosInt(n as u64))
+                }
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| Error::custom("expected integer"))?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!("integer {n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        (*self as i64).to_value()
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        i64::from_value(v).and_then(|n| {
+            isize::try_from(n).map_err(|_| Error::custom("integer out of range for isize"))
+        })
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        #[allow(clippy::cast_possible_truncation)]
+        v.as_f64()
+            .map(|n| n as f32)
+            .ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn missing_field(_field: &'static str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| Error::custom("expected array"))?;
+                let expected = 0usize $(+ { let _ = $idx; 1 })+;
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected array of length {expected}, got {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut map = Map::new();
+        for (k, v) in self {
+            map.insert(__private::key_to_string(&k.to_value()), v.to_value());
+        }
+        Value::Object(map)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| Error::custom("expected object"))?;
+        let mut out = HashMap::with_capacity_and_hasher(obj.len(), S::default());
+        for (k, val) in obj.iter() {
+            out.insert(__private::key_from_string(k)?, V::from_value(val)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize, S> Serialize for std::collections::HashSet<T, S> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T, S> Deserialize for std::collections::HashSet<T, S>
+where
+    T: Deserialize + Eq + Hash,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| Error::custom("expected array"))?;
+        let mut out =
+            std::collections::HashSet::with_capacity_and_hasher(items.len(), S::default());
+        for item in items {
+            out.insert(T::from_value(item)?);
+        }
+        Ok(out)
+    }
+}
+
+#[doc(hidden)]
+pub mod __private {
+    //! Support functions referenced by `serde_derive`-generated code.
+    //! Not a stable API.
+
+    use super::{Deserialize, Error, Map, Number, Value};
+
+    /// Fetches and deserializes a struct field, delegating absence to
+    /// [`Deserialize::missing_field`].
+    pub fn field<T: Deserialize>(obj: &Map, name: &'static str) -> Result<T, Error> {
+        match obj.get(name) {
+            Some(v) => T::from_value(v).map_err(|e| Error::custom(format!("field `{name}`: {e}"))),
+            None => T::missing_field(name),
+        }
+    }
+
+    /// Interprets `v` as the object form of struct `what`.
+    pub fn as_object<'v>(v: &'v Value, what: &str) -> Result<&'v Map, Error> {
+        v.as_object()
+            .ok_or_else(|| Error::custom(format!("expected object for {what}")))
+    }
+
+    /// Interprets `v` as an array of exactly `len` elements for `what`.
+    pub fn as_array<'v>(v: &'v Value, len: usize, what: &str) -> Result<&'v [Value], Error> {
+        let items = v
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected array for {what}")))?;
+        if items.len() == len {
+            Ok(items)
+        } else {
+            Err(Error::custom(format!(
+                "expected array of length {len} for {what}, got {}",
+                items.len()
+            )))
+        }
+    }
+
+    /// Wraps `value` in the externally-tagged enum form `{tag: value}`.
+    pub fn tag(name: &str, value: Value) -> Value {
+        let mut map = Map::new();
+        map.insert(name.to_owned(), value);
+        Value::Object(map)
+    }
+
+    /// Unwraps the externally-tagged enum form `{tag: value}`.
+    pub fn single_entry<'v>(obj: &'v Map, what: &str) -> Result<(&'v str, &'v Value), Error> {
+        let mut iter = obj.iter();
+        match (iter.next(), iter.next()) {
+            (Some((k, v)), None) => Ok((k.as_str(), v)),
+            _ => Err(Error::custom(format!(
+                "expected single-key object for enum {what}"
+            ))),
+        }
+    }
+
+    /// Renders a map key `Value` as the JSON object-key string, matching
+    /// serde_json: strings pass through, integers stringify.
+    pub fn key_to_string(v: &Value) -> String {
+        match v {
+            Value::String(s) => s.clone(),
+            Value::Number(Number::PosInt(n)) => n.to_string(),
+            Value::Number(Number::NegInt(n)) => n.to_string(),
+            Value::Bool(b) => b.to_string(),
+            _ => panic!("map key must serialize to a string, integer, or bool"),
+        }
+    }
+
+    /// Rebuilds a map key from its JSON object-key string: tries the
+    /// string form first, then a numeric reinterpretation (for integer
+    /// newtype keys, which serde_json stringifies on output).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when neither form deserializes.
+    pub fn key_from_string<K: Deserialize>(key: &str) -> Result<K, Error> {
+        let as_string = K::from_value(&Value::String(key.to_owned()));
+        if as_string.is_ok() {
+            return as_string;
+        }
+        if let Ok(n) = key.parse::<u64>() {
+            if let Ok(k) = K::from_value(&Value::Number(Number::PosInt(n))) {
+                return Ok(k);
+            }
+        }
+        if let Ok(n) = key.parse::<i64>() {
+            if let Ok(k) = K::from_value(&Value::Number(Number::NegInt(n))) {
+                return Ok(k);
+            }
+        }
+        as_string
+    }
+}

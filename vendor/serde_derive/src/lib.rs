@@ -1,0 +1,493 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Generates impls of the vendored `serde`'s value-tree `Serialize` /
+//! `Deserialize` traits. Because `syn`/`quote` are unavailable offline,
+//! the item is parsed directly from the [`proc_macro::TokenStream`] and
+//! the impls are emitted as formatted source strings.
+//!
+//! Supported shapes (everything this workspace derives):
+//!
+//! - structs with named fields, tuple structs (newtypes transparent,
+//!   wider tuples as arrays), unit structs,
+//! - enums with unit, newtype, tuple, and struct variants (externally
+//!   tagged; unit variants as plain strings),
+//! - the `#[serde(try_from = "T", into = "T")]` container attributes.
+//!
+//! Generics, lifetimes, and other serde attributes are rejected with a
+//! compile-time panic rather than silently mishandled.
+
+#![warn(missing_docs)]
+#![allow(clippy::missing_panics_doc)]
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+/// Derives the vendored `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    expand_serialize(&container)
+        .parse()
+        .expect("generated Serialize impl should parse")
+}
+
+/// Derives the vendored `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    expand_deserialize(&container)
+        .parse()
+        .expect("generated Deserialize impl should parse")
+}
+
+struct Container {
+    name: String,
+    /// `#[serde(try_from = "T")]`: deserialize via `TryFrom<T>`.
+    try_from: Option<String>,
+    /// `#[serde(into = "T")]`: serialize via `Clone` + `Into<T>`.
+    into: Option<String>,
+    data: Data,
+}
+
+enum Data {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_container(input: TokenStream) -> Container {
+    let mut iter = input.into_iter().peekable();
+    let mut try_from = None;
+    let mut into = None;
+    let mut kind = None;
+
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => match iter.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    parse_outer_attr(&g, &mut try_from, &mut into);
+                }
+                _ => panic!("serde_derive: malformed attribute"),
+            },
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" {
+                    kind = Some(word);
+                    break;
+                }
+                // visibility / `crate` / `in` path words: skip.
+            }
+            // pub(crate)-style visibility scope.
+            TokenTree::Group(_) => {}
+            _ => panic!("serde_derive: unexpected token before item keyword"),
+        }
+    }
+
+    let kind = kind.expect("serde_derive: expected `struct` or `enum`");
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => panic!("serde_derive: expected item name"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported by the vendored derive");
+    }
+
+    let data = if kind == "struct" {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(&g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(&g))
+            }
+            _ => panic!("serde_derive: malformed struct body"),
+        }
+    } else {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(&g))
+            }
+            _ => panic!("serde_derive: malformed enum body"),
+        }
+    };
+
+    Container {
+        name,
+        try_from,
+        into,
+        data,
+    }
+}
+
+/// Extracts `try_from`/`into` from a `#[serde(...)]` attribute; ignores
+/// all other attributes; rejects unknown serde attributes.
+fn parse_outer_attr(group: &Group, try_from: &mut Option<String>, into: &mut Option<String>) {
+    let mut iter = group.stream().into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // #[doc], #[derive], #[default], ... — not ours.
+    }
+    let Some(TokenTree::Group(args)) = iter.next() else {
+        return;
+    };
+    let mut args = args.stream().into_iter().peekable();
+    while let Some(tt) = args.next() {
+        let TokenTree::Ident(key) = tt else {
+            panic!("serde_derive: malformed #[serde(...)] attribute");
+        };
+        let key = key.to_string();
+        match args.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {}
+            _ => panic!("serde_derive: expected `=` in #[serde({key} = ...)]"),
+        }
+        let value = match args.next() {
+            Some(TokenTree::Literal(lit)) => {
+                let repr = lit.to_string();
+                repr.trim_matches('"').to_owned()
+            }
+            _ => panic!("serde_derive: expected string literal in #[serde({key} = ...)]"),
+        };
+        match key.as_str() {
+            "try_from" => *try_from = Some(value),
+            "into" => *into = Some(value),
+            other => panic!("serde_derive: unsupported serde attribute `{other}`"),
+        }
+        if matches!(args.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            args.next();
+        }
+    }
+}
+
+/// Counts fields in a tuple-struct/tuple-variant body, ignoring commas
+/// nested inside generic argument lists.
+fn count_tuple_fields(group: &Group) -> usize {
+    let mut angle_depth = 0i32;
+    let mut fields = 0;
+    let mut pending = false;
+    for tt in group.stream() {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    angle_depth += 1;
+                    pending = true;
+                }
+                '>' => {
+                    angle_depth -= 1;
+                    pending = true;
+                }
+                ',' if angle_depth == 0 => {
+                    fields += 1;
+                    pending = false;
+                }
+                _ => pending = true,
+            },
+            _ => pending = true,
+        }
+    }
+    if pending {
+        fields += 1;
+    }
+    fields
+}
+
+fn skip_attributes(iter: &mut Peekable<impl Iterator<Item = TokenTree>>) {
+    while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        iter.next();
+        iter.next(); // the bracketed attribute body
+    }
+}
+
+fn skip_visibility(iter: &mut Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        iter.next();
+        if matches!(
+            iter.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            iter.next();
+        }
+    }
+}
+
+fn parse_named_fields(group: &Group) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut iter = group.stream().into_iter().peekable();
+    loop {
+        skip_attributes(&mut iter);
+        skip_visibility(&mut iter);
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            break;
+        };
+        names.push(name.to_string());
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => panic!("serde_derive: expected `:` after field name"),
+        }
+        // Consume the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    names
+}
+
+fn parse_variants(group: &Group) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = group.stream().into_iter().peekable();
+    loop {
+        skip_attributes(&mut iter);
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            break;
+        };
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g);
+                iter.next();
+                VariantFields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g);
+                iter.next();
+                VariantFields::Named(names)
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the comma.
+        while let Some(tt) = iter.peek() {
+            if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                iter.next();
+                break;
+            }
+            iter.next();
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            fields,
+        });
+    }
+    variants
+}
+
+// -------------------------------------------------------------- expansion
+
+fn expand_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = if let Some(into) = &c.into {
+        format!(
+            "let converted: {into} = ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&converted)"
+        )
+    } else {
+        match &c.data {
+            Data::NamedStruct(fields) => serialize_named_fields(fields, "self.", "&"),
+            Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+            Data::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!(
+                    "::serde::value::Value::Array(::std::vec![{}])",
+                    items.join(", ")
+                )
+            }
+            Data::UnitStruct => "::serde::value::Value::Null".to_owned(),
+            Data::Enum(variants) => serialize_enum(name, variants),
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+/// Emits an expression building the object form of named fields.
+/// `access` prefixes each field (`self.` for structs, empty for bindings).
+fn serialize_named_fields(fields: &[String], access: &str, borrow: &str) -> String {
+    let mut out = String::from("{\nlet mut object = ::serde::value::Map::new();\n");
+    for f in fields {
+        out.push_str(&format!(
+            "object.insert(\"{f}\", ::serde::Serialize::to_value({borrow}{access}{f}));\n"
+        ));
+    }
+    out.push_str("::serde::value::Value::Object(object)\n}");
+    out
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            VariantFields::Unit => arms.push_str(&format!(
+                "{name}::{vname} => ::serde::value::Value::String(::std::string::String::from(\"{vname}\")),\n"
+            )),
+            VariantFields::Tuple(1) => arms.push_str(&format!(
+                "{name}::{vname}(__f0) => ::serde::__private::tag(\"{vname}\", ::serde::Serialize::to_value(__f0)),\n"
+            )),
+            VariantFields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let items: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vname}({}) => ::serde::__private::tag(\"{vname}\", ::serde::value::Value::Array(::std::vec![{}])),\n",
+                    binds.join(", "),
+                    items.join(", ")
+                ));
+            }
+            VariantFields::Named(fields) => {
+                let object = serialize_named_fields(fields, "", "");
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {} }} => ::serde::__private::tag(\"{vname}\", {object}),\n",
+                    fields.join(", ")
+                ));
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+fn expand_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = if let Some(try_from) = &c.try_from {
+        format!(
+            "let raw: {try_from} = ::serde::Deserialize::from_value(value)?;\n\
+             <Self as ::core::convert::TryFrom<{try_from}>>::try_from(raw)\n\
+                 .map_err(|e| ::serde::Error::custom(::std::string::ToString::to_string(&e)))"
+        )
+    } else {
+        match &c.data {
+            Data::NamedStruct(fields) => format!(
+                "let object = ::serde::__private::as_object(value, \"{name}\")?;\n\
+                 ::core::result::Result::Ok({})",
+                deserialize_named_fields(name, fields)
+            ),
+            Data::TupleStruct(1) => format!(
+                "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"
+            ),
+            Data::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "let items = ::serde::__private::as_array(value, {n}, \"{name}\")?;\n\
+                     ::core::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                )
+            }
+            Data::UnitStruct => format!(
+                "if value.is_null() {{\n\
+                     ::core::result::Result::Ok({name})\n\
+                 }} else {{\n\
+                     ::core::result::Result::Err(::serde::Error::custom(\"expected null for unit struct {name}\"))\n\
+                 }}"
+            ),
+            Data::Enum(variants) => deserialize_enum(name, variants),
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::value::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+/// Emits a struct literal pulling each named field out of `object`.
+fn deserialize_named_fields(path: &str, fields: &[String]) -> String {
+    let mut out = format!("{path} {{\n");
+    for f in fields {
+        out.push_str(&format!(
+            "{f}: ::serde::__private::field(object, \"{f}\")?,\n"
+        ));
+    }
+    out.push('}');
+    out
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut string_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            VariantFields::Unit => string_arms.push_str(&format!(
+                "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+            )),
+            VariantFields::Tuple(1) => tagged_arms.push_str(&format!(
+                "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?)),\n"
+            )),
+            VariantFields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{vname}\" => {{\n\
+                         let items = ::serde::__private::as_array(inner, {n}, \"{name}::{vname}\")?;\n\
+                         ::core::result::Result::Ok({name}::{vname}({}))\n\
+                     }}\n",
+                    items.join(", ")
+                ));
+            }
+            VariantFields::Named(fields) => {
+                tagged_arms.push_str(&format!(
+                    "\"{vname}\" => {{\n\
+                         let object = ::serde::__private::as_object(inner, \"{name}::{vname}\")?;\n\
+                         ::core::result::Result::Ok({})\n\
+                     }}\n",
+                    deserialize_named_fields(&format!("{name}::{vname}"), fields)
+                ));
+            }
+        }
+    }
+    format!(
+        "match value {{\n\
+             ::serde::value::Value::String(s) => match s.as_str() {{\n\
+                 {string_arms}\
+                 other => ::core::result::Result::Err(::serde::Error::custom(\n\
+                     ::std::format!(\"unknown variant `{{other}}` of enum {name}\"))),\n\
+             }},\n\
+             ::serde::value::Value::Object(object) => {{\n\
+                 let (tag, inner) = ::serde::__private::single_entry(object, \"{name}\")?;\n\
+                 let _ = inner;\n\
+                 match tag {{\n\
+                     {tagged_arms}\
+                     other => ::core::result::Result::Err(::serde::Error::custom(\n\
+                         ::std::format!(\"unknown variant `{{other}}` of enum {name}\"))),\n\
+                 }}\n\
+             }}\n\
+             _ => ::core::result::Result::Err(::serde::Error::custom(\n\
+                 \"expected string or object for enum {name}\")),\n\
+         }}"
+    )
+}

@@ -1,0 +1,238 @@
+//! Offline stand-in for the `serde_json` crate (see `vendor/README.md`).
+//!
+//! JSON text parsing and printing over the vendored `serde`'s
+//! [`Value`] tree, exposing the API surface this workspace uses:
+//! [`to_string`], [`to_string_pretty`], [`from_str`], [`to_value`],
+//! [`Value`], and the [`json!`] macro. Output conventions match real
+//! serde_json: two-space pretty indentation, integer map keys
+//! stringified, non-finite floats as `null`, floats always printed with
+//! a decimal point or exponent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde::value::{Map, Number, Value};
+pub use serde::Error;
+
+mod read;
+mod write;
+
+/// Renders any serializable value as a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serializes `value` to a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails for the types in this workspace; the `Result` mirrors the
+/// real serde_json signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::write(&value.to_value(), None))
+}
+
+/// Serializes `value` to a pretty-printed JSON string (two-space indent).
+///
+/// # Errors
+///
+/// Never fails for the types in this workspace; the `Result` mirrors the
+/// real serde_json signature.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::write(&value.to_value(), Some(0)))
+}
+
+/// Deserializes a value of type `T` from JSON text.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = read::parse(s)?;
+    T::from_value(&value)
+}
+
+/// Builds a [`Value`] from JSON-like syntax with interpolated Rust
+/// expressions, like serde_json's macro of the same name.
+#[macro_export]
+macro_rules! json {
+    ($($json:tt)+) => {
+        $crate::json_internal!($($json)+)
+    };
+}
+
+/// Recursive token muncher behind [`json!`]. Not a public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ---- array element munching: accumulate exprs left of the brackets.
+    (@array [$($elems:expr,)*]) => {
+        ::std::vec![$($elems),*]
+    };
+    (@array [$($elems:expr),*]) => {
+        ::std::vec![$($elems),*]
+    };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($array:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($array)*])] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($map)*})] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last)])
+    };
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    // ---- object entry munching: `$object [key] (value-so-far) rest`.
+    (@object $object:ident () () ()) => {};
+    (@object $object:ident [$key:tt] ($value:expr) , $($rest:tt)*) => {
+        let _ = $object.insert($key, $value);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    (@object $object:ident [$key:tt] ($value:expr)) => {
+        let _ = $object.insert($key, $value);
+    };
+    (@object $object:ident ($key:tt) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$key] ($crate::json_internal!(null)) $($rest)*);
+    };
+    (@object $object:ident ($key:tt) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$key] ($crate::json_internal!(true)) $($rest)*);
+    };
+    (@object $object:ident ($key:tt) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$key] ($crate::json_internal!(false)) $($rest)*);
+    };
+    (@object $object:ident ($key:tt) (: [$($array:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$key] ($crate::json_internal!([$($array)*])) $($rest)*
+        );
+    };
+    (@object $object:ident ($key:tt) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$key] ($crate::json_internal!({$($map)*})) $($rest)*
+        );
+    };
+    (@object $object:ident ($key:tt) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(
+            @object $object [$key] ($crate::json_internal!($value)) , $($rest)*
+        );
+    };
+    (@object $object:ident ($key:tt) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$key] ($crate::json_internal!($value)));
+    };
+    // Take the (string-literal) key.
+    (@object $object:ident () ($key:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($key) ($($rest)*) ($($rest)*));
+    };
+
+    // ---- primary forms.
+    (null) => {
+        $crate::Value::Null
+    };
+    (true) => {
+        $crate::Value::Bool(true)
+    };
+    (false) => {
+        $crate::Value::Bool(false)
+    };
+    ([]) => {
+        $crate::Value::Array(::std::vec![])
+    };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => {
+        $crate::Value::Object($crate::Map::new())
+    };
+    ({ $($tt:tt)+ }) => {
+        $crate::Value::Object({
+            let mut object = $crate::Map::new();
+            $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+            object
+        })
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let rps = 123.5f64;
+        let v = json!({
+            "name": "bench",
+            "null_field": Value::Null,
+            "nested": { "rps": rps, "ok": true },
+            "list": [1, 2, rps],
+            "rows": (0..2).map(|i| json!({"i": i})).collect::<Vec<_>>(),
+        });
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("name").unwrap().as_str(), Some("bench"));
+        assert!(obj.get("null_field").unwrap().is_null());
+        assert_eq!(
+            v.get("nested").unwrap().get("rps").unwrap().as_f64(),
+            Some(123.5)
+        );
+        assert_eq!(obj.get("list").unwrap().as_array().unwrap().len(), 3);
+        let rows = obj.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows[1].get("i").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn compact_roundtrip() {
+        let v = json!({"a": [1, -2, 0.5], "b": null, "c": "x\"y\n"});
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_format_matches_serde_json_conventions() {
+        let v = json!({"a": 1, "b": [true, null]});
+        let text = to_string_pretty(&v).unwrap();
+        assert_eq!(
+            text,
+            "{\n  \"a\": 1,\n  \"b\": [\n    true,\n    null\n  ]\n}"
+        );
+    }
+
+    #[test]
+    fn floats_keep_decimal_point() {
+        assert_eq!(to_string(&json!(1.0f64)).unwrap(), "1.0");
+        assert_eq!(to_string(&json!(4.32f64)).unwrap(), "4.32");
+        assert_eq!(to_string(&json!(f64::NAN)).unwrap(), "null");
+    }
+
+    #[test]
+    fn from_str_rejects_garbage() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2,]").is_err());
+        assert!(from_str::<Value>("nope").is_err());
+        assert!(from_str::<Value>("{} trailing").is_err());
+    }
+
+    #[test]
+    fn parses_escapes_and_numbers() {
+        let v: Value = from_str(r#"{"s": "aA\n\"\\", "n": -12, "f": 1e3}"#).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("aA\n\"\\"));
+        assert_eq!(v.get("n").unwrap().as_i64(), Some(-12));
+        assert_eq!(v.get("f").unwrap().as_f64(), Some(1000.0));
+    }
+}

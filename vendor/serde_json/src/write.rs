@@ -1,0 +1,126 @@
+//! JSON text rendering (compact and pretty) over [`Value`] trees.
+
+use serde::value::{Number, Value};
+use std::fmt::Write as _;
+
+/// Renders `value` as JSON text. `indent` of `None` is compact;
+/// `Some(level)` pretty-prints with two spaces per level, matching
+/// serde_json's default pretty formatter.
+pub fn write(value: &Value, indent: Option<usize>) -> String {
+    let mut out = String::new();
+    render(value, indent, &mut out);
+    out
+}
+
+fn pad(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn render(value: &Value, indent: Option<usize>, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => render_number(*n, out),
+        Value::String(s) => render_string(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(level) = indent {
+                    out.push('\n');
+                    pad(out, level + 1);
+                    render(item, Some(level + 1), out);
+                } else {
+                    render(item, None, out);
+                }
+            }
+            if let Some(level) = indent {
+                out.push('\n');
+                pad(out, level);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if let Some(level) = indent {
+                    out.push('\n');
+                    pad(out, level + 1);
+                    render_string(key, out);
+                    out.push_str(": ");
+                    render(item, Some(level + 1), out);
+                } else {
+                    render_string(key, out);
+                    out.push(':');
+                    render(item, None, out);
+                }
+            }
+            if let Some(level) = indent {
+                out.push('\n');
+                pad(out, level);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn render_number(n: Number, out: &mut String) {
+    match n {
+        Number::PosInt(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::NegInt(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Number::Float(v) => {
+            if v.is_finite() {
+                let start = out.len();
+                let _ = write!(out, "{v}");
+                // `{}` prints the shortest round-trip form but drops the
+                // decimal point for integral floats; serde_json keeps it.
+                if !out[start..].contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                // serde_json renders non-finite floats as null.
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
