@@ -148,6 +148,7 @@ pub fn write_response<W: Write>(
 ) -> io::Result<()> {
     let reason = match status {
         200 => "OK",
+        400 => "Bad Request",
         404 => "Not Found",
         502 => "Bad Gateway",
         503 => "Service Unavailable",

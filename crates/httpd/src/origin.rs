@@ -194,7 +194,7 @@ fn serve_connection(
             Err(ParseError::ConnectionClosed) => return Ok(()),
             Err(ParseError::Io(e)) => return Err(e),
             Err(ParseError::Malformed(_)) => {
-                write_response(&mut writer, 404, b"bad request", false)?;
+                write_response(&mut writer, 400, b"bad request", false)?;
                 return Ok(());
             }
         };

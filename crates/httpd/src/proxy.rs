@@ -27,7 +27,7 @@ use cpms_model::NodeId;
 use cpms_urltable::{SnapshotHandle, TablePublisher, UrlTable};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter};
+use std::io::{self, BufRead, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -311,8 +311,19 @@ impl Drop for ContentAwareProxy {
 }
 
 /// How long a worker waits on an idle keep-alive connection before
-/// re-checking the stop flag.
+/// re-checking the stop flag. Applies only *between* requests, never to
+/// reads inside a request head.
 const IDLE_POLL: Duration = Duration::from_millis(50);
+
+/// How long a worker allows a client to finish delivering a request head
+/// once its first byte has arrived. Generous enough for slow clients that
+/// trickle the request line and headers in separate packets; bounded so a
+/// stalled client cannot pin a worker forever.
+const REQUEST_READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// How long a worker sleeps after a failed `accept` before retrying, so a
+/// persistent error (e.g. `EMFILE`) does not become a CPU-spinning loop.
+const ACCEPT_RETRY_BACKOFF: Duration = Duration::from_millis(10);
 
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
@@ -329,11 +340,15 @@ fn worker_loop(
     let worker_stats = stats.worker(idx);
     let ledger = &ledgers[idx];
     loop {
-        let Ok((stream, _)) = listener.accept() else {
-            if stop.load(Ordering::Acquire) {
-                return;
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                std::thread::sleep(ACCEPT_RETRY_BACKOFF);
+                continue;
             }
-            continue;
         };
         if stop.load(Ordering::Acquire) {
             return;
@@ -364,26 +379,49 @@ fn serve_client(
     stop: &AtomicBool,
 ) -> io::Result<()> {
     stream.set_nodelay(true)?;
-    // Poll the stop flag while parked on an idle keep-alive connection so
-    // shutdown never hangs on a silent client.
-    stream.set_read_timeout(Some(IDLE_POLL))?;
+    // `timeouts` shares the socket with reader and writer; it exists only
+    // to flip SO_RCVTIMEO between the idle poll and the in-request read.
+    let timeouts = stream.try_clone()?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     loop {
+        // Idle between requests: poll with a short timeout so shutdown
+        // never hangs on a silent keep-alive client. No request bytes have
+        // been consumed yet, so a timeout here loses nothing.
+        timeouts.set_read_timeout(Some(IDLE_POLL))?;
+        loop {
+            match reader.fill_buf() {
+                Ok([]) => return Ok(()),
+                Ok(_) => break,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if stop.load(Ordering::Acquire) {
+                        return Ok(());
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // The request head has started arriving: give the client a longer,
+        // bounded window to deliver the rest. A short per-read timeout here
+        // would abort mid-parse and misinterpret the remaining header bytes
+        // as a fresh request line on the retry.
+        timeouts.set_read_timeout(Some(REQUEST_READ_TIMEOUT))?;
         let request = match read_request(&mut reader) {
             Ok(r) => r,
             Err(ParseError::ConnectionClosed) => return Ok(()),
             Err(ParseError::Io(e))
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
-                if stop.load(Ordering::Acquire) {
-                    return Ok(());
-                }
-                continue;
+                // Client stalled mid-request: parse state is unrecoverable,
+                // drop the connection.
+                return Ok(());
             }
             Err(ParseError::Io(e)) => return Err(e),
             Err(ParseError::Malformed(_)) => {
-                write_response(&mut writer, 404, b"bad request", false)?;
+                write_response(&mut writer, 400, b"bad request", false)?;
                 return Ok(());
             }
         };
@@ -580,6 +618,58 @@ mod tests {
             .filter(|&i| proxy.stats().worker(i).relayed.load(Ordering::Relaxed) > 0)
             .count();
         assert!(busy_workers > 1, "only {busy_workers} worker(s) served");
+    }
+
+    #[test]
+    fn slow_request_heads_parse_across_packets() {
+        // A client that trickles the request line and headers in separate
+        // packets, each gap longer than IDLE_POLL: the proxy must keep the
+        // partial parse alive rather than time out mid-head and misread the
+        // remaining header bytes as a fresh request line.
+        let o0 = start_origin(0, &[("/slow", b"patient")]);
+        let mut table = UrlTable::new();
+        table
+            .insert("/slow".parse().unwrap(), entry(0, &[0]))
+            .unwrap();
+        let proxy = ContentAwareProxy::start(table, vec![o0.addr()], 1).unwrap();
+
+        use std::io::{Read, Write};
+        let mut stream = TcpStream::connect(proxy.addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        for chunk in [
+            &b"GET /slow "[..],
+            b"HTTP/1.1\r\n",
+            b"Connection: close\r\n",
+            b"\r\n",
+        ] {
+            stream.write_all(chunk).unwrap();
+            std::thread::sleep(IDLE_POLL + Duration::from_millis(30));
+        }
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).unwrap();
+        let text = String::from_utf8_lossy(&raw);
+        assert!(text.starts_with("HTTP/1.1 200"), "slow client got: {text}");
+        assert!(text.ends_with("patient"), "slow client got: {text}");
+        assert_eq!(proxy.relayed(), 1);
+    }
+
+    #[test]
+    fn malformed_requests_get_400() {
+        let o0 = start_origin(0, &[("/a", b"x")]);
+        let mut table = UrlTable::new();
+        table.insert("/a".parse().unwrap(), entry(0, &[0])).unwrap();
+        let proxy = ContentAwareProxy::start(table, vec![o0.addr()], 1).unwrap();
+
+        use std::io::{Read, Write};
+        let mut stream = TcpStream::connect(proxy.addr()).unwrap();
+        stream.write_all(b"GARBAGE\r\n\r\n").unwrap();
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).unwrap();
+        let text = String::from_utf8_lossy(&raw);
+        assert!(
+            text.starts_with("HTTP/1.1 400 Bad Request"),
+            "malformed request got: {text}"
+        );
     }
 
     #[test]

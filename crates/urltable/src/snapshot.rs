@@ -92,17 +92,29 @@ impl TablePublisher {
     /// in-place semantics this replaces (a partially applied management
     /// operation must still stop the distributor from routing to copies
     /// that no longer exist).
+    ///
+    /// The write lock is held across the whole clone → mutate → publish
+    /// sequence, so concurrent `update` calls (e.g. a management mutation
+    /// racing a hit-ledger flush) serialize instead of both cloning the
+    /// same base and silently discarding whichever publishes first. As a
+    /// consequence, `mutate` must not call back into this publisher.
     pub fn update<T>(&self, mutate: impl FnOnce(&mut UrlTable) -> T) -> T {
-        let mut table = UrlTable::clone(&self.snapshot());
+        let mut current = self.shared.current.write();
+        let mut table = UrlTable::clone(&current);
         let result = mutate(&mut table);
-        self.publish(table);
+        let generation = table.generation();
+        *current = Arc::new(table);
+        self.shared.generation.store(generation, Ordering::Release);
         result
     }
 
     /// Publishes a fully built table, replacing the current snapshot.
     pub fn publish(&self, table: UrlTable) {
         let generation = table.generation();
-        *self.shared.current.write() = Arc::new(table);
+        let mut current = self.shared.current.write();
+        *current = Arc::new(table);
+        // Store the generation while still holding the lock so table and
+        // generation updates from racing publishers cannot interleave.
         self.shared.generation.store(generation, Ordering::Release);
     }
 }
@@ -135,9 +147,14 @@ impl SnapshotHandle {
     /// A reader pinning the current snapshot, with a private lookup cache
     /// of `cache_entries` records.
     pub fn reader(&self, cache_entries: u64) -> SnapshotReader {
+        // Generation first, then table (matching `refresh`): a publication
+        // landing in between pins a too-new table under a too-old tag, so
+        // the next refresh re-pins. The opposite order would tag a stale
+        // table with the new generation and never notice.
+        let pinned_generation = self.generation();
         SnapshotReader {
             pinned: self.load(),
-            pinned_generation: self.generation(),
+            pinned_generation,
             handle: self.clone(),
             cache: LookupCache::new(cache_entries),
         }

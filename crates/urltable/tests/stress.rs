@@ -48,6 +48,14 @@ fn published_deletes_are_never_resurrected() {
             .unwrap();
     }
     let publisher = TablePublisher::new(table);
+    // Two flags per path bracket its delete: `delete_started` is raised
+    // before the remove is applied, `deleted` after the remove has been
+    // published. A lookup may miss only once the delete has started, and
+    // may route only until it was published — comparing against a single
+    // flag on both sides would race the flag read against the publication
+    // and fail spuriously.
+    let delete_started: Arc<Vec<AtomicBool>> =
+        Arc::new((0..PATHS).map(|_| AtomicBool::new(false)).collect());
     let deleted: Arc<Vec<AtomicBool>> =
         Arc::new((0..PATHS).map(|_| AtomicBool::new(false)).collect());
     let stop = Arc::new(AtomicBool::new(false));
@@ -55,6 +63,7 @@ fn published_deletes_are_never_resurrected() {
     std::thread::scope(|scope| {
         for _ in 0..READERS {
             let handle = publisher.handle();
+            let delete_started = Arc::clone(&delete_started);
             let deleted = Arc::clone(&deleted);
             let stop = Arc::clone(&stop);
             let paths = &paths;
@@ -93,12 +102,15 @@ fn published_deletes_are_never_resurrected() {
                                 );
                             }
                             None => {
-                                // A miss before the delete is impossible: the
-                                // record is present from the initial table
-                                // until its single delete.
+                                // The record is present from the initial
+                                // table until its single delete, so a miss
+                                // proves the remove's publication preceded
+                                // this lookup — which requires the delete to
+                                // have started. (Checked *after* the lookup;
+                                // `deleted` may still lag the publication.)
                                 assert!(
-                                    was_deleted,
-                                    "lookup missed {path} before its delete was published"
+                                    delete_started[i].load(Ordering::Acquire),
+                                    "lookup missed {path} before its delete began"
                                 );
                             }
                         }
@@ -119,6 +131,7 @@ fn published_deletes_are_never_resurrected() {
                     .update(|t| t.remove_location(path, NodeId(round)))
                     .unwrap();
             }
+            delete_started[i].store(true, Ordering::Release);
             publisher.update(|t| t.remove(path)).unwrap();
             deleted[i].store(true, Ordering::Release);
             if i % 8 == 0 {
@@ -194,6 +207,105 @@ fn multi_mutation_updates_are_atomic() {
 
     assert_eq!(publisher.snapshot().len(), 0);
     assert_eq!(publisher.generation(), publisher.handle().generation());
+}
+
+/// Concurrent writers going through `update` are serialized: the
+/// clone → mutate → publish sequence of one writer can never discard a
+/// mutation another writer already published. (With an unserialized
+/// read-modify-write, two racing writers clone the same base snapshot and
+/// the later publish silently drops the earlier insert.)
+#[test]
+fn concurrent_updates_are_never_lost() {
+    const WRITERS: usize = 4;
+    const PER_WRITER: usize = 64;
+
+    let publisher = TablePublisher::new(UrlTable::new());
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let publisher = &publisher;
+            scope.spawn(move || {
+                for i in 0..PER_WRITER {
+                    publisher
+                        .update(|t| {
+                            t.insert(
+                                p(&format!("/writer{w}/obj{i}")),
+                                UrlEntry::new(
+                                    ContentId((w * PER_WRITER + i) as u32),
+                                    ContentKind::StaticHtml,
+                                    8,
+                                )
+                                .with_locations([NodeId(w as u16)]),
+                            )
+                        })
+                        .unwrap();
+                }
+            });
+        }
+    });
+    assert_eq!(
+        publisher.snapshot().len(),
+        WRITERS * PER_WRITER,
+        "a racing writer's published insert was discarded"
+    );
+}
+
+/// Management deletes racing a hit-count flush (the proxy's `flush_hits`
+/// publishes through the same `update` path) must stay deleted — the
+/// flush's copy-on-write publication may not resurrect a record whose
+/// delete was already published.
+#[test]
+fn deletes_racing_hit_flushes_stay_deleted() {
+    const PATHS: usize = 64;
+
+    let paths = stress_paths(PATHS);
+    let hot = p("/stress/hot.html");
+    let mut table = UrlTable::new();
+    for (i, path) in paths.iter().enumerate() {
+        table
+            .insert(
+                path.clone(),
+                UrlEntry::new(ContentId(i as u32), ContentKind::StaticHtml, 64)
+                    .with_locations([NodeId(0)]),
+            )
+            .unwrap();
+    }
+    table
+        .insert(
+            hot.clone(),
+            UrlEntry::new(ContentId(PATHS as u32), ContentKind::StaticHtml, 64)
+                .with_locations([NodeId(0)]),
+        )
+        .unwrap();
+    let publisher = TablePublisher::new(table);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        let flusher_stop = Arc::clone(&stop);
+        let flusher_publisher = &publisher;
+        let flusher_hot = hot.clone();
+        scope.spawn(move || {
+            while !flusher_stop.load(Ordering::Relaxed) {
+                flusher_publisher.update(|t| t.record_hits(&flusher_hot, 1));
+            }
+        });
+
+        for path in &paths {
+            publisher.update(|t| t.remove(path)).unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let last = publisher.snapshot();
+    for path in &paths {
+        assert!(
+            last.lookup(path).is_none(),
+            "hit flush resurrected published delete of {path}"
+        );
+    }
+    assert!(
+        last.lookup(&hot).is_some(),
+        "hit flush lost the live record"
+    );
 }
 
 /// Hit-count publications (e.g. the proxy's `flush_hits`) do not advance the
