@@ -56,4 +56,4 @@ pub mod proxy;
 
 pub use l4proxy::L4Proxy;
 pub use origin::{OriginServer, SiteContent};
-pub use proxy::ContentAwareProxy;
+pub use proxy::{ContentAwareProxy, METRICS_JSON_PATH, METRICS_PATH};

@@ -23,7 +23,8 @@
 use crate::http::{read_request, read_response, write_request, write_response, ParseError};
 use crate::pool::SocketPool;
 use cpms_dispatch::LiveRouter;
-use cpms_model::NodeId;
+use cpms_model::{NodeId, UrlPath};
+use cpms_obs::{Counter, HistogramRecorder, MetricsRegistry, Span};
 use cpms_urltable::{SnapshotHandle, TablePublisher, UrlTable};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -32,10 +33,16 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Workers spawned by [`ContentAwareProxy::start`].
 pub const DEFAULT_WORKERS: usize = 4;
+
+/// Admin path serving the registry in Prometheus text exposition format.
+pub const METRICS_PATH: &str = "/_cpms/metrics";
+
+/// Admin path serving the registry as JSON.
+pub const METRICS_JSON_PATH: &str = "/_cpms/metrics.json";
 
 /// One worker's counters. Written by exactly one thread; read by anyone.
 #[derive(Debug, Default)]
@@ -46,6 +53,10 @@ pub struct WorkerStats {
     pub unroutable: AtomicU64,
     /// Requests whose backend exchange failed (502 to the client).
     pub backend_errors: AtomicU64,
+    /// Requests that could not even obtain a backend connection —
+    /// counted apart from [`backend_errors`](Self::backend_errors)
+    /// because pool exhaustion points at capacity, not at a sick node.
+    pub pool_failures: AtomicU64,
     /// Connections this worker accepted.
     pub connections: AtomicU64,
 }
@@ -89,6 +100,11 @@ impl ProxyStats {
         self.sum(|w| &w.backend_errors)
     }
 
+    /// Backend-pool acquire failures, summed over workers.
+    pub fn pool_failures(&self) -> u64 {
+        self.sum(|w| &w.pool_failures)
+    }
+
     /// Accepted connections, summed over workers.
     pub fn connections(&self) -> u64 {
         self.sum(|w| &w.connections)
@@ -109,6 +125,7 @@ pub struct ContentAwareProxy {
     stats: Arc<ProxyStats>,
     pools: Arc<Vec<SocketPool>>,
     ledgers: Arc<Vec<Mutex<HashMap<cpms_model::UrlPath, u64>>>>,
+    registry: Arc<MetricsRegistry>,
     stop: Arc<AtomicBool>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -118,7 +135,11 @@ impl std::fmt::Debug for ContentAwareProxy {
         f.debug_struct("ContentAwareProxy")
             .field("addr", &self.addr)
             .field("workers", &self.workers.len())
+            .field("connections", &self.stats.connections())
             .field("relayed", &self.stats.relayed())
+            .field("unroutable", &self.stats.unroutable())
+            .field("backend_errors", &self.stats.backend_errors())
+            .field("pool_failures", &self.stats.pool_failures())
             .finish()
     }
 }
@@ -153,6 +174,31 @@ impl ContentAwareProxy {
         prefork: u32,
         workers: usize,
     ) -> io::Result<ContentAwareProxy> {
+        Self::start_with_registry(
+            table,
+            backends,
+            prefork,
+            workers,
+            Arc::new(MetricsRegistry::new()),
+        )
+    }
+
+    /// Starts the proxy recording into a caller-supplied registry, so
+    /// other components (the management controller, benches) can share
+    /// one stats surface with the request path. This is the single-
+    /// system-image wiring: everything the caller registers alongside
+    /// the proxy shows up on [`METRICS_PATH`] and in console reports.
+    ///
+    /// # Errors
+    ///
+    /// Bind or pre-fork connection failures.
+    pub fn start_with_registry(
+        table: UrlTable,
+        backends: Vec<SocketAddr>,
+        prefork: u32,
+        workers: usize,
+        registry: Arc<MetricsRegistry>,
+    ) -> io::Result<ContentAwareProxy> {
         assert!(workers >= 1, "a proxy needs at least one worker");
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
@@ -175,27 +221,21 @@ impl ContentAwareProxy {
 
         let handles = (0..workers)
             .map(|idx| {
-                let listener = listener.try_clone()?;
-                let handle = publisher.handle();
-                let pools = Arc::clone(&pools);
-                let in_flight = Arc::clone(&in_flight);
-                let stats = Arc::clone(&stats);
-                let ledgers = Arc::clone(&ledgers);
-                let stop = Arc::clone(&stop);
+                let ctx = WorkerContext {
+                    idx,
+                    workers,
+                    listener: listener.try_clone()?,
+                    handle: publisher.handle(),
+                    pools: Arc::clone(&pools),
+                    in_flight: Arc::clone(&in_flight),
+                    stats: Arc::clone(&stats),
+                    ledgers: Arc::clone(&ledgers),
+                    registry: Arc::clone(&registry),
+                    stop: Arc::clone(&stop),
+                };
                 std::thread::Builder::new()
                     .name(format!("cpms-proxy-{idx}"))
-                    .spawn(move || {
-                        worker_loop(
-                            idx,
-                            &listener,
-                            &handle,
-                            &pools[idx],
-                            &in_flight,
-                            &stats,
-                            &ledgers,
-                            &stop,
-                        )
-                    })
+                    .spawn(move || worker_loop(ctx))
             })
             .collect::<io::Result<Vec<_>>>()?;
 
@@ -205,6 +245,7 @@ impl ContentAwareProxy {
             stats,
             pools,
             ledgers,
+            registry,
             stop,
             workers: handles,
         })
@@ -236,6 +277,13 @@ impl ContentAwareProxy {
         &self.stats
     }
 
+    /// The metrics registry every worker records into. Shared with the
+    /// caller of [`ContentAwareProxy::start_with_registry`], fresh
+    /// otherwise.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
     /// Requests relayed successfully (all workers).
     pub fn relayed(&self) -> u64 {
         self.stats.relayed()
@@ -249,6 +297,11 @@ impl ContentAwareProxy {
     /// Requests that failed at the backend (all workers).
     pub fn backend_errors(&self) -> u64 {
         self.stats.backend_errors()
+    }
+
+    /// Requests that could not obtain a backend connection (all workers).
+    pub fn pool_failures(&self) -> u64 {
+        self.stats.pool_failures()
     }
 
     /// Checkouts that had to open a fresh backend connection, summed over
@@ -325,153 +378,343 @@ const REQUEST_READ_TIMEOUT: Duration = Duration::from_secs(2);
 /// persistent error (e.g. `EMFILE`) does not become a CPU-spinning loop.
 const ACCEPT_RETRY_BACKOFF: Duration = Duration::from_millis(10);
 
-#[allow(clippy::too_many_arguments)]
-fn worker_loop(
+/// Requests slower end-to-end than this leave a post-mortem event even
+/// when they succeed.
+const SLOW_REQUEST: Duration = Duration::from_millis(250);
+
+/// Everything one worker thread needs, moved into it at spawn.
+struct WorkerContext {
     idx: usize,
-    listener: &TcpListener,
-    handle: &SnapshotHandle,
-    pool: &SocketPool,
-    in_flight: &[AtomicU32],
-    stats: &ProxyStats,
-    ledgers: &[Mutex<HashMap<cpms_model::UrlPath, u64>>],
-    stop: &AtomicBool,
-) {
-    let mut router = LiveRouter::new(handle, 1024);
-    let worker_stats = stats.worker(idx);
-    let ledger = &ledgers[idx];
+    workers: usize,
+    listener: TcpListener,
+    handle: SnapshotHandle,
+    pools: Arc<Vec<SocketPool>>,
+    in_flight: Arc<Vec<AtomicU32>>,
+    stats: Arc<ProxyStats>,
+    ledgers: Arc<Vec<Mutex<HashMap<UrlPath, u64>>>>,
+    registry: Arc<MetricsRegistry>,
+    stop: Arc<AtomicBool>,
+}
+
+/// Per-worker metric handles: histogram recorders bound to this worker's
+/// shard (recording is a few relaxed atomics, no lock) plus the shared
+/// counters. Resolved once at worker start, off the request path.
+struct WorkerMetrics {
+    parse_ns: HistogramRecorder,
+    relay_ns: HistogramRecorder,
+    request_ns: HistogramRecorder,
+    connections: Arc<Counter>,
+    requests: Arc<Counter>,
+    relayed: Arc<Counter>,
+    unroutable: Arc<Counter>,
+    backend_errors: Arc<Counter>,
+    pool_failures: Arc<Counter>,
+    malformed: Arc<Counter>,
+}
+
+impl WorkerMetrics {
+    fn new(registry: &MetricsRegistry, idx: usize, workers: usize) -> Self {
+        let recorder = |name| registry.histogram_with_shards(name, workers).recorder(idx);
+        WorkerMetrics {
+            parse_ns: recorder("proxy_parse_ns"),
+            relay_ns: recorder("proxy_relay_ns"),
+            request_ns: recorder("proxy_request_ns"),
+            connections: registry.counter("proxy_connections_total"),
+            requests: registry.counter("proxy_requests_total"),
+            relayed: registry.counter("proxy_relayed_total"),
+            unroutable: registry.counter("proxy_unroutable_total"),
+            backend_errors: registry.counter("proxy_backend_errors_total"),
+            pool_failures: registry.counter("proxy_pool_failures_total"),
+            malformed: registry.counter("proxy_malformed_total"),
+        }
+    }
+}
+
+fn worker_loop(ctx: WorkerContext) {
+    let mut worker = Worker::new(ctx);
     loop {
-        let stream = match listener.accept() {
+        let stream = match worker.ctx.listener.accept() {
             Ok((stream, _)) => stream,
             Err(_) => {
-                if stop.load(Ordering::Acquire) {
+                if worker.ctx.stop.load(Ordering::Acquire) {
                     return;
                 }
                 std::thread::sleep(ACCEPT_RETRY_BACKOFF);
                 continue;
             }
         };
-        if stop.load(Ordering::Acquire) {
+        if worker.ctx.stop.load(Ordering::Acquire) {
             return;
         }
-        worker_stats.connections.fetch_add(1, Ordering::Relaxed);
-        let _ = serve_client(
-            stream,
-            &mut router,
-            pool,
-            in_flight,
-            worker_stats,
-            ledger,
-            stop,
-        );
-        if stop.load(Ordering::Acquire) {
+        worker.stats().connections.fetch_add(1, Ordering::Relaxed);
+        worker.metrics.connections.inc();
+        let _ = worker.serve_client(stream);
+        if worker.ctx.stop.load(Ordering::Acquire) {
             return;
         }
     }
 }
 
-fn serve_client(
-    stream: TcpStream,
-    router: &mut LiveRouter,
-    pool: &SocketPool,
-    in_flight: &[AtomicU32],
-    stats: &WorkerStats,
-    ledger: &Mutex<HashMap<cpms_model::UrlPath, u64>>,
-    stop: &AtomicBool,
-) -> io::Result<()> {
-    stream.set_nodelay(true)?;
-    // `timeouts` shares the socket with reader and writer; it exists only
-    // to flip SO_RCVTIMEO between the idle poll and the in-request read.
-    let timeouts = stream.try_clone()?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    loop {
-        // Idle between requests: poll with a short timeout so shutdown
-        // never hangs on a silent keep-alive client. No request bytes have
-        // been consumed yet, so a timeout here loses nothing.
-        timeouts.set_read_timeout(Some(IDLE_POLL))?;
+/// One worker thread's state: private router (pinned snapshot + lookup
+/// cache), private pool shard, per-worker counters and recorders.
+struct Worker {
+    ctx: WorkerContext,
+    router: LiveRouter,
+    metrics: WorkerMetrics,
+}
+
+impl Worker {
+    fn new(ctx: WorkerContext) -> Self {
+        let mut router = LiveRouter::new(&ctx.handle, 1024);
+        router.attach_metrics(&ctx.registry, ctx.idx);
+        let metrics = WorkerMetrics::new(&ctx.registry, ctx.idx, ctx.workers);
+        Worker {
+            router,
+            metrics,
+            ctx,
+        }
+    }
+
+    fn stats(&self) -> &WorkerStats {
+        self.ctx.stats.worker(self.ctx.idx)
+    }
+
+    fn pool(&self) -> &SocketPool {
+        &self.ctx.pools[self.ctx.idx]
+    }
+
+    fn serve_client(&mut self, stream: TcpStream) -> io::Result<()> {
+        stream.set_nodelay(true)?;
+        // `timeouts` shares the socket with reader and writer; it exists
+        // only to flip SO_RCVTIMEO between the idle poll and the
+        // in-request read.
+        let timeouts = stream.try_clone()?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = BufWriter::new(stream);
         loop {
-            match reader.fill_buf() {
-                Ok([]) => return Ok(()),
-                Ok(_) => break,
-                Err(e)
+            // Idle between requests: poll with a short timeout so shutdown
+            // never hangs on a silent keep-alive client. No request bytes
+            // have been consumed yet, so a timeout here loses nothing.
+            timeouts.set_read_timeout(Some(IDLE_POLL))?;
+            loop {
+                match reader.fill_buf() {
+                    Ok([]) => return Ok(()),
+                    Ok(_) => break,
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        if self.ctx.stop.load(Ordering::Acquire) {
+                            return Ok(());
+                        }
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            // The first request byte is in: the request is live from here,
+            // so this is where its clock and id start.
+            let started = Instant::now();
+            let request_id = self.ctx.registry.next_request_id();
+            self.metrics.requests.inc();
+            // The request head has started arriving: give the client a
+            // longer, bounded window to deliver the rest. A short per-read
+            // timeout here would abort mid-parse and misinterpret the
+            // remaining header bytes as a fresh request line on the retry.
+            timeouts.set_read_timeout(Some(REQUEST_READ_TIMEOUT))?;
+            let parse_span = Span::enter("parse", &self.metrics.parse_ns);
+            let request = match read_request(&mut reader) {
+                Ok(r) => r,
+                Err(ParseError::ConnectionClosed) => return Ok(()),
+                Err(ParseError::Io(e))
                     if e.kind() == io::ErrorKind::WouldBlock
                         || e.kind() == io::ErrorKind::TimedOut =>
                 {
-                    if stop.load(Ordering::Acquire) {
-                        return Ok(());
-                    }
+                    // Client stalled mid-request: parse state is
+                    // unrecoverable, drop the connection.
+                    self.ctx.registry.events().record(
+                        "parse",
+                        Some(request_id),
+                        "client stalled mid-request-head".to_string(),
+                    );
+                    return Ok(());
                 }
-                Err(e) => return Err(e),
-            }
-        }
-        // The request head has started arriving: give the client a longer,
-        // bounded window to deliver the rest. A short per-read timeout here
-        // would abort mid-parse and misinterpret the remaining header bytes
-        // as a fresh request line on the retry.
-        timeouts.set_read_timeout(Some(REQUEST_READ_TIMEOUT))?;
-        let request = match read_request(&mut reader) {
-            Ok(r) => r,
-            Err(ParseError::ConnectionClosed) => return Ok(()),
-            Err(ParseError::Io(e))
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                // Client stalled mid-request: parse state is unrecoverable,
-                // drop the connection.
+                Err(ParseError::Io(e)) => return Err(e),
+                Err(ParseError::Malformed(why)) => {
+                    self.metrics.malformed.inc();
+                    self.ctx.registry.events().record(
+                        "parse",
+                        Some(request_id),
+                        format!("malformed request: {why}"),
+                    );
+                    write_response(&mut writer, 400, b"bad request", false)?;
+                    return Ok(());
+                }
+            };
+            parse_span.finish();
+            let keep_alive = request.keep_alive;
+
+            // --- admin surface: the stats endpoints are served by the
+            // proxy itself, not routed to a backend.
+            if request.path.as_str() == METRICS_PATH {
+                let body = self.render_metrics(false);
+                write_response(&mut writer, 200, body.as_bytes(), keep_alive)?;
+                if keep_alive {
+                    continue;
+                }
                 return Ok(());
             }
-            Err(ParseError::Io(e)) => return Err(e),
-            Err(ParseError::Malformed(_)) => {
-                write_response(&mut writer, 400, b"bad request", false)?;
+            if request.path.as_str() == METRICS_JSON_PATH {
+                let body = self.render_metrics(true);
+                write_response(&mut writer, 200, body.as_bytes(), keep_alive)?;
+                if keep_alive {
+                    continue;
+                }
                 return Ok(());
             }
-        };
-        let keep_alive = request.keep_alive;
 
-        // --- routing decision: snapshot lookup + least in-flight replica.
-        // Nodes without a configured backend address are vetoed.
-        let target = router.route(&request.path, |n| {
-            in_flight
-                .get(n.index())
-                .map_or(u64::MAX, |c| u64::from(c.load(Ordering::Relaxed)))
-        });
-        let Some((node, _entry)) = target else {
-            stats.unroutable.fetch_add(1, Ordering::Relaxed);
-            write_response(&mut writer, 503, b"no location for path", keep_alive)?;
-            if keep_alive {
-                continue;
-            }
-            return Ok(());
-        };
-        *ledger.lock().entry(request.path.clone()).or_insert(0) += 1;
+            // --- routing decision: snapshot lookup + least in-flight
+            // replica. Nodes without a configured backend address are
+            // vetoed.
+            let in_flight = &self.ctx.in_flight;
+            let target = self.router.route(&request.path, |n| {
+                in_flight
+                    .get(n.index())
+                    .map_or(u64::MAX, |c| u64::from(c.load(Ordering::Relaxed)))
+            });
+            let Some((node, _entry)) = target else {
+                self.stats().unroutable.fetch_add(1, Ordering::Relaxed);
+                self.metrics.unroutable.inc();
+                self.ctx.registry.events().record(
+                    "route",
+                    Some(request_id),
+                    format!("unroutable path {}", request.path),
+                );
+                write_response(&mut writer, 503, b"no location for path", keep_alive)?;
+                self.metrics
+                    .request_ns
+                    .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                if keep_alive {
+                    continue;
+                }
+                return Ok(());
+            };
+            *self.ctx.ledgers[self.ctx.idx]
+                .lock()
+                .entry(request.path.clone())
+                .or_insert(0) += 1;
 
-        // --- bind to a pre-forked connection and relay
-        in_flight[node.index()].fetch_add(1, Ordering::Relaxed);
-        let exchange = relay_once(pool, node, &request.path);
-        in_flight[node.index()].fetch_sub(1, Ordering::Relaxed);
+            // --- bind to a pre-forked connection and relay
+            in_flight[node.index()].fetch_add(1, Ordering::Relaxed);
+            let relay_span = Span::enter("relay", &self.metrics.relay_ns);
+            let exchange = relay_once(self.pool(), node, &request.path);
+            relay_span.finish();
+            in_flight[node.index()].fetch_sub(1, Ordering::Relaxed);
 
-        match exchange {
-            Ok(response) => {
-                stats.relayed.fetch_add(1, Ordering::Relaxed);
-                write_response(&mut writer, response.status, &response.body, keep_alive)?;
+            match exchange {
+                Ok(response) => {
+                    self.stats().relayed.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.relayed.inc();
+                    write_response(&mut writer, response.status, &response.body, keep_alive)?;
+                }
+                Err(RelayError::Acquire(e)) => {
+                    self.stats().pool_failures.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.pool_failures.inc();
+                    self.ctx.registry.events().record(
+                        "pool",
+                        Some(request_id),
+                        format!("no connection to node {}: {e}", node.0),
+                    );
+                    write_response(&mut writer, 502, b"backend failure", keep_alive)?;
+                }
+                Err(RelayError::Exchange(e)) => {
+                    self.stats().backend_errors.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.backend_errors.inc();
+                    self.ctx.registry.events().record(
+                        "relay",
+                        Some(request_id),
+                        format!("exchange with node {} failed: {e:?}", node.0),
+                    );
+                    write_response(&mut writer, 502, b"backend failure", keep_alive)?;
+                }
             }
-            Err(_) => {
-                stats.backend_errors.fetch_add(1, Ordering::Relaxed);
-                write_response(&mut writer, 502, b"backend failure", keep_alive)?;
+            let elapsed = started.elapsed();
+            self.metrics
+                .request_ns
+                .record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+            if elapsed >= SLOW_REQUEST {
+                self.ctx.registry.events().record(
+                    "request",
+                    Some(request_id),
+                    format!("slow request {} took {elapsed:?}", request.path),
+                );
             }
-        }
-        if !keep_alive {
-            return Ok(());
+            if !keep_alive {
+                return Ok(());
+            }
         }
     }
+
+    /// Samples the point-in-time gauges (table size and memory, snapshot
+    /// generation, pool occupancy, per-node in-flight) into the registry,
+    /// then renders the whole registry. Gauges are sampled at render time
+    /// because they are reads of existing state — putting them on the
+    /// request path would buy nothing.
+    fn render_metrics(&self, json: bool) -> String {
+        let registry = &self.ctx.registry;
+        let table = self.ctx.handle.load();
+        registry
+            .gauge("urltable_entries")
+            .set(i64::try_from(table.len()).unwrap_or(i64::MAX));
+        registry
+            .gauge("urltable_memory_bytes")
+            .set(i64::try_from(table.memory_bytes()).unwrap_or(i64::MAX));
+        registry
+            .gauge("urltable_generation")
+            .set(i64::try_from(self.ctx.handle.generation()).unwrap_or(i64::MAX));
+        let pools = &self.ctx.pools;
+        registry
+            .gauge("proxy_pool_checkouts")
+            .set(i64::try_from(pools.iter().map(SocketPool::checkouts).sum::<u64>()).unwrap_or(0));
+        registry.gauge("proxy_pool_overflow_connects").set(
+            i64::try_from(pools.iter().map(SocketPool::overflow_connects).sum::<u64>())
+                .unwrap_or(0),
+        );
+        for (node, counter) in self.ctx.in_flight.iter().enumerate() {
+            let idle: usize = pools.iter().map(|p| p.idle_count(node)).sum();
+            registry
+                .gauge(&format!("proxy_node{node}_in_flight"))
+                .set(i64::from(counter.load(Ordering::Relaxed)));
+            registry
+                .gauge(&format!("proxy_node{node}_pool_idle"))
+                .set(i64::try_from(idle).unwrap_or(i64::MAX));
+        }
+        let snapshot = registry.snapshot();
+        if json {
+            snapshot.to_json()
+        } else {
+            snapshot.to_prometheus()
+        }
+    }
+}
+
+/// Why one relay attempt failed — acquisition and exchange failures are
+/// reported apart because they call for different remedies (capacity vs.
+/// node health).
+#[derive(Debug)]
+enum RelayError {
+    /// No backend connection could be obtained at all.
+    Acquire(io::Error),
+    /// The request/response exchange on an established connection failed.
+    Exchange(ParseError),
 }
 
 fn relay_once(
     pool: &SocketPool,
     node: NodeId,
     path: &cpms_model::UrlPath,
-) -> Result<crate::http::Response, ParseError> {
-    let conn = pool.checkout(node.index())?;
-    let mut backend_reader = BufReader::new(conn.try_clone().map_err(ParseError::Io)?);
+) -> Result<crate::http::Response, RelayError> {
+    let conn = pool.checkout(node.index()).map_err(RelayError::Acquire)?;
+    let mut backend_reader = BufReader::new(conn.try_clone().map_err(RelayError::Acquire)?);
     let mut backend_writer = conn;
     let result = write_request(&mut backend_writer, path)
         .map_err(ParseError::Io)
@@ -480,7 +723,7 @@ fn relay_once(
         Ok(_) => pool.release(node.index(), backend_writer),
         Err(_) => pool.discard(node.index(), backend_writer),
     }
-    result
+    result.map_err(RelayError::Exchange)
 }
 
 #[cfg(test)]
@@ -691,6 +934,85 @@ mod tests {
         let resp = client.get("/a").unwrap();
         assert_eq!(resp.status, 502);
         assert!(proxy.backend_errors() >= 1);
+    }
+
+    #[test]
+    fn metrics_endpoint_reports_request_path_families() {
+        let o0 = start_origin(0, &[("/a", b"x")]);
+        let mut table = UrlTable::new();
+        table.insert("/a".parse().unwrap(), entry(0, &[0])).unwrap();
+        let proxy = ContentAwareProxy::start(table, vec![o0.addr()], 2).unwrap();
+        let mut client = HttpClient::connect(proxy.addr()).unwrap();
+        for _ in 0..3 {
+            assert_eq!(client.get("/a").unwrap().status, 200);
+        }
+        assert_eq!(client.get("/unknown").unwrap().status, 503);
+
+        let resp = client.get(METRICS_PATH).unwrap();
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        // Proxy family (request path), dispatch family (routing), and the
+        // urltable family (lookup latency + render-time memory gauge)
+        // all surface on the one endpoint.
+        assert!(text.contains("proxy_relayed_total 3"), "{text}");
+        assert!(text.contains("proxy_unroutable_total 1"), "{text}");
+        assert!(text.contains("dispatch_requests_total 4"), "{text}");
+        assert!(
+            text.contains("urltable_lookup_ns{quantile=\"0.5\"}"),
+            "{text}"
+        );
+        assert!(text.contains("urltable_memory_bytes"), "{text}");
+        assert!(text.contains("proxy_request_ns_count 4"), "{text}");
+
+        let json = String::from_utf8(client.get(METRICS_JSON_PATH).unwrap().body).unwrap();
+        assert!(json.contains("\"proxy_relayed_total\": 3"), "{json}");
+        assert!(json.contains("\"histograms\""), "{json}");
+        // The 503 left a post-mortem event correlated to its request id.
+        assert!(json.contains("unroutable path /unknown"), "{json}");
+    }
+
+    #[test]
+    fn pool_exhaustion_counts_apart_from_backend_errors() {
+        // Backend that exists long enough to pre-fork, then vanishes: the
+        // first request fails on the (dead) pooled connection — a backend
+        // exchange error; the second finds the pool empty and the connect
+        // refused — a pool acquire failure. The two must count apart.
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let gone_addr = listener.local_addr().unwrap();
+        let mut table = UrlTable::new();
+        table.insert("/a".parse().unwrap(), entry(0, &[0])).unwrap();
+        let proxy = ContentAwareProxy::start_with_workers(table, vec![gone_addr], 1, 1).unwrap();
+        drop(listener);
+
+        let mut client = HttpClient::connect(proxy.addr()).unwrap();
+        assert_eq!(client.get("/a").unwrap().status, 502);
+        assert_eq!(client.get("/a").unwrap().status, 502);
+        assert_eq!(proxy.backend_errors(), 1, "dead pooled connection");
+        assert_eq!(proxy.pool_failures(), 1, "refused overflow connect");
+        let snap = proxy.metrics().snapshot();
+        assert_eq!(snap.counter("proxy_backend_errors_total"), Some(1));
+        assert_eq!(snap.counter("proxy_pool_failures_total"), Some(1));
+    }
+
+    #[test]
+    fn debug_reports_every_aggregate() {
+        let o0 = start_origin(0, &[("/a", b"x")]);
+        let mut table = UrlTable::new();
+        table.insert("/a".parse().unwrap(), entry(0, &[0])).unwrap();
+        let proxy = ContentAwareProxy::start(table, vec![o0.addr()], 1).unwrap();
+        let mut client = HttpClient::connect(proxy.addr()).unwrap();
+        client.get("/a").unwrap();
+        client.get("/missing").unwrap();
+        let debug = format!("{proxy:?}");
+        for field in [
+            "connections: 1",
+            "relayed: 1",
+            "unroutable: 1",
+            "backend_errors: 0",
+            "pool_failures: 0",
+        ] {
+            assert!(debug.contains(field), "{field} missing from {debug}");
+        }
     }
 
     #[test]

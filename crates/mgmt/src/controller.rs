@@ -18,9 +18,11 @@ use crate::agent::{
 use crate::broker::{Broker, BrokerHandle};
 use crate::store::{NodeStore, StoredFile};
 use cpms_model::{ContentId, ContentKind, NodeId, Priority, UrlPath};
+use cpms_obs::{Counter, Gauge, HistogramRecorder, MetricsRegistry};
 use cpms_urltable::{SnapshotHandle, TableError, TablePublisher, UrlEntry, UrlTable};
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Errors from controller operations.
 #[derive(Debug)]
@@ -172,6 +174,28 @@ pub enum Inconsistency {
     },
 }
 
+/// Metric handles the controller records management operations through.
+#[derive(Debug)]
+struct ControllerMetrics {
+    registry: Arc<MetricsRegistry>,
+    ops: Arc<Counter>,
+    errors: Arc<Counter>,
+    op_ns: HistogramRecorder,
+    generation: Arc<Gauge>,
+}
+
+impl ControllerMetrics {
+    fn new(registry: Arc<MetricsRegistry>) -> Self {
+        ControllerMetrics {
+            ops: registry.counter("mgmt_ops_total"),
+            errors: registry.counter("mgmt_op_errors_total"),
+            op_ns: registry.histogram_with_shards("mgmt_op_ns", 1).recorder(0),
+            generation: registry.gauge("mgmt_table_generation"),
+            registry,
+        }
+    }
+}
+
 /// The management controller: URL-table publisher + broker handles.
 ///
 /// The table is never mutated in place: every management operation builds
@@ -179,10 +203,19 @@ pub enum Inconsistency {
 /// which live distributor workers observe via [`Controller::handle`]
 /// (§2.2's "the controller will change the URL table to adapt to these
 /// changes").
+///
+/// Every mutating operation is observed: its latency lands in the
+/// `mgmt_op_ns` histogram, its outcome in `mgmt_ops_total` /
+/// `mgmt_op_errors_total` (plus a per-operation counter), and the
+/// publication generation in the `mgmt_table_generation` gauge. The
+/// controller owns a private [`MetricsRegistry`] by default; hand it a
+/// shared one with [`Controller::set_metrics`] to fold the management
+/// plane into the same stats surface as the proxy.
 #[derive(Debug)]
 pub struct Controller {
     publisher: TablePublisher,
     cluster: Cluster,
+    metrics: ControllerMetrics,
 }
 
 impl Controller {
@@ -191,7 +224,82 @@ impl Controller {
         Controller {
             publisher: TablePublisher::default(),
             cluster,
+            metrics: ControllerMetrics::new(Arc::new(MetricsRegistry::new())),
         }
+    }
+
+    /// Redirects the controller's metrics into `registry` — the
+    /// single-system-image wiring that puts management-plane metrics on
+    /// the same surface as the request path (share the registry with
+    /// [`ContentAwareProxy::start_with_registry`][proxy]).
+    ///
+    /// [proxy]: https://docs.rs/cpms-httpd
+    pub fn set_metrics(&mut self, registry: &Arc<MetricsRegistry>) {
+        self.metrics = ControllerMetrics::new(Arc::clone(registry));
+    }
+
+    /// The registry management operations are recorded into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics.registry
+    }
+
+    /// Samples the table gauges and renders the full registry as a
+    /// human-readable report — the console `stats` command.
+    pub fn metrics_report(&self) -> String {
+        self.sample_gauges();
+        self.metrics.registry.snapshot().to_console()
+    }
+
+    /// Samples the table gauges and renders the full registry as JSON.
+    pub fn metrics_json(&self) -> String {
+        self.sample_gauges();
+        self.metrics.registry.snapshot().to_json()
+    }
+
+    /// Refreshes the point-in-time gauges (table size/memory/generation)
+    /// from the current snapshot.
+    fn sample_gauges(&self) {
+        let table = self.publisher.snapshot();
+        let registry = &self.metrics.registry;
+        registry
+            .gauge("urltable_entries")
+            .set(i64::try_from(table.len()).unwrap_or(i64::MAX));
+        registry
+            .gauge("urltable_memory_bytes")
+            .set(i64::try_from(table.memory_bytes()).unwrap_or(i64::MAX));
+        self.metrics
+            .generation
+            .set(i64::try_from(self.publisher.generation()).unwrap_or(i64::MAX));
+    }
+
+    /// Runs one management operation under observation: latency into
+    /// `mgmt_op_ns`, outcome into the op counters, failures into the
+    /// event log, and the post-op publication generation into the gauge.
+    fn timed<T>(
+        &mut self,
+        op: &'static str,
+        body: impl FnOnce(&mut Self) -> Result<T, MgmtError>,
+    ) -> Result<T, MgmtError> {
+        let start = Instant::now();
+        let result = body(self);
+        let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.metrics.ops.inc();
+        self.metrics
+            .registry
+            .counter(&format!("mgmt_{op}_total"))
+            .inc();
+        self.metrics.op_ns.record(elapsed);
+        self.metrics
+            .generation
+            .set(i64::try_from(self.publisher.generation()).unwrap_or(i64::MAX));
+        if let Err(e) = &result {
+            self.metrics.errors.inc();
+            self.metrics
+                .registry
+                .events()
+                .record("mgmt", None, format!("{op} failed: {e}"));
+        }
+        result
     }
 
     /// The current URL-table snapshot (what the distributor routes from).
@@ -242,6 +350,20 @@ impl Controller {
     /// [`MgmtError::Agent`] on broker failure (after rollback),
     /// [`MgmtError::Table`] if the path is already published.
     pub fn publish(
+        &mut self,
+        path: &UrlPath,
+        content: ContentId,
+        kind: ContentKind,
+        size: u64,
+        priority: Priority,
+        nodes: &[NodeId],
+    ) -> Result<(), MgmtError> {
+        self.timed("publish", |c| {
+            c.publish_impl(path, content, kind, size, priority, nodes)
+        })
+    }
+
+    fn publish_impl(
         &mut self,
         path: &UrlPath,
         content: ContentId,
@@ -303,6 +425,10 @@ impl Controller {
     /// the table record is still removed (the distributor must stop
     /// routing to a half-deleted object).
     pub fn delete(&mut self, path: &UrlPath) -> Result<(), MgmtError> {
+        self.timed("delete", |c| c.delete_impl(path))
+    }
+
+    fn delete_impl(&mut self, path: &UrlPath) -> Result<(), MgmtError> {
         let locations = self
             .table()
             .lookup_exact(path)
@@ -334,6 +460,10 @@ impl Controller {
     /// [`MgmtError::AlreadyHostedOn`] if the target already has a copy;
     /// [`MgmtError::Agent`] if the copy fails (table untouched).
     pub fn replicate(&mut self, path: &UrlPath, target: NodeId) -> Result<(), MgmtError> {
+        self.timed("replicate", |c| c.replicate_impl(path, target))
+    }
+
+    fn replicate_impl(&mut self, path: &UrlPath, target: NodeId) -> Result<(), MgmtError> {
         let snapshot = self.table();
         let entry = snapshot
             .lookup_exact(path)
@@ -366,6 +496,10 @@ impl Controller {
     /// [`MgmtError::LastCopy`], [`MgmtError::NotHostedOn`], or agent
     /// failures.
     pub fn offload(&mut self, path: &UrlPath, node: NodeId) -> Result<(), MgmtError> {
+        self.timed("offload", |c| c.offload_impl(path, node))
+    }
+
+    fn offload_impl(&mut self, path: &UrlPath, node: NodeId) -> Result<(), MgmtError> {
         let snapshot = self.table();
         let entry = snapshot
             .lookup_exact(path)
@@ -393,6 +527,10 @@ impl Controller {
     /// Table errors (missing source, occupied destination) are checked
     /// before any agent is dispatched.
     pub fn rename(&mut self, from: &UrlPath, to: &UrlPath) -> Result<(), MgmtError> {
+        self.timed("rename", |c| c.rename_impl(from, to))
+    }
+
+    fn rename_impl(&mut self, from: &UrlPath, to: &UrlPath) -> Result<(), MgmtError> {
         // Collect the affected records first (file or subtree).
         let moves: Vec<(UrlPath, UrlPath, Vec<NodeId>)> = self
             .table()
@@ -438,6 +576,10 @@ impl Controller {
     ///
     /// Table or agent errors.
     pub fn update_content(&mut self, path: &UrlPath) -> Result<u64, MgmtError> {
+        self.timed("update_content", |c| c.update_content_impl(path))
+    }
+
+    fn update_content_impl(&mut self, path: &UrlPath) -> Result<u64, MgmtError> {
         let locations = self
             .table()
             .lookup_exact(path)
@@ -736,6 +878,39 @@ mod tests {
         assert!(problems
             .iter()
             .any(|i| matches!(i, Inconsistency::Orphan { .. })));
+        c.shutdown();
+    }
+
+    #[test]
+    fn operations_are_observed_in_the_registry() {
+        let mut c = controller(2);
+        let registry = Arc::new(cpms_obs::MetricsRegistry::new());
+        c.set_metrics(&registry);
+
+        publish(&mut c, "/a", 1, &[0]);
+        c.replicate(&p("/a"), NodeId(1)).unwrap();
+        assert!(c.replicate(&p("/a"), NodeId(1)).is_err()); // duplicate
+        c.delete(&p("/a")).unwrap();
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("mgmt_ops_total"), Some(4));
+        assert_eq!(snap.counter("mgmt_op_errors_total"), Some(1));
+        assert_eq!(snap.counter("mgmt_publish_total"), Some(1));
+        assert_eq!(snap.counter("mgmt_replicate_total"), Some(2));
+        assert_eq!(snap.counter("mgmt_delete_total"), Some(1));
+        let op_ns = snap.histogram("mgmt_op_ns").unwrap();
+        assert_eq!(op_ns.count, 4);
+        assert!(op_ns.max > 0, "operations take measurable time");
+        // publish, replicate, delete each published a generation
+        assert_eq!(snap.gauge("mgmt_table_generation"), Some(3));
+        assert!(snap
+            .events
+            .iter()
+            .any(|e| e.stage == "mgmt" && e.detail.contains("replicate failed")));
+
+        let report = c.metrics_report();
+        assert!(report.contains("mgmt_ops_total"), "{report}");
+        assert!(report.contains("urltable_memory_bytes"), "{report}");
         c.shutdown();
     }
 

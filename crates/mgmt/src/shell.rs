@@ -14,6 +14,7 @@
 //! touch <path>                                      push a content update
 //! ls [prefix]                                       coherent tree view
 //! status                                            per-node disk/file stats
+//! stats                                             metrics registry report
 //! audit                                             verify table vs brokers
 //! help                                              this text
 //! quit                                              exit
@@ -182,6 +183,14 @@ impl Shell {
                 }
                 Ok(ShellOutcome::Output(out.trim_end().to_string()))
             }
+            "stats" => {
+                if !args.is_empty() {
+                    return Err("usage: stats".to_string());
+                }
+                Ok(ShellOutcome::Output(
+                    self.console.controller().metrics_report(),
+                ))
+            }
             "audit" => {
                 let problems = self.console.controller().verify_consistency();
                 if problems.is_empty() {
@@ -212,6 +221,7 @@ delete <path>
 touch <path>
 ls [prefix]
 status
+stats
 audit
 help
 quit
@@ -327,6 +337,21 @@ mod tests {
             parse_nodes("0,n1,2").unwrap(),
             vec![NodeId(0), NodeId(1), NodeId(2)]
         );
+    }
+
+    #[test]
+    fn stats_renders_management_metrics() {
+        let mut sh = shell();
+        assert!(out(&mut sh, "publish /a.html html 64 0").starts_with("published"));
+        assert!(out(&mut sh, "delete /nope").starts_with("error:"));
+        let stats = out(&mut sh, "stats");
+        assert!(stats.contains("mgmt_ops_total"), "{stats}");
+        assert!(stats.contains("mgmt_op_errors_total"), "{stats}");
+        assert!(stats.contains("mgmt_op_ns"), "{stats}");
+        assert!(stats.contains("urltable_entries"), "{stats}");
+        assert!(stats.contains("delete failed"), "{stats}");
+        assert!(out(&mut sh, "stats now").starts_with("error: usage"));
+        sh.shutdown();
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Renderers for a [`RegistrySnapshot`]: JSON (machine ingestion, bench
+//! result files) and Prometheus text exposition (scrapeable from the
+//! proxy's `/_cpms/metrics` admin endpoint).
+//!
+//! Hand-rolled on purpose — the crate is dependency-free and the output
+//! grammar is tiny. Metric names are workspace-controlled identifiers;
+//! free-form text (event details) is escaped.
+
+use crate::hist::HistogramSummary;
+use crate::registry::RegistrySnapshot;
+use std::fmt::Write as _;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_histogram_json(out: &mut String, summary: &HistogramSummary) {
+    let _ = write!(
+        out,
+        "{{\"count\":{},\"sum\":{},\"mean\":{:.1},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+        summary.count,
+        summary.sum,
+        summary.mean(),
+        summary.p50,
+        summary.p90,
+        summary.p99,
+        summary.max
+    );
+}
+
+impl RegistrySnapshot {
+    /// Renders the snapshot as a JSON object with `counters`, `gauges`,
+    /// `histograms`, and `events` sections.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {value}", json_escape(name));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {value}", json_escape(name));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, summary)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": ", json_escape(name));
+            write_histogram_json(&mut out, summary);
+        }
+        out.push_str("\n  },\n  \"events\": [");
+        for (i, event) in self.events.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let request = event
+                .request
+                .map_or_else(|| "null".to_string(), |r| r.0.to_string());
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"seq\":{},\"at_micros\":{},\"request\":{request},\
+                 \"stage\":\"{}\",\"detail\":\"{}\"}}",
+                event.seq,
+                event.at_micros,
+                json_escape(event.stage),
+                json_escape(&event.detail)
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    /// Histograms are exported as summaries (`{quantile="…"}` series plus
+    /// `_sum`, `_count`, and `_max`).
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        for (name, summary) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} summary");
+            for (q, v) in [
+                ("0.5", summary.p50),
+                ("0.9", summary.p90),
+                ("0.99", summary.p99),
+            ] {
+                let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
+            }
+            let _ = writeln!(out, "{name}_sum {}", summary.sum);
+            let _ = writeln!(out, "{name}_count {}", summary.count);
+            let _ = writeln!(out, "{name}_max {}", summary.max);
+        }
+        out
+    }
+
+    /// Renders a compact human-readable report (the console `stats`
+    /// command): counters and gauges one per line, histograms with
+    /// count/mean/percentiles in microseconds.
+    #[must_use]
+    pub fn to_console(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "{name:<44} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "{name:<44} {value}");
+        }
+        let us = |ns: u64| ns as f64 / 1000.0;
+        for (name, s) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{name:<44} count={} mean={:.1}us p50={:.1}us p90={:.1}us p99={:.1}us max={:.1}us",
+                s.count,
+                s.mean() / 1000.0,
+                us(s.p50),
+                us(s.p90),
+                us(s.p99),
+                us(s.max)
+            );
+        }
+        if !self.events.is_empty() {
+            let _ = writeln!(out, "recent events:");
+            for event in &self.events {
+                let request = event.request.map_or_else(String::new, |r| format!(" {r}"));
+                let _ = writeln!(
+                    out,
+                    "  [{:>10}us]{request} {}: {}",
+                    event.at_micros, event.stage, event.detail
+                );
+            }
+        }
+        out.trim_end().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::MetricsRegistry;
+
+    fn populated() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.counter("proxy_requests_total").add(12);
+        reg.gauge("urltable_memory_bytes").set(260_000);
+        let h = reg.histogram("proxy_request_ns");
+        for v in [100, 200, 300, 5_000] {
+            h.record(0, v);
+        }
+        reg.events().record(
+            "relay",
+            Some(crate::RequestId(3)),
+            "502 \"bad\"".to_string(),
+        );
+        reg
+    }
+
+    #[test]
+    fn json_contains_every_section_and_escapes() {
+        let json = populated().snapshot().to_json();
+        assert!(json.contains("\"proxy_requests_total\": 12"));
+        assert!(json.contains("\"urltable_memory_bytes\": 260000"));
+        assert!(json.contains("\"proxy_request_ns\": {\"count\":4"));
+        assert!(json.contains("502 \\\"bad\\\""), "quotes escaped: {json}");
+        assert!(json.contains("\"request\":3"));
+    }
+
+    #[test]
+    fn prometheus_format_has_types_and_quantiles() {
+        let text = populated().snapshot().to_prometheus();
+        assert!(text.contains("# TYPE proxy_requests_total counter"));
+        assert!(text.contains("proxy_requests_total 12"));
+        assert!(text.contains("# TYPE urltable_memory_bytes gauge"));
+        assert!(text.contains("proxy_request_ns{quantile=\"0.99\"}"));
+        assert!(text.contains("proxy_request_ns_count 4"));
+        // every non-comment line is `name[{labels}] value`
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.split_whitespace();
+            assert!(parts.next().is_some(), "metric id in {line:?}");
+            assert!(
+                parts.next().unwrap().parse::<f64>().is_ok(),
+                "numeric value in {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn console_report_lists_histogram_percentiles() {
+        let text = populated().snapshot().to_console();
+        assert!(text.contains("proxy_requests_total"));
+        assert!(text.contains("p99="));
+        assert!(text.contains("recent events:"));
+    }
+}

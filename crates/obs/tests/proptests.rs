@@ -1,0 +1,66 @@
+//! Property tests for the histogram bucket math and shard-fold identity.
+
+use cpms_obs::hist::{bucket_index, bucket_lower_bound, bucket_upper_bound, BUCKETS};
+use cpms_obs::Histogram;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every value lands inside the bounds of the bucket chosen for it.
+    #[test]
+    fn values_land_in_predicted_buckets(value in any::<u64>()) {
+        let index = bucket_index(value);
+        prop_assert!(index < BUCKETS);
+        prop_assert!(bucket_lower_bound(index) <= value);
+        prop_assert!(value <= bucket_upper_bound(index));
+    }
+
+    /// Bucket boundaries tile the u64 range with no gaps or overlaps.
+    #[test]
+    fn boundary_values_stay_in_their_own_bucket(index in 0usize..BUCKETS) {
+        let lower = bucket_lower_bound(index);
+        prop_assert_eq!(bucket_index(lower), index);
+        let upper = bucket_upper_bound(index);
+        prop_assert_eq!(bucket_index(upper), index);
+        if index + 1 < BUCKETS {
+            prop_assert_eq!(upper + 1, bucket_lower_bound(index + 1));
+        }
+    }
+
+    /// Recording a stream spread across shards folds to exactly the same
+    /// buckets and summary as recording it all into a single shard.
+    #[test]
+    fn merged_shards_equal_single_shard_recording(
+        values in prop::collection::vec(0u64..1_000_000_000, 1..300),
+        shards in 1usize..9,
+    ) {
+        let sharded = Histogram::new(shards);
+        let single = Histogram::new(1);
+        for (i, &v) in values.iter().enumerate() {
+            sharded.record(i % shards, v);
+            single.record(0, v);
+        }
+        prop_assert_eq!(sharded.fold_counts(), single.fold_counts());
+        prop_assert_eq!(sharded.summary(), single.summary());
+    }
+
+    /// Summary invariants: exact count/sum/max, ordered quantiles, and
+    /// every quantile within the recorded range.
+    #[test]
+    fn summary_invariants(values in prop::collection::vec(any::<u32>(), 1..300)) {
+        let h = Histogram::new(4);
+        for (i, &v) in values.iter().enumerate() {
+            h.record(i, u64::from(v));
+        }
+        let s = h.summary();
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.sum, values.iter().map(|&v| u64::from(v)).sum::<u64>());
+        let max = u64::from(*values.iter().max().unwrap());
+        prop_assert_eq!(s.max, max);
+        prop_assert!(s.p50 <= s.p90 && s.p90 <= s.p99);
+        prop_assert!(s.p99 <= max);
+        let min = u64::from(*values.iter().min().unwrap());
+        // The p50 estimate is a midpoint of a log-scale bucket: it can
+        // undershoot the true minimum by at most the bucket's width.
+        prop_assert!(s.p50 >= bucket_lower_bound(bucket_index(min)));
+    }
+}

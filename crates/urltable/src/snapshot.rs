@@ -157,6 +157,7 @@ impl SnapshotHandle {
             pinned_generation,
             handle: self.clone(),
             cache: LookupCache::new(cache_entries),
+            repins: 0,
         }
     }
 }
@@ -171,6 +172,7 @@ pub struct SnapshotReader {
     pinned: Arc<UrlTable>,
     pinned_generation: u64,
     cache: LookupCache,
+    repins: u64,
 }
 
 impl SnapshotReader {
@@ -200,11 +202,41 @@ impl SnapshotReader {
         self.cache.hit_rate()
     }
 
+    /// Raw hits of the private lookup cache (including hits on stale
+    /// records that were then refreshed).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.raw_hits()
+    }
+
+    /// Raw misses of the private lookup cache.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache.raw_misses()
+    }
+
+    /// Times this reader re-pinned because a newer generation had been
+    /// published — the cost the snapshot protocol pays off the fast path.
+    pub fn repins(&self) -> u64 {
+        self.repins
+    }
+
+    /// Table-wide statistics for the (freshest) pinned snapshot, with
+    /// this reader's cache-hit and re-pin observations folded in — the
+    /// full §5.2 measurement set from one call.
+    pub fn stats(&mut self) -> crate::stats::TableStats {
+        self.refresh();
+        let mut stats = crate::stats::TableStats::collect(&self.pinned);
+        stats.cache_hits = self.cache.raw_hits();
+        stats.cache_misses = self.cache.raw_misses();
+        stats.repins = self.repins;
+        stats
+    }
+
     fn refresh(&mut self) {
         let generation = self.handle.generation();
         if generation != self.pinned_generation {
             self.pinned = self.handle.load();
             self.pinned_generation = generation;
+            self.repins += 1;
         }
     }
 }
@@ -299,6 +331,29 @@ mod tests {
             ContentId(1),
             "failed insert left the record alone"
         );
+    }
+
+    #[test]
+    fn reader_stats_fold_in_cache_and_repin_observations() {
+        let publisher = TablePublisher::default();
+        publisher.update(|t| t.insert(p("/a"), e(1))).unwrap();
+        let mut reader = publisher.handle().reader(16);
+        reader.lookup(&p("/a")); // miss, fill
+        reader.lookup(&p("/a")); // hit
+        publisher.update(|t| t.insert(p("/b"), e(2))).unwrap();
+        reader.lookup(&p("/b")); // re-pin + miss
+
+        assert_eq!(reader.cache_hits(), 1);
+        assert_eq!(reader.cache_misses(), 2);
+        assert_eq!(reader.repins(), 1);
+
+        let stats = reader.stats();
+        assert_eq!(stats.entries, 2, "stats cover the freshest snapshot");
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 2);
+        assert_eq!(stats.repins, 1);
+        assert!((stats.cache_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(stats.memory_bytes > 0);
     }
 
     #[test]

@@ -23,6 +23,14 @@ pub struct TableStats {
     /// Mean replicas per object (1.0 = pure partitioning, n = full
     /// replication on an n-node cluster).
     pub mean_replication_factor: f64,
+    /// Lookup-cache hits of the reader these stats were collected
+    /// through (0 when collected directly from a table, see
+    /// [`SnapshotReader::stats`](crate::SnapshotReader::stats)).
+    pub cache_hits: u64,
+    /// Lookup-cache misses of the collecting reader.
+    pub cache_misses: u64,
+    /// Snapshot re-pins performed by the collecting reader.
+    pub repins: u64,
 }
 
 impl TableStats {
@@ -53,6 +61,20 @@ impl TableStats {
             } else {
                 replica_sum as f64 / entries as f64
             },
+            cache_hits: 0,
+            cache_misses: 0,
+            repins: 0,
+        }
+    }
+
+    /// Hit ratio of the collecting reader's lookup cache (0.0 when the
+    /// stats were collected without a reader).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
         }
     }
 }

@@ -17,4 +17,7 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> metrics smoke (request_latency --smoke)"
+cargo run --release -q -p cpms-bench --bin request_latency -- --smoke
+
 echo "ci: all gates passed"
