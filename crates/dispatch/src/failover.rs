@@ -10,18 +10,42 @@
 //! State replication here ships full snapshots of the distributor's data
 //! plane (mapping table + connection pool), which both `Clone` and
 //! serialize; heartbeats detect primary failure.
+//!
+//! Heartbeats ride the same `cpms-wire` framing as broker RPCs: a
+//! [`HeartbeatSender`] on the primary pushes [`Heartbeat`] messages
+//! through any [`cpms_wire::Transport`] to a [`HeartbeatListener`]
+//! service wrapping the backup. Each beat also carries the primary's
+//! URL-table publication *generation*, so a promoted backup can tell
+//! whether its replicated snapshot is stale relative to the last table
+//! state the primary acknowledged ([`BackupDistributor::snapshot_is_stale`]).
 
 use crate::relay::Distributor;
+use cpms_wire::{Client, RetryPolicy, Transport, WireError};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// A heartbeat message from the primary, carrying a monotone sequence
-/// number and (periodically) a state snapshot.
+/// number, the URL-table publication generation at send time, and
+/// (periodically) a state snapshot.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Heartbeat {
     /// Monotone heartbeat counter.
     pub seq: u64,
+    /// URL-table publication generation on the primary when this beat
+    /// was sent (see `cpms_urltable::TablePublisher::generation`).
+    pub generation: u64,
     /// Included every `snapshot_every` beats.
     pub snapshot: Option<Distributor>,
+}
+
+/// The backup's acknowledgement of one heartbeat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeartbeatAck {
+    /// Echo of the acknowledged sequence number (0 if the beat could not
+    /// be decoded).
+    pub seq: u64,
 }
 
 /// The backup distributor: monitors heartbeats, replicates snapshots, and
@@ -30,6 +54,8 @@ pub struct Heartbeat {
 pub struct BackupDistributor {
     last_snapshot: Option<Distributor>,
     last_seq: u64,
+    last_generation: u64,
+    snapshot_generation: u64,
     missed: u32,
     miss_threshold: u32,
 }
@@ -60,6 +86,8 @@ impl BackupDistributor {
         BackupDistributor {
             last_snapshot: None,
             last_seq: 0,
+            last_generation: 0,
+            snapshot_generation: 0,
             missed: 0,
             miss_threshold,
         }
@@ -72,10 +100,31 @@ impl BackupDistributor {
             return; // stale, reordered message
         }
         self.last_seq = hb.seq;
+        self.last_generation = self.last_generation.max(hb.generation);
         self.missed = 0;
         if let Some(snapshot) = hb.snapshot {
             self.last_snapshot = Some(snapshot);
+            self.snapshot_generation = hb.generation;
         }
+    }
+
+    /// The highest URL-table publication generation any heartbeat has
+    /// reported.
+    pub fn last_seen_generation(&self) -> u64 {
+        self.last_generation
+    }
+
+    /// The URL-table generation the replicated snapshot was taken at.
+    pub fn snapshot_generation(&self) -> u64 {
+        self.snapshot_generation
+    }
+
+    /// Whether the primary acknowledged table publications *newer* than
+    /// the replicated snapshot. A promoted backup whose snapshot is stale
+    /// must refresh its URL table from the controller before routing, or
+    /// it may route to copies that moved since the snapshot was taken.
+    pub fn snapshot_is_stale(&self) -> bool {
+        self.last_snapshot.is_some() && self.last_generation > self.snapshot_generation
     }
 
     /// Called on each heartbeat interval in which nothing arrived.
@@ -103,6 +152,118 @@ impl BackupDistributor {
     /// caller starts a fresh distributor and live connections are lost).
     pub fn take_over(self) -> Option<Distributor> {
         self.last_snapshot
+    }
+}
+
+/// Default per-beat deadline. Tight on purpose: a beat that cannot be
+/// delivered quickly is as good as lost, and the next one supersedes it.
+pub const HEARTBEAT_DEADLINE: Duration = Duration::from_millis(250);
+
+/// The primary-side heartbeat pump: pushes [`Heartbeat`]s to the backup
+/// over any [`cpms_wire::Transport`], including a full state snapshot on
+/// the first beat and every `snapshot_every` beats after.
+///
+/// Beats are sent with [`RetryPolicy::no_retry`]: retrying a stale beat
+/// is worse than useless, because the next interval's beat carries newer
+/// state. A lost beat simply shows up as a miss on the backup's side.
+#[derive(Debug)]
+pub struct HeartbeatSender {
+    client: Client,
+    seq: u64,
+    snapshot_every: u64,
+}
+
+impl HeartbeatSender {
+    /// Creates a sender that snapshots every `snapshot_every` beats (the
+    /// first beat always carries a snapshot so a fresh backup warms up
+    /// immediately).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snapshot_every` is 0.
+    pub fn new(transport: Arc<dyn Transport>, snapshot_every: u64) -> Self {
+        assert!(snapshot_every > 0, "snapshot_every must be at least 1");
+        HeartbeatSender {
+            client: Client::new(transport)
+                .with_deadline(HEARTBEAT_DEADLINE)
+                .with_retry(RetryPolicy::no_retry()),
+            seq: 0,
+            snapshot_every,
+        }
+    }
+
+    /// The wire client (stats, metrics attachment).
+    pub fn client(&self) -> &Client {
+        &self.client
+    }
+
+    /// Sends the next heartbeat for `primary`, stamping it with the
+    /// primary's current URL-table publication `generation`. Returns the
+    /// acknowledged sequence number.
+    ///
+    /// # Errors
+    ///
+    /// The wire failure if the beat or its ack was lost; the sequence
+    /// number still advances, so the backup sees a gap, not a replay.
+    pub fn beat(&mut self, primary: &Distributor, generation: u64) -> Result<u64, WireError> {
+        self.seq += 1;
+        let snapshot = if self.seq == 1 || self.seq.is_multiple_of(self.snapshot_every) {
+            Some(primary.clone())
+        } else {
+            None
+        };
+        let hb = Heartbeat {
+            seq: self.seq,
+            generation,
+            snapshot,
+        };
+        let ack: HeartbeatAck = self.client.call(&hb)?;
+        Ok(ack.seq)
+    }
+
+    /// Beats sent so far (including lost ones).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// The backup-side wire service: decodes [`Heartbeat`]s, feeds them to a
+/// shared [`BackupDistributor`], and acks. Serve it with
+/// [`cpms_wire::InProcServer`] or [`cpms_wire::TcpServer`]; the shared
+/// handle keeps observing misses and can promote while the listener runs.
+#[derive(Debug, Clone)]
+pub struct HeartbeatListener {
+    backup: Arc<Mutex<BackupDistributor>>,
+}
+
+impl HeartbeatListener {
+    /// Wraps a backup for serving. Clone the returned listener's
+    /// [`handle`][Self::handle] to keep monitoring/promotion access.
+    pub fn new(backup: BackupDistributor) -> Self {
+        HeartbeatListener {
+            backup: Arc::new(Mutex::new(backup)),
+        }
+    }
+
+    /// The shared backup the listener feeds.
+    pub fn handle(&self) -> Arc<Mutex<BackupDistributor>> {
+        Arc::clone(&self.backup)
+    }
+}
+
+impl cpms_wire::Service for HeartbeatListener {
+    fn handle(&mut self, request: &[u8]) -> Vec<u8> {
+        let seq = std::str::from_utf8(request)
+            .ok()
+            .and_then(|text| serde_json::from_str::<Heartbeat>(text).ok())
+            .map_or(0, |hb| {
+                let seq = hb.seq;
+                self.backup.lock().on_heartbeat(hb);
+                seq
+            });
+        serde_json::to_string(&HeartbeatAck { seq })
+            .expect("acks always serialize")
+            .into_bytes()
     }
 }
 
@@ -136,6 +297,7 @@ mod tests {
         let mut backup = BackupDistributor::new(3);
         backup.on_heartbeat(Heartbeat {
             seq: 1,
+            generation: 1,
             snapshot: Some(primary.clone()),
         });
         assert!(backup.has_snapshot());
@@ -173,6 +335,7 @@ mod tests {
         backup.on_heartbeat_missed();
         backup.on_heartbeat(Heartbeat {
             seq: 1,
+            generation: 0,
             snapshot: None,
         });
         // counter was reset; one more miss is only suspicious
@@ -188,11 +351,13 @@ mod tests {
         let newer = primary_with_connections();
         backup.on_heartbeat(Heartbeat {
             seq: 10,
+            generation: 5,
             snapshot: Some(newer),
         });
         // A delayed old snapshot (empty distributor) must not clobber state.
         backup.on_heartbeat(Heartbeat {
             seq: 3,
+            generation: 2,
             snapshot: Some(Distributor::new(2, 2)),
         });
         let d = backup.take_over().unwrap();
@@ -210,5 +375,76 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_threshold_panics() {
         let _ = BackupDistributor::new(0);
+    }
+
+    #[test]
+    fn generation_tracking_flags_stale_snapshots() {
+        let mut backup = BackupDistributor::new(2);
+        backup.on_heartbeat(Heartbeat {
+            seq: 1,
+            generation: 3,
+            snapshot: Some(primary_with_connections()),
+        });
+        assert_eq!(backup.snapshot_generation(), 3);
+        assert!(!backup.snapshot_is_stale(), "snapshot matches generation");
+
+        // The primary publishes two more table generations without
+        // shipping a fresh snapshot…
+        backup.on_heartbeat(Heartbeat {
+            seq: 2,
+            generation: 5,
+            snapshot: None,
+        });
+        assert_eq!(backup.last_seen_generation(), 5);
+        assert!(backup.snapshot_is_stale(), "table moved past the snapshot");
+
+        // …until the next snapshot catches up.
+        backup.on_heartbeat(Heartbeat {
+            seq: 3,
+            generation: 5,
+            snapshot: Some(primary_with_connections()),
+        });
+        assert!(!backup.snapshot_is_stale());
+    }
+
+    #[test]
+    fn heartbeats_ride_the_wire() {
+        let listener = HeartbeatListener::new(BackupDistributor::new(3));
+        let shared = listener.handle();
+        let (transport, mut server) = cpms_wire::InProcServer::spawn(listener);
+        let mut sender = HeartbeatSender::new(Arc::new(transport), 4);
+
+        let primary = primary_with_connections();
+        // Beat 1 always snapshots; beats 2 and 3 are bare.
+        for expected in 1..=3u64 {
+            let acked = sender.beat(&primary, 7).unwrap();
+            assert_eq!(acked, expected);
+        }
+        assert_eq!(sender.seq(), 3);
+        {
+            let backup = shared.lock();
+            assert!(backup.has_snapshot());
+            assert_eq!(backup.last_seen_generation(), 7);
+            assert_eq!(backup.snapshot_generation(), 7);
+        }
+
+        // Primary dies: the shared handle promotes with replicated state.
+        server.stop();
+        assert!(sender.beat(&primary, 7).is_err(), "no listener anymore");
+        let promoted = shared.lock().clone().take_over().expect("warm snapshot");
+        assert_eq!(promoted.mapping().len(), primary.mapping().len());
+    }
+
+    #[test]
+    fn garbage_beat_is_acked_with_zero_not_applied() {
+        let listener = HeartbeatListener::new(BackupDistributor::new(1));
+        let shared = listener.handle();
+        let (transport, mut server) = cpms_wire::InProcServer::spawn(listener);
+        let client = Client::new(Arc::new(transport));
+        let raw = client.call_raw(b"{ not a heartbeat").unwrap();
+        let ack: HeartbeatAck = serde_json::from_str(std::str::from_utf8(&raw).unwrap()).unwrap();
+        assert_eq!(ack.seq, 0);
+        assert!(!shared.lock().has_snapshot());
+        server.stop();
     }
 }

@@ -188,7 +188,7 @@ impl std::error::Error for MappingError {}
 
 /// The mapping table: all client connections currently tracked by the
 /// distributor.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MappingTable {
     entries: HashMap<ConnKey, MappingEntry>,
     isn_counter: u32,
@@ -196,6 +196,43 @@ pub struct MappingTable {
     created: u64,
     /// Total entries fully closed.
     closed: u64,
+}
+
+/// Wire shape for [`MappingTable`]: struct-keyed maps don't serialize as
+/// JSON objects, so entries travel as a (sorted, deterministic) pair list.
+#[derive(Serialize, Deserialize)]
+struct MappingTableWire {
+    entries: Vec<(ConnKey, MappingEntry)>,
+    isn_counter: u32,
+    created: u64,
+    closed: u64,
+}
+
+impl Serialize for MappingTable {
+    fn to_value(&self) -> serde::value::Value {
+        let mut entries: Vec<(ConnKey, MappingEntry)> =
+            self.entries.iter().map(|(k, v)| (*k, v.clone())).collect();
+        entries.sort_by_key(|(k, _)| *k);
+        MappingTableWire {
+            entries,
+            isn_counter: self.isn_counter,
+            created: self.created,
+            closed: self.closed,
+        }
+        .to_value()
+    }
+}
+
+impl Deserialize for MappingTable {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::Error> {
+        let wire = MappingTableWire::from_value(v)?;
+        Ok(MappingTable {
+            entries: wire.entries.into_iter().collect(),
+            isn_counter: wire.isn_counter,
+            created: wire.created,
+            closed: wire.closed,
+        })
+    }
 }
 
 impl MappingTable {

@@ -5,18 +5,23 @@
 //! > may download the appropriate classes to perform the corresponding
 //! > management tasks."
 //!
-//! Here an agent is a boxed [`Agent`] implementation shipped to a broker
-//! over its channel. The built-in agents cover the operations the
-//! controller needs (store, delete, rename, replicate, status, listing);
-//! new management functions are added by implementing the trait, without
-//! touching broker or controller code.
+//! An agent is a *serializable wire message*: the controller ships an
+//! [`AgentRequest`] to a broker over a `cpms-wire` transport (in-process
+//! channel or TCP), the broker executes it against its node's
+//! [`NodeStore`], and the [`AgentReply`] rides back the same way. The
+//! built-in agents cover the operations the controller needs (store,
+//! delete, rename, replicate, status, listing); new management functions
+//! are added by implementing [`Agent`] and giving [`AgentRequest`] a
+//! variant, without touching broker or controller plumbing.
 
 use crate::store::{NodeStore, StoreError, StoredFile};
 use cpms_model::{NodeId, UrlPath};
+use cpms_wire::WireError;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// What an agent produced.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum AgentOutput {
     /// The operation completed with nothing to report.
@@ -37,13 +42,24 @@ pub enum AgentOutput {
 }
 
 /// Errors an agent can report back to the controller.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum AgentError {
     /// A store-level failure on the target node.
     Store(StoreError),
-    /// The broker for the target node is gone (crashed / shut down).
+    /// The broker for the target node is gone (crashed / shut down /
+    /// unreachable).
     BrokerUnavailable(NodeId),
+    /// The transport to the broker failed in a way that does not mean
+    /// "gone" — a deadline expired, a frame was poisoned, retries were
+    /// exhausted. The request *may* have executed (at-most-once is not
+    /// guaranteed over a lossy wire).
+    Transport {
+        /// The node whose broker was being called.
+        node: NodeId,
+        /// The underlying wire failure.
+        error: WireError,
+    },
 }
 
 impl fmt::Display for AgentError {
@@ -51,6 +67,9 @@ impl fmt::Display for AgentError {
         match self {
             AgentError::Store(e) => write!(f, "store operation failed: {e}"),
             AgentError::BrokerUnavailable(n) => write!(f, "broker on {n} unavailable"),
+            AgentError::Transport { node, error } => {
+                write!(f, "transport to broker on {node} failed: {error}")
+            }
         }
     }
 }
@@ -60,6 +79,7 @@ impl std::error::Error for AgentError {
         match self {
             AgentError::Store(e) => Some(e),
             AgentError::BrokerUnavailable(_) => None,
+            AgentError::Transport { error, .. } => Some(error),
         }
     }
 }
@@ -71,7 +91,27 @@ impl From<StoreError> for AgentError {
     }
 }
 
+impl AgentError {
+    /// Classifies a wire failure against `node`'s broker: peers that are
+    /// gone (refused, closed, in-process server stopped) surface as
+    /// [`AgentError::BrokerUnavailable`]; everything else keeps its
+    /// transport taxonomy.
+    #[must_use]
+    pub fn from_wire(node: NodeId, error: WireError) -> Self {
+        match error.root() {
+            WireError::Unavailable { .. } | WireError::Closed => {
+                AgentError::BrokerUnavailable(node)
+            }
+            _ => AgentError::Transport { node, error },
+        }
+    }
+}
+
 /// A management function executed by a broker against its node's store.
+///
+/// The trait is the *execution* interface; shipping happens as the
+/// serializable [`AgentRequest`] enum, which is what actually crosses
+/// the wire.
 pub trait Agent: Send {
     /// Short name for logs and reports.
     fn name(&self) -> &'static str;
@@ -85,9 +125,106 @@ pub trait Agent: Send {
     fn execute(&self, store: &mut NodeStore) -> Result<AgentOutput, AgentError>;
 }
 
+/// The wire form of an agent: every management function the controller
+/// can ship to a broker, as one serializable message.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum AgentRequest {
+    /// Store (or overwrite) a file.
+    Store(StoreFile),
+    /// Delete a file.
+    Delete(DeleteFile),
+    /// Rename a file.
+    Rename(RenameFile),
+    /// Bump a mutable document's version.
+    Touch(TouchFile),
+    /// Probe node status.
+    Status(StatusProbe),
+    /// List every file on the node.
+    List(ListFiles),
+}
+
+impl AgentRequest {
+    /// The wrapped agent's short name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            AgentRequest::Store(a) => a.name(),
+            AgentRequest::Delete(a) => a.name(),
+            AgentRequest::Rename(a) => a.name(),
+            AgentRequest::Touch(a) => a.name(),
+            AgentRequest::Status(a) => a.name(),
+            AgentRequest::List(a) => a.name(),
+        }
+    }
+
+    /// Executes the wrapped agent against `store`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Agent::execute`].
+    pub fn execute(&self, store: &mut NodeStore) -> Result<AgentOutput, AgentError> {
+        match self {
+            AgentRequest::Store(a) => a.execute(store),
+            AgentRequest::Delete(a) => a.execute(store),
+            AgentRequest::Rename(a) => a.execute(store),
+            AgentRequest::Touch(a) => a.execute(store),
+            AgentRequest::Status(a) => a.execute(store),
+            AgentRequest::List(a) => a.execute(store),
+        }
+    }
+}
+
+macro_rules! into_request {
+    ($($agent:ident => $variant:ident),+ $(,)?) => {
+        $(impl From<$agent> for AgentRequest {
+            fn from(a: $agent) -> Self {
+                AgentRequest::$variant(a)
+            }
+        })+
+    };
+}
+
+into_request!(
+    StoreFile => Store,
+    DeleteFile => Delete,
+    RenameFile => Rename,
+    TouchFile => Touch,
+    StatusProbe => Status,
+    ListFiles => List,
+);
+
+/// The wire form of an agent's result (the vendored serde stand-in has
+/// no `Result` impl, so the broker protocol spells it out).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum AgentReply {
+    /// The agent succeeded.
+    Ok(AgentOutput),
+    /// The agent failed.
+    Err(AgentError),
+}
+
+impl From<Result<AgentOutput, AgentError>> for AgentReply {
+    fn from(r: Result<AgentOutput, AgentError>) -> Self {
+        match r {
+            Ok(o) => AgentReply::Ok(o),
+            Err(e) => AgentReply::Err(e),
+        }
+    }
+}
+
+impl From<AgentReply> for Result<AgentOutput, AgentError> {
+    fn from(r: AgentReply) -> Self {
+        match r {
+            AgentReply::Ok(o) => Ok(o),
+            AgentReply::Err(e) => Err(e),
+        }
+    }
+}
+
 /// Stores a file on the node (used for publishing and as the receiving
 /// half of replication).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StoreFile {
     /// Destination path.
     pub path: UrlPath,
@@ -113,7 +250,7 @@ impl Agent for StoreFile {
 /// file system of the node that it executes. If the administrator tries to
 /// offload some pages from a server, the controller will send this agent
 /// to that node."
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DeleteFile {
     /// Path to delete.
     pub path: UrlPath,
@@ -131,7 +268,7 @@ impl Agent for DeleteFile {
 }
 
 /// Renames a file on the node.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RenameFile {
     /// Current path.
     pub from: UrlPath,
@@ -152,7 +289,7 @@ impl Agent for RenameFile {
 
 /// Bumps a mutable document's version in place (a content-provider
 /// update).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TouchFile {
     /// Path to update.
     pub path: UrlPath,
@@ -171,7 +308,7 @@ impl Agent for TouchFile {
 
 /// Reports the node's status (files, disk usage) — the broker's monitoring
 /// duty.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct StatusProbe;
 
 impl Agent for StatusProbe {
@@ -189,7 +326,7 @@ impl Agent for StatusProbe {
 }
 
 /// Lists every file on the node (used to audit the single system image).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ListFiles;
 
 impl Agent for ListFiles {

@@ -5,38 +5,101 @@
 //! > administrative functions and monitor the status … of the managed
 //! > node."
 //!
-//! Each [`Broker`] runs on its own thread, owns its node's [`NodeStore`],
-//! and executes [`Agent`]s received over a crossbeam channel, replying on
-//! a per-request channel. The [`BrokerHandle`] is the controller's end.
+//! A broker is a [`cpms_wire::Service`]: it owns its node's
+//! [`NodeStore`] and executes serialized [`AgentRequest`]s received over
+//! a wire transport, replying with [`AgentReply`]s. The same service
+//! runs in two deployments:
+//!
+//! - **in-process** ([`Broker::spawn`]) — a [`cpms_wire::InProcServer`]
+//!   executor thread reached over channels, preserving the original
+//!   single-process control plane;
+//! - **TCP daemon** ([`Broker::bind`] / the `cpms-broker` binary) — a
+//!   [`cpms_wire::TcpServer`] bound to a real socket, reachable from
+//!   other processes and hosts ([`Broker::connect`]).
+//!
+//! Either way, the controller's end is a [`BrokerHandle`]: a retrying,
+//! deadline-bounded [`cpms_wire::Client`] plus (for locally hosted
+//! brokers) the server handle itself, so tests and the single-process
+//! deployment can stop a broker and recover its final store state.
 
-use crate::agent::{Agent, AgentError, AgentOutput};
+use crate::agent::{AgentError, AgentOutput, AgentReply, AgentRequest};
 use crate::store::NodeStore;
 use cpms_model::NodeId;
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use std::thread::JoinHandle;
+use cpms_obs::MetricsRegistry;
+use cpms_wire::{
+    Client, ClientStats, InProcServer, RetryPolicy, TcpServer, TcpTransport, Transport, WireError,
+};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
 
-enum Message {
-    Dispatch {
-        agent: Box<dyn Agent>,
-        reply: Sender<Result<AgentOutput, AgentError>>,
-    },
-    Shutdown,
+/// Default per-RPC deadline for broker calls.
+pub const BROKER_DEADLINE: Duration = Duration::from_secs(2);
+
+/// The broker's wire service: one node's store behind the agent
+/// protocol. Requests are [`AgentRequest`] JSON payloads; responses are
+/// [`AgentReply`] JSON payloads.
+#[derive(Debug)]
+pub struct BrokerService {
+    store: NodeStore,
 }
 
-/// The controller-side handle to one node's broker.
+impl BrokerService {
+    /// Wraps a node store as a wire service.
+    #[must_use]
+    pub fn new(store: NodeStore) -> Self {
+        BrokerService { store }
+    }
+
+    /// The node this broker manages.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.store.node()
+    }
+
+    /// Unwraps the service back into its store (after the server that
+    /// owned it stopped).
+    #[must_use]
+    pub fn into_store(self) -> NodeStore {
+        self.store
+    }
+}
+
+impl cpms_wire::Service for BrokerService {
+    fn handle(&mut self, request: &[u8]) -> Vec<u8> {
+        let reply: AgentReply = match std::str::from_utf8(request)
+            .map_err(|e| format!("payload is not UTF-8: {e}"))
+            .and_then(|text| serde_json::from_str::<AgentRequest>(text).map_err(|e| e.to_string()))
+        {
+            Ok(agent) => agent.execute(&mut self.store).into(),
+            Err(detail) => AgentReply::Err(AgentError::Transport {
+                node: self.store.node(),
+                error: WireError::Codec { detail },
+            }),
+        };
+        serde_json::to_string(&reply)
+            .expect("agent replies always serialize")
+            .into_bytes()
+    }
+}
+
+/// How a locally hosted broker is served.
+#[derive(Debug)]
+enum BrokerServer {
+    InProc(InProcServer<BrokerService>),
+    Tcp(TcpServer<BrokerService>),
+}
+
+/// The controller-side handle to one node's broker: a retrying wire
+/// client, plus the server itself when this process hosts it.
+#[derive(Debug)]
 pub struct BrokerHandle {
     node: NodeId,
-    sender: Sender<Message>,
-    thread: Option<JoinHandle<NodeStore>>,
-}
-
-impl std::fmt::Debug for BrokerHandle {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BrokerHandle")
-            .field("node", &self.node)
-            .field("alive", &self.is_alive())
-            .finish()
-    }
+    client: Client,
+    server: Option<BrokerServer>,
+    /// True for daemons this process does not host ([`Broker::connect`]):
+    /// their liveness is the monitor's job, not the handle's.
+    remote: bool,
 }
 
 impl BrokerHandle {
@@ -45,46 +108,82 @@ impl BrokerHandle {
         self.node
     }
 
-    /// Whether the broker thread is still running.
-    pub fn is_alive(&self) -> bool {
-        self.thread.as_ref().is_some_and(|t| !t.is_finished())
+    /// The wire client (transport stats, metrics attachment).
+    pub fn client(&self) -> &Client {
+        &self.client
     }
 
-    /// Ships an agent to the broker and waits for its result.
+    /// Point-in-time transport counters for this broker's client.
+    pub fn transport_stats(&self) -> ClientStats {
+        self.client.stats()
+    }
+
+    /// The transport kind serving this broker (`"inproc"`, `"tcp"`,
+    /// `"faulty"`).
+    pub fn transport_kind(&self) -> &'static str {
+        self.client.transport_kind()
+    }
+
+    /// Folds this broker's wire metrics into `registry`.
+    pub fn attach_metrics(&self, registry: &Arc<MetricsRegistry>) {
+        self.client.attach_metrics(registry);
+    }
+
+    /// The TCP address a locally hosted daemon is listening on (`None`
+    /// for in-process brokers and remote handles).
+    pub fn addr(&self) -> Option<SocketAddr> {
+        match &self.server {
+            Some(BrokerServer::Tcp(s)) => Some(s.addr()),
+            _ => None,
+        }
+    }
+
+    /// Whether the broker is still reachable. For locally hosted brokers
+    /// this is the server thread's liveness; for remote daemons
+    /// ([`Broker::connect`]) liveness is the monitor's job and this
+    /// returns `true`.
+    pub fn is_alive(&self) -> bool {
+        match &self.server {
+            Some(BrokerServer::InProc(s)) => s.is_running(),
+            Some(BrokerServer::Tcp(s)) => s.is_running(),
+            None => self.remote,
+        }
+    }
+
+    /// Ships an agent to the broker over the wire and waits for its
+    /// result.
     ///
     /// # Errors
     ///
-    /// [`AgentError::BrokerUnavailable`] if the broker is down, plus
-    /// whatever the agent itself reports.
-    pub fn dispatch(&self, agent: Box<dyn Agent>) -> Result<AgentOutput, AgentError> {
-        let (reply_tx, reply_rx) = bounded(1);
-        self.sender
-            .send(Message::Dispatch {
-                agent,
-                reply: reply_tx,
-            })
-            .map_err(|_| AgentError::BrokerUnavailable(self.node))?;
-        reply_rx
-            .recv()
-            .map_err(|_| AgentError::BrokerUnavailable(self.node))?
+    /// [`AgentError::BrokerUnavailable`] if the broker is gone,
+    /// [`AgentError::Transport`] on other wire failures (timeout,
+    /// poisoned frame, retries exhausted), plus whatever the agent
+    /// itself reports.
+    pub fn dispatch(&self, agent: impl Into<AgentRequest>) -> Result<AgentOutput, AgentError> {
+        let request: AgentRequest = agent.into();
+        let reply: AgentReply = self
+            .client
+            .call(&request)
+            .map_err(|e| AgentError::from_wire(self.node, e))?;
+        reply.into()
     }
 
-    /// Stops the broker and returns its final store state (for inspection
-    /// or migration). Idempotent: returns `None` on repeated calls or if
-    /// the broker already died.
+    /// Stops a locally hosted broker and returns its final store state
+    /// (for inspection or migration). Idempotent: returns `None` on
+    /// repeated calls, if the broker already died, or if the broker is a
+    /// remote daemon this process does not host.
     pub fn shutdown(&mut self) -> Option<NodeStore> {
-        let thread = self.thread.take()?;
-        let _ = self.sender.send(Message::Shutdown);
-        thread.join().ok()
+        match self.server.take()? {
+            BrokerServer::InProc(mut s) => s.stop().map(BrokerService::into_store),
+            BrokerServer::Tcp(mut s) => s.stop().map(BrokerService::into_store),
+        }
     }
 
-    /// Simulates a broker crash: the thread exits without draining its
-    /// queue (for failure-injection tests). The store state is dropped.
+    /// Simulates a broker crash: the server stops without handing its
+    /// state back (failure-injection for monitoring tests). The store
+    /// state is dropped.
     pub fn kill(&mut self) {
-        if let Some(thread) = self.thread.take() {
-            let _ = self.sender.send(Message::Shutdown);
-            let _ = thread.join();
-        }
+        let _ = self.shutdown();
     }
 }
 
@@ -94,39 +193,86 @@ impl Drop for BrokerHandle {
     }
 }
 
-/// The broker daemon. Construct with [`Broker::spawn`].
+/// The broker daemon. Construct with [`Broker::spawn`] (in-process),
+/// [`Broker::bind`] (TCP daemon in this process), or
+/// [`Broker::connect`] (client to a daemon elsewhere).
 #[derive(Debug)]
 pub struct Broker;
 
 impl Broker {
-    /// Starts a broker thread for `node` managing `store`, returning the
+    fn default_client(transport: Arc<dyn Transport>, node: NodeId) -> Client {
+        Client::new(transport)
+            .with_deadline(BROKER_DEADLINE)
+            .with_retry(RetryPolicy {
+                // Distinct deterministic jitter stream per node.
+                seed: 0xB20_0000 + u64::from(node.0),
+                ..RetryPolicy::default()
+            })
+    }
+
+    /// Starts an in-process broker for `store`'s node, returning the
     /// controller-side handle.
     pub fn spawn(store: NodeStore) -> BrokerHandle {
         let node = store.node();
-        let (tx, rx): (Sender<Message>, Receiver<Message>) = unbounded();
-        let thread = std::thread::Builder::new()
-            .name(format!("broker-{node}"))
-            .spawn(move || Broker::run(store, rx))
-            .expect("spawn broker thread");
+        let (transport, server) =
+            InProcServer::spawn_named(BrokerService::new(store), &format!("broker-{node}"));
         BrokerHandle {
             node,
-            sender: tx,
-            thread: Some(thread),
+            client: Self::default_client(Arc::new(transport), node),
+            server: Some(BrokerServer::InProc(server)),
+            remote: false,
         }
     }
 
-    fn run(mut store: NodeStore, rx: Receiver<Message>) -> NodeStore {
-        while let Ok(msg) = rx.recv() {
-            match msg {
-                Message::Dispatch { agent, reply } => {
-                    let result = agent.execute(&mut store);
-                    // The controller may have given up; ignore send errors.
-                    let _ = reply.send(result);
-                }
-                Message::Shutdown => break,
-            }
+    /// Starts an in-process broker whose client speaks through
+    /// `wrap(transport)` — the seam fault-injection tests use to put a
+    /// [`cpms_wire::FaultyTransport`] between controller and broker.
+    pub fn spawn_wrapped(
+        store: NodeStore,
+        wrap: impl FnOnce(Arc<dyn Transport>) -> Arc<dyn Transport>,
+    ) -> BrokerHandle {
+        let node = store.node();
+        let (transport, server) =
+            InProcServer::spawn_named(BrokerService::new(store), &format!("broker-{node}"));
+        BrokerHandle {
+            node,
+            client: Self::default_client(wrap(Arc::new(transport)), node),
+            server: Some(BrokerServer::InProc(server)),
+            remote: false,
         }
-        store
+    }
+
+    /// Binds a TCP broker daemon for `store`'s node on `addr` (port 0
+    /// for ephemeral) and returns a handle connected to it over
+    /// loopback/network TCP.
+    ///
+    /// # Errors
+    ///
+    /// The bind failure, if any.
+    pub fn bind(addr: SocketAddr, store: NodeStore) -> std::io::Result<BrokerHandle> {
+        let node = store.node();
+        let server = TcpServer::bind(addr, BrokerService::new(store))?;
+        let transport = TcpTransport::new(server.addr());
+        Ok(BrokerHandle {
+            node,
+            client: Self::default_client(Arc::new(transport), node),
+            server: Some(BrokerServer::Tcp(server)),
+            remote: false,
+        })
+    }
+
+    /// A handle to a broker daemon running elsewhere (another process or
+    /// host, e.g. the `cpms-broker` binary). No server is owned:
+    /// [`BrokerHandle::shutdown`] returns `None` and the daemon's
+    /// lifecycle belongs to whoever started it.
+    #[must_use]
+    pub fn connect(node: NodeId, addr: SocketAddr) -> BrokerHandle {
+        BrokerHandle {
+            node,
+            client: Self::default_client(Arc::new(TcpTransport::new(addr)), node),
+            server: None,
+            remote: true,
+        }
     }
 }
 
@@ -154,16 +300,20 @@ mod tests {
         let mut h = Broker::spawn(NodeStore::new(NodeId(3), 1000));
         assert_eq!(h.node(), NodeId(3));
         assert!(h.is_alive());
-        h.dispatch(Box::new(StoreFile {
+        assert_eq!(h.transport_kind(), "inproc");
+        h.dispatch(StoreFile {
             path: p("/x"),
             file: file(1),
             overwrite: false,
-        }))
+        })
         .unwrap();
-        match h.dispatch(Box::new(StatusProbe)).unwrap() {
+        match h.dispatch(StatusProbe).unwrap() {
             AgentOutput::Status { files, .. } => assert_eq!(files, 1),
             other => panic!("{other:?}"),
         }
+        let stats = h.transport_stats();
+        assert_eq!(stats.calls, 2);
+        assert!(stats.last_rtt_ns > 0);
         let store = h.shutdown().expect("final state");
         assert!(store.contains(&p("/x")));
     }
@@ -171,9 +321,7 @@ mod tests {
     #[test]
     fn errors_propagate() {
         let mut h = Broker::spawn(NodeStore::new(NodeId(0), 1000));
-        let err = h
-            .dispatch(Box::new(DeleteFile { path: p("/nope") }))
-            .unwrap_err();
+        let err = h.dispatch(DeleteFile { path: p("/nope") }).unwrap_err();
         assert!(matches!(err, AgentError::Store(_)));
         h.shutdown();
     }
@@ -183,7 +331,7 @@ mod tests {
         let mut h = Broker::spawn(NodeStore::new(NodeId(0), 1000));
         h.shutdown();
         assert!(!h.is_alive());
-        let err = h.dispatch(Box::new(ListFiles)).unwrap_err();
+        let err = h.dispatch(ListFiles).unwrap_err();
         assert!(matches!(err, AgentError::BrokerUnavailable(NodeId(0))));
         assert!(h.shutdown().is_none(), "second shutdown is a no-op");
     }
@@ -196,18 +344,83 @@ mod tests {
                 let h = &h;
                 scope.spawn(move || {
                     for i in 0..25 {
-                        h.dispatch(Box::new(StoreFile {
+                        h.dispatch(StoreFile {
                             path: p(&format!("/t{t}/f{i}")),
                             file: file(i),
                             overwrite: false,
-                        }))
+                        })
                         .unwrap();
                     }
                 });
             }
         });
-        match h.dispatch(Box::new(StatusProbe)).unwrap() {
+        match h.dispatch(StatusProbe).unwrap() {
             AgentOutput::Status { files, .. } => assert_eq!(files, 100),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn tcp_daemon_roundtrip() {
+        let mut h = Broker::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            NodeStore::new(NodeId(7), 1000),
+        )
+        .unwrap();
+        assert_eq!(h.transport_kind(), "tcp");
+        assert!(h.is_alive());
+        h.dispatch(StoreFile {
+            path: p("/net"),
+            file: file(2),
+            overwrite: false,
+        })
+        .unwrap();
+        match h.dispatch(ListFiles).unwrap() {
+            AgentOutput::Listing(l) => {
+                assert_eq!(l.len(), 1);
+                assert_eq!(l[0].0, p("/net"));
+            }
+            other => panic!("{other:?}"),
+        }
+        let store = h.shutdown().expect("final state over TCP too");
+        assert!(store.contains(&p("/net")));
+        assert!(!h.is_alive());
+    }
+
+    #[test]
+    fn connect_handle_reaches_separately_hosted_daemon() {
+        // Host the daemon through one handle, reach it through a second,
+        // client-only handle — the two-process topology in one test.
+        let mut host = Broker::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            NodeStore::new(NodeId(4), 1000),
+        )
+        .unwrap();
+        let addr = host.addr().expect("tcp daemon has an address");
+        let mut remote = Broker::connect(NodeId(4), addr);
+        remote
+            .dispatch(StoreFile {
+                path: p("/r"),
+                file: file(3),
+                overwrite: false,
+            })
+            .unwrap();
+        assert!(remote.shutdown().is_none(), "connect owns no server");
+        let store = host.shutdown().expect("host owns the daemon");
+        assert!(store.contains(&p("/r")), "remote write landed");
+    }
+
+    #[test]
+    fn garbage_payload_surfaces_codec_error_not_a_hang() {
+        let h = Broker::spawn(NodeStore::new(NodeId(1), 1000));
+        // Speak raw bytes past the typed dispatch layer.
+        let reply = h.client().call_raw(b"not an agent").unwrap();
+        let reply: AgentReply = serde_json::from_str(std::str::from_utf8(&reply).unwrap()).unwrap();
+        match Result::from(reply) {
+            Err(AgentError::Transport {
+                node,
+                error: WireError::Codec { .. },
+            }) => assert_eq!(node, NodeId(1)),
             other => panic!("{other:?}"),
         }
     }

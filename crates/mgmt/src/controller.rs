@@ -90,6 +90,18 @@ impl From<TableError> for MgmtError {
     }
 }
 
+/// Which transport a cluster's brokers are served over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireMode {
+    /// In-process executor threads reached over channels (the original
+    /// single-process control plane).
+    #[default]
+    InProc,
+    /// Each broker is a TCP daemon on an ephemeral loopback port; every
+    /// RPC crosses a real socket.
+    Tcp,
+}
+
 /// A running set of brokers, one per node.
 #[derive(Debug)]
 pub struct Cluster {
@@ -99,9 +111,18 @@ pub struct Cluster {
 impl Cluster {
     /// Starts `nodes` brokers, each with `disk_capacity` bytes of store.
     pub fn start(nodes: usize, disk_capacity: u64) -> Self {
+        Self::start_mode(WireMode::InProc, nodes, disk_capacity)
+    }
+
+    /// Starts `nodes` brokers over the given wire transport.
+    ///
+    /// # Panics
+    ///
+    /// In [`WireMode::Tcp`] if binding a loopback listener fails.
+    pub fn start_mode(mode: WireMode, nodes: usize, disk_capacity: u64) -> Self {
         Cluster {
             brokers: (0..nodes)
-                .map(|i| Broker::spawn(NodeStore::new(NodeId(i as u16), disk_capacity)))
+                .map(|i| Self::host(mode, NodeStore::new(NodeId(i as u16), disk_capacity)))
                 .collect(),
         }
     }
@@ -112,8 +133,25 @@ impl Cluster {
             brokers: capacities
                 .iter()
                 .enumerate()
-                .map(|(i, &cap)| Broker::spawn(NodeStore::new(NodeId(i as u16), cap)))
+                .map(|(i, &cap)| {
+                    Self::host(WireMode::InProc, NodeStore::new(NodeId(i as u16), cap))
+                })
                 .collect(),
+        }
+    }
+
+    fn host(mode: WireMode, store: NodeStore) -> BrokerHandle {
+        match mode {
+            WireMode::InProc => Broker::spawn(store),
+            WireMode::Tcp => Broker::bind("127.0.0.1:0".parse().expect("literal addr"), store)
+                .expect("bind ephemeral loopback broker"),
+        }
+    }
+
+    /// Folds every broker client's wire metrics into `registry`.
+    pub fn attach_metrics(&self, registry: &Arc<MetricsRegistry>) {
+        for b in &self.brokers {
+            b.attach_metrics(registry);
         }
     }
 
@@ -221,10 +259,12 @@ pub struct Controller {
 impl Controller {
     /// Creates a controller over a running cluster with an empty URL table.
     pub fn new(cluster: Cluster) -> Self {
+        let registry = Arc::new(MetricsRegistry::new());
+        cluster.attach_metrics(&registry);
         Controller {
             publisher: TablePublisher::default(),
             cluster,
-            metrics: ControllerMetrics::new(Arc::new(MetricsRegistry::new())),
+            metrics: ControllerMetrics::new(registry),
         }
     }
 
@@ -236,6 +276,8 @@ impl Controller {
     /// [proxy]: https://docs.rs/cpms-httpd
     pub fn set_metrics(&mut self, registry: &Arc<MetricsRegistry>) {
         self.metrics = ControllerMetrics::new(Arc::clone(registry));
+        // Broker RPC latency/retry/byte counters land on the same surface.
+        self.cluster.attach_metrics(registry);
     }
 
     /// The registry management operations are recorded into.
@@ -387,11 +429,11 @@ impl Controller {
         };
         let mut stored: Vec<NodeId> = Vec::new();
         for &n in nodes {
-            let result = self.broker(n)?.dispatch(Box::new(StoreFile {
+            let result = self.broker(n)?.dispatch(StoreFile {
                 path: path.clone(),
                 file,
                 overwrite: false,
-            }));
+            });
             match result {
                 Ok(_) => stored.push(n),
                 Err(e) => {
@@ -399,7 +441,7 @@ impl Controller {
                     for &done in &stored {
                         let _ = self
                             .broker(done)?
-                            .dispatch(Box::new(DeleteFile { path: path.clone() }));
+                            .dispatch(DeleteFile { path: path.clone() });
                     }
                     return Err(e.into());
                 }
@@ -437,10 +479,7 @@ impl Controller {
             .to_vec();
         let mut first_err: Option<MgmtError> = None;
         for n in locations {
-            if let Err(e) = self
-                .broker(n)?
-                .dispatch(Box::new(DeleteFile { path: path.clone() }))
-            {
+            if let Err(e) = self.broker(n)?.dispatch(DeleteFile { path: path.clone() }) {
                 first_err.get_or_insert(e.into());
             }
         }
@@ -479,11 +518,11 @@ impl Controller {
             size: entry.size_bytes(),
             version: 0,
         };
-        self.broker(target)?.dispatch(Box::new(StoreFile {
+        self.broker(target)?.dispatch(StoreFile {
             path: path.clone(),
             file,
             overwrite: false,
-        }))?;
+        })?;
         self.publisher.update(|t| t.add_location(path, target))?;
         Ok(())
     }
@@ -514,7 +553,7 @@ impl Controller {
             return Err(MgmtError::LastCopy { path: path.clone() });
         }
         self.broker(node)?
-            .dispatch(Box::new(DeleteFile { path: path.clone() }))?;
+            .dispatch(DeleteFile { path: path.clone() })?;
         self.publisher.update(|t| t.remove_location(path, node))?;
         Ok(())
     }
@@ -554,10 +593,10 @@ impl Controller {
         let mut first_err: Option<MgmtError> = None;
         for (old, new, locations) in moves {
             for n in locations {
-                if let Err(e) = self.broker(n)?.dispatch(Box::new(RenameFile {
+                if let Err(e) = self.broker(n)?.dispatch(RenameFile {
                     from: old.clone(),
                     to: new.clone(),
-                })) {
+                }) {
                     first_err.get_or_insert(e.into());
                 }
             }
@@ -588,10 +627,7 @@ impl Controller {
             .to_vec();
         let mut version = 0;
         for n in locations {
-            match self
-                .broker(n)?
-                .dispatch(Box::new(TouchFile { path: path.clone() }))?
-            {
+            match self.broker(n)?.dispatch(TouchFile { path: path.clone() })? {
                 AgentOutput::Version(v) => version = version.max(v),
                 other => unreachable!("touch returns a version, got {other:?}"),
             }
@@ -608,7 +644,7 @@ impl Controller {
                     .cluster
                     .broker(node)
                     .expect("index in range")
-                    .dispatch(Box::new(StatusProbe));
+                    .dispatch(StatusProbe);
                 (node, result)
             })
             .collect()
@@ -627,7 +663,7 @@ impl Controller {
                 .cluster
                 .broker(node)
                 .expect("index in range")
-                .dispatch(Box::new(ListFiles))
+                .dispatch(ListFiles)
             {
                 Ok(AgentOutput::Listing(l)) => l,
                 _ => Vec::new(),
@@ -853,7 +889,7 @@ mod tests {
         c.cluster
             .broker(NodeId(0))
             .unwrap()
-            .dispatch(Box::new(DeleteFile { path: p("/a") }))
+            .dispatch(DeleteFile { path: p("/a") })
             .unwrap();
         let problems = c.verify_consistency();
         assert!(problems
@@ -864,7 +900,7 @@ mod tests {
         c.cluster
             .broker(NodeId(1))
             .unwrap()
-            .dispatch(Box::new(StoreFile {
+            .dispatch(StoreFile {
                 path: p("/ghost"),
                 file: StoredFile {
                     content: ContentId(9),
@@ -872,7 +908,7 @@ mod tests {
                     version: 0,
                 },
                 overwrite: false,
-            }))
+            })
             .unwrap();
         let problems = c.verify_consistency();
         assert!(problems

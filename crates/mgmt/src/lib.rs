@@ -10,11 +10,14 @@
 //! - [`Broker`] — a daemon on each back-end node that executes management
 //!   functions against that node's local file store ([`NodeStore`]). The
 //!   paper implements brokers in Java for portability; here each broker is
-//!   a thread receiving work over a channel.
-//! - [`agent::Agent`] — a management function shipped to a broker
-//!   ("mobile code"): delete a file, store a file, replicate content from
-//!   a peer, report status. New functions are added by implementing the
-//!   trait, matching the paper's "can be tailored or extended … without
+//!   a [`cpms_wire::Service`] reachable over a [`cpms_wire`] transport —
+//!   in-process channels ([`WireMode::InProc`]) or a real TCP daemon
+//!   ([`WireMode::Tcp`], the `cpms-broker` binary).
+//! - [`agent::AgentRequest`] — a management function shipped to a broker
+//!   as a serialized wire message ("mobile code"): delete a file, store a
+//!   file, replicate content from a peer, report status. New functions are
+//!   added by implementing [`agent::Agent`] and adding a request variant,
+//!   matching the paper's "can be tailored or extended … without
 //!   requiring significant redesign".
 //! - [`Controller`] — receives administrator operations, dispatches the
 //!   corresponding agents to the affected brokers, and keeps the
@@ -62,9 +65,9 @@ pub mod monitor;
 pub mod shell;
 pub mod store;
 
-pub use agent::{Agent, AgentError, AgentOutput};
+pub use agent::{Agent, AgentError, AgentOutput, AgentReply, AgentRequest};
 pub use autorep::{AutoReplicator, RebalanceAction};
-pub use broker::{Broker, BrokerHandle};
-pub use controller::{Cluster, Controller, MgmtError};
-pub use monitor::{ClusterMonitor, NodeHealth};
+pub use broker::{Broker, BrokerHandle, BrokerService};
+pub use controller::{Cluster, Controller, MgmtError, WireMode};
+pub use monitor::{ClusterMonitor, NodeHealth, NodeTransportHealth};
 pub use store::{NodeStore, StoredFile};

@@ -113,9 +113,7 @@ impl ClusterMonitor {
         (0..self.misses.len())
             .map(|i| {
                 let node = NodeId(i as u16);
-                let result = cluster
-                    .broker(node)
-                    .map(|b| b.dispatch(Box::new(StatusProbe)));
+                let result = cluster.broker(node).map(|b| b.dispatch(StatusProbe));
                 let prev_misses = self.misses[i];
                 let health = match result {
                     Some(Ok(AgentOutput::Status {
@@ -191,6 +189,58 @@ impl ClusterMonitor {
             .map(|(i, _)| NodeId(i as u16))
             .collect()
     }
+
+    /// Per-node transport health: the monitor's miss counters joined with
+    /// each broker client's wire statistics (RTT of the last RPC, retries,
+    /// timeouts, reconnects). Backs the console `nodes` command.
+    pub fn transport_health(&self, cluster: &Cluster) -> Vec<NodeTransportHealth> {
+        (0..self.misses.len())
+            .map(|i| {
+                let node = NodeId(i as u16);
+                let (kind, stats) = cluster
+                    .broker(node)
+                    .map(|b| (b.transport_kind(), b.transport_stats()))
+                    .unwrap_or(("none", cpms_wire::ClientStats::default()));
+                NodeTransportHealth {
+                    node,
+                    transport: kind,
+                    down: i < self.down.len() && self.down[i],
+                    consecutive_misses: self.misses[i],
+                    calls: stats.calls,
+                    last_rtt_ns: stats.last_rtt_ns,
+                    retries: stats.retries,
+                    timeouts: stats.timeouts,
+                    reconnects: stats.reconnects,
+                }
+            })
+            .collect()
+    }
+}
+
+/// One node's control-plane transport health: monitor verdict state plus
+/// the broker client's wire counters (see
+/// [`ClusterMonitor::transport_health`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeTransportHealth {
+    /// The node.
+    pub node: NodeId,
+    /// Transport kind serving this broker (`inproc`, `tcp`, `faulty`).
+    pub transport: &'static str,
+    /// Whether the monitor currently considers the node down.
+    pub down: bool,
+    /// Consecutive failed probes so far.
+    pub consecutive_misses: u32,
+    /// Total RPCs issued to this broker.
+    pub calls: u64,
+    /// Round-trip time of the most recent successful RPC, in nanoseconds
+    /// (0 if none yet).
+    pub last_rtt_ns: u64,
+    /// RPC attempts beyond the first (retries after transient failures).
+    pub retries: u64,
+    /// RPC attempts that hit their deadline.
+    pub timeouts: u64,
+    /// TCP reconnects (always 0 for in-process transports).
+    pub reconnects: u64,
 }
 
 #[cfg(test)]

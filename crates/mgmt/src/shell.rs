@@ -14,6 +14,7 @@
 //! touch <path>                                      push a content update
 //! ls [prefix]                                       coherent tree view
 //! status                                            per-node disk/file stats
+//! nodes                                             per-node transport health
 //! stats                                             metrics registry report
 //! audit                                             verify table vs brokers
 //! help                                              this text
@@ -21,6 +22,7 @@
 //! ```
 
 use crate::console::RemoteConsole;
+use crate::monitor::ClusterMonitor;
 use cpms_model::{ContentId, ContentKind, NodeId, UrlPath};
 use std::fmt::Write as _;
 
@@ -37,14 +39,17 @@ pub enum ShellOutcome {
 #[derive(Debug)]
 pub struct Shell {
     console: RemoteConsole,
+    monitor: ClusterMonitor,
     next_content: u32,
 }
 
 impl Shell {
     /// Wraps a console. Content ids are auto-assigned per publish.
     pub fn new(console: RemoteConsole) -> Self {
+        let nodes = console.controller().node_count();
         Shell {
             console,
+            monitor: ClusterMonitor::new(nodes, 3),
             next_content: 0,
         }
     }
@@ -183,6 +188,58 @@ impl Shell {
                 }
                 Ok(ShellOutcome::Output(out.trim_end().to_string()))
             }
+            "nodes" => {
+                if !args.is_empty() {
+                    return Err("usage: nodes".to_string());
+                }
+                // Probe first so miss counters and RTTs are current.
+                self.monitor.poll_controller(self.console.controller());
+                let rows = self
+                    .monitor
+                    .transport_health(self.console.controller().cluster());
+                let mut out = String::new();
+                let _ = writeln!(
+                    out,
+                    "{:<5} {:<8} {:<8} {:>10} {:>6} {:>6} {:>8} {:>9} {:>10}",
+                    "node",
+                    "wire",
+                    "state",
+                    "last_rtt",
+                    "miss",
+                    "calls",
+                    "retries",
+                    "timeouts",
+                    "reconnects"
+                );
+                for row in &rows {
+                    let state = if row.down {
+                        "down"
+                    } else if row.consecutive_misses > 0 {
+                        "suspect"
+                    } else {
+                        "up"
+                    };
+                    let rtt = if row.last_rtt_ns == 0 {
+                        "-".to_string()
+                    } else {
+                        format!("{:.1}us", row.last_rtt_ns as f64 / 1_000.0)
+                    };
+                    let _ = writeln!(
+                        out,
+                        "{:<5} {:<8} {:<8} {:>10} {:>6} {:>6} {:>8} {:>9} {:>10}",
+                        row.node.to_string(),
+                        row.transport,
+                        state,
+                        rtt,
+                        row.consecutive_misses,
+                        row.calls,
+                        row.retries,
+                        row.timeouts,
+                        row.reconnects
+                    );
+                }
+                Ok(ShellOutcome::Output(out.trim_end().to_string()))
+            }
             "stats" => {
                 if !args.is_empty() {
                     return Err("usage: stats".to_string());
@@ -221,6 +278,7 @@ delete <path>
 touch <path>
 ls [prefix]
 status
+nodes
 stats
 audit
 help
@@ -351,6 +409,37 @@ mod tests {
         assert!(stats.contains("urltable_entries"), "{stats}");
         assert!(stats.contains("delete failed"), "{stats}");
         assert!(out(&mut sh, "stats now").starts_with("error: usage"));
+        sh.shutdown();
+    }
+
+    #[test]
+    fn nodes_renders_transport_health() {
+        let mut sh = shell();
+        assert!(out(&mut sh, "publish /a.html html 64 0").starts_with("published"));
+        let nodes = out(&mut sh, "nodes");
+        assert!(nodes.contains("last_rtt"), "{nodes}");
+        assert!(nodes.contains("inproc"), "{nodes}");
+        for node in ["n0", "n1", "n2"] {
+            assert!(nodes.contains(node), "{nodes}");
+        }
+        assert!(nodes.contains(" up"), "{nodes}");
+        assert!(out(&mut sh, "nodes please").starts_with("error: usage"));
+        sh.shutdown();
+    }
+
+    #[test]
+    fn nodes_shows_down_after_kill() {
+        let mut sh = shell();
+        sh.console.controller_mut().kill_node(NodeId(1));
+        // Threshold is 3: two polls leave n1 suspect, the third marks down.
+        out(&mut sh, "nodes");
+        out(&mut sh, "nodes");
+        let nodes = out(&mut sh, "nodes");
+        let n1_row = nodes
+            .lines()
+            .find(|l| l.starts_with("n1"))
+            .expect("n1 row present");
+        assert!(n1_row.contains("down"), "{nodes}");
         sh.shutdown();
     }
 

@@ -21,8 +21,9 @@ pub struct StoredFile {
     pub version: u64,
 }
 
-/// Errors from store operations.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Errors from store operations. Serializable because agent results
+/// (which embed store failures) ride the wire back to the controller.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum StoreError {
     /// The path has no file on this node.

@@ -1,0 +1,246 @@
+//! The wire failure taxonomy.
+//!
+//! Every way a control-plane RPC can go wrong is a distinct
+//! [`WireError`] variant, so callers can decide what is retryable
+//! (transient transport trouble) and what is not (a malformed payload
+//! will be malformed on every attempt). The taxonomy is serializable so
+//! management errors that embed a transport failure can themselves ride
+//! the wire.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A transport-level RPC failure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The per-call deadline elapsed before a response arrived. The
+    /// request may or may not have executed (at-most-once is not
+    /// guaranteed); idempotent retry is the caller's policy decision.
+    Timeout {
+        /// The deadline that elapsed, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// The peer closed the connection mid-call.
+    Closed,
+    /// The peer could not be reached at all (refused, unresolved, or the
+    /// in-process server is gone).
+    Unavailable {
+        /// Human-readable cause.
+        detail: String,
+    },
+    /// An I/O error other than timeout/close.
+    Io {
+        /// The `std::io::ErrorKind`, stringified for portability.
+        kind: String,
+        /// The error's message.
+        detail: String,
+    },
+    /// The stream did not start with the frame magic — the peer is not
+    /// speaking this protocol (or the stream lost sync).
+    BadMagic {
+        /// The bytes actually seen.
+        seen: [u8; 2],
+    },
+    /// The peer advertises an unknown protocol version.
+    BadVersion {
+        /// The version byte received.
+        seen: u8,
+    },
+    /// A frame header announced more payload than [`MAX_FRAME`] allows.
+    ///
+    /// [`MAX_FRAME`]: crate::frame::MAX_FRAME
+    TooLarge {
+        /// Announced payload length.
+        announced: u64,
+        /// The enforced maximum.
+        max: u64,
+    },
+    /// The stream ended (or a fault cut it) before a full frame arrived.
+    Truncated {
+        /// Bytes the header promised.
+        expected: u64,
+        /// Bytes actually received.
+        got: u64,
+    },
+    /// The payload arrived complete but its checksum does not match —
+    /// bytes were corrupted in flight.
+    Corrupt {
+        /// Checksum announced by the header.
+        announced: u32,
+        /// Checksum computed over the received payload.
+        computed: u32,
+    },
+    /// The payload could not be (de)serialized. Never retryable: the
+    /// same bytes will fail the same way.
+    Codec {
+        /// The codec's complaint.
+        detail: String,
+    },
+    /// Every attempt allowed by the retry policy failed.
+    Exhausted {
+        /// Attempts made (including the first).
+        attempts: u32,
+        /// The final attempt's error.
+        last: Box<WireError>,
+    },
+}
+
+impl WireError {
+    /// Whether another attempt could plausibly succeed. Transient
+    /// transport failures are retryable; payload-shape failures and
+    /// exhausted retries are not.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            WireError::Timeout { .. }
+            | WireError::Closed
+            | WireError::Unavailable { .. }
+            | WireError::Io { .. }
+            | WireError::BadMagic { .. }
+            | WireError::Truncated { .. }
+            | WireError::Corrupt { .. } => true,
+            WireError::BadVersion { .. }
+            | WireError::TooLarge { .. }
+            | WireError::Codec { .. }
+            | WireError::Exhausted { .. } => false,
+        }
+    }
+
+    /// The underlying failure, unwrapping [`WireError::Exhausted`] to the
+    /// last attempt's error.
+    #[must_use]
+    pub fn root(&self) -> &WireError {
+        match self {
+            WireError::Exhausted { last, .. } => last.root(),
+            other => other,
+        }
+    }
+
+    /// Classifies an `std::io::Error` from a blocking socket operation.
+    #[must_use]
+    pub fn from_io(deadline_ms: u64, e: &std::io::Error) -> Self {
+        use std::io::ErrorKind;
+        match e.kind() {
+            ErrorKind::WouldBlock | ErrorKind::TimedOut => WireError::Timeout { deadline_ms },
+            ErrorKind::UnexpectedEof | ErrorKind::ConnectionReset | ErrorKind::BrokenPipe => {
+                WireError::Closed
+            }
+            ErrorKind::ConnectionRefused
+            | ErrorKind::NotConnected
+            | ErrorKind::AddrNotAvailable => WireError::Unavailable {
+                detail: e.to_string(),
+            },
+            kind => WireError::Io {
+                kind: format!("{kind:?}"),
+                detail: e.to_string(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Timeout { deadline_ms } => {
+                write!(f, "call timed out after {deadline_ms}ms")
+            }
+            WireError::Closed => write!(f, "peer closed the connection mid-call"),
+            WireError::Unavailable { detail } => write!(f, "peer unavailable: {detail}"),
+            WireError::Io { kind, detail } => write!(f, "i/o error ({kind}): {detail}"),
+            WireError::BadMagic { seen } => {
+                write!(f, "bad frame magic {:02x}{:02x}", seen[0], seen[1])
+            }
+            WireError::BadVersion { seen } => write!(f, "unsupported wire version {seen}"),
+            WireError::TooLarge { announced, max } => {
+                write!(f, "frame of {announced} bytes exceeds the {max}-byte limit")
+            }
+            WireError::Truncated { expected, got } => {
+                write!(f, "truncated frame: expected {expected} bytes, got {got}")
+            }
+            WireError::Corrupt {
+                announced,
+                computed,
+            } => write!(
+                f,
+                "corrupt frame: checksum {computed:08x} != announced {announced:08x}"
+            ),
+            WireError::Codec { detail } => write!(f, "codec failure: {detail}"),
+            WireError::Exhausted { attempts, last } => {
+                write!(f, "all {attempts} attempts failed; last: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability_split() {
+        assert!(WireError::Timeout { deadline_ms: 5 }.is_retryable());
+        assert!(WireError::Closed.is_retryable());
+        assert!(WireError::Truncated {
+            expected: 10,
+            got: 3
+        }
+        .is_retryable());
+        assert!(!WireError::Codec { detail: "x".into() }.is_retryable());
+        assert!(!WireError::Exhausted {
+            attempts: 3,
+            last: Box::new(WireError::Closed),
+        }
+        .is_retryable());
+    }
+
+    #[test]
+    fn root_unwraps_exhausted() {
+        let e = WireError::Exhausted {
+            attempts: 2,
+            last: Box::new(WireError::Exhausted {
+                attempts: 1,
+                last: Box::new(WireError::Closed),
+            }),
+        };
+        assert_eq!(e.root(), &WireError::Closed);
+        assert_eq!(WireError::Closed.root(), &WireError::Closed);
+    }
+
+    #[test]
+    fn io_classification() {
+        use std::io::{Error, ErrorKind};
+        assert!(matches!(
+            WireError::from_io(7, &Error::new(ErrorKind::TimedOut, "t")),
+            WireError::Timeout { deadline_ms: 7 }
+        ));
+        assert_eq!(
+            WireError::from_io(0, &Error::new(ErrorKind::UnexpectedEof, "e")),
+            WireError::Closed
+        );
+        assert!(matches!(
+            WireError::from_io(0, &Error::new(ErrorKind::ConnectionRefused, "r")),
+            WireError::Unavailable { .. }
+        ));
+        assert!(matches!(
+            WireError::from_io(0, &Error::other("o")),
+            WireError::Io { .. }
+        ));
+    }
+
+    #[test]
+    fn errors_serialize_round_trip() {
+        let e = WireError::Exhausted {
+            attempts: 4,
+            last: Box::new(WireError::Corrupt {
+                announced: 1,
+                computed: 2,
+            }),
+        };
+        let text = serde_json::to_string(&e).unwrap();
+        let back: WireError = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, e);
+    }
+}

@@ -1,0 +1,280 @@
+//! The frame layer: how one message travels a byte stream.
+//!
+//! Layout (all integers big-endian):
+//!
+//! ```text
+//! +--------+--------+---------+--------+------------+------------+=========+
+//! | magic0 | magic1 | version | flags  |  len: u32  |  crc: u32  | payload |
+//! |  0xC9  |  0x57  |  0x01   |  0x00  | payload sz | fnv1a(pay) | len B   |
+//! +--------+--------+---------+--------+------------+------------+=========+
+//! ```
+//!
+//! The fixed 12-byte header makes truncation detectable (a short read
+//! mid-header or mid-payload is [`WireError::Truncated`], never a hang),
+//! the magic catches peers speaking a different protocol, the length
+//! bound ([`MAX_FRAME`]) caps memory a malicious or corrupt peer can make
+//! us allocate, and the FNV-1a checksum catches in-flight corruption
+//! that still delivers the right number of bytes.
+
+use crate::error::WireError;
+use std::io::{Read, Write};
+
+/// First magic byte of every frame.
+pub const MAGIC: [u8; 2] = [0xC9, 0x57];
+
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Header size in bytes.
+pub const HEADER_LEN: usize = 12;
+
+/// Largest allowed payload. Control-plane messages are small; anything
+/// bigger is a protocol error, not a workload.
+pub const MAX_FRAME: u64 = 16 * 1024 * 1024;
+
+/// Total on-the-wire size of a frame carrying `payload_len` payload
+/// bytes (exposed so byte counters report framed sizes).
+#[must_use]
+pub fn framed_len_of(payload_len: usize) -> u64 {
+    (HEADER_LEN + payload_len) as u64
+}
+
+/// FNV-1a over the payload — cheap, allocation-free corruption check.
+#[must_use]
+pub fn checksum(payload: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811c_9dc5;
+    for &byte in payload {
+        hash ^= u32::from(byte);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+/// Encodes `payload` as one frame into `out` (header + payload).
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(0); // flags, reserved
+    out.extend_from_slice(
+        &u32::try_from(payload.len())
+            .unwrap_or(u32::MAX)
+            .to_be_bytes(),
+    );
+    out.extend_from_slice(&checksum(payload).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Writes `payload` as one frame.
+///
+/// # Errors
+///
+/// [`WireError::TooLarge`] if the payload exceeds [`MAX_FRAME`];
+/// otherwise I/O failures classified by [`WireError::from_io`].
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() as u64 > MAX_FRAME {
+        return Err(WireError::TooLarge {
+            announced: payload.len() as u64,
+            max: MAX_FRAME,
+        });
+    }
+    let frame = encode_frame(payload);
+    w.write_all(&frame).map_err(|e| WireError::from_io(0, &e))?;
+    w.flush().map_err(|e| WireError::from_io(0, &e))
+}
+
+/// Reads exactly `buf.len()` bytes, reporting how many arrived before a
+/// clean EOF (for precise truncation errors).
+fn read_exact_counting<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+) -> Result<(), (usize, Option<std::io::Error>)> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Err((filled, None)),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err((filled, Some(e))),
+        }
+    }
+    Ok(())
+}
+
+/// Outcome of [`read_frame_or_eof`]: a payload, or a clean end-of-stream
+/// before any byte of a new frame arrived.
+#[derive(Debug)]
+pub enum FrameOrEof {
+    /// A complete, verified payload.
+    Frame(Vec<u8>),
+    /// The stream ended cleanly between frames.
+    Eof,
+}
+
+/// Reads one frame, treating clean EOF *before the first header byte* as
+/// end-of-stream rather than an error — the server side of a
+/// connection loop wants exactly this.
+///
+/// # Errors
+///
+/// All [`WireError`] frame variants: truncation (EOF mid-frame),
+/// bad magic/version, an oversized announcement, checksum mismatch, and
+/// classified I/O errors (including timeouts from a socket read
+/// deadline).
+pub fn read_frame_or_eof<R: Read>(r: &mut R) -> Result<FrameOrEof, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    if let Err((got, io)) = read_exact_counting(r, &mut header) {
+        return match io {
+            Some(e) => Err(WireError::from_io(0, &e)),
+            None if got == 0 => Ok(FrameOrEof::Eof),
+            None => Err(WireError::Truncated {
+                expected: HEADER_LEN as u64,
+                got: got as u64,
+            }),
+        };
+    }
+    if header[0..2] != MAGIC {
+        return Err(WireError::BadMagic {
+            seen: [header[0], header[1]],
+        });
+    }
+    if header[2] != VERSION {
+        return Err(WireError::BadVersion { seen: header[2] });
+    }
+    let len = u64::from(u32::from_be_bytes([
+        header[4], header[5], header[6], header[7],
+    ]));
+    let announced = u32::from_be_bytes([header[8], header[9], header[10], header[11]]);
+    if len > MAX_FRAME {
+        return Err(WireError::TooLarge {
+            announced: len,
+            max: MAX_FRAME,
+        });
+    }
+    let mut payload = vec![0u8; usize::try_from(len).expect("len <= MAX_FRAME fits usize")];
+    if let Err((got, io)) = read_exact_counting(r, &mut payload) {
+        return match io {
+            Some(e) => Err(WireError::from_io(0, &e)),
+            None => Err(WireError::Truncated {
+                expected: len,
+                got: got as u64,
+            }),
+        };
+    }
+    let computed = checksum(&payload);
+    if computed != announced {
+        return Err(WireError::Corrupt {
+            announced,
+            computed,
+        });
+    }
+    Ok(FrameOrEof::Frame(payload))
+}
+
+/// Reads one frame; a clean EOF anywhere is an error (the client side of
+/// a call, which expects exactly one response).
+///
+/// # Errors
+///
+/// As [`read_frame_or_eof`], plus [`WireError::Closed`] on clean EOF
+/// before the header.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Vec<u8>, WireError> {
+    match read_frame_or_eof(r)? {
+        FrameOrEof::Frame(payload) => Ok(payload),
+        FrameOrEof::Eof => Err(WireError::Closed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello wire").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"hello wire");
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"");
+        assert!(matches!(
+            read_frame_or_eof(&mut cursor).unwrap(),
+            FrameOrEof::Eof
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_is_typed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"0123456789").unwrap();
+        buf.truncate(HEADER_LEN + 4);
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::Truncated {
+                expected: 10,
+                got: 4
+            }
+        );
+    }
+
+    #[test]
+    fn truncated_header_is_typed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abc").unwrap();
+        buf.truncate(5);
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, WireError::Truncated { got: 5, .. }));
+    }
+
+    #[test]
+    fn clean_eof_on_client_read_is_closed() {
+        let err = read_frame(&mut Cursor::new(Vec::new())).unwrap_err();
+        assert_eq!(err, WireError::Closed);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload").unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0xFF;
+        let err = read_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, WireError::Corrupt { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn wrong_magic_and_version() {
+        let mut buf = encode_frame(b"x");
+        buf[0] = 0;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)).unwrap_err(),
+            WireError::BadMagic { seen: [0, 0x57] }
+        ));
+        let mut buf = encode_frame(b"x");
+        buf[2] = 9;
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)).unwrap_err(),
+            WireError::BadVersion { seen: 9 }
+        ));
+    }
+
+    #[test]
+    fn oversized_announcement_rejected_without_allocation() {
+        let mut buf = encode_frame(b"x");
+        buf[4..8].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf)).unwrap_err(),
+            WireError::TooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn checksum_is_stable() {
+        // FNV-1a reference value for "hello".
+        assert_eq!(checksum(b"hello"), 0x4F9F_2CAB);
+        assert_eq!(checksum(b""), 0x811c_9dc5);
+    }
+}

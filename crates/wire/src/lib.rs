@@ -1,0 +1,52 @@
+//! # cpms-wire
+//!
+//! The control-plane transport: length-prefixed, checksummed,
+//! serde-framed request/response messaging between the management
+//! daemons (controller ↔ brokers, primary ↔ backup distributor).
+//!
+//! The paper's management system (§3) is explicitly distributed — brokers
+//! are standalone daemons on each backend node, agents are *shipped* to
+//! them, and the primary/backup distributor (§2.3) replicates state over
+//! the network. This crate is the layer that makes those conversations
+//! real: framing, per-call deadlines, bounded retry with exponential
+//! backoff and deterministic jitter, connection reuse, and a typed
+//! failure taxonomy, so every control-plane layer above it inherits
+//! timeout/retry/partial-failure semantics instead of assuming an
+//! infallible in-process channel.
+//!
+//! Layers, bottom up:
+//!
+//! - [`frame`] — one message on a byte stream: 12-byte header (magic,
+//!   version, length, FNV-1a checksum) + payload. Truncation, corruption,
+//!   and protocol mismatch are all typed [`WireError`]s, never hangs.
+//! - [`transport`] — the [`Transport`] trait (one request/response
+//!   exchange under a deadline) with two production implementations:
+//!   [`InProcTransport`] (crossbeam channels to a server thread in this
+//!   process, preserving the original single-process deployment) and
+//!   [`TcpTransport`] (framed loopback or cross-host TCP with connection
+//!   reuse). Servers host a [`Service`] via [`InProcServer`] /
+//!   [`TcpServer`].
+//! - [`client`] — [`Client`]: typed serde calls with deadline + retry
+//!   policy, per-RPC latency histograms and retry/timeout/byte counters
+//!   recorded into a [`cpms_obs::MetricsRegistry`].
+//! - [`faulty`] — [`FaultyTransport`]: a deterministic, seeded
+//!   fault-injecting wrapper (drop / delay / duplicate / truncate) for
+//!   robustness tests.
+//!
+//! Serialization is `serde_json` over the payload bytes: every message a
+//! peer sends or receives is an ordinary `#[derive(Serialize,
+//! Deserialize)]` type in the crate that owns it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod faulty;
+pub mod frame;
+pub mod transport;
+
+pub use client::{Client, ClientStats, RetryPolicy};
+pub use error::WireError;
+pub use faulty::{FaultPlan, FaultStats, FaultyTransport};
+pub use transport::{InProcServer, InProcTransport, Service, TcpServer, TcpTransport, Transport};

@@ -1,0 +1,540 @@
+//! The [`Transport`] abstraction and its two production implementations.
+//!
+//! A transport carries one request payload to a peer and returns its
+//! response payload, under a per-call deadline. The two impls are:
+//!
+//! - [`InProcTransport`] — crossbeam channels to a server thread in the
+//!   same process. This preserves the original all-in-process control
+//!   plane: no sockets, but the same framing-level semantics (a deadline
+//!   can expire, the server can be gone).
+//! - [`TcpTransport`] — real loopback or cross-host TCP, with framed
+//!   payloads ([`crate::frame`]), per-call read/write deadlines mapped to
+//!   socket timeouts, and connection reuse across calls (reconnect on
+//!   the next call after a failure).
+//!
+//! Servers implement [`Service`] (an `FnMut(&[u8]) -> Vec<u8>` works) and
+//! are hosted by [`InProcServer`] or [`TcpServer`]. Both servers execute
+//! requests on a single executor thread that owns the service — requests
+//! from concurrent clients serialize, which is exactly the behavior a
+//! per-node broker wants.
+
+use crate::error::WireError;
+use crate::frame::{read_frame, read_frame_or_eof, write_frame, FrameOrEof};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use std::fmt;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Carries one request to a peer and returns the response payload.
+pub trait Transport: Send + Sync + fmt::Debug {
+    /// One request/response exchange under `deadline`. No retries — that
+    /// is [`Client`](crate::Client) policy layered above.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`]; see the failure taxonomy.
+    fn call(&self, request: &[u8], deadline: Duration) -> Result<Vec<u8>, WireError>;
+
+    /// Short label for metrics and reports (`"inproc"`, `"tcp"`, …).
+    fn kind(&self) -> &'static str;
+
+    /// Cumulative reconnections performed (transports without
+    /// connections report 0).
+    fn reconnects(&self) -> u64 {
+        0
+    }
+}
+
+/// A request handler owned by a server's executor thread.
+pub trait Service: Send + 'static {
+    /// Handles one decoded request payload, returning the response
+    /// payload.
+    fn handle(&mut self, request: &[u8]) -> Vec<u8>;
+}
+
+impl<F: FnMut(&[u8]) -> Vec<u8> + Send + 'static> Service for F {
+    fn handle(&mut self, request: &[u8]) -> Vec<u8> {
+        self(request)
+    }
+}
+
+struct ExecRequest {
+    payload: Vec<u8>,
+    reply: Sender<Vec<u8>>,
+}
+
+/// How often blocked server loops wake to check for shutdown.
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+// ---------------------------------------------------------------- in-proc
+
+/// Channel-backed [`Transport`] to an [`InProcServer`] in this process.
+#[derive(Clone)]
+pub struct InProcTransport {
+    tx: Sender<ExecRequest>,
+}
+
+impl fmt::Debug for InProcTransport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InProcTransport").finish()
+    }
+}
+
+impl Transport for InProcTransport {
+    fn call(&self, request: &[u8], deadline: Duration) -> Result<Vec<u8>, WireError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        self.tx
+            .send(ExecRequest {
+                payload: request.to_vec(),
+                reply: reply_tx,
+            })
+            .map_err(|_| WireError::Unavailable {
+                detail: "in-process server is gone".to_string(),
+            })?;
+        match reply_rx.recv_timeout(deadline) {
+            Ok(payload) => Ok(payload),
+            Err(RecvTimeoutError::Timeout) => Err(WireError::Timeout {
+                deadline_ms: deadline.as_millis() as u64,
+            }),
+            Err(RecvTimeoutError::Disconnected) => Err(WireError::Closed),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        "inproc"
+    }
+}
+
+/// Hosts a [`Service`] on a dedicated executor thread, reachable through
+/// [`InProcTransport`]s.
+#[derive(Debug)]
+pub struct InProcServer<S> {
+    thread: Option<JoinHandle<S>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl<S: Service> InProcServer<S> {
+    /// Spawns the executor thread; returns the client transport and the
+    /// server handle.
+    pub fn spawn(service: S) -> (InProcTransport, InProcServer<S>) {
+        Self::spawn_named(service, "wire-inproc")
+    }
+
+    /// [`InProcServer::spawn`] with an explicit thread name.
+    pub fn spawn_named(mut service: S, name: &str) -> (InProcTransport, InProcServer<S>) {
+        let (tx, rx): (Sender<ExecRequest>, Receiver<ExecRequest>) = unbounded();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(move || {
+                loop {
+                    match rx.recv_timeout(POLL_INTERVAL) {
+                        Ok(req) => {
+                            let response = service.handle(&req.payload);
+                            // The caller may have timed out and gone away.
+                            let _ = req.reply.send(response);
+                        }
+                        Err(RecvTimeoutError::Timeout) => {
+                            if stop_flag.load(Ordering::Acquire) {
+                                break;
+                            }
+                        }
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+                service
+            })
+            .expect("spawn in-proc wire server");
+        (
+            InProcTransport { tx },
+            InProcServer {
+                thread: Some(thread),
+                stop,
+            },
+        )
+    }
+
+    /// Whether the executor thread is still running.
+    #[must_use]
+    pub fn is_running(&self) -> bool {
+        self.thread.as_ref().is_some_and(|t| !t.is_finished())
+    }
+
+    /// Stops the executor and returns the service (its final state).
+    /// Idempotent; `None` after the first call or a panic.
+    pub fn stop(&mut self) -> Option<S> {
+        self.stop.store(true, Ordering::Release);
+        self.thread.take()?.join().ok()
+    }
+}
+
+impl<S> Drop for InProcServer<S> {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+// ------------------------------------------------------------------- tcp
+
+/// Framed request/response [`Transport`] over a reused [`TcpStream`].
+///
+/// The connection is established lazily on first call and kept across
+/// calls. On any failure the connection is dropped; the next call
+/// reconnects (and [`Transport::reconnects`] counts it).
+#[derive(Debug)]
+pub struct TcpTransport {
+    addr: SocketAddr,
+    conn: Mutex<Option<TcpStream>>,
+    connected_once: AtomicBool,
+    reconnects: AtomicU64,
+}
+
+impl TcpTransport {
+    /// A transport to `addr`. Does not connect yet.
+    #[must_use]
+    pub fn new(addr: SocketAddr) -> Self {
+        TcpTransport {
+            addr,
+            conn: Mutex::new(None),
+            connected_once: AtomicBool::new(false),
+            reconnects: AtomicU64::new(0),
+        }
+    }
+
+    /// The peer address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn connect(&self, deadline: Duration) -> Result<TcpStream, WireError> {
+        let stream = TcpStream::connect_timeout(&self.addr, deadline)
+            .map_err(|e| WireError::from_io(deadline.as_millis() as u64, &e))?;
+        stream.set_nodelay(true).ok();
+        if self.connected_once.swap(true, Ordering::Relaxed) {
+            self.reconnects.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(stream)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn call(&self, request: &[u8], deadline: Duration) -> Result<Vec<u8>, WireError> {
+        let deadline_ms = deadline.as_millis() as u64;
+        let start = Instant::now();
+        let mut guard = self.conn.lock().expect("tcp transport lock");
+        let mut stream = match guard.take() {
+            Some(s) => s,
+            None => self.connect(deadline)?,
+        };
+        let remaining = deadline.saturating_sub(start.elapsed());
+        if remaining.is_zero() {
+            return Err(WireError::Timeout { deadline_ms });
+        }
+        stream
+            .set_write_timeout(Some(remaining))
+            .and_then(|()| stream.set_read_timeout(Some(remaining)))
+            .map_err(|e| WireError::from_io(deadline_ms, &e))?;
+        let result = write_frame(&mut stream, request).and_then(|()| read_frame(&mut stream));
+        match result {
+            Ok(payload) => {
+                *guard = Some(stream); // reuse the connection
+                Ok(payload)
+            }
+            Err(e) => {
+                // Drop the (possibly desynchronized) connection; the next
+                // call reconnects.
+                drop(stream);
+                Err(match e {
+                    WireError::Timeout { .. } => WireError::Timeout { deadline_ms },
+                    other => other,
+                })
+            }
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn reconnects(&self) -> u64 {
+        self.reconnects.load(Ordering::Relaxed)
+    }
+}
+
+/// Hosts a [`Service`] behind a TCP listener: an acceptor thread, one
+/// reader thread per connection, and a single executor thread that owns
+/// the service (concurrent clients serialize, preserving per-node
+/// ordering).
+#[derive(Debug)]
+pub struct TcpServer<S> {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    executor: Option<JoinHandle<S>>,
+}
+
+impl<S: Service> TcpServer<S> {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// serving.
+    ///
+    /// # Errors
+    ///
+    /// The bind failure, if any.
+    pub fn bind(addr: SocketAddr, service: S) -> std::io::Result<TcpServer<S>> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (exec_tx, exec_rx): (Sender<ExecRequest>, Receiver<ExecRequest>) = unbounded();
+
+        let executor = {
+            let stop = Arc::clone(&stop);
+            let mut service = service;
+            std::thread::Builder::new()
+                .name(format!("wire-exec-{local}"))
+                .spawn(move || {
+                    loop {
+                        match exec_rx.recv_timeout(POLL_INTERVAL) {
+                            Ok(req) => {
+                                let response = service.handle(&req.payload);
+                                let _ = req.reply.send(response);
+                            }
+                            Err(RecvTimeoutError::Timeout) => {
+                                if stop.load(Ordering::Acquire) {
+                                    break;
+                                }
+                            }
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        }
+                    }
+                    service
+                })
+                .expect("spawn wire executor thread")
+        };
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name(format!("wire-accept-{local}"))
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        match listener.accept() {
+                            Ok((conn, _)) => {
+                                let exec_tx = exec_tx.clone();
+                                let stop = Arc::clone(&stop);
+                                let _ = std::thread::Builder::new()
+                                    .name("wire-conn".to_string())
+                                    .spawn(move || serve_connection(conn, &exec_tx, &stop));
+                            }
+                            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                                std::thread::sleep(POLL_INTERVAL);
+                            }
+                            Err(_) => std::thread::sleep(POLL_INTERVAL),
+                        }
+                    }
+                })
+                .expect("spawn wire acceptor thread")
+        };
+
+        Ok(TcpServer {
+            addr: local,
+            stop,
+            acceptor: Some(acceptor),
+            executor: Some(executor),
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether the executor thread is still running.
+    #[must_use]
+    pub fn is_running(&self) -> bool {
+        self.executor.as_ref().is_some_and(|t| !t.is_finished())
+    }
+
+    /// Stops accepting and executing, returning the service's final
+    /// state. Idempotent; `None` after the first call.
+    pub fn stop(&mut self) -> Option<S> {
+        self.stop.store(true, Ordering::Release);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        self.executor.take()?.join().ok()
+    }
+}
+
+impl<S> Drop for TcpServer<S> {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        if let Some(e) = self.executor.take() {
+            let _ = e.join();
+        }
+    }
+}
+
+/// One connection's read-execute-write loop. Exits on client disconnect,
+/// any frame error, or server shutdown.
+fn serve_connection(mut conn: TcpStream, exec_tx: &Sender<ExecRequest>, stop: &AtomicBool) {
+    conn.set_nodelay(true).ok();
+    // Short read timeouts let the loop notice shutdown between frames.
+    if conn.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    while !stop.load(Ordering::Acquire) {
+        let payload = match read_frame_or_eof(&mut conn) {
+            Ok(FrameOrEof::Frame(p)) => p,
+            Ok(FrameOrEof::Eof) => return,
+            // Idle between frames: poll again.
+            Err(WireError::Timeout { .. }) => continue,
+            // Any other frame error desynchronizes the stream: drop the
+            // connection (the client maps this to Closed and may retry
+            // on a fresh one).
+            Err(_) => return,
+        };
+        let (reply_tx, reply_rx) = bounded(1);
+        if exec_tx
+            .send(ExecRequest {
+                payload,
+                reply: reply_tx,
+            })
+            .is_err()
+        {
+            return; // executor gone: shutting down
+        }
+        let response = loop {
+            match reply_rx.recv_timeout(POLL_INTERVAL) {
+                Ok(r) => break r,
+                Err(RecvTimeoutError::Timeout) => {
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        };
+        if write_frame(&mut conn, &response).is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_upper() -> impl Service {
+        |req: &[u8]| req.to_ascii_uppercase()
+    }
+
+    #[test]
+    fn inproc_round_trip_and_shutdown() {
+        let (t, mut server) = InProcServer::spawn(echo_upper());
+        assert!(server.is_running());
+        let resp = t.call(b"abc", Duration::from_secs(1)).unwrap();
+        assert_eq!(resp, b"ABC");
+        server.stop().expect("service returned");
+        assert!(!server.is_running());
+        let err = t.call(b"x", Duration::from_millis(50)).unwrap_err();
+        assert!(
+            matches!(err, WireError::Unavailable { .. } | WireError::Closed),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn inproc_deadline_expires() {
+        let (t, mut server) = InProcServer::spawn(|req: &[u8]| {
+            std::thread::sleep(Duration::from_millis(100));
+            req.to_vec()
+        });
+        let err = t.call(b"slow", Duration::from_millis(10)).unwrap_err();
+        assert!(matches!(err, WireError::Timeout { deadline_ms: 10 }));
+        server.stop();
+    }
+
+    #[test]
+    fn tcp_round_trip_reuses_connection() {
+        let mut server = TcpServer::bind("127.0.0.1:0".parse().unwrap(), echo_upper()).unwrap();
+        let t = TcpTransport::new(server.addr());
+        for i in 0..10 {
+            let req = format!("msg{i}");
+            let resp = t.call(req.as_bytes(), Duration::from_secs(2)).unwrap();
+            assert_eq!(resp, req.to_ascii_uppercase().into_bytes());
+        }
+        assert_eq!(t.reconnects(), 0, "one connection served all calls");
+        server.stop().expect("service state returned");
+    }
+
+    #[test]
+    fn tcp_concurrent_clients_serialize_on_one_service() {
+        let counter = std::sync::Arc::new(AtomicU64::new(0));
+        let c = std::sync::Arc::clone(&counter);
+        let mut server = TcpServer::bind("127.0.0.1:0".parse().unwrap(), move |_req: &[u8]| {
+            let n = c.fetch_add(1, Ordering::SeqCst);
+            n.to_be_bytes().to_vec()
+        })
+        .unwrap();
+        let addr = server.addr();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(move || {
+                    let t = TcpTransport::new(addr);
+                    for _ in 0..10 {
+                        t.call(b"inc", Duration::from_secs(2)).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 40);
+        server.stop();
+    }
+
+    #[test]
+    fn tcp_unavailable_and_reconnect_counting() {
+        let mut server = TcpServer::bind("127.0.0.1:0".parse().unwrap(), echo_upper()).unwrap();
+        let addr = server.addr();
+        let t = TcpTransport::new(addr);
+        t.call(b"a", Duration::from_secs(1)).unwrap();
+        server.stop();
+        // Server gone: the reused connection fails, then reconnects fail.
+        let mut saw_failure = false;
+        for _ in 0..3 {
+            if t.call(b"b", Duration::from_millis(200)).is_err() {
+                saw_failure = true;
+                break;
+            }
+        }
+        assert!(saw_failure, "calls to a stopped server eventually fail");
+    }
+
+    #[test]
+    fn tcp_deadline_against_stalled_server() {
+        let mut server = TcpServer::bind("127.0.0.1:0".parse().unwrap(), |req: &[u8]| {
+            std::thread::sleep(Duration::from_millis(200));
+            req.to_vec()
+        })
+        .unwrap();
+        let t = TcpTransport::new(server.addr());
+        let start = Instant::now();
+        let err = t.call(b"slow", Duration::from_millis(30)).unwrap_err();
+        assert!(matches!(err, WireError::Timeout { .. }), "{err:?}");
+        assert!(start.elapsed() < Duration::from_millis(150));
+        server.stop();
+    }
+}

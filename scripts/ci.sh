@@ -20,4 +20,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> metrics smoke (request_latency --smoke)"
 cargo run --release -q -p cpms-bench --bin request_latency -- --smoke
 
+echo "==> networked broker smoke (cpms-broker --smoke: loopback TCP + fault injection)"
+cargo run --release -q -p cpms-mgmt --bin cpms-broker -- --smoke
+
 echo "ci: all gates passed"

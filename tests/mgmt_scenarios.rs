@@ -1,141 +1,197 @@
 //! Management-system scenarios spanning crates: the controller driving a
 //! broker cluster while the distributor's URL table stays coherent, the
 //! §4 mutable-content policy, and distributor failover.
+//!
+//! Every controller-driven scenario runs twice — once over in-process
+//! channel brokers ([`WireMode::InProc`]) and once over real loopback TCP
+//! daemons ([`WireMode::Tcp`]) — and must produce *identical* results and
+//! URL-table publication generations: the management plane's behavior is
+//! transport-invariant.
 
 use cpms_dispatch::failover::{BackupDistributor, Heartbeat, MonitorVerdict};
 use cpms_dispatch::mapping::ConnKey;
 use cpms_dispatch::relay::Distributor;
 use cpms_mgmt::console::RemoteConsole;
-use cpms_mgmt::{AutoReplicator, Cluster, Controller};
+use cpms_mgmt::{AutoReplicator, Cluster, Controller, WireMode};
 use cpms_model::{ContentId, ContentKind, LoadSample, LoadTracker, NodeId, SimDuration, UrlPath};
 
 fn p(s: &str) -> UrlPath {
     s.parse().unwrap()
 }
 
+const BOTH_MODES: [WireMode; 2] = [WireMode::InProc, WireMode::Tcp];
+
+/// A transport-independent digest of a scenario's outcome: the sorted
+/// (path, locations) view plus the table publication generation.
+type Outcome = (Vec<(UrlPath, Vec<NodeId>)>, u64);
+
+fn outcome(controller: &Controller) -> Outcome {
+    let mut view: Vec<(UrlPath, Vec<NodeId>)> = controller
+        .table()
+        .iter()
+        .map(|(path, entry)| (path, entry.locations().to_vec()))
+        .collect();
+    view.sort();
+    (view, controller.publisher().generation())
+}
+
+/// Runs `scenario` under both wire modes and asserts the outcomes are
+/// byte-identical — same tree, same locations, same generation count.
+fn transport_invariant(scenario: impl Fn(WireMode) -> Outcome) {
+    let results: Vec<Outcome> = BOTH_MODES.iter().map(|&mode| scenario(mode)).collect();
+    assert_eq!(
+        results[0], results[1],
+        "InProc and Tcp transports must produce identical outcomes"
+    );
+}
+
 /// The paper's §3.2 walk-through: the administrator edits the tree through
-/// the console; the URL table and every broker follow.
+/// the console; the URL table and every broker follow — over channels and
+/// over TCP alike.
 #[test]
 fn admin_operations_propagate_everywhere() {
-    let mut console = RemoteConsole::new(Controller::new(Cluster::start(4, 10 << 20)));
+    transport_invariant(|mode| {
+        let mut console =
+            RemoteConsole::new(Controller::new(Cluster::start_mode(mode, 4, 10 << 20)));
 
-    // Build a small site spread over the cluster.
-    let pages = [
-        ("/index.html", ContentKind::StaticHtml, 0u16),
-        ("/img/logo.gif", ContentKind::Image, 1),
-        ("/cgi-bin/search.cgi", ContentKind::Cgi, 2),
-        ("/video/intro.mpg", ContentKind::Video, 3),
-    ];
-    for (i, (path, kind, node)) in pages.iter().enumerate() {
-        console
-            .publish(&p(path), ContentId(i as u32), *kind, 4096, &[NodeId(*node)])
-            .unwrap();
-    }
-    assert_eq!(console.tree_view().len(), 4);
-    assert!(console.controller().verify_consistency().is_empty());
+        // Build a small site spread over the cluster.
+        let pages = [
+            ("/index.html", ContentKind::StaticHtml, 0u16),
+            ("/img/logo.gif", ContentKind::Image, 1),
+            ("/cgi-bin/search.cgi", ContentKind::Cgi, 2),
+            ("/video/intro.mpg", ContentKind::Video, 3),
+        ];
+        for (i, (path, kind, node)) in pages.iter().enumerate() {
+            console
+                .publish(&p(path), ContentId(i as u32), *kind, 4096, &[NodeId(*node)])
+                .unwrap();
+        }
+        assert_eq!(console.tree_view().len(), 4);
+        assert!(console.controller().verify_consistency().is_empty());
 
-    // Reorganize: move images under /assets, replicate the home page.
-    console.rename(&p("/img"), &p("/assets/img")).unwrap();
-    console.replicate(&p("/index.html"), NodeId(3)).unwrap();
-    assert!(console.controller().verify_consistency().is_empty());
-    let view = console.tree_view();
-    assert!(view.iter().any(|r| r.path == p("/assets/img/logo.gif")));
-    assert_eq!(
-        view.iter()
-            .find(|r| r.path == p("/index.html"))
-            .unwrap()
-            .locations
-            .len(),
-        2
-    );
+        // Reorganize: move images under /assets, replicate the home page.
+        console.rename(&p("/img"), &p("/assets/img")).unwrap();
+        console.replicate(&p("/index.html"), NodeId(3)).unwrap();
+        assert!(console.controller().verify_consistency().is_empty());
+        let view = console.tree_view();
+        assert!(view.iter().any(|r| r.path == p("/assets/img/logo.gif")));
+        assert_eq!(
+            view.iter()
+                .find(|r| r.path == p("/index.html"))
+                .unwrap()
+                .locations
+                .len(),
+            2
+        );
 
-    // Retire the video.
-    console.delete(&p("/video/intro.mpg")).unwrap();
-    assert_eq!(console.tree_view().len(), 3);
-    assert!(console.controller().verify_consistency().is_empty());
-    console.shutdown();
+        // Retire the video.
+        console.delete(&p("/video/intro.mpg")).unwrap();
+        assert_eq!(console.tree_view().len(), 3);
+        assert!(console.controller().verify_consistency().is_empty());
+        let result = outcome(console.controller());
+        console.shutdown();
+        result
+    });
 }
 
 /// §4: mutable documents stay single-copy, so updates touch one node and
 /// versions never diverge.
 #[test]
 fn mutable_content_stays_consistent_on_one_node() {
-    let mut console = RemoteConsole::new(Controller::new(Cluster::start(3, 10 << 20)));
-    let feed = p("/news/today.html");
-    console
-        .publish(
-            &feed,
-            ContentId(1),
-            ContentKind::StaticHtml,
-            2048,
-            &[NodeId(1)],
-        )
-        .unwrap();
-    for expected in 1..=5u64 {
-        let version = console.controller_mut().update_content(&feed).unwrap();
-        assert_eq!(version, expected, "single copy: one monotone version");
-    }
-    assert!(console.controller().verify_consistency().is_empty());
-    console.shutdown();
+    transport_invariant(|mode| {
+        let mut console =
+            RemoteConsole::new(Controller::new(Cluster::start_mode(mode, 3, 10 << 20)));
+        let feed = p("/news/today.html");
+        console
+            .publish(
+                &feed,
+                ContentId(1),
+                ContentKind::StaticHtml,
+                2048,
+                &[NodeId(1)],
+            )
+            .unwrap();
+        for expected in 1..=5u64 {
+            let version = console.controller_mut().update_content(&feed).unwrap();
+            assert_eq!(version, expected, "single copy: one monotone version");
+        }
+        assert!(console.controller().verify_consistency().is_empty());
+        let result = outcome(console.controller());
+        console.shutdown();
+        result
+    });
 }
 
 /// §3.3 end to end against live brokers: a load skew produces plan actions
 /// that the controller executes, moving real (simulated) files.
 #[test]
 fn auto_replication_moves_real_copies() {
-    let mut controller = Controller::new(Cluster::start(4, 10 << 20));
-    for i in 0..6u32 {
-        controller
-            .publish(
-                &p(&format!("/hot/page{i}.html")),
-                ContentId(i),
-                ContentKind::StaticHtml,
-                1024,
-                cpms_model::Priority::Normal,
-                &[NodeId(0)], // everything starts on node 0
-            )
-            .unwrap();
-    }
-
-    // Fake an interval where node 0 is hammered and 1..3 are idle.
-    let mut tracker = LoadTracker::new(vec![1.0; 4]);
-    for i in 0..6u32 {
-        for _ in 0..20 {
-            tracker.record(LoadSample {
-                node: NodeId(0),
-                content: ContentId(i),
-                kind: ContentKind::StaticHtml,
-                processing_time: SimDuration::from_millis(15),
-            });
+    transport_invariant(|mode| {
+        let mut controller = Controller::new(Cluster::start_mode(mode, 4, 10 << 20));
+        for i in 0..6u32 {
+            controller
+                .publish(
+                    &p(&format!("/hot/page{i}.html")),
+                    ContentId(i),
+                    ContentKind::StaticHtml,
+                    1024,
+                    cpms_model::Priority::Normal,
+                    &[NodeId(0)], // everything starts on node 0
+                )
+                .unwrap();
         }
-    }
-    tracker.record(LoadSample {
-        node: NodeId(1),
-        content: ContentId(0),
-        kind: ContentKind::StaticHtml,
-        processing_time: SimDuration::from_millis(1),
+
+        // Fake an interval where node 0 is hammered and 1..3 are idle.
+        let mut tracker = LoadTracker::new(vec![1.0; 4]);
+        for i in 0..6u32 {
+            for _ in 0..20 {
+                tracker.record(LoadSample {
+                    node: NodeId(0),
+                    content: ContentId(i),
+                    kind: ContentKind::StaticHtml,
+                    processing_time: SimDuration::from_millis(15),
+                });
+            }
+        }
+        tracker.record(LoadSample {
+            node: NodeId(1),
+            content: ContentId(0),
+            kind: ContentKind::StaticHtml,
+            processing_time: SimDuration::from_millis(1),
+        });
+
+        let planner = AutoReplicator::new(0.2).with_max_actions(8);
+        let actions = planner.plan(
+            &tracker,
+            &controller.table(),
+            |id| Some(p(&format!("/hot/page{}.html", id.0))),
+            |_, _| true,
+        );
+        assert!(!actions.is_empty(), "skew must trigger actions");
+        let results = AutoReplicator::apply_to_controller(&actions, &mut controller);
+        assert!(results.iter().all(Result::is_ok), "{results:?}");
+
+        // Replicas now exist beyond node 0, and the files are really there.
+        let replicated = controller
+            .table()
+            .iter()
+            .filter(|(_, e)| e.replica_count() > 1)
+            .count();
+        assert!(replicated > 0);
+        assert!(controller.verify_consistency().is_empty());
+        // The planner breaks load ties by hash order, so exact target nodes
+        // are not run-deterministic; the transport-invariant digest is the
+        // shape of the placement (replica count per path) plus generation.
+        let (view, generation) = outcome(&controller);
+        let result = (
+            view.into_iter()
+                .map(|(path, locations)| (path, vec![NodeId(locations.len() as u16)]))
+                .collect(),
+            generation,
+        );
+        controller.shutdown();
+        result
     });
-
-    let planner = AutoReplicator::new(0.2).with_max_actions(8);
-    let actions = planner.plan(
-        &tracker,
-        &controller.table(),
-        |id| Some(p(&format!("/hot/page{}.html", id.0))),
-        |_, _| true,
-    );
-    assert!(!actions.is_empty(), "skew must trigger actions");
-    let results = AutoReplicator::apply_to_controller(&actions, &mut controller);
-    assert!(results.iter().all(Result::is_ok), "{results:?}");
-
-    // Replicas now exist beyond node 0, and the files are really there.
-    let replicated = controller
-        .table()
-        .iter()
-        .filter(|(_, e)| e.replica_count() > 1)
-        .count();
-    assert!(replicated > 0);
-    assert!(controller.verify_consistency().is_empty());
-    controller.shutdown();
 }
 
 /// §2.3: the backup distributor takes over with the primary's replicated
@@ -161,6 +217,7 @@ fn distributor_failover_preserves_connections() {
     // Heartbeat with a snapshot, then the primary dies.
     backup.on_heartbeat(Heartbeat {
         seq: 1,
+        generation: 1,
         snapshot: Some(primary.clone()),
     });
     drop(primary);
@@ -169,6 +226,10 @@ fn distributor_failover_preserves_connections() {
         MonitorVerdict::Suspicious { missed: 1 }
     );
     assert_eq!(backup.on_heartbeat_missed(), MonitorVerdict::PrimaryFailed);
+    assert!(
+        !backup.snapshot_is_stale(),
+        "snapshot is as fresh as the last beat's generation"
+    );
 
     // Promotion: all three connections survive and can close cleanly.
     let mut new_primary = backup.take_over().expect("replicated state");
@@ -188,30 +249,32 @@ fn distributor_failover_preserves_connections() {
 /// keeps working.
 #[test]
 fn broker_failure_is_contained() {
-    let cluster = Cluster::start(3, 10 << 20);
-    // Kill node 1's broker behind the controller's back.
-    // (Cluster exposes broker handles read-only; we simulate the failure
-    // by dropping its thread through the public kill path.)
-    let mut controller = Controller::new(cluster);
-    controller
-        .publish(
-            &p("/a.html"),
-            ContentId(1),
-            ContentKind::StaticHtml,
-            100,
-            cpms_model::Priority::Normal,
-            &[NodeId(0)],
-        )
-        .unwrap();
+    for mode in BOTH_MODES {
+        let cluster = Cluster::start_mode(mode, 3, 10 << 20);
+        // Kill node 1's broker behind the controller's back.
+        // (Cluster exposes broker handles read-only; we simulate the failure
+        // by dropping its thread through the public kill path.)
+        let mut controller = Controller::new(cluster);
+        controller
+            .publish(
+                &p("/a.html"),
+                ContentId(1),
+                ContentKind::StaticHtml,
+                100,
+                cpms_model::Priority::Normal,
+                &[NodeId(0)],
+            )
+            .unwrap();
 
-    // Node 0 still accepts operations after node 1 trouble would surface
-    // only on ops that touch node 1; verify normal ops keep succeeding.
-    controller.replicate(&p("/a.html"), NodeId(2)).unwrap();
-    assert!(controller.verify_consistency().is_empty());
-    controller.shutdown();
-    // After shutdown every operation reports BrokerUnavailable.
-    let err = controller.replicate(&p("/a.html"), NodeId(1)).unwrap_err();
-    assert!(matches!(err, cpms_mgmt::MgmtError::Agent(_)));
+        // Node 0 still accepts operations after node 1 trouble would surface
+        // only on ops that touch node 1; verify normal ops keep succeeding.
+        controller.replicate(&p("/a.html"), NodeId(2)).unwrap();
+        assert!(controller.verify_consistency().is_empty());
+        controller.shutdown();
+        // After shutdown every operation reports BrokerUnavailable.
+        let err = controller.replicate(&p("/a.html"), NodeId(1)).unwrap_err();
+        assert!(matches!(err, cpms_mgmt::MgmtError::Agent(_)), "{mode:?}");
+    }
 }
 
 /// The monitor's verdicts feed the auto-replicator's capability filter:
@@ -220,59 +283,61 @@ fn broker_failure_is_contained() {
 fn monitor_excludes_dead_nodes_from_replication() {
     use cpms_mgmt::{AutoReplicator, ClusterMonitor, RebalanceAction};
 
-    let mut controller = Controller::new(Cluster::start(3, 10 << 20));
-    controller
-        .publish(
-            &p("/hot.html"),
-            ContentId(1),
-            ContentKind::StaticHtml,
-            512,
-            cpms_model::Priority::Normal,
-            &[NodeId(0)],
-        )
-        .unwrap();
+    for mode in BOTH_MODES {
+        let mut controller = Controller::new(Cluster::start_mode(mode, 3, 10 << 20));
+        controller
+            .publish(
+                &p("/hot.html"),
+                ContentId(1),
+                ContentKind::StaticHtml,
+                512,
+                cpms_model::Priority::Normal,
+                &[NodeId(0)],
+            )
+            .unwrap();
 
-    // Node 2 dies; the monitor needs two missed probes to call it.
-    controller.kill_node(NodeId(2));
-    let mut monitor = ClusterMonitor::new(3, 2);
-    let _ = monitor.poll_controller(&controller);
-    let _ = monitor.poll_controller(&controller);
-    assert_eq!(monitor.down_nodes(), vec![NodeId(2)]);
+        // Node 2 dies; the monitor needs two missed probes to call it.
+        controller.kill_node(NodeId(2));
+        let mut monitor = ClusterMonitor::new(3, 2);
+        let _ = monitor.poll_controller(&controller);
+        let _ = monitor.poll_controller(&controller);
+        assert_eq!(monitor.down_nodes(), vec![NodeId(2)], "{mode:?}");
 
-    // Node 0 is hammered; nodes 1 and 2 idle. Without the monitor the
-    // planner might pick node 2 (the coldest: zero samples).
-    let mut tracker = LoadTracker::new(vec![1.0; 3]);
-    for _ in 0..40 {
+        // Node 0 is hammered; nodes 1 and 2 idle. Without the monitor the
+        // planner might pick node 2 (the coldest: zero samples).
+        let mut tracker = LoadTracker::new(vec![1.0; 3]);
+        for _ in 0..40 {
+            tracker.record(LoadSample {
+                node: NodeId(0),
+                content: ContentId(1),
+                kind: ContentKind::StaticHtml,
+                processing_time: SimDuration::from_millis(20),
+            });
+        }
         tracker.record(LoadSample {
-            node: NodeId(0),
+            node: NodeId(1),
             content: ContentId(1),
             kind: ContentKind::StaticHtml,
-            processing_time: SimDuration::from_millis(20),
+            processing_time: SimDuration::from_millis(1),
         });
-    }
-    tracker.record(LoadSample {
-        node: NodeId(1),
-        content: ContentId(1),
-        kind: ContentKind::StaticHtml,
-        processing_time: SimDuration::from_millis(1),
-    });
 
-    let down = monitor.down_nodes();
-    let planner = AutoReplicator::new(0.2);
-    let actions = planner.plan(
-        &tracker,
-        &controller.table(),
-        |id| (id == ContentId(1)).then(|| p("/hot.html")),
-        |node, _| !down.contains(&node),
-    );
-    assert!(!actions.is_empty(), "skew still triggers replication");
-    for action in &actions {
-        if let RebalanceAction::Replicate { to, .. } = action {
-            assert_ne!(*to, NodeId(2), "dead node must not receive replicas");
+        let down = monitor.down_nodes();
+        let planner = AutoReplicator::new(0.2);
+        let actions = planner.plan(
+            &tracker,
+            &controller.table(),
+            |id| (id == ContentId(1)).then(|| p("/hot.html")),
+            |node, _| !down.contains(&node),
+        );
+        assert!(!actions.is_empty(), "skew still triggers replication");
+        for action in &actions {
+            if let RebalanceAction::Replicate { to, .. } = action {
+                assert_ne!(*to, NodeId(2), "dead node must not receive replicas");
+            }
         }
+        let results = AutoReplicator::apply_to_controller(&actions, &mut controller);
+        assert!(results.iter().all(Result::is_ok), "{results:?}");
+        assert!(controller.verify_consistency().is_empty());
+        controller.shutdown();
     }
-    let results = AutoReplicator::apply_to_controller(&actions, &mut controller);
-    assert!(results.iter().all(Result::is_ok), "{results:?}");
-    assert!(controller.verify_consistency().is_empty());
-    controller.shutdown();
 }

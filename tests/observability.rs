@@ -98,6 +98,9 @@ fn one_registry_surfaces_every_subsystem() {
         "mgmt_ops_total 2",
         "mgmt_op_errors_total 1",
         "mgmt_node_down_total 1",
+        "wire_rpc_total",
+        "wire_rpc_ns_count",
+        "wire_retries_total",
     ] {
         assert!(
             text.contains(required),
@@ -116,6 +119,10 @@ fn one_registry_surfaces_every_subsystem() {
     };
     assert_eq!(counter("proxy_relayed_total"), Some(10));
     assert_eq!(counter("mgmt_ops_total"), Some(2));
+    assert!(
+        counter("wire_rpc_total").is_some_and(|v| v > 0),
+        "broker RPCs land in the wire counters: {json}"
+    );
     let p99 = value
         .get("histograms")
         .and_then(|h| h.get("proxy_request_ns"))
@@ -132,7 +139,7 @@ fn one_registry_surfaces_every_subsystem() {
 
     // --- surface 3: the console report renders all four families too.
     let report = controller.metrics_report();
-    for family in ["proxy_", "dispatch_", "urltable_", "mgmt_"] {
+    for family in ["proxy_", "dispatch_", "urltable_", "mgmt_", "wire_"] {
         assert!(report.contains(family), "{family} missing from:\n{report}");
     }
 
