@@ -3,10 +3,14 @@
 //!
 //! Serves an in-memory [`SiteContent`]: static paths return stored bytes;
 //! dynamic paths (`.cgi`/`.asp`) burn a configurable execution delay and
-//! return a generated body, mimicking script execution cost.
+//! return a generated body, mimicking script execution cost. A site can
+//! also be backed by the node's [`cpms_store::ContentStore`]: objects the
+//! management plane ships and commits become servable immediately, with
+//! no explicit `add_static` push.
 
 use crate::http::{read_request, write_response, ParseError};
 use cpms_model::{NodeId, UrlPath};
+use cpms_store::ContentStore;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter};
@@ -21,6 +25,7 @@ use std::time::Duration;
 pub struct SiteContent {
     files: HashMap<UrlPath, Vec<u8>>,
     dynamic: HashMap<UrlPath, DynamicSpec>,
+    backing: Option<Arc<ContentStore>>,
 }
 
 #[derive(Debug, Clone)]
@@ -55,12 +60,22 @@ impl SiteContent {
         self
     }
 
-    /// Number of objects (static + dynamic).
+    /// Backs the site with a node's content store: any object committed
+    /// there is servable, looked up after explicit files and dynamic
+    /// endpoints. This is how shipped replicas go live — the management
+    /// plane commits bytes into the store and the origin serves them.
+    pub fn with_backing(mut self, store: Arc<ContentStore>) -> Self {
+        self.backing = Some(store);
+        self
+    }
+
+    /// Number of explicitly added objects (static + dynamic). Objects
+    /// visible only through the backing store are not counted.
     pub fn len(&self) -> usize {
         self.files.len() + self.dynamic.len()
     }
 
-    /// Whether the site is empty.
+    /// Whether the site has no explicitly added objects.
     pub fn is_empty(&self) -> bool {
         self.files.is_empty() && self.dynamic.is_empty()
     }
@@ -212,6 +227,14 @@ fn serve_connection(
                 Found::Static(body.clone())
             } else if let Some(spec) = c.dynamic.get(&request.path) {
                 Found::Dynamic(spec.clone())
+            } else if let Some(body) = c
+                .backing
+                .as_ref()
+                .and_then(|store| store.read(&request.path).ok())
+            {
+                // The store only answers for committed objects, so a
+                // replica mid-ship can never be served half-written.
+                Found::Static(body)
             } else {
                 Found::Missing
             }
@@ -307,6 +330,34 @@ mod tests {
             }
         });
         assert_eq!(origin.served(), 160);
+    }
+
+    #[test]
+    fn backing_store_objects_are_served() {
+        let store = Arc::new(ContentStore::in_memory(NodeId(0), 1 << 20));
+        let path: UrlPath = "/shipped/report.html".parse().unwrap();
+        store
+            .put(&path, cpms_model::ContentId(7), 0, b"shipped bytes", false)
+            .unwrap();
+        let origin =
+            OriginServer::start(NodeId(0), site().with_backing(Arc::clone(&store))).unwrap();
+        let mut client = HttpClient::connect(origin.addr()).unwrap();
+
+        // Explicit files still win; the store answers for the rest.
+        assert_eq!(client.get("/index.html").unwrap().body, b"home");
+        let resp = client.get("/shipped/report.html").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"shipped bytes");
+
+        // A committed update is visible on the next request...
+        store
+            .put(&path, cpms_model::ContentId(7), 1, b"v2", true)
+            .unwrap();
+        assert_eq!(client.get("/shipped/report.html").unwrap().body, b"v2");
+
+        // ...and a deleted object stops being served.
+        store.delete(&path).unwrap();
+        assert_eq!(client.get("/shipped/report.html").unwrap().status, 404);
     }
 
     #[test]

@@ -14,8 +14,9 @@
 //! are added by implementing [`Agent`] and giving [`AgentRequest`] a
 //! variant, without touching broker or controller plumbing.
 
-use crate::store::{NodeStore, StoreError, StoredFile};
+use crate::store::{BrokerState, StoreError, StoredFile};
 use cpms_model::{NodeId, UrlPath};
+use cpms_store::{ShipReply, ShipRequest};
 use cpms_wire::WireError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -39,6 +40,8 @@ pub enum AgentOutput {
     },
     /// The new version of a touched document.
     Version(u64),
+    /// The content store's reply to a tunneled ship request.
+    Ship(ShipReply),
 }
 
 /// Errors an agent can report back to the controller.
@@ -116,13 +119,14 @@ pub trait Agent: Send {
     /// Short name for logs and reports.
     fn name(&self) -> &'static str;
 
-    /// Runs the function on the broker's node.
+    /// Runs the function on the broker's node, against both halves of
+    /// its state: the metadata ledger and the content repository.
     ///
     /// # Errors
     ///
     /// Implementations surface store-level failures as
     /// [`AgentError::Store`].
-    fn execute(&self, store: &mut NodeStore) -> Result<AgentOutput, AgentError>;
+    fn execute(&self, state: &mut BrokerState) -> Result<AgentOutput, AgentError>;
 }
 
 /// The wire form of an agent: every management function the controller
@@ -142,6 +146,8 @@ pub enum AgentRequest {
     Status(StatusProbe),
     /// List every file on the node.
     List(ListFiles),
+    /// Tunnel a content-shipping request to the node's content store.
+    Ship(ShipAgent),
 }
 
 impl AgentRequest {
@@ -155,22 +161,24 @@ impl AgentRequest {
             AgentRequest::Touch(a) => a.name(),
             AgentRequest::Status(a) => a.name(),
             AgentRequest::List(a) => a.name(),
+            AgentRequest::Ship(a) => a.name(),
         }
     }
 
-    /// Executes the wrapped agent against `store`.
+    /// Executes the wrapped agent against `state`.
     ///
     /// # Errors
     ///
     /// See [`Agent::execute`].
-    pub fn execute(&self, store: &mut NodeStore) -> Result<AgentOutput, AgentError> {
+    pub fn execute(&self, state: &mut BrokerState) -> Result<AgentOutput, AgentError> {
         match self {
-            AgentRequest::Store(a) => a.execute(store),
-            AgentRequest::Delete(a) => a.execute(store),
-            AgentRequest::Rename(a) => a.execute(store),
-            AgentRequest::Touch(a) => a.execute(store),
-            AgentRequest::Status(a) => a.execute(store),
-            AgentRequest::List(a) => a.execute(store),
+            AgentRequest::Store(a) => a.execute(state),
+            AgentRequest::Delete(a) => a.execute(state),
+            AgentRequest::Rename(a) => a.execute(state),
+            AgentRequest::Touch(a) => a.execute(state),
+            AgentRequest::Status(a) => a.execute(state),
+            AgentRequest::List(a) => a.execute(state),
+            AgentRequest::Ship(a) => a.execute(state),
         }
     }
 }
@@ -192,6 +200,7 @@ into_request!(
     TouchFile => Touch,
     StatusProbe => Status,
     ListFiles => List,
+    ShipAgent => Ship,
 );
 
 /// The wire form of an agent's result (the vendored serde stand-in has
@@ -239,8 +248,31 @@ impl Agent for StoreFile {
         "store-file"
     }
 
-    fn execute(&self, store: &mut NodeStore) -> Result<AgentOutput, AgentError> {
-        store.store(self.path.clone(), self.file, self.overwrite)?;
+    fn execute(&self, state: &mut BrokerState) -> Result<AgentOutput, AgentError> {
+        // The ledger is authoritative for quota/conflict policy; commit
+        // the bytes second and roll the ledger back if they fail.
+        let prior = state.meta().get(&self.path).copied();
+        state
+            .meta_mut()
+            .store(self.path.clone(), self.file, self.overwrite)?;
+        let body = cpms_store::synthetic_body(self.file.content, self.file.size);
+        if let Err(e) = state.content().put(
+            &self.path,
+            self.file.content,
+            self.file.version,
+            &body,
+            true,
+        ) {
+            match prior {
+                Some(f) => {
+                    let _ = state.meta_mut().store(self.path.clone(), f, true);
+                }
+                None => {
+                    let _ = state.meta_mut().remove(&self.path);
+                }
+            }
+            return Err(AgentError::Store(e.into()));
+        }
         Ok(AgentOutput::Done)
     }
 }
@@ -261,8 +293,11 @@ impl Agent for DeleteFile {
         "delete-file"
     }
 
-    fn execute(&self, store: &mut NodeStore) -> Result<AgentOutput, AgentError> {
-        store.remove(&self.path)?;
+    fn execute(&self, state: &mut BrokerState) -> Result<AgentOutput, AgentError> {
+        state.meta_mut().remove(&self.path)?;
+        // The ledger delete is the decision; the repository follows
+        // (already-absent bytes are not an error).
+        let _ = state.content().delete(&self.path);
         Ok(AgentOutput::Done)
     }
 }
@@ -281,8 +316,9 @@ impl Agent for RenameFile {
         "rename-file"
     }
 
-    fn execute(&self, store: &mut NodeStore) -> Result<AgentOutput, AgentError> {
-        store.rename(&self.from, self.to.clone())?;
+    fn execute(&self, state: &mut BrokerState) -> Result<AgentOutput, AgentError> {
+        state.meta_mut().rename(&self.from, self.to.clone())?;
+        let _ = state.content().rename(&self.from, &self.to);
         Ok(AgentOutput::Done)
     }
 }
@@ -300,8 +336,9 @@ impl Agent for TouchFile {
         "touch-file"
     }
 
-    fn execute(&self, store: &mut NodeStore) -> Result<AgentOutput, AgentError> {
-        let version = store.touch(&self.path)?;
+    fn execute(&self, state: &mut BrokerState) -> Result<AgentOutput, AgentError> {
+        let version = state.meta_mut().touch(&self.path)?;
+        let _ = state.content().touch(&self.path);
         Ok(AgentOutput::Version(version))
     }
 }
@@ -316,7 +353,8 @@ impl Agent for StatusProbe {
         "status-probe"
     }
 
-    fn execute(&self, store: &mut NodeStore) -> Result<AgentOutput, AgentError> {
+    fn execute(&self, state: &mut BrokerState) -> Result<AgentOutput, AgentError> {
+        let store = state.meta();
         Ok(AgentOutput::Status {
             files: store.len(),
             used_bytes: store.used_bytes(),
@@ -334,11 +372,50 @@ impl Agent for ListFiles {
         "list-files"
     }
 
-    fn execute(&self, store: &mut NodeStore) -> Result<AgentOutput, AgentError> {
+    fn execute(&self, state: &mut BrokerState) -> Result<AgentOutput, AgentError> {
         let mut listing: Vec<(UrlPath, StoredFile)> =
-            store.iter().map(|(p, f)| (p.clone(), *f)).collect();
+            state.meta().iter().map(|(p, f)| (p.clone(), *f)).collect();
         listing.sort_by(|a, b| a.0.cmp(&b.0));
         Ok(AgentOutput::Listing(listing))
+    }
+}
+
+/// Tunnels one content-shipping request to the node's content store —
+/// this is how replica bytes actually arrive at a broker. Commits and
+/// deletes keep the metadata ledger in sync, preserving the invariant
+/// that a ledger entry always has committed bytes behind it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShipAgent {
+    /// The ship-protocol message to apply.
+    pub request: ShipRequest,
+}
+
+impl Agent for ShipAgent {
+    fn name(&self) -> &'static str {
+        "ship"
+    }
+
+    fn execute(&self, state: &mut BrokerState) -> Result<AgentOutput, AgentError> {
+        let reply = cpms_store::apply(state.content(), &self.request);
+        match (&self.request, &reply) {
+            (ShipRequest::Commit { path, .. }, ShipReply::Committed(object)) => {
+                let file = StoredFile {
+                    content: object.content,
+                    size: object.size,
+                    version: object.version,
+                };
+                if let Err(e) = state.meta_mut().store(path.clone(), file, true) {
+                    // The ledger would lie about the commit: undo it.
+                    let _ = state.content().delete(path);
+                    return Err(AgentError::Store(e));
+                }
+            }
+            (ShipRequest::Delete { path }, ShipReply::Deleted(_)) => {
+                let _ = state.meta_mut().remove(path);
+            }
+            _ => {}
+        }
+        Ok(AgentOutput::Ship(reply))
     }
 }
 
@@ -351,8 +428,8 @@ mod tests {
         s.parse().unwrap()
     }
 
-    fn store() -> NodeStore {
-        NodeStore::new(NodeId(1), 1 << 20)
+    fn store() -> BrokerState {
+        BrokerState::new(NodeId(1), 1 << 20)
     }
 
     fn f(id: u32) -> StoredFile {
@@ -374,10 +451,12 @@ mod tests {
         .execute(&mut s)
         .unwrap();
         assert_eq!(out, AgentOutput::Done);
-        assert!(s.contains(&p("/a")));
+        assert!(s.meta().contains(&p("/a")));
+        assert!(s.content().contains(&p("/a")), "bytes committed too");
 
         DeleteFile { path: p("/a") }.execute(&mut s).unwrap();
-        assert!(!s.contains(&p("/a")));
+        assert!(!s.meta().contains(&p("/a")));
+        assert!(!s.content().contains(&p("/a")), "bytes removed too");
         let err = DeleteFile { path: p("/a") }.execute(&mut s).unwrap_err();
         assert!(matches!(
             err,
@@ -440,5 +519,78 @@ mod tests {
         assert_eq!(StatusProbe.name(), "status-probe");
         assert_eq!(ListFiles.name(), "list-files");
         assert_eq!(DeleteFile { path: p("/x") }.name(), "delete-file");
+        assert_eq!(
+            ShipAgent {
+                request: ShipRequest::Inventory
+            }
+            .name(),
+            "ship"
+        );
+    }
+
+    #[test]
+    fn ship_commit_syncs_the_ledger() {
+        use cpms_store::{fnv64, hex_encode, ObjectMeta};
+        let mut s = store();
+        let body = vec![7u8; 300];
+        let meta = ObjectMeta::for_body(ContentId(9), &body, 256, 0);
+        let reply = |r: AgentOutput| match r {
+            AgentOutput::Ship(reply) => reply,
+            other => panic!("{other:?}"),
+        };
+        let begun = reply(
+            ShipAgent {
+                request: ShipRequest::Begin {
+                    path: p("/shipped"),
+                    meta,
+                    overwrite: false,
+                },
+            }
+            .execute(&mut s)
+            .unwrap(),
+        );
+        let transfer = match begun {
+            ShipReply::Begun { transfer, .. } => transfer,
+            other => panic!("{other:?}"),
+        };
+        for index in 0..meta.chunk_count() {
+            let range = meta.chunk_range(index).unwrap();
+            ShipAgent {
+                request: ShipRequest::Chunk {
+                    transfer,
+                    index,
+                    data: hex_encode(&body[range.clone()]),
+                    checksum: fnv64(&body[range]),
+                },
+            }
+            .execute(&mut s)
+            .unwrap();
+        }
+        assert!(
+            !s.meta().contains(&p("/shipped")),
+            "staged bytes are not in the ledger yet"
+        );
+        ShipAgent {
+            request: ShipRequest::Commit {
+                transfer,
+                path: p("/shipped"),
+                checksum: meta.checksum,
+            },
+        }
+        .execute(&mut s)
+        .unwrap();
+        let file = s.meta().get(&p("/shipped")).expect("ledger synced");
+        assert_eq!(file.content, ContentId(9));
+        assert_eq!(file.size, 300, "ledger records the committed size");
+        assert_eq!(s.content().read(&p("/shipped")).unwrap(), body);
+
+        ShipAgent {
+            request: ShipRequest::Delete {
+                path: p("/shipped"),
+            },
+        }
+        .execute(&mut s)
+        .unwrap();
+        assert!(!s.meta().contains(&p("/shipped")), "delete synced");
     }
 }

@@ -1,0 +1,419 @@
+//! Anti-entropy: reconciling each node's content store against the URL
+//! table.
+//!
+//! The URL table is the single system image the distributor routes
+//! from; the content stores are what nodes actually hold. Crashes,
+//! partial transfers, operator mistakes, and disk corruption can make
+//! the two drift. The [`AntiEntropyAuditor`] walks every node's store
+//! inventory (over the same ship protocol replica bytes travel on),
+//! compares it against the table — including the committed checksums
+//! recorded at publish time — and either reports the drift or repairs
+//! it: missing copies are re-shipped from a healthy replica, orphan
+//! objects are deleted, stale or corrupt copies are overwritten with
+//! verified bytes.
+
+use crate::controller::Controller;
+use cpms_model::{NodeId, UrlPath};
+use cpms_store::{ObjectMeta, ShipPort, ShipReply, ShipRequest, Shipper};
+use cpms_urltable::UrlEntry;
+use std::collections::HashMap;
+use std::fmt;
+
+/// One observed divergence between the URL table and a node's content
+/// store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Drift {
+    /// The table routes `path` to `node`, but the node's store has no
+    /// committed object for it.
+    MissingObject {
+        /// The object's path.
+        path: UrlPath,
+        /// The node that should hold it.
+        node: NodeId,
+    },
+    /// The node's store holds an object the table does not route to it.
+    OrphanObject {
+        /// The orphan's path.
+        path: UrlPath,
+        /// The node holding it.
+        node: NodeId,
+    },
+    /// The node's copy does not match the checksum the table recorded
+    /// at publish time (a stale or corrupt replica).
+    StaleObject {
+        /// The object's path.
+        path: UrlPath,
+        /// The node with the divergent copy.
+        node: NodeId,
+        /// What the table expects.
+        expected: u64,
+        /// What the store holds.
+        got: u64,
+    },
+}
+
+impl Drift {
+    /// The node the divergence was observed on.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        match self {
+            Drift::MissingObject { node, .. }
+            | Drift::OrphanObject { node, .. }
+            | Drift::StaleObject { node, .. } => *node,
+        }
+    }
+}
+
+impl fmt::Display for Drift {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Drift::MissingObject { path, node } => write!(f, "{node} is missing {path}"),
+            Drift::OrphanObject { path, node } => write!(f, "{node} holds orphan {path}"),
+            Drift::StaleObject {
+                path,
+                node,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{node} holds stale {path} (checksum {got:#x}, table says {expected:#x})"
+            ),
+        }
+    }
+}
+
+/// The outcome of one audit pass.
+#[derive(Debug, Default)]
+pub struct DriftReport {
+    /// Every divergence found.
+    pub drift: Vec<Drift>,
+    /// Nodes whose inventory could not be fetched (their objects are
+    /// not judged this pass).
+    pub unreachable: Vec<NodeId>,
+    /// Divergences repaired (repair mode only).
+    pub repaired: usize,
+    /// Divergences that could not be repaired, with the reason.
+    pub failed_repairs: Vec<(Drift, String)>,
+}
+
+impl DriftReport {
+    /// Whether every reachable node agreed with the table.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.drift.is_empty() && self.unreachable.is_empty()
+    }
+
+    /// Number of divergences found.
+    #[must_use]
+    pub fn drift_count(&self) -> usize {
+        self.drift.len()
+    }
+
+    /// One-line console rendering.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            "audit clean: stores agree with the URL table".to_string()
+        } else {
+            format!(
+                "audit found {} drift item(s) ({} repaired, {} failed, {} node(s) unreachable)",
+                self.drift.len(),
+                self.repaired,
+                self.failed_repairs.len(),
+                self.unreachable.len()
+            )
+        }
+    }
+}
+
+/// Walks node inventories and reconciles them with the URL table.
+#[derive(Debug)]
+pub struct AntiEntropyAuditor {
+    inventory_attempts: u32,
+    deep_verify: bool,
+    shipper: Shipper,
+}
+
+impl Default for AntiEntropyAuditor {
+    fn default() -> Self {
+        AntiEntropyAuditor::new()
+    }
+}
+
+impl AntiEntropyAuditor {
+    /// An auditor with 3 inventory attempts per node and deep verify on.
+    #[must_use]
+    pub fn new() -> Self {
+        AntiEntropyAuditor {
+            inventory_attempts: 3,
+            deep_verify: true,
+            shipper: Shipper::new(),
+        }
+    }
+
+    /// Sets how many times a node's inventory fetch is attempted before
+    /// the node is reported unreachable.
+    #[must_use]
+    pub fn with_inventory_attempts(mut self, attempts: u32) -> Self {
+        self.inventory_attempts = attempts.max(1);
+        self
+    }
+
+    /// Enables or disables deep verification (re-checksumming each
+    /// routed object on its node, catching bit rot the manifest alone
+    /// cannot).
+    #[must_use]
+    pub fn with_deep_verify(mut self, deep: bool) -> Self {
+        self.deep_verify = deep;
+        self
+    }
+
+    /// Fetches one node's committed inventory with bounded retries.
+    fn inventory(&self, port: &dyn ShipPort) -> Option<HashMap<UrlPath, ObjectMeta>> {
+        for _ in 0..self.inventory_attempts {
+            if let Ok(ShipReply::InventoryIs(listing)) = port.ship(&ShipRequest::Inventory) {
+                return Some(listing.into_iter().collect());
+            }
+        }
+        None
+    }
+
+    /// The store-side checksum of `path` on the node behind `port`:
+    /// manifest checksum, or the actual re-hashed bytes under deep
+    /// verify (a verify failure reports as a mismatching checksum).
+    fn store_checksum(&self, port: &dyn ShipPort, path: &UrlPath, manifest: &ObjectMeta) -> u64 {
+        if !self.deep_verify {
+            return manifest.checksum;
+        }
+        match port.ship(&ShipRequest::Verify { path: path.clone() }) {
+            Ok(ShipReply::Verified(meta)) => meta.checksum,
+            // Corrupt on disk (or unreadable): force a mismatch so the
+            // copy is treated as stale.
+            _ => !manifest.checksum,
+        }
+    }
+
+    /// One detection pass: every reachable node's inventory against the
+    /// table. No repairs.
+    #[must_use]
+    pub fn audit(&self, controller: &Controller) -> DriftReport {
+        let mut report = DriftReport::default();
+        let table = controller.table();
+        let cluster = controller.cluster();
+        let mut inventories: Vec<Option<HashMap<UrlPath, ObjectMeta>>> = Vec::new();
+        for i in 0..cluster.len() {
+            let node = NodeId(i as u16);
+            let handle = cluster.broker(node).expect("index in range");
+            let inventory = self.inventory(handle);
+            if inventory.is_none() {
+                report.unreachable.push(node);
+            }
+            inventories.push(inventory);
+        }
+        // Table → stores: every routed location must hold a matching
+        // committed object.
+        for (path, entry) in table.iter() {
+            for &node in entry.locations() {
+                let Some(Some(inventory)) = inventories.get(node.index()) else {
+                    continue; // unreachable: don't guess
+                };
+                match inventory.get(&path) {
+                    None => report.drift.push(Drift::MissingObject {
+                        path: path.clone(),
+                        node,
+                    }),
+                    Some(object) => {
+                        if entry.checksum() == 0 {
+                            continue; // published before checksums existed
+                        }
+                        let handle = cluster.broker(node).expect("index in range");
+                        let got = self.store_checksum(handle, &path, object);
+                        if got != entry.checksum() {
+                            report.drift.push(Drift::StaleObject {
+                                path: path.clone(),
+                                node,
+                                expected: entry.checksum(),
+                                got,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // Stores → table: objects nobody routes to are orphans.
+        for (i, inventory) in inventories.iter().enumerate() {
+            let node = NodeId(i as u16);
+            let Some(inventory) = inventory else { continue };
+            for path in inventory.keys() {
+                let routed = table
+                    .lookup_exact(path)
+                    .map(|e| e.hosted_on(node))
+                    .unwrap_or(false);
+                if !routed {
+                    report.drift.push(Drift::OrphanObject {
+                        path: path.clone(),
+                        node,
+                    });
+                }
+            }
+        }
+        report
+    }
+
+    /// Pulls verified bytes for `path` from any healthy replica other
+    /// than `avoid`.
+    fn pull_healthy(
+        &self,
+        controller: &Controller,
+        entry: &UrlEntry,
+        path: &UrlPath,
+        avoid: NodeId,
+    ) -> Result<(ObjectMeta, Vec<u8>), String> {
+        let mut last = "no other replica".to_string();
+        for &source in entry.locations() {
+            if source == avoid {
+                continue;
+            }
+            let Some(handle) = controller.cluster().broker(source) else {
+                continue;
+            };
+            match self.shipper.pull(handle, path) {
+                Ok((meta, body)) => {
+                    if entry.checksum() != 0 && meta.checksum != entry.checksum() {
+                        last = format!("{source} also stale ({:#x})", meta.checksum);
+                        continue;
+                    }
+                    return Ok((meta, body));
+                }
+                Err(e) => last = e.to_string(),
+            }
+        }
+        Err(last)
+    }
+
+    /// Detects drift and repairs it: missing copies are re-shipped from
+    /// a healthy replica, orphans deleted, stale copies overwritten
+    /// with verified bytes. Run [`AntiEntropyAuditor::audit`] again
+    /// afterwards to confirm convergence.
+    pub fn repair(&self, controller: &mut Controller) -> DriftReport {
+        let mut report = self.audit(controller);
+        let table = controller.table();
+        for drift in report.drift.clone() {
+            let outcome: Result<(), String> = match &drift {
+                Drift::MissingObject { path, node } | Drift::StaleObject { path, node, .. } => {
+                    match table.lookup_exact(path) {
+                        None => Err("no longer in the table".to_string()),
+                        Some(entry) => self.pull_healthy(controller, entry, path, *node).and_then(
+                            |(meta, body)| {
+                                let handle = controller
+                                    .cluster()
+                                    .broker(*node)
+                                    .ok_or("node gone".to_string())?;
+                                if matches!(drift, Drift::StaleObject { .. }) {
+                                    // Drop the known-bad copy first: its
+                                    // manifest may still claim the right
+                                    // checksum (silent corruption), which
+                                    // would let the re-ship short-circuit
+                                    // as "already committed".
+                                    let _ =
+                                        handle.ship(&ShipRequest::Delete { path: path.clone() });
+                                }
+                                self.shipper
+                                    .push_meta(handle, path, meta, &body, true)
+                                    .map(|_| ())
+                                    .map_err(|e| e.to_string())
+                            },
+                        ),
+                    }
+                }
+                Drift::OrphanObject { path, node } => controller
+                    .cluster()
+                    .broker(*node)
+                    .ok_or("node gone".to_string())
+                    .and_then(|handle| {
+                        match handle.ship(&ShipRequest::Delete { path: path.clone() }) {
+                            Ok(ShipReply::Deleted(_)) => Ok(()),
+                            Ok(other) => Err(format!("delete answered {other:?}")),
+                            Err(e) => Err(e.to_string()),
+                        }
+                    }),
+            };
+            match outcome {
+                Ok(()) => report.repaired += 1,
+                Err(reason) => report.failed_repairs.push((drift, reason)),
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::Cluster;
+    use cpms_model::{ContentId, ContentKind, Priority};
+
+    fn p(s: &str) -> UrlPath {
+        s.parse().unwrap()
+    }
+
+    fn published_controller() -> Controller {
+        let mut c = Controller::new(Cluster::start(3, 1 << 20));
+        c.publish(
+            &p("/a"),
+            ContentId(1),
+            ContentKind::StaticHtml,
+            5000,
+            Priority::Normal,
+            &[NodeId(0), NodeId(1)],
+        )
+        .unwrap();
+        c.publish(
+            &p("/b"),
+            ContentId(2),
+            ContentKind::Image,
+            2000,
+            Priority::Normal,
+            &[NodeId(2)],
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn clean_cluster_audits_clean() {
+        let mut c = published_controller();
+        let report = AntiEntropyAuditor::new().audit(&c);
+        assert!(report.is_clean(), "{:?}", report.drift);
+        assert_eq!(
+            report.summary(),
+            "audit clean: stores agree with the URL table"
+        );
+        c.shutdown();
+    }
+
+    #[test]
+    fn missing_copy_is_found_and_reshipped() {
+        let mut c = published_controller();
+        // Inject drift: delete node 1's object behind the table's back.
+        let handle = c.cluster().broker(NodeId(1)).unwrap();
+        handle.ship(&ShipRequest::Delete { path: p("/a") }).unwrap();
+        let auditor = AntiEntropyAuditor::new();
+        let report = auditor.repair(&mut c);
+        assert_eq!(report.drift_count(), 1);
+        assert_eq!(report.repaired, 1, "{:?}", report.failed_repairs);
+        assert!(auditor.audit(&c).is_clean(), "drift converged to zero");
+        c.shutdown();
+    }
+
+    #[test]
+    fn dead_node_reports_unreachable_not_a_panic() {
+        let mut c = published_controller();
+        c.kill_node(NodeId(2));
+        let report = AntiEntropyAuditor::new().audit(&c);
+        assert_eq!(report.unreachable, vec![NodeId(2)]);
+        assert!(!report.is_clean());
+        c.shutdown();
+    }
+}

@@ -2,12 +2,18 @@
 //! "standalone … daemon process on each backend server", networked.
 //!
 //! Usage:
-//!   cpms-broker <ADDR> \[NODE\] \[DISK_MB\]
+//!   cpms-broker <ADDR> \[NODE\] \[DISK_MB\] \[--store DIR\]
 //!     Binds a broker for node NODE (default 0) with a DISK_MB disk
 //!     (default 256) on ADDR (e.g. 127.0.0.1:7070; port 0 picks an
 //!     ephemeral port). Prints the bound address on stdout and serves
 //!     until killed. A controller elsewhere reaches it with
 //!     `Broker::connect(node, addr)`.
+//!
+//!     With `--store DIR` the broker keeps object bytes in a durable
+//!     on-disk content store rooted at DIR: shipped replicas survive a
+//!     restart, and on startup any objects already committed under DIR
+//!     are adopted back into the broker's ledger. Without it, content
+//!     lives in memory and dies with the process.
 //!
 //!   cpms-broker --smoke
 //!     Self-test for CI: binds an ephemeral loopback daemon, exercises
@@ -28,7 +34,9 @@ fn main() {
         Some("--smoke") => smoke(),
         Some(addr) => daemon(addr, &args[1..]),
         None => {
-            eprintln!("usage: cpms-broker <ADDR> [NODE] [DISK_MB] | cpms-broker --smoke");
+            eprintln!(
+                "usage: cpms-broker <ADDR> [NODE] [DISK_MB] [--store DIR] | cpms-broker --smoke"
+            );
             std::process::exit(2);
         }
     }
@@ -36,20 +44,43 @@ fn main() {
 
 fn daemon(addr: &str, rest: &[String]) {
     let addr: SocketAddr = addr.parse().expect("ADDR must be host:port");
-    let node: u16 = rest
+    let mut store_dir: Option<String> = None;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--store" {
+            store_dir = Some(it.next().expect("--store needs a directory").clone());
+        } else {
+            positional.push(arg);
+        }
+    }
+    let node: u16 = positional
         .first()
         .map(|s| s.parse().expect("NODE must be a number"))
         .unwrap_or(0);
-    let disk_mb: u64 = rest
+    let disk_mb: u64 = positional
         .get(1)
         .map(|s| s.parse().expect("DISK_MB must be a number"))
         .unwrap_or(256);
-    let handle = Broker::bind(addr, NodeStore::new(NodeId(node), disk_mb << 20))
-        .expect("bind broker listener");
+    let meta = NodeStore::new(NodeId(node), disk_mb << 20);
+    let state = match &store_dir {
+        Some(dir) => {
+            let content = cpms_store::ContentStore::open(NodeId(node), dir.as_str(), disk_mb << 20)
+                .expect("open on-disk content store");
+            cpms_mgmt::BrokerState::with_content(meta, Arc::new(content))
+        }
+        None => cpms_mgmt::BrokerState::from_meta(meta),
+    };
+    let handle =
+        Broker::bind_wrapped(addr, state, |transport| transport).expect("bind broker listener");
     // stdout carries exactly the bound address so scripts can capture it.
     println!("{}", handle.addr().expect("tcp daemon has an address"));
     eprintln!(
-        "cpms-broker: node n{node}, {disk_mb} MB disk, serving on {}",
+        "cpms-broker: node n{node}, {disk_mb} MB disk, {} content, serving on {}",
+        match &store_dir {
+            Some(dir) => format!("durable ({dir})"),
+            None => "in-memory".to_string(),
+        },
         handle.addr().expect("tcp daemon has an address")
     );
     loop {

@@ -22,10 +22,11 @@
 //! brokers) the server handle itself, so tests and the single-process
 //! deployment can stop a broker and recover its final store state.
 
-use crate::agent::{AgentError, AgentOutput, AgentReply, AgentRequest};
-use crate::store::NodeStore;
+use crate::agent::{AgentError, AgentOutput, AgentReply, AgentRequest, ShipAgent};
+use crate::store::{BrokerState, NodeStore};
 use cpms_model::NodeId;
 use cpms_obs::MetricsRegistry;
+use cpms_store::{ShipPort, ShipReply, ShipRequest};
 use cpms_wire::{
     Client, ClientStats, InProcServer, RetryPolicy, TcpServer, TcpTransport, Transport, WireError,
 };
@@ -41,27 +42,44 @@ pub const BROKER_DEADLINE: Duration = Duration::from_secs(2);
 /// [`AgentReply`] JSON payloads.
 #[derive(Debug)]
 pub struct BrokerService {
-    store: NodeStore,
+    state: BrokerState,
 }
 
 impl BrokerService {
-    /// Wraps a node store as a wire service.
+    /// Wraps a node store as a wire service, backing it with a fresh
+    /// in-memory content repository (existing ledger files are
+    /// materialized so both views start consistent).
     #[must_use]
     pub fn new(store: NodeStore) -> Self {
-        BrokerService { store }
+        BrokerService {
+            state: BrokerState::from_meta(store),
+        }
+    }
+
+    /// Wraps explicit broker state — the seam for a disk-backed or
+    /// pre-populated content repository.
+    #[must_use]
+    pub fn with_state(state: BrokerState) -> Self {
+        BrokerService { state }
     }
 
     /// The node this broker manages.
     #[must_use]
     pub fn node(&self) -> NodeId {
-        self.store.node()
+        self.state.node()
     }
 
-    /// Unwraps the service back into its store (after the server that
-    /// owned it stopped).
+    /// The broker's full state (ledger + content repository).
+    #[must_use]
+    pub fn state(&self) -> &BrokerState {
+        &self.state
+    }
+
+    /// Unwraps the service back into its metadata store (after the
+    /// server that owned it stopped).
     #[must_use]
     pub fn into_store(self) -> NodeStore {
-        self.store
+        self.state.into_meta()
     }
 }
 
@@ -71,9 +89,9 @@ impl cpms_wire::Service for BrokerService {
             .map_err(|e| format!("payload is not UTF-8: {e}"))
             .and_then(|text| serde_json::from_str::<AgentRequest>(text).map_err(|e| e.to_string()))
         {
-            Ok(agent) => agent.execute(&mut self.store).into(),
+            Ok(agent) => agent.execute(&mut self.state).into(),
             Err(detail) => AgentReply::Err(AgentError::Transport {
-                node: self.store.node(),
+                node: self.state.node(),
                 error: WireError::Codec { detail },
             }),
         };
@@ -193,6 +211,31 @@ impl Drop for BrokerHandle {
     }
 }
 
+impl ShipPort for BrokerHandle {
+    /// Content shipping rides the agent protocol: the request is
+    /// tunneled as a [`ShipAgent`], so the same broker endpoint carries
+    /// both management functions and replica bytes.
+    fn ship(&self, request: &ShipRequest) -> Result<ShipReply, WireError> {
+        match self.dispatch(ShipAgent {
+            request: request.clone(),
+        }) {
+            Ok(AgentOutput::Ship(reply)) => Ok(reply),
+            Ok(other) => Err(WireError::Codec {
+                detail: format!("broker answered a ship request with {other:?}"),
+            }),
+            Err(AgentError::Store(e)) => Ok(ShipReply::Err(e.into())),
+            Err(AgentError::BrokerUnavailable(node)) => Err(WireError::Unavailable {
+                detail: format!("broker on {node} unavailable"),
+            }),
+            Err(AgentError::Transport { error, .. }) => Err(error),
+        }
+    }
+
+    fn peer(&self) -> String {
+        format!("broker on {} over {}", self.node, self.transport_kind())
+    }
+}
+
 /// The broker daemon. Construct with [`Broker::spawn`] (in-process),
 /// [`Broker::bind`] (TCP daemon in this process), or
 /// [`Broker::connect`] (client to a daemon elsewhere).
@@ -213,9 +256,15 @@ impl Broker {
     /// Starts an in-process broker for `store`'s node, returning the
     /// controller-side handle.
     pub fn spawn(store: NodeStore) -> BrokerHandle {
-        let node = store.node();
+        Self::spawn_state(BrokerState::from_meta(store))
+    }
+
+    /// Starts an in-process broker from explicit state — the seam for a
+    /// disk-backed or pre-populated content repository.
+    pub fn spawn_state(state: BrokerState) -> BrokerHandle {
+        let node = state.node();
         let (transport, server) =
-            InProcServer::spawn_named(BrokerService::new(store), &format!("broker-{node}"));
+            InProcServer::spawn_named(BrokerService::with_state(state), &format!("broker-{node}"));
         BrokerHandle {
             node,
             client: Self::default_client(Arc::new(transport), node),
@@ -250,12 +299,27 @@ impl Broker {
     ///
     /// The bind failure, if any.
     pub fn bind(addr: SocketAddr, store: NodeStore) -> std::io::Result<BrokerHandle> {
-        let node = store.node();
-        let server = TcpServer::bind(addr, BrokerService::new(store))?;
+        Self::bind_wrapped(addr, BrokerState::from_meta(store), |t| t)
+    }
+
+    /// [`Broker::bind`] from explicit state, with the client's transport
+    /// passed through `wrap` — the seam that lets tests and smoke drills
+    /// put a [`cpms_wire::FaultyTransport`] on a real TCP connection.
+    ///
+    /// # Errors
+    ///
+    /// The bind failure, if any.
+    pub fn bind_wrapped(
+        addr: SocketAddr,
+        state: BrokerState,
+        wrap: impl FnOnce(Arc<dyn Transport>) -> Arc<dyn Transport>,
+    ) -> std::io::Result<BrokerHandle> {
+        let node = state.node();
+        let server = TcpServer::bind(addr, BrokerService::with_state(state))?;
         let transport = TcpTransport::new(server.addr());
         Ok(BrokerHandle {
             node,
-            client: Self::default_client(Arc::new(transport), node),
+            client: Self::default_client(wrap(Arc::new(transport)), node),
             server: Some(BrokerServer::Tcp(server)),
             remote: false,
         })

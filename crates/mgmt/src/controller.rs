@@ -13,13 +13,15 @@
 //! distributor only routes to copies that actually exist.
 
 use crate::agent::{
-    AgentError, AgentOutput, DeleteFile, ListFiles, RenameFile, StatusProbe, StoreFile, TouchFile,
+    AgentError, AgentOutput, DeleteFile, ListFiles, RenameFile, StatusProbe, TouchFile,
 };
 use crate::broker::{Broker, BrokerHandle};
-use crate::store::{NodeStore, StoredFile};
+use crate::store::NodeStore;
 use cpms_model::{ContentId, ContentKind, NodeId, Priority, UrlPath};
 use cpms_obs::{Counter, Gauge, HistogramRecorder, MetricsRegistry};
+use cpms_store::{ShipError, ShipMetrics, Shipper, TransferScheduler};
 use cpms_urltable::{SnapshotHandle, TableError, TablePublisher, UrlEntry, UrlTable};
+use cpms_wire::WireError;
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
@@ -148,6 +150,13 @@ impl Cluster {
         }
     }
 
+    /// Assembles a cluster from pre-built handles (brokers bound with
+    /// custom state, fault-wrapped transports, or remote daemons). Node
+    /// ids must match the handles' positions.
+    pub fn from_handles(brokers: Vec<BrokerHandle>) -> Self {
+        Cluster { brokers }
+    }
+
     /// Folds every broker client's wire metrics into `registry`.
     pub fn attach_metrics(&self, registry: &Arc<MetricsRegistry>) {
         for b in &self.brokers {
@@ -254,6 +263,9 @@ pub struct Controller {
     publisher: TablePublisher,
     cluster: Cluster,
     metrics: ControllerMetrics,
+    shipper: Shipper,
+    sched: TransferScheduler,
+    throttle: Option<Arc<cpms_store::TokenBucket>>,
 }
 
 impl Controller {
@@ -261,11 +273,23 @@ impl Controller {
     pub fn new(cluster: Cluster) -> Self {
         let registry = Arc::new(MetricsRegistry::new());
         cluster.attach_metrics(&registry);
+        let shipper = Shipper::new().with_metrics(ShipMetrics::attach(&registry));
         Controller {
             publisher: TablePublisher::default(),
             cluster,
             metrics: ControllerMetrics::new(registry),
+            shipper,
+            sched: TransferScheduler::default(),
+            throttle: None,
         }
+    }
+
+    fn rebuild_shipper(&mut self) {
+        let mut shipper = Shipper::new().with_metrics(ShipMetrics::attach(&self.metrics.registry));
+        if let Some(bucket) = &self.throttle {
+            shipper = shipper.with_throttle(Arc::clone(bucket));
+        }
+        self.shipper = shipper;
     }
 
     /// Redirects the controller's metrics into `registry` — the
@@ -278,6 +302,26 @@ impl Controller {
         self.metrics = ControllerMetrics::new(Arc::clone(registry));
         // Broker RPC latency/retry/byte counters land on the same surface.
         self.cluster.attach_metrics(registry);
+        // Transfer counters and latency too.
+        self.rebuild_shipper();
+    }
+
+    /// Caps content-transfer bandwidth with a shared token bucket.
+    pub fn set_bandwidth_limit(&mut self, bucket: Arc<cpms_store::TokenBucket>) {
+        self.throttle = Some(bucket);
+        self.rebuild_shipper();
+    }
+
+    /// Caps how many transfers the controller runs concurrently during
+    /// fan-out operations (publish to N nodes).
+    pub fn set_transfer_limit(&mut self, limit: usize) {
+        self.sched = TransferScheduler::new(limit);
+    }
+
+    /// The transfer scheduler (in-flight/lifetime transfer counts for
+    /// the console).
+    pub fn scheduler(&self) -> &TransferScheduler {
+        &self.sched
     }
 
     /// The registry management operations are recorded into.
@@ -383,14 +427,33 @@ impl Controller {
         self.cluster.broker(node).ok_or(MgmtError::NoSuchNode(node))
     }
 
-    /// Publishes a new object to the given nodes: ships the file to each
-    /// broker, then records it in the URL table. If any store fails, the
-    /// copies already made are rolled back.
+    /// Maps a transfer failure against `node`'s broker onto the
+    /// management-error taxonomy.
+    fn ship_failure(node: NodeId, e: ShipError) -> MgmtError {
+        match e {
+            ShipError::Store(e) => MgmtError::Agent(AgentError::Store(e.into())),
+            ShipError::Wire(w) => MgmtError::Agent(AgentError::from_wire(node, w)),
+            ShipError::Protocol { detail } => MgmtError::Agent(AgentError::Transport {
+                node,
+                error: WireError::Codec { detail },
+            }),
+            other => MgmtError::Agent(AgentError::Transport {
+                node,
+                error: WireError::Io {
+                    kind: "transfer".to_string(),
+                    detail: other.to_string(),
+                },
+            }),
+        }
+    }
+
+    /// Publishes a new object to the given nodes, synthesizing its
+    /// deterministic body from `(content, size)` — how workload-spec
+    /// objects (declared sizes, no payload) become real bytes.
     ///
     /// # Errors
     ///
-    /// [`MgmtError::Agent`] on broker failure (after rollback),
-    /// [`MgmtError::Table`] if the path is already published.
+    /// See [`Controller::publish_bytes`].
     pub fn publish(
         &mut self,
         path: &UrlPath,
@@ -400,8 +463,36 @@ impl Controller {
         priority: Priority,
         nodes: &[NodeId],
     ) -> Result<(), MgmtError> {
+        let body = cpms_store::synthetic_body(content, size);
         self.timed("publish", |c| {
-            c.publish_impl(path, content, kind, size, priority, nodes)
+            c.publish_impl(path, content, kind, priority, nodes, &body)
+        })
+    }
+
+    /// Publishes a new object with an explicit body: ships the bytes to
+    /// each target broker's content store (concurrently, bounded by the
+    /// transfer scheduler), and only after every copy has **committed**
+    /// records the object in the URL table — so no published generation
+    /// ever routes a lookup to a node lacking the content. The table
+    /// entry's size and checksum come from the committed store object,
+    /// not from what the caller declared. If any transfer fails, the
+    /// copies already committed are rolled back.
+    ///
+    /// # Errors
+    ///
+    /// [`MgmtError::Agent`] on transfer/broker failure (after rollback),
+    /// [`MgmtError::Table`] if the path is already published.
+    pub fn publish_bytes(
+        &mut self,
+        path: &UrlPath,
+        content: ContentId,
+        kind: ContentKind,
+        priority: Priority,
+        nodes: &[NodeId],
+        body: &[u8],
+    ) -> Result<(), MgmtError> {
+        self.timed("publish", |c| {
+            c.publish_impl(path, content, kind, priority, nodes, body)
         })
     }
 
@@ -410,49 +501,60 @@ impl Controller {
         path: &UrlPath,
         content: ContentId,
         kind: ContentKind,
-        size: u64,
         priority: Priority,
         nodes: &[NodeId],
+        body: &[u8],
     ) -> Result<(), MgmtError> {
         if self.table().lookup_exact(path).is_some() {
             return Err(MgmtError::Table(TableError::AlreadyExists {
                 path: path.clone(),
             }));
         }
-        for &n in nodes {
-            self.broker(n)?;
-        }
-        let file = StoredFile {
-            content,
-            size,
-            version: 0,
-        };
+        let handles: Vec<&BrokerHandle> = nodes
+            .iter()
+            .map(|&n| self.broker(n))
+            .collect::<Result<_, _>>()?;
+        let shipper = &self.shipper;
+        let results = self.sched.run(handles, |_, handle| {
+            shipper
+                .push(handle, path, content, 0, body, false)
+                .map(|outcome| (handle.node(), outcome))
+        });
         let mut stored: Vec<NodeId> = Vec::new();
-        for &n in nodes {
-            let result = self.broker(n)?.dispatch(StoreFile {
-                path: path.clone(),
-                file,
-                overwrite: false,
-            });
+        let mut committed: Option<cpms_store::ObjectMeta> = None;
+        let mut failure: Option<MgmtError> = None;
+        for (i, result) in results.into_iter().enumerate() {
             match result {
-                Ok(_) => stored.push(n),
+                Ok((node, outcome)) => {
+                    stored.push(node);
+                    committed.get_or_insert(outcome.meta);
+                }
                 Err(e) => {
-                    // roll back the copies already made
-                    for &done in &stored {
-                        let _ = self
-                            .broker(done)?
-                            .dispatch(DeleteFile { path: path.clone() });
-                    }
-                    return Err(e.into());
+                    failure.get_or_insert(Self::ship_failure(nodes[i], e));
                 }
             }
         }
+        if let Some(e) = failure {
+            // Roll back the copies that did commit.
+            for &done in &stored {
+                let _ = self
+                    .broker(done)?
+                    .dispatch(DeleteFile { path: path.clone() });
+            }
+            return Err(e);
+        }
+        // Entry size/checksum reflect the committed bytes, not the
+        // caller's declaration.
+        let (size, checksum) = committed
+            .map(|m| (m.size, m.checksum))
+            .unwrap_or((body.len() as u64, cpms_store::fnv64(body)));
         self.publisher.update(|t| {
             t.insert(
                 path.clone(),
                 UrlEntry::new(content, kind, size)
                     .with_priority(priority)
-                    .with_locations(stored),
+                    .with_locations(stored)
+                    .with_checksum(checksum),
             )
         })?;
         Ok(())
@@ -492,12 +594,15 @@ impl Controller {
 
     /// Replicates an object onto `target` (the receiving half of §3.3's
     /// auto-replication, also exposed to the administrator for manual
-    /// fault-tolerance placement).
+    /// fault-tolerance placement). The copy is real data movement: the
+    /// bytes are pulled — chunk-verified — from a healthy source replica
+    /// and pushed to the target's content store; the table location is
+    /// added only after the target has committed them.
     ///
     /// # Errors
     ///
     /// [`MgmtError::AlreadyHostedOn`] if the target already has a copy;
-    /// [`MgmtError::Agent`] if the copy fails (table untouched).
+    /// [`MgmtError::Agent`] if the transfer fails (table untouched).
     pub fn replicate(&mut self, path: &UrlPath, target: NodeId) -> Result<(), MgmtError> {
         self.timed("replicate", |c| c.replicate_impl(path, target))
     }
@@ -513,16 +618,34 @@ impl Controller {
                 node: target,
             });
         }
-        let file = StoredFile {
-            content: entry.content(),
-            size: entry.size_bytes(),
-            version: 0,
+        self.broker(target)?;
+        // Pull verified bytes from the first source replica that answers.
+        let mut pulled = None;
+        let mut last_err: Option<MgmtError> = None;
+        for &source in entry.locations() {
+            match self.broker(source) {
+                Ok(handle) => match self.shipper.pull(handle, path) {
+                    Ok(x) => {
+                        pulled = Some(x);
+                        break;
+                    }
+                    Err(e) => last_err = Some(Self::ship_failure(source, e)),
+                },
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let (meta, body) = match pulled {
+            Some(x) => x,
+            None => {
+                return Err(last_err.unwrap_or(MgmtError::Agent(AgentError::Store(
+                    crate::store::StoreError::NotFound { path: path.clone() },
+                ))))
+            }
         };
-        self.broker(target)?.dispatch(StoreFile {
-            path: path.clone(),
-            file,
-            overwrite: false,
-        })?;
+        self.shipper
+            .push_meta(self.broker(target)?, path, meta, &body, false)
+            .map_err(|e| Self::ship_failure(target, e))?;
+        // Commit before publish: the location becomes routable only now.
         self.publisher.update(|t| t.add_location(path, target))?;
         Ok(())
     }
@@ -712,6 +835,8 @@ impl Controller {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::agent::StoreFile;
+    use crate::store::StoredFile;
 
     fn p(s: &str) -> UrlPath {
         s.parse().unwrap()

@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod agent;
+pub mod auditor;
 pub mod autorep;
 pub mod broker;
 pub mod console;
@@ -65,9 +66,10 @@ pub mod monitor;
 pub mod shell;
 pub mod store;
 
-pub use agent::{Agent, AgentError, AgentOutput, AgentReply, AgentRequest};
+pub use agent::{Agent, AgentError, AgentOutput, AgentReply, AgentRequest, ShipAgent};
+pub use auditor::{AntiEntropyAuditor, Drift, DriftReport};
 pub use autorep::{AutoReplicator, RebalanceAction};
 pub use broker::{Broker, BrokerHandle, BrokerService};
 pub use controller::{Cluster, Controller, MgmtError, WireMode};
 pub use monitor::{ClusterMonitor, NodeHealth, NodeTransportHealth};
-pub use store::{NodeStore, StoredFile};
+pub use store::{BrokerState, NodeStore, StoredFile};

@@ -15,15 +15,19 @@
 //! ls [prefix]                                       coherent tree view
 //! status                                            per-node disk/file stats
 //! nodes                                             per-node transport health
+//! store                                             per-node content-store health
 //! stats                                             metrics registry report
 //! audit                                             verify table vs brokers
 //! help                                              this text
 //! quit                                              exit
 //! ```
 
+use crate::auditor::AntiEntropyAuditor;
 use crate::console::RemoteConsole;
 use crate::monitor::ClusterMonitor;
 use cpms_model::{ContentId, ContentKind, NodeId, UrlPath};
+use cpms_store::{ShipPort, ShipReply, ShipRequest, StoreStats};
+use std::collections::HashMap;
 use std::fmt::Write as _;
 
 /// The outcome of executing one command line.
@@ -200,7 +204,7 @@ impl Shell {
                 let mut out = String::new();
                 let _ = writeln!(
                     out,
-                    "{:<5} {:<8} {:<8} {:>10} {:>6} {:>6} {:>8} {:>9} {:>10}",
+                    "{:<5} {:<8} {:<8} {:>10} {:>6} {:>6} {:>8} {:>9} {:>10} {:>10}",
                     "node",
                     "wire",
                     "state",
@@ -209,7 +213,8 @@ impl Shell {
                     "calls",
                     "retries",
                     "timeouts",
-                    "reconnects"
+                    "reconnects",
+                    "store"
                 );
                 for row in &rows {
                     let state = if row.down {
@@ -224,9 +229,13 @@ impl Shell {
                     } else {
                         format!("{:.1}us", row.last_rtt_ns as f64 / 1_000.0)
                     };
+                    let store = match self.store_stats(row.node) {
+                        Some(s) => format!("{}obj", s.objects),
+                        None => "-".to_string(),
+                    };
                     let _ = writeln!(
                         out,
-                        "{:<5} {:<8} {:<8} {:>10} {:>6} {:>6} {:>8} {:>9} {:>10}",
+                        "{:<5} {:<8} {:<8} {:>10} {:>6} {:>6} {:>8} {:>9} {:>10} {:>10}",
                         row.node.to_string(),
                         row.transport,
                         state,
@@ -235,10 +244,59 @@ impl Shell {
                         row.calls,
                         row.retries,
                         row.timeouts,
-                        row.reconnects
+                        row.reconnects,
+                        store
                     );
                 }
                 Ok(ShellOutcome::Output(out.trim_end().to_string()))
+            }
+            "store" => {
+                if !args.is_empty() {
+                    return Err("usage: store".to_string());
+                }
+                let report = AntiEntropyAuditor::new().audit(self.console.controller());
+                let mut drift_per_node: HashMap<NodeId, usize> = HashMap::new();
+                for d in &report.drift {
+                    *drift_per_node.entry(d.node()).or_default() += 1;
+                }
+                let mut out = String::new();
+                let _ = writeln!(
+                    out,
+                    "{:<5} {:>8} {:>8} {:>12} {:>12} {:>7} {:>9} {:>6}",
+                    "node", "objects", "chunks", "used", "capacity", "staged", "rejected", "drift"
+                );
+                let controller = self.console.controller();
+                for i in 0..controller.node_count() {
+                    let node = NodeId(i as u16);
+                    match self.store_stats(node) {
+                        Some(s) => {
+                            let _ = writeln!(
+                                out,
+                                "{:<5} {:>8} {:>8} {:>11}B {:>11}B {:>7} {:>9} {:>6}",
+                                node.to_string(),
+                                s.objects,
+                                s.chunks,
+                                s.committed_bytes,
+                                s.capacity_bytes,
+                                s.staged_transfers,
+                                s.rejected_chunks,
+                                drift_per_node.get(&node).copied().unwrap_or(0)
+                            );
+                        }
+                        None => {
+                            let _ = writeln!(out, "{:<5} unreachable", node.to_string());
+                        }
+                    }
+                }
+                let sched = controller.scheduler();
+                let _ = writeln!(
+                    out,
+                    "transfers: {} in flight, {} started total",
+                    sched.inflight(),
+                    sched.started_total()
+                );
+                let _ = write!(out, "{}", report.summary());
+                Ok(ShellOutcome::Output(out))
             }
             "stats" => {
                 if !args.is_empty() {
@@ -250,7 +308,8 @@ impl Shell {
             }
             "audit" => {
                 let problems = self.console.controller().verify_consistency();
-                if problems.is_empty() {
+                let report = AntiEntropyAuditor::new().audit(self.console.controller());
+                if problems.is_empty() && report.is_clean() {
                     Ok(ShellOutcome::Output(
                         "consistent: URL table and brokers agree".to_string(),
                     ))
@@ -259,12 +318,28 @@ impl Shell {
                     for p in &problems {
                         let _ = writeln!(out, "INCONSISTENT: {p:?}");
                     }
+                    for d in &report.drift {
+                        let _ = writeln!(out, "DRIFT: {d}");
+                    }
+                    for n in &report.unreachable {
+                        let _ = writeln!(out, "UNREACHABLE: {n}");
+                    }
                     Ok(ShellOutcome::Output(out.trim_end().to_string()))
                 }
             }
             "help" => Ok(ShellOutcome::Output(HELP.trim().to_string())),
             "quit" | "exit" => Ok(ShellOutcome::Quit),
             other => Err(format!("unknown command {other:?}; try `help`")),
+        }
+    }
+
+    /// One node's content-store stats over the ship protocol, or `None`
+    /// when the broker is unreachable or does not answer with stats.
+    fn store_stats(&self, node: NodeId) -> Option<StoreStats> {
+        let handle = self.console.controller().cluster().broker(node)?;
+        match handle.ship(&ShipRequest::Stat) {
+            Ok(ShipReply::Stats(stats)) => Some(stats),
+            _ => None,
         }
     }
 }
@@ -279,6 +354,7 @@ touch <path>
 ls [prefix]
 status
 nodes
+store
 stats
 audit
 help
@@ -440,6 +516,35 @@ mod tests {
             .find(|l| l.starts_with("n1"))
             .expect("n1 row present");
         assert!(n1_row.contains("down"), "{nodes}");
+        sh.shutdown();
+    }
+
+    #[test]
+    fn store_shows_per_node_health() {
+        let mut sh = shell();
+        assert!(out(&mut sh, "publish /a.html html 600 0,1").starts_with("published"));
+        let store = out(&mut sh, "store");
+        assert!(store.contains("objects"), "{store}");
+        assert!(store.contains("audit clean"), "{store}");
+        for node in ["n0", "n1", "n2"] {
+            assert!(store.contains(node), "{store}");
+        }
+        assert!(store.contains("in flight"), "{store}");
+        // n0 and n1 hold the object; 600 bytes committed on each.
+        let n0 = store.lines().find(|l| l.starts_with("n0")).unwrap();
+        assert!(n0.contains("600B"), "{store}");
+        assert!(out(&mut sh, "store now").starts_with("error: usage"));
+        sh.shutdown();
+    }
+
+    #[test]
+    fn nodes_renders_store_column() {
+        let mut sh = shell();
+        assert!(out(&mut sh, "publish /a.html html 64 0").starts_with("published"));
+        let nodes = out(&mut sh, "nodes");
+        assert!(nodes.contains("store"), "{nodes}");
+        let n0 = nodes.lines().find(|l| l.starts_with("n0")).unwrap();
+        assert!(n0.contains("1obj"), "{nodes}");
         sh.shutdown();
     }
 

@@ -9,6 +9,7 @@ use cpms_model::{ContentId, NodeId, UrlPath};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// One file as stored on a node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -45,6 +46,13 @@ pub enum StoreError {
         /// The conflicting path.
         path: UrlPath,
     },
+    /// The node's content repository refused the operation (checksum
+    /// mismatch, incomplete transfer, I/O failure — anything beyond the
+    /// metadata-level taxonomy above).
+    Content {
+        /// The underlying content-store failure, rendered.
+        detail: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -58,6 +66,41 @@ impl fmt::Display for StoreError {
                 )
             }
             StoreError::AlreadyExists { path } => write!(f, "file already exists at {path}"),
+            StoreError::Content { detail } => write!(f, "content repository: {detail}"),
+        }
+    }
+}
+
+impl From<StoreError> for cpms_store::StoreError {
+    /// The reverse direction, for tunneling ledger failures back to a
+    /// ship-protocol caller.
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::NotFound { path } => cpms_store::StoreError::NotFound { path },
+            StoreError::DiskFull { path, needed, free } => {
+                cpms_store::StoreError::DiskFull { path, needed, free }
+            }
+            StoreError::AlreadyExists { path } => cpms_store::StoreError::AlreadyExists { path },
+            StoreError::Content { detail } => cpms_store::StoreError::Io { detail },
+        }
+    }
+}
+
+impl From<cpms_store::StoreError> for StoreError {
+    /// Maps a content-repository failure onto the metadata-level
+    /// taxonomy the controller's policies match on; failure modes that
+    /// only exist for real bytes (checksums, chunking, I/O) fold into
+    /// [`StoreError::Content`].
+    fn from(e: cpms_store::StoreError) -> Self {
+        match e {
+            cpms_store::StoreError::NotFound { path } => StoreError::NotFound { path },
+            cpms_store::StoreError::DiskFull { path, needed, free } => {
+                StoreError::DiskFull { path, needed, free }
+            }
+            cpms_store::StoreError::AlreadyExists { path } => StoreError::AlreadyExists { path },
+            other => StoreError::Content {
+                detail: other.to_string(),
+            },
         }
     }
 }
@@ -202,6 +245,104 @@ impl NodeStore {
     /// Lists all files, in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (&UrlPath, &StoredFile)> {
         self.files.iter()
+    }
+}
+
+/// Everything a broker owns on its node: the metadata ledger
+/// ([`NodeStore`]) the controller's policies reason over, plus the
+/// durable content repository ([`cpms_store::ContentStore`]) that holds
+/// the actual bytes. Agents execute against this pair and keep the two
+/// views consistent — a file is only listed in the ledger while its
+/// bytes are committed in the repository.
+#[derive(Debug)]
+pub struct BrokerState {
+    meta: NodeStore,
+    content: Arc<cpms_store::ContentStore>,
+}
+
+impl BrokerState {
+    /// Fresh state for `node`: empty ledger, in-memory content store,
+    /// one shared capacity.
+    pub fn new(node: NodeId, capacity_bytes: u64) -> Self {
+        BrokerState {
+            meta: NodeStore::new(node, capacity_bytes),
+            content: Arc::new(cpms_store::ContentStore::in_memory(node, capacity_bytes)),
+        }
+    }
+
+    /// Wraps an existing metadata ledger, materializing each of its
+    /// files into a fresh in-memory content store (their deterministic
+    /// [`cpms_store::synthetic_body`] bytes) so the two views start
+    /// consistent.
+    pub fn from_meta(meta: NodeStore) -> Self {
+        let content = Arc::new(cpms_store::ContentStore::in_memory(
+            meta.node(),
+            meta.capacity_bytes(),
+        ));
+        let state = BrokerState { meta, content };
+        state.materialize_meta();
+        state
+    }
+
+    /// Pairs a ledger with an existing (possibly disk-backed, possibly
+    /// already populated) content repository, reconciling both ways:
+    /// committed objects absent from the ledger are adopted into it, and
+    /// ledger files absent from the repository are materialized.
+    pub fn with_content(mut meta: NodeStore, content: Arc<cpms_store::ContentStore>) -> Self {
+        for (path, object) in content.inventory() {
+            if !meta.contains(&path) {
+                let _ = meta.store(
+                    path,
+                    StoredFile {
+                        content: object.content,
+                        size: object.size,
+                        version: object.version,
+                    },
+                    false,
+                );
+            }
+        }
+        let state = BrokerState { meta, content };
+        state.materialize_meta();
+        state
+    }
+
+    /// Puts the synthetic body of every ledger file the repository lacks.
+    fn materialize_meta(&self) {
+        for (path, file) in self.meta.iter() {
+            if !self.content.contains(path) {
+                let body = cpms_store::synthetic_body(file.content, file.size);
+                let _ = self
+                    .content
+                    .put(path, file.content, file.version, &body, true);
+            }
+        }
+    }
+
+    /// The node this state belongs to.
+    pub fn node(&self) -> NodeId {
+        self.meta.node()
+    }
+
+    /// The metadata ledger.
+    pub fn meta(&self) -> &NodeStore {
+        &self.meta
+    }
+
+    /// Mutable access to the metadata ledger.
+    pub fn meta_mut(&mut self) -> &mut NodeStore {
+        &mut self.meta
+    }
+
+    /// The content repository (shared with origin servers that serve
+    /// object bodies straight from the store).
+    pub fn content(&self) -> &Arc<cpms_store::ContentStore> {
+        &self.content
+    }
+
+    /// Unwraps back into the metadata ledger (broker shutdown).
+    pub fn into_meta(self) -> NodeStore {
+        self.meta
     }
 }
 

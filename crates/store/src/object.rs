@@ -1,0 +1,206 @@
+//! Object identity: checksums, chunk geometry, and deterministic bodies.
+//!
+//! Every stored object is described by an [`ObjectMeta`]: its content id,
+//! byte size, whole-object FNV-1a checksum, and the chunk size it is
+//! shipped in. Chunk geometry is derived, never stored per chunk — chunk
+//! `i` of an object is always `body[i * chunk_size ..][.. chunk_len(i)]`,
+//! so sender and receiver agree on framing from the meta alone.
+
+use cpms_model::ContentId;
+use serde::{Deserialize, Serialize};
+
+/// Default shipping chunk size in bytes (4 KiB, one page).
+pub const DEFAULT_CHUNK_SIZE: u32 = 4096;
+
+/// FNV-1a 64-bit over `bytes` — the same hash family `cpms-wire` frames
+/// use, applied here per chunk and per whole object.
+#[must_use]
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325_u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Lower-hex encodes `bytes` (chunk payloads ride inside JSON wire
+/// messages as hex strings; the vendored serde stand-in has no efficient
+/// byte-array representation).
+#[must_use]
+pub fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit(u32::from(b >> 4), 16).expect("nibble < 16"));
+        out.push(char::from_digit(u32::from(b & 0xF), 16).expect("nibble < 16"));
+    }
+    out
+}
+
+/// Decodes a lower/upper-hex string back into bytes.
+///
+/// # Errors
+///
+/// A description of the malformation (odd length, non-hex digit).
+pub fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
+    if !s.len().is_multiple_of(2) {
+        return Err(format!("odd-length hex string ({} chars)", s.len()));
+    }
+    let digits = s.as_bytes();
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in digits.chunks_exact(2) {
+        let hi = (pair[0] as char)
+            .to_digit(16)
+            .ok_or_else(|| format!("non-hex digit {:?}", pair[0] as char))?;
+        let lo = (pair[1] as char)
+            .to_digit(16)
+            .ok_or_else(|| format!("non-hex digit {:?}", pair[1] as char))?;
+        out.push(u8::try_from(hi * 16 + lo).expect("two nibbles fit a byte"));
+    }
+    Ok(out)
+}
+
+/// The durable description of one stored object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectMeta {
+    /// Which content object this is a copy of.
+    pub content: ContentId,
+    /// Whole-object size in bytes.
+    pub size: u64,
+    /// FNV-1a 64 over the whole body.
+    pub checksum: u64,
+    /// Shipping chunk size in bytes (> 0).
+    pub chunk_size: u32,
+    /// Monotone version, bumped on each content update.
+    pub version: u64,
+}
+
+impl ObjectMeta {
+    /// Describes `body` with the given identity and chunk size.
+    ///
+    /// # Panics
+    ///
+    /// If `chunk_size` is zero.
+    #[must_use]
+    pub fn for_body(content: ContentId, body: &[u8], chunk_size: u32, version: u64) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ObjectMeta {
+            content,
+            size: body.len() as u64,
+            checksum: fnv64(body),
+            chunk_size,
+            version,
+        }
+    }
+
+    /// Number of chunks the object ships as (zero-byte objects ship as
+    /// zero chunks).
+    #[must_use]
+    pub fn chunk_count(&self) -> u32 {
+        u32::try_from(self.size.div_ceil(u64::from(self.chunk_size.max(1)))).unwrap_or(u32::MAX)
+    }
+
+    /// Length of chunk `index`, or `None` if out of range. Every chunk is
+    /// full-size except possibly the last.
+    #[must_use]
+    pub fn chunk_len(&self, index: u32) -> Option<u32> {
+        if index >= self.chunk_count() {
+            return None;
+        }
+        let start = u64::from(index) * u64::from(self.chunk_size);
+        let len = (self.size - start).min(u64::from(self.chunk_size));
+        Some(u32::try_from(len).expect("chunk length fits chunk_size"))
+    }
+
+    /// The byte range of chunk `index` within the body.
+    #[must_use]
+    pub fn chunk_range(&self, index: u32) -> Option<std::ops::Range<usize>> {
+        let len = self.chunk_len(index)?;
+        let start = usize::try_from(u64::from(index) * u64::from(self.chunk_size)).ok()?;
+        Some(start..start + len as usize)
+    }
+}
+
+/// A deterministic object body for `content` of the given size: the byte
+/// stream only depends on (id, size), so a controller and a broker that
+/// never exchanged the bytes can still agree on what "content 7, 4 KiB"
+/// looks like. This is how workload-spec objects (which declare sizes but
+/// carry no payload) become real, checksummable bytes.
+#[must_use]
+pub fn synthetic_body(content: ContentId, size: u64) -> Vec<u8> {
+    let size = usize::try_from(size).expect("object sizes fit in memory");
+    let mut out = Vec::with_capacity(size);
+    // splitmix64 keyed by the content id; 8 bytes per draw.
+    let mut state = 0x9E37_79B9_7F4A_7C15_u64 ^ (u64::from(content.0) << 17);
+    while out.len() < size {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        for byte in z.to_le_bytes() {
+            if out.len() == size {
+                break;
+            }
+            out.push(byte);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_distinguishes_and_is_stable() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv64(b"abc"), fnv64(b"abd"));
+        assert_eq!(fnv64(b"abc"), fnv64(b"abc"));
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        for body in [&b""[..], &b"\x00\xff\x10"[..], &b"hello world"[..]] {
+            assert_eq!(hex_decode(&hex_encode(body)).unwrap(), body);
+        }
+        assert!(hex_decode("abc").is_err(), "odd length");
+        assert!(hex_decode("zz").is_err(), "non-hex");
+        assert_eq!(
+            hex_decode("DEADbeef").unwrap(),
+            vec![0xDE, 0xAD, 0xBE, 0xEF]
+        );
+    }
+
+    #[test]
+    fn chunk_geometry() {
+        let meta = ObjectMeta::for_body(ContentId(1), &[7u8; 10], 4, 0);
+        assert_eq!(meta.chunk_count(), 3);
+        assert_eq!(meta.chunk_len(0), Some(4));
+        assert_eq!(meta.chunk_len(2), Some(2));
+        assert_eq!(meta.chunk_len(3), None);
+        assert_eq!(meta.chunk_range(2), Some(8..10));
+
+        let empty = ObjectMeta::for_body(ContentId(1), &[], 4, 0);
+        assert_eq!(empty.chunk_count(), 0);
+
+        let exact = ObjectMeta::for_body(ContentId(1), &[0u8; 8], 4, 0);
+        assert_eq!(exact.chunk_count(), 2);
+        assert_eq!(exact.chunk_len(1), Some(4));
+    }
+
+    #[test]
+    fn synthetic_bodies_are_deterministic_and_distinct() {
+        let a = synthetic_body(ContentId(1), 1000);
+        let b = synthetic_body(ContentId(1), 1000);
+        let c = synthetic_body(ContentId(2), 1000);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 1000);
+        assert_eq!(synthetic_body(ContentId(1), 0).len(), 0);
+        // Prefix property: a shorter body of the same id is a prefix, so
+        // declared-size changes do not shuffle all bytes.
+        let short = synthetic_body(ContentId(1), 100);
+        assert_eq!(&a[..100], &short[..]);
+    }
+}

@@ -1,0 +1,167 @@
+//! A bounded-concurrency transfer scheduler for the controller.
+//!
+//! Publishing to N nodes or rebalancing a batch of replicas fans out N
+//! independent ship jobs; the [`TransferScheduler`] runs them on scoped
+//! threads with a concurrency cap so a wide publish cannot open an
+//! unbounded number of simultaneous transfers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Runs transfer jobs with at most `limit` in flight at once.
+#[derive(Debug)]
+pub struct TransferScheduler {
+    limit: usize,
+    slots: Mutex<usize>,
+    freed: Condvar,
+    inflight: AtomicU64,
+    started_total: AtomicU64,
+}
+
+impl TransferScheduler {
+    /// A scheduler allowing `limit` concurrent transfers (min 1).
+    #[must_use]
+    pub fn new(limit: usize) -> Self {
+        let limit = limit.max(1);
+        TransferScheduler {
+            limit,
+            slots: Mutex::new(limit),
+            freed: Condvar::new(),
+            inflight: AtomicU64::new(0),
+            started_total: AtomicU64::new(0),
+        }
+    }
+
+    /// The concurrency cap.
+    #[must_use]
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Transfers running right now (the console's "in-flight" column).
+    #[must_use]
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Transfers started over the scheduler's lifetime.
+    #[must_use]
+    pub fn started_total(&self) -> u64 {
+        self.started_total.load(Ordering::Relaxed)
+    }
+
+    fn acquire(&self) {
+        let mut slots = self.slots.lock().expect("scheduler lock never poisoned");
+        while *slots == 0 {
+            slots = self
+                .freed
+                .wait(slots)
+                .expect("scheduler lock never poisoned");
+        }
+        *slots -= 1;
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+        self.started_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn release(&self) {
+        let mut slots = self.slots.lock().expect("scheduler lock never poisoned");
+        *slots += 1;
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+        self.freed.notify_one();
+    }
+
+    /// Runs `job` once per item concurrently (capped), returning results
+    /// in item order. Blocks until every job finishes.
+    pub fn run<T, R, F>(&self, items: Vec<T>, job: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        if items.len() <= 1 {
+            // Inline fast path: no thread spawn for single-target ops.
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    self.acquire();
+                    let r = job(i, item);
+                    self.release();
+                    r
+                })
+                .collect();
+        }
+        let job = &job;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .into_iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    scope.spawn(move || {
+                        self.acquire();
+                        let r = job(i, item);
+                        self.release();
+                        r
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("transfer job panicked"))
+                .collect()
+        })
+    }
+}
+
+impl Default for TransferScheduler {
+    /// Four concurrent transfers, matching a small management plane.
+    fn default() -> Self {
+        TransferScheduler::new(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn results_keep_item_order() {
+        let sched = TransferScheduler::new(3);
+        let out = sched.run((0..16).collect(), |i, item: u32| {
+            // Later items finish first.
+            std::thread::sleep(Duration::from_millis(u64::from(16 - item)));
+            (i, item * 2)
+        });
+        for (i, (idx, doubled)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*doubled, (i as u32) * 2);
+        }
+        assert_eq!(sched.started_total(), 16);
+        assert_eq!(sched.inflight(), 0);
+    }
+
+    #[test]
+    fn concurrency_is_capped() {
+        let sched = TransferScheduler::new(2);
+        let running = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        sched.run((0..12).collect::<Vec<u32>>(), |_, _| {
+            let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(5));
+            running.fetch_sub(1, Ordering::SeqCst);
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "cap held");
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let sched = TransferScheduler::new(4);
+        let here = std::thread::current().id();
+        let out = sched.run(vec![7u32], |_, item| (std::thread::current().id(), item));
+        assert_eq!(out[0].0, here);
+        assert_eq!(out[0].1, 7);
+    }
+}

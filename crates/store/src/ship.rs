@@ -1,0 +1,884 @@
+//! The content-shipping protocol: resumable chunked transfer over
+//! `cpms-wire`.
+//!
+//! The wire vocabulary is [`ShipRequest`] / [`ShipReply`]: `Begin` opens
+//! (or resumes) a staged transfer, `Chunk` ships one checksummed piece,
+//! `Commit` verifies and atomically installs, plus `Fetch`/`Meta` (pull
+//! side), `Verify`, `Inventory`, `Stat`, and `Gc` for the anti-entropy
+//! auditor and the console. Every message is idempotent, so the protocol
+//! is safe over an at-least-once lossy transport: a duplicated `Chunk`
+//! re-stages identical bytes, a replayed `Commit` after a lost ack finds
+//! the committed object and succeeds.
+//!
+//! The sending half is [`Shipper`]: it drives a [`ShipPort`] (any
+//! request/reply funnel to a remote store — a raw wire [`StoreClient`] or
+//! a broker dispatch adapter), re-sends individual rejected chunks
+//! (bounded per-chunk retries), resumes whole transfers after connection
+//! loss (bounded resume count, restarting from the receiver's reported
+//! progress), and optionally throttles through a
+//! [`TokenBucket`](crate::throttle::TokenBucket).
+
+use crate::object::{fnv64, hex_decode, hex_encode, ObjectMeta};
+use crate::store::{ContentStore, StoreError, StoreStats};
+use crate::throttle::TokenBucket;
+use cpms_model::{ContentId, UrlPath};
+use cpms_obs::{Counter, Gauge, HistogramRecorder, MetricsRegistry};
+use cpms_wire::{Client, RetryPolicy, Transport, WireError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default per-RPC deadline for store calls.
+pub const SHIP_DEADLINE: Duration = Duration::from_secs(2);
+
+/// One request to a remote content store.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ShipRequest {
+    /// Open or resume a staged transfer.
+    Begin {
+        /// Destination path.
+        path: UrlPath,
+        /// The object being shipped.
+        meta: ObjectMeta,
+        /// Whether to replace an existing different object.
+        overwrite: bool,
+    },
+    /// Ship one chunk of an open transfer.
+    Chunk {
+        /// The transfer id from `Begun`.
+        transfer: u64,
+        /// Chunk index.
+        index: u32,
+        /// Hex-encoded chunk bytes.
+        data: String,
+        /// FNV-1a 64 of the raw bytes.
+        checksum: u64,
+    },
+    /// Verify and atomically install a fully staged transfer.
+    Commit {
+        /// The transfer id.
+        transfer: u64,
+        /// Destination path (cross-checked against the staging record).
+        path: UrlPath,
+        /// Whole-object checksum.
+        checksum: u64,
+    },
+    /// Drop a staged transfer.
+    Abort {
+        /// The transfer id.
+        transfer: u64,
+    },
+    /// Read one chunk of a committed object (pull side).
+    Fetch {
+        /// The object's path.
+        path: UrlPath,
+        /// Chunk index.
+        index: u32,
+    },
+    /// Read a committed object's manifest record.
+    Meta {
+        /// The object's path.
+        path: UrlPath,
+    },
+    /// Re-checksum a committed object against its manifest.
+    Verify {
+        /// The object's path.
+        path: UrlPath,
+    },
+    /// List every committed object (the anti-entropy audit's raw data).
+    Inventory,
+    /// Report store accounting.
+    Stat,
+    /// Sweep abandoned staged transfers.
+    Gc,
+    /// Delete a committed object (the repair half of anti-entropy).
+    Delete {
+        /// The object's path.
+        path: UrlPath,
+    },
+}
+
+/// A remote content store's reply.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ShipReply {
+    /// Transfer opened/resumed: id plus already-staged chunk indices.
+    Begun {
+        /// Transfer id (`0` = the object is already committed).
+        transfer: u64,
+        /// Chunks the receiver already has.
+        have: Vec<u32>,
+    },
+    /// Chunk staged.
+    ChunkOk,
+    /// Object committed (or already was, identically).
+    Committed(ObjectMeta),
+    /// Abort result: whether a transfer was dropped.
+    Aborted(bool),
+    /// One chunk of a committed object.
+    ChunkData {
+        /// Hex-encoded bytes.
+        data: String,
+        /// FNV-1a 64 of the raw bytes.
+        checksum: u64,
+    },
+    /// The manifest record.
+    MetaIs(ObjectMeta),
+    /// Verification passed.
+    Verified(ObjectMeta),
+    /// The full committed inventory.
+    InventoryIs(Vec<(UrlPath, ObjectMeta)>),
+    /// Store accounting.
+    Stats(StoreStats),
+    /// Gc result.
+    Swept {
+        /// Transfers released.
+        transfers: u64,
+        /// Bytes released.
+        bytes: u64,
+    },
+    /// Object deleted.
+    Deleted(ObjectMeta),
+    /// The operation failed store-side.
+    Err(StoreError),
+}
+
+/// Executes one ship request against a local store — shared by the
+/// standalone [`StoreService`] and by broker services that embed a
+/// content store behind their own agent protocol.
+#[must_use]
+pub fn apply(store: &ContentStore, request: &ShipRequest) -> ShipReply {
+    fn ok_or<T>(r: Result<T, StoreError>, f: impl FnOnce(T) -> ShipReply) -> ShipReply {
+        match r {
+            Ok(v) => f(v),
+            Err(e) => ShipReply::Err(e),
+        }
+    }
+    match request {
+        ShipRequest::Begin {
+            path,
+            meta,
+            overwrite,
+        } => ok_or(store.begin(path, *meta, *overwrite), |(transfer, have)| {
+            ShipReply::Begun { transfer, have }
+        }),
+        ShipRequest::Chunk {
+            transfer,
+            index,
+            data,
+            checksum,
+        } => match hex_decode(data) {
+            Ok(bytes) => ok_or(
+                store.stage_chunk(*transfer, *index, &bytes, *checksum),
+                |()| ShipReply::ChunkOk,
+            ),
+            Err(detail) => ShipReply::Err(StoreError::BadChunk {
+                path: "/".parse().expect("root path literal"),
+                index: *index,
+                detail,
+            }),
+        },
+        ShipRequest::Commit {
+            transfer,
+            path,
+            checksum,
+        } => ok_or(
+            store.commit(*transfer, path, *checksum),
+            ShipReply::Committed,
+        ),
+        ShipRequest::Abort { transfer } => ShipReply::Aborted(store.abort(*transfer)),
+        ShipRequest::Fetch { path, index } => {
+            ok_or(store.read_chunk(path, *index), |(bytes, checksum)| {
+                ShipReply::ChunkData {
+                    data: hex_encode(&bytes),
+                    checksum,
+                }
+            })
+        }
+        ShipRequest::Meta { path } => match store.meta(path) {
+            Some(meta) => ShipReply::MetaIs(meta),
+            None => ShipReply::Err(StoreError::NotFound { path: path.clone() }),
+        },
+        ShipRequest::Verify { path } => ok_or(store.verify(path), ShipReply::Verified),
+        ShipRequest::Inventory => ShipReply::InventoryIs(store.inventory()),
+        ShipRequest::Stat => ShipReply::Stats(store.stats()),
+        ShipRequest::Gc => {
+            let (transfers, bytes) = store.gc();
+            ShipReply::Swept { transfers, bytes }
+        }
+        ShipRequest::Delete { path } => ok_or(store.delete(path), ShipReply::Deleted),
+    }
+}
+
+/// A standalone wire service hosting one content store (the data-plane
+/// daemon; brokers embed the same [`apply`] behind their agent protocol).
+#[derive(Debug)]
+pub struct StoreService {
+    store: Arc<ContentStore>,
+}
+
+impl StoreService {
+    /// Serves `store` over the ship protocol.
+    #[must_use]
+    pub fn new(store: Arc<ContentStore>) -> Self {
+        StoreService { store }
+    }
+
+    /// The served store.
+    #[must_use]
+    pub fn store(&self) -> &Arc<ContentStore> {
+        &self.store
+    }
+}
+
+impl cpms_wire::Service for StoreService {
+    fn handle(&mut self, request: &[u8]) -> Vec<u8> {
+        let reply = match std::str::from_utf8(request)
+            .map_err(|e| format!("payload is not UTF-8: {e}"))
+            .and_then(|text| serde_json::from_str::<ShipRequest>(text).map_err(|e| e.to_string()))
+        {
+            Ok(req) => apply(&self.store, &req),
+            Err(detail) => ShipReply::Err(StoreError::Io {
+                detail: format!("undecodable ship request: {detail}"),
+            }),
+        };
+        serde_json::to_string(&reply)
+            .expect("ship replies always serialize")
+            .into_bytes()
+    }
+}
+
+/// The sending side's funnel to one remote store: a single
+/// request/response exchange. Implemented by [`StoreClient`] (raw wire)
+/// and by broker handles (ship requests tunneled through the agent
+/// protocol).
+pub trait ShipPort {
+    /// Sends one ship request and returns the remote store's reply.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level failures only; store-level failures arrive as
+    /// [`ShipReply::Err`].
+    fn ship(&self, request: &ShipRequest) -> Result<ShipReply, WireError>;
+
+    /// The destination, for error labels.
+    fn peer(&self) -> String {
+        "store".to_string()
+    }
+}
+
+/// A retrying wire client for a [`StoreService`].
+#[derive(Debug)]
+pub struct StoreClient {
+    client: Client,
+}
+
+impl StoreClient {
+    /// Wraps a transport with the default store deadline/retry policy.
+    #[must_use]
+    pub fn new(transport: Arc<dyn Transport>) -> Self {
+        StoreClient {
+            client: Client::new(transport)
+                .with_deadline(SHIP_DEADLINE)
+                .with_retry(RetryPolicy {
+                    seed: 0x5704E_u64,
+                    ..RetryPolicy::default()
+                }),
+        }
+    }
+
+    /// Replaces the wrapped client (deadline/retry tuning).
+    #[must_use]
+    pub fn with_client(client: Client) -> Self {
+        StoreClient { client }
+    }
+
+    /// The wrapped wire client (stats, metrics attachment).
+    #[must_use]
+    pub fn client(&self) -> &Client {
+        &self.client
+    }
+}
+
+impl ShipPort for StoreClient {
+    fn ship(&self, request: &ShipRequest) -> Result<ShipReply, WireError> {
+        self.client.call(request)
+    }
+
+    fn peer(&self) -> String {
+        format!("store over {}", self.client.transport_kind())
+    }
+}
+
+/// Errors from driving a transfer end to end.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ShipError {
+    /// The transport failed and resumes were exhausted.
+    Wire(WireError),
+    /// The remote store refused the operation.
+    Store(StoreError),
+    /// The remote answered with an unexpected reply variant.
+    Protocol {
+        /// What arrived.
+        detail: String,
+    },
+    /// The transfer kept failing across the resume budget.
+    Exhausted {
+        /// The object being shipped.
+        path: UrlPath,
+        /// Resume attempts spent.
+        resumes: u32,
+        /// The last underlying failure, rendered.
+        last: String,
+    },
+}
+
+impl fmt::Display for ShipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShipError::Wire(e) => write!(f, "transfer transport failed: {e}"),
+            ShipError::Store(e) => write!(f, "remote store refused: {e}"),
+            ShipError::Protocol { detail } => write!(f, "ship protocol violation: {detail}"),
+            ShipError::Exhausted {
+                path,
+                resumes,
+                last,
+            } => write!(
+                f,
+                "shipping {path} failed after {resumes} resume(s): {last}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShipError {}
+
+impl ShipError {
+    /// Whether a fresh `Begin` (resume) could plausibly succeed: wire
+    /// losses and vanished staging state are resumable; quota, conflict,
+    /// and codec failures are not.
+    #[must_use]
+    pub fn is_resumable(&self) -> bool {
+        match self {
+            ShipError::Wire(e) => !matches!(e.root(), WireError::Codec { .. }),
+            ShipError::Store(StoreError::NoSuchTransfer { .. }) => true,
+            ShipError::Store(_) | ShipError::Protocol { .. } | ShipError::Exhausted { .. } => false,
+        }
+    }
+}
+
+/// Transfer-pipeline metric handles, recorded into a shared registry so
+/// shipping shows up on the same stats surface as the proxy and the
+/// management ops.
+#[derive(Debug, Clone)]
+pub struct ShipMetrics {
+    bytes: Arc<Counter>,
+    chunks: Arc<Counter>,
+    chunk_retries: Arc<Counter>,
+    resumes: Arc<Counter>,
+    transfers: Arc<Counter>,
+    failed: Arc<Counter>,
+    inflight: Arc<Gauge>,
+    transfer_ns: HistogramRecorder,
+}
+
+impl ShipMetrics {
+    /// Registers the shipping metric family in `registry`.
+    #[must_use]
+    pub fn attach(registry: &Arc<MetricsRegistry>) -> Self {
+        ShipMetrics {
+            bytes: registry.counter("ship_bytes_total"),
+            chunks: registry.counter("ship_chunks_total"),
+            chunk_retries: registry.counter("ship_chunk_retries_total"),
+            resumes: registry.counter("ship_resumes_total"),
+            transfers: registry.counter("ship_transfers_total"),
+            failed: registry.counter("ship_failed_transfers_total"),
+            inflight: registry.gauge("ship_inflight"),
+            transfer_ns: registry
+                .histogram_with_shards("ship_transfer_ns", 1)
+                .recorder(0),
+        }
+    }
+}
+
+/// What one completed push looked like.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShipOutcome {
+    /// The committed object.
+    pub meta: ObjectMeta,
+    /// Chunks actually sent.
+    pub chunks_sent: u64,
+    /// Chunks skipped because the receiver already had them (resume).
+    pub chunks_skipped: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Whole-transfer resumes.
+    pub resumes: u32,
+    /// Individual chunk re-sends (wire failure or rejection).
+    pub chunk_retries: u32,
+}
+
+/// Drives push and pull transfers over a [`ShipPort`].
+#[derive(Debug, Default)]
+pub struct Shipper {
+    /// Per-chunk attempts before the whole transfer resumes (≥ 1).
+    chunk_attempts: u32,
+    /// Whole-transfer resume budget after connection loss.
+    max_resumes: u32,
+    throttle: Option<Arc<TokenBucket>>,
+    metrics: Option<ShipMetrics>,
+}
+
+impl Shipper {
+    /// A shipper with default bounds: 3 attempts per chunk, 8 resumes.
+    #[must_use]
+    pub fn new() -> Self {
+        Shipper {
+            chunk_attempts: 3,
+            max_resumes: 8,
+            throttle: None,
+            metrics: None,
+        }
+    }
+
+    /// Sets the per-chunk and whole-transfer retry bounds.
+    #[must_use]
+    pub fn with_limits(mut self, chunk_attempts: u32, max_resumes: u32) -> Self {
+        self.chunk_attempts = chunk_attempts.max(1);
+        self.max_resumes = max_resumes;
+        self
+    }
+
+    /// Throttles transfer bandwidth through `bucket` (shared across
+    /// shippers for a global cap).
+    #[must_use]
+    pub fn with_throttle(mut self, bucket: Arc<TokenBucket>) -> Self {
+        self.throttle = Some(bucket);
+        self
+    }
+
+    /// Records transfer counters/latency into `metrics`.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: ShipMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    fn throttle_take(&self, bytes: u64) {
+        if let Some(bucket) = &self.throttle {
+            bucket.take(bytes);
+        }
+    }
+
+    /// Ships `body` to the remote store as `path`, resuming through
+    /// connection loss and re-sending rejected chunks, until the remote
+    /// store confirms a committed object with the right checksum.
+    ///
+    /// # Errors
+    ///
+    /// [`ShipError::Store`] for non-resumable remote refusals (quota,
+    /// conflicts), [`ShipError::Exhausted`] when the resume budget runs
+    /// out, [`ShipError::Protocol`] on nonsense replies.
+    pub fn push(
+        &self,
+        port: &dyn ShipPort,
+        path: &UrlPath,
+        content: ContentId,
+        version: u64,
+        body: &[u8],
+        overwrite: bool,
+    ) -> Result<ShipOutcome, ShipError> {
+        self.push_meta(
+            port,
+            path,
+            ObjectMeta::for_body(content, body, crate::object::DEFAULT_CHUNK_SIZE, version),
+            body,
+            overwrite,
+        )
+    }
+
+    /// [`Shipper::push`] with explicit chunk geometry.
+    ///
+    /// # Errors
+    ///
+    /// See [`Shipper::push`].
+    ///
+    /// # Panics
+    ///
+    /// If `meta` does not describe `body`.
+    pub fn push_meta(
+        &self,
+        port: &dyn ShipPort,
+        path: &UrlPath,
+        meta: ObjectMeta,
+        body: &[u8],
+        overwrite: bool,
+    ) -> Result<ShipOutcome, ShipError> {
+        assert_eq!(meta.size, body.len() as u64, "meta must describe body");
+        assert_eq!(meta.checksum, fnv64(body), "meta must describe body");
+        let start = Instant::now();
+        if let Some(m) = &self.metrics {
+            m.inflight.add(1);
+        }
+        let mut outcome = ShipOutcome {
+            meta,
+            chunks_sent: 0,
+            chunks_skipped: 0,
+            bytes_sent: 0,
+            resumes: 0,
+            chunk_retries: 0,
+        };
+        let result = loop {
+            match self.push_attempt(port, path, meta, body, overwrite, &mut outcome) {
+                Ok(committed) => {
+                    outcome.meta = committed;
+                    break Ok(());
+                }
+                Err(e) if e.is_resumable() && outcome.resumes < self.max_resumes => {
+                    outcome.resumes += 1;
+                    if let Some(m) = &self.metrics {
+                        m.resumes.inc();
+                    }
+                }
+                Err(e) if e.is_resumable() => {
+                    break Err(ShipError::Exhausted {
+                        path: path.clone(),
+                        resumes: outcome.resumes,
+                        last: e.to_string(),
+                    });
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        if let Some(m) = &self.metrics {
+            m.inflight.sub(1);
+            m.transfer_ns
+                .record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            match &result {
+                Ok(()) => m.transfers.inc(),
+                Err(_) => m.failed.inc(),
+            }
+        }
+        result.map(|()| outcome)
+    }
+
+    /// One full pass: begin (resume), send missing chunks, commit.
+    fn push_attempt(
+        &self,
+        port: &dyn ShipPort,
+        path: &UrlPath,
+        meta: ObjectMeta,
+        body: &[u8],
+        overwrite: bool,
+        outcome: &mut ShipOutcome,
+    ) -> Result<ObjectMeta, ShipError> {
+        let begun = port
+            .ship(&ShipRequest::Begin {
+                path: path.clone(),
+                meta,
+                overwrite,
+            })
+            .map_err(ShipError::Wire)?;
+        let (transfer, have) = match begun {
+            ShipReply::Begun { transfer, have } => (transfer, have),
+            ShipReply::Err(e) => return Err(ShipError::Store(e)),
+            other => {
+                return Err(ShipError::Protocol {
+                    detail: format!("Begin answered {other:?} by {}", port.peer()),
+                })
+            }
+        };
+        let have: std::collections::HashSet<u32> = have.into_iter().collect();
+        for index in 0..meta.chunk_count() {
+            if have.contains(&index) {
+                outcome.chunks_skipped += 1;
+                continue;
+            }
+            let range = meta.chunk_range(index).expect("index in range");
+            let chunk = &body[range];
+            self.send_chunk(port, path, transfer, index, chunk, outcome)?;
+        }
+        let committed = port
+            .ship(&ShipRequest::Commit {
+                transfer,
+                path: path.clone(),
+                checksum: meta.checksum,
+            })
+            .map_err(ShipError::Wire)?;
+        match committed {
+            ShipReply::Committed(m) => Ok(m),
+            ShipReply::Err(e) => Err(ShipError::Store(e)),
+            other => Err(ShipError::Protocol {
+                detail: format!("Commit answered {other:?} by {}", port.peer()),
+            }),
+        }
+    }
+
+    /// Sends one chunk with bounded re-sends for wire failures and
+    /// checksum rejections.
+    fn send_chunk(
+        &self,
+        port: &dyn ShipPort,
+        path: &UrlPath,
+        transfer: u64,
+        index: u32,
+        chunk: &[u8],
+        outcome: &mut ShipOutcome,
+    ) -> Result<(), ShipError> {
+        let checksum = fnv64(chunk);
+        let request = ShipRequest::Chunk {
+            transfer,
+            index,
+            data: hex_encode(chunk),
+            checksum,
+        };
+        let mut last: Option<ShipError> = None;
+        for attempt in 0..self.chunk_attempts {
+            if attempt > 0 {
+                outcome.chunk_retries += 1;
+                if let Some(m) = &self.metrics {
+                    m.chunk_retries.inc();
+                }
+            }
+            self.throttle_take(chunk.len() as u64);
+            match port.ship(&request) {
+                Ok(ShipReply::ChunkOk) => {
+                    outcome.chunks_sent += 1;
+                    outcome.bytes_sent += chunk.len() as u64;
+                    if let Some(m) = &self.metrics {
+                        m.chunks.inc();
+                        m.bytes.add(chunk.len() as u64);
+                    }
+                    return Ok(());
+                }
+                Ok(ShipReply::Err(e @ StoreError::ChunkRejected { .. })) => {
+                    // Poisoned in flight: re-send the honest bytes.
+                    last = Some(ShipError::Store(e));
+                }
+                Ok(ShipReply::Err(e)) => return Err(ShipError::Store(e)),
+                Ok(other) => {
+                    return Err(ShipError::Protocol {
+                        detail: format!("Chunk answered {other:?} by {}", port.peer()),
+                    })
+                }
+                Err(wire) => {
+                    let e = ShipError::Wire(wire);
+                    if !e.is_resumable() {
+                        return Err(e);
+                    }
+                    last = Some(e);
+                }
+            }
+        }
+        // Out of per-chunk attempts: surface the last failure. If it is
+        // resumable the outer loop re-begins and skips staged progress.
+        Err(last.unwrap_or(ShipError::Protocol {
+            detail: format!("chunk {index} of {path} ran out of attempts"),
+        }))
+    }
+
+    /// Pulls a committed object from the remote store, verifying every
+    /// chunk and the whole body. Corrupted chunks are re-fetched.
+    ///
+    /// # Errors
+    ///
+    /// [`ShipError::Store`] (e.g. not found), [`ShipError::Wire`] /
+    /// [`ShipError::Exhausted`] on persistent transport failure.
+    pub fn pull(
+        &self,
+        port: &dyn ShipPort,
+        path: &UrlPath,
+    ) -> Result<(ObjectMeta, Vec<u8>), ShipError> {
+        let meta = match port
+            .ship(&ShipRequest::Meta { path: path.clone() })
+            .map_err(ShipError::Wire)?
+        {
+            ShipReply::MetaIs(m) => m,
+            ShipReply::Err(e) => return Err(ShipError::Store(e)),
+            other => {
+                return Err(ShipError::Protocol {
+                    detail: format!("Meta answered {other:?} by {}", port.peer()),
+                })
+            }
+        };
+        let mut body = Vec::with_capacity(usize::try_from(meta.size).unwrap_or(0));
+        for index in 0..meta.chunk_count() {
+            body.extend_from_slice(&self.fetch_chunk(port, path, &meta, index)?);
+        }
+        let got = fnv64(&body);
+        if got != meta.checksum {
+            return Err(ShipError::Store(StoreError::ChecksumMismatch {
+                path: path.clone(),
+                expected: meta.checksum,
+                got,
+            }));
+        }
+        Ok((meta, body))
+    }
+
+    fn fetch_chunk(
+        &self,
+        port: &dyn ShipPort,
+        path: &UrlPath,
+        meta: &ObjectMeta,
+        index: u32,
+    ) -> Result<Vec<u8>, ShipError> {
+        let expected_len = meta.chunk_len(index).expect("index in range") as usize;
+        let request = ShipRequest::Fetch {
+            path: path.clone(),
+            index,
+        };
+        let mut last: Option<ShipError> = None;
+        let attempts = self.chunk_attempts.max(1) + self.max_resumes;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                if let Some(m) = &self.metrics {
+                    m.chunk_retries.inc();
+                }
+            }
+            self.throttle_take(expected_len as u64);
+            match port.ship(&request) {
+                Ok(ShipReply::ChunkData { data, checksum }) => {
+                    let bytes = match hex_decode(&data) {
+                        Ok(b) => b,
+                        Err(detail) => {
+                            last = Some(ShipError::Protocol { detail });
+                            continue;
+                        }
+                    };
+                    if bytes.len() != expected_len || fnv64(&bytes) != checksum {
+                        // Corrupted in flight: re-fetch.
+                        last = Some(ShipError::Store(StoreError::ChunkRejected {
+                            path: path.clone(),
+                            index,
+                            expected: checksum,
+                            got: fnv64(&bytes),
+                        }));
+                        continue;
+                    }
+                    if let Some(m) = &self.metrics {
+                        m.chunks.inc();
+                        m.bytes.add(bytes.len() as u64);
+                    }
+                    return Ok(bytes);
+                }
+                Ok(ShipReply::Err(e)) => return Err(ShipError::Store(e)),
+                Ok(other) => {
+                    return Err(ShipError::Protocol {
+                        detail: format!("Fetch answered {other:?} by {}", port.peer()),
+                    })
+                }
+                Err(wire) => {
+                    let e = ShipError::Wire(wire);
+                    if !e.is_resumable() {
+                        return Err(e);
+                    }
+                    last = Some(e);
+                }
+            }
+        }
+        Err(ShipError::Exhausted {
+            path: path.clone(),
+            resumes: attempts,
+            last: last.map(|e| e.to_string()).unwrap_or_default(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::synthetic_body;
+    use cpms_model::NodeId;
+    use cpms_wire::{FaultPlan, FaultyTransport, InProcServer};
+
+    fn p(s: &str) -> UrlPath {
+        s.parse().unwrap()
+    }
+
+    fn spawn_store(node: u16, capacity: u64) -> (Arc<ContentStore>, StoreClient) {
+        let store = Arc::new(ContentStore::in_memory(NodeId(node), capacity));
+        let (transport, server) = InProcServer::spawn_named(
+            StoreService::new(Arc::clone(&store)),
+            &format!("store-{node}"),
+        );
+        // Leak the server handle: test stores live for the test body.
+        std::mem::forget(server);
+        (store, StoreClient::new(Arc::new(transport)))
+    }
+
+    #[test]
+    fn push_and_pull_roundtrip() {
+        let (store, client) = spawn_store(0, 1 << 20);
+        let body = synthetic_body(ContentId(1), 50_000);
+        let shipper = Shipper::new();
+        let outcome = shipper
+            .push(&client, &p("/obj"), ContentId(1), 0, &body, false)
+            .unwrap();
+        assert_eq!(outcome.meta.size, 50_000);
+        assert_eq!(outcome.bytes_sent, 50_000);
+        assert_eq!(outcome.resumes, 0);
+        assert_eq!(store.read(&p("/obj")).unwrap(), body);
+
+        let (meta, pulled) = shipper.pull(&client, &p("/obj")).unwrap();
+        assert_eq!(meta, outcome.meta);
+        assert_eq!(pulled, body);
+
+        // Idempotent re-push sends nothing.
+        let again = shipper
+            .push(&client, &p("/obj"), ContentId(1), 0, &body, false)
+            .unwrap();
+        assert_eq!(again.chunks_sent, 0);
+        assert_eq!(again.chunks_skipped, outcome.chunks_sent);
+    }
+
+    #[test]
+    fn push_survives_lossy_transport() {
+        let store = Arc::new(ContentStore::in_memory(NodeId(0), 1 << 20));
+        let (transport, server) =
+            InProcServer::spawn_named(StoreService::new(Arc::clone(&store)), "store-lossy");
+        std::mem::forget(server);
+        let lossy = FaultyTransport::new(Arc::new(transport), FaultPlan::lossy(42, 0.15));
+        let client = StoreClient::new(Arc::new(lossy));
+        let body = synthetic_body(ContentId(2), 40_000);
+        let outcome = Shipper::new()
+            .push(&client, &p("/lossy"), ContentId(2), 0, &body, false)
+            .unwrap();
+        assert_eq!(store.read(&p("/lossy")).unwrap(), body);
+        assert_eq!(store.stats().rejected_chunks, 0, "loss ≠ corruption");
+        // Committed exactly once despite duplicates/replays.
+        assert_eq!(store.stats().objects, 1);
+        let _ = outcome;
+    }
+
+    #[test]
+    fn quota_refusal_is_not_resumable() {
+        let (_store, client) = spawn_store(0, 100);
+        let body = synthetic_body(ContentId(3), 500);
+        let err = Shipper::new()
+            .push(&client, &p("/big"), ContentId(3), 0, &body, false)
+            .unwrap_err();
+        assert!(matches!(err, ShipError::Store(StoreError::DiskFull { .. })));
+    }
+
+    #[test]
+    fn metrics_and_throttle_observe_transfer() {
+        let (_store, client) = spawn_store(0, 1 << 20);
+        let registry = Arc::new(MetricsRegistry::new());
+        let shipper = Shipper::new()
+            .with_metrics(ShipMetrics::attach(&registry))
+            .with_throttle(Arc::new(TokenBucket::new(10 << 20, 1 << 20)));
+        let body = synthetic_body(ContentId(4), 20_000);
+        shipper
+            .push(&client, &p("/m"), ContentId(4), 0, &body, false)
+            .unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("ship_bytes_total"), Some(20_000));
+        assert_eq!(snap.counter("ship_transfers_total"), Some(1));
+        assert_eq!(snap.gauge("ship_inflight"), Some(0));
+        assert_eq!(snap.histogram("ship_transfer_ns").unwrap().count, 1);
+    }
+}

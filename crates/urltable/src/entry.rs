@@ -16,6 +16,7 @@ pub struct UrlEntry {
     priority: Priority,
     locations: Vec<NodeId>,
     hits: u64,
+    checksum: u64,
 }
 
 impl UrlEntry {
@@ -28,6 +29,7 @@ impl UrlEntry {
             priority: Priority::Normal,
             locations: Vec::new(),
             hits: 0,
+            checksum: 0,
         }
     }
 
@@ -48,6 +50,15 @@ impl UrlEntry {
     #[must_use]
     pub fn with_priority(mut self, priority: Priority) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Sets the whole-object FNV-1a checksum recorded when the copy was
+    /// committed to a node's content store (builder-style). `0` means
+    /// "unknown" — entries published before any bytes were shipped.
+    #[must_use]
+    pub fn with_checksum(mut self, checksum: u64) -> Self {
+        self.checksum = checksum;
         self
     }
 
@@ -85,6 +96,13 @@ impl UrlEntry {
     /// request).
     pub fn hits(&self) -> u64 {
         self.hits
+    }
+
+    /// Whole-object checksum of the committed bytes, or `0` if unknown.
+    /// The anti-entropy auditor compares this against each hosting
+    /// node's store manifest to find stale copies.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
     }
 
     /// Records one routed request.
@@ -184,5 +202,12 @@ mod tests {
     fn builder_priority() {
         let e = entry().with_priority(Priority::Critical);
         assert_eq!(e.priority(), Priority::Critical);
+    }
+
+    #[test]
+    fn builder_checksum() {
+        assert_eq!(entry().checksum(), 0, "unknown by default");
+        let e = entry().with_checksum(0xDEAD_BEEF);
+        assert_eq!(e.checksum(), 0xDEAD_BEEF);
     }
 }

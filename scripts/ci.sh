@@ -23,4 +23,10 @@ cargo run --release -q -p cpms-bench --bin request_latency -- --smoke
 echo "==> networked broker smoke (cpms-broker --smoke: loopback TCP + fault injection)"
 cargo run --release -q -p cpms-mgmt --bin cpms-broker -- --smoke
 
+echo "==> content shipping smoke (cpms-ship --smoke: loopback TCP ship under 20% loss + anti-entropy)"
+cargo run --release -q -p cpms-mgmt --bin cpms-ship -- --smoke
+
+echo "==> shipping throughput smoke (shipping --smoke: chunk size x loss matrix)"
+cargo run --release -q -p cpms-bench --bin shipping -- --smoke
+
 echo "ci: all gates passed"
