@@ -56,6 +56,7 @@ pub struct BackupDistributor {
     last_seq: u64,
     last_generation: u64,
     snapshot_generation: u64,
+    generation_regressions: u64,
     missed: u32,
     miss_threshold: u32,
 }
@@ -88,6 +89,7 @@ impl BackupDistributor {
             last_seq: 0,
             last_generation: 0,
             snapshot_generation: 0,
+            generation_regressions: 0,
             missed: 0,
             miss_threshold,
         }
@@ -100,6 +102,13 @@ impl BackupDistributor {
             return; // stale, reordered message
         }
         self.last_seq = hb.seq;
+        if hb.generation < self.last_generation {
+            // A *fresh* beat reporting an older table generation: the
+            // primary's URL table went backwards (or a promotion lost
+            // publications). Publications must be monotone, so record the
+            // anomaly rather than silently clamping.
+            self.generation_regressions += 1;
+        }
         self.last_generation = self.last_generation.max(hb.generation);
         self.missed = 0;
         if let Some(snapshot) = hb.snapshot {
@@ -117,6 +126,16 @@ impl BackupDistributor {
     /// The URL-table generation the replicated snapshot was taken at.
     pub fn snapshot_generation(&self) -> u64 {
         self.snapshot_generation
+    }
+
+    /// How many in-order heartbeats reported a URL-table generation
+    /// *older* than one already acknowledged. Always 0 in a healthy
+    /// cluster: publications are monotone, so any regression means the
+    /// primary restarted with amnesia or a promotion dropped table
+    /// state — the chaos-lab's generation-monotone assertion in
+    /// diagnostic-counter form.
+    pub fn generation_regressions(&self) -> u64 {
+        self.generation_regressions
     }
 
     /// Whether the primary acknowledged table publications *newer* than
@@ -405,6 +424,44 @@ mod tests {
             snapshot: Some(primary_with_connections()),
         });
         assert!(!backup.snapshot_is_stale());
+    }
+
+    #[test]
+    fn generation_regressions_are_counted_not_clamped_silently() {
+        let mut backup = BackupDistributor::new(2);
+        backup.on_heartbeat(Heartbeat {
+            seq: 1,
+            generation: 6,
+            snapshot: None,
+        });
+        assert_eq!(backup.generation_regressions(), 0);
+
+        // A reordered beat (stale seq) is dropped entirely — not a
+        // regression, just the wire being a wire.
+        backup.on_heartbeat(Heartbeat {
+            seq: 0,
+            generation: 2,
+            snapshot: None,
+        });
+        assert_eq!(backup.generation_regressions(), 0);
+
+        // A *fresh* beat going backwards is the real anomaly: an amnesiac
+        // primary. The high-water mark holds, the counter records it.
+        backup.on_heartbeat(Heartbeat {
+            seq: 2,
+            generation: 4,
+            snapshot: None,
+        });
+        assert_eq!(backup.generation_regressions(), 1);
+        assert_eq!(backup.last_seen_generation(), 6);
+
+        // Equal generation (re-announcement) is fine.
+        backup.on_heartbeat(Heartbeat {
+            seq: 3,
+            generation: 6,
+            snapshot: None,
+        });
+        assert_eq!(backup.generation_regressions(), 1);
     }
 
     #[test]

@@ -133,7 +133,7 @@ impl OriginServer {
                         let _ = std::thread::Builder::new()
                             .name("origin-conn".to_string())
                             .spawn(move || {
-                                let _ = serve_connection(stream, &content, &served);
+                                let _ = serve_connection(stream, node, &content, &served);
                             });
                     }
                 })?
@@ -197,6 +197,7 @@ impl Drop for OriginServer {
 
 fn serve_connection(
     stream: TcpStream,
+    node: NodeId,
     content: &RwLock<SiteContent>,
     served: &AtomicU64,
 ) -> io::Result<()> {
@@ -214,6 +215,20 @@ fn serve_connection(
             }
         };
         let keep_alive = request.keep_alive;
+        // Minimal admin surface so a lab orchestrator can scrape every
+        // process in a topology the same way; not counted as served.
+        if request.path.as_str() == crate::proxy::METRICS_JSON_PATH {
+            let body = format!(
+                "{{\"gauges\": {{\"origin_node\": {}}}, \"counters\": {{\"origin_served_total\": {}}}}}",
+                node.0,
+                served.load(Ordering::Relaxed)
+            );
+            write_response(&mut writer, 200, body.as_bytes(), keep_alive)?;
+            if keep_alive {
+                continue;
+            }
+            return Ok(());
+        }
         // Look the object up under a read lock; release before any
         // execution delay.
         enum Found {
@@ -358,6 +373,19 @@ mod tests {
         // ...and a deleted object stops being served.
         store.delete(&path).unwrap();
         assert_eq!(client.get("/shipped/report.html").unwrap().status, 404);
+    }
+
+    #[test]
+    fn metrics_endpoint_reports_served_count() {
+        let origin = OriginServer::start(NodeId(5), site()).unwrap();
+        let mut client = HttpClient::connect(origin.addr()).unwrap();
+        client.get("/index.html").unwrap();
+        let resp = client.get(crate::proxy::METRICS_JSON_PATH).unwrap();
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("\"origin_served_total\": 1"), "{text}");
+        assert!(text.contains("\"origin_node\": 5"), "{text}");
+        assert_eq!(origin.served(), 1, "metrics scrapes are not served pages");
     }
 
     #[test]

@@ -199,10 +199,33 @@ impl ContentAwareProxy {
         workers: usize,
         registry: Arc<MetricsRegistry>,
     ) -> io::Result<ContentAwareProxy> {
+        Self::start_with_publisher(
+            TablePublisher::new(table),
+            backends,
+            prefork,
+            workers,
+            registry,
+        )
+    }
+
+    /// Starts the proxy over a caller-supplied [`TablePublisher`] — the
+    /// seam that lets a management controller and the proxy share one
+    /// logical table (`controller.publisher().share()`), so management
+    /// mutations route live without any copy step between the planes.
+    ///
+    /// # Errors
+    ///
+    /// Bind or pre-fork connection failures.
+    pub fn start_with_publisher(
+        publisher: TablePublisher,
+        backends: Vec<SocketAddr>,
+        prefork: u32,
+        workers: usize,
+        registry: Arc<MetricsRegistry>,
+    ) -> io::Result<ContentAwareProxy> {
         assert!(workers >= 1, "a proxy needs at least one worker");
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
-        let publisher = TablePublisher::new(table);
 
         // Shard the pre-forked connections: each worker owns a private
         // pool so checkouts never cross threads.
@@ -803,6 +826,37 @@ mod tests {
             t.remove_location(&path, NodeId(0)).unwrap();
         });
         assert_eq!(client.get("/page").unwrap().body, b"new-node");
+    }
+
+    #[test]
+    fn shared_publisher_routes_external_mutations() {
+        // The proxy runs over a publisher shared with an external writer
+        // (standing in for the management controller): mutations through
+        // the sibling publisher take effect on the proxy's next request.
+        let o0 = start_origin(0, &[("/ext", b"ext-0")]);
+        let o1 = start_origin(1, &[("/ext", b"ext-1")]);
+        let controller_side = TablePublisher::new(UrlTable::new());
+        let proxy = ContentAwareProxy::start_with_publisher(
+            controller_side.share(),
+            vec![o0.addr(), o1.addr()],
+            1,
+            1,
+            Arc::new(MetricsRegistry::new()),
+        )
+        .unwrap();
+        let mut client = HttpClient::connect(proxy.addr()).unwrap();
+        assert_eq!(client.get("/ext").unwrap().status, 503, "not yet published");
+        controller_side
+            .update(|t| t.insert("/ext".parse().unwrap(), entry(0, &[0])))
+            .unwrap();
+        assert_eq!(client.get("/ext").unwrap().body, b"ext-0");
+        controller_side.update(|t| {
+            let path: UrlPath = "/ext".parse().unwrap();
+            t.add_location(&path, NodeId(1)).unwrap();
+            t.remove_location(&path, NodeId(0)).unwrap();
+        });
+        assert_eq!(client.get("/ext").unwrap().body, b"ext-1");
+        assert_eq!(proxy.handle().generation(), controller_side.generation());
     }
 
     #[test]

@@ -1,0 +1,27 @@
+//! `cpms-lab`: a real-process cluster lab for the content placement and
+//! management system.
+//!
+//! Where `tests/proxy_live.rs` exercises the stack in one address
+//! space, the lab reproduces the paper's actual deployment shape: a
+//! scenario file declares a topology of `cpms-broker --http` backend
+//! processes and a `cpms-proxy` front end, the lab spawns them as real
+//! child processes, replays a trace-shaped workload through the proxy
+//! while injecting faults (SIGKILL, wire loss/poison, partitions,
+//! on-disk corruption), scrapes every process's metrics surface into a
+//! merged timeline, and evaluates scripted assertions — zero misrouted
+//! requests, bounded failures, anti-entropy convergence within a
+//! deadline, byte-exact content after repair, and a monotone URL-table
+//! generation.
+//!
+//! See `configs/lab_smoke.json` (the CI smoke: 5 processes including
+//! the lab itself) and `configs/lab_cluster.json` (a larger chaos run).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod process;
+pub mod scenario;
+
+pub use harness::{run, LabReport};
+pub use scenario::Scenario;

@@ -1,0 +1,50 @@
+//! CLI entry point for the cluster lab.
+//!
+//! Usage:
+//!   cpms-lab <SCENARIO.json>   run a scenario file
+//!   cpms-lab --smoke           run the built-in 5-process CI smoke
+//!
+//! Exit codes: 0 all assertions held, 1 assertions failed, 2 usage or
+//! infrastructure error, 3 wall-clock cap exceeded (watchdog abort).
+
+use cpms_lab::Scenario;
+
+/// The CI smoke scenario, baked in so CI needs no working-directory
+/// assumptions beyond the built binaries.
+const SMOKE: &str = include_str!("../../../configs/lab_smoke.json");
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scenario = match args.first().map(String::as_str) {
+        Some("--smoke") => Scenario::from_json(SMOKE),
+        Some(path) if !path.starts_with('-') => Scenario::load(std::path::Path::new(path)),
+        _ => {
+            eprintln!("usage: cpms-lab <SCENARIO.json> | cpms-lab --smoke");
+            std::process::exit(2);
+        }
+    };
+    let scenario = match scenario {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cpms-lab: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "cpms-lab: scenario {:?} — {} node(s), {} object(s), {} request(s)",
+        scenario.name,
+        scenario.nodes.len(),
+        scenario.objects.count,
+        scenario.workload.requests
+    );
+    match cpms_lab::run(&scenario) {
+        Ok(report) => {
+            print!("{}", report.render());
+            std::process::exit(if report.passed() { 0 } else { 1 });
+        }
+        Err(e) => {
+            eprintln!("cpms-lab: infrastructure failure: {e}");
+            std::process::exit(2);
+        }
+    }
+}

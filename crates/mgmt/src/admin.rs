@@ -1,0 +1,272 @@
+//! A newline-delimited-JSON admin API for management daemons.
+//!
+//! The interactive [`Shell`](crate::shell::Shell) reads commands from a
+//! TTY; a cluster orchestrator (the `cpms-lab` harness) needs the same
+//! verbs over a socket, with machine-parseable success/failure. The
+//! protocol is one JSON object per line in each direction:
+//!
+//! ```text
+//! -> {"cmd": "publish /a.html html 1024 0,1"}
+//! <- {"ok": true, "output": "published /a.html as content#0"}
+//! ```
+//!
+//! `ok` is `false` both for command errors ("no such node") and for
+//! health commands that *detected* a problem (`audit` finding drift), so
+//! a driver can gate on it directly.
+
+use serde::{Deserialize, Serialize};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One admin request: a single shell command line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdminRequest {
+    /// The command line, in the shell's command language.
+    pub cmd: String,
+}
+
+/// The response to one admin request.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdminResponse {
+    /// Whether the command succeeded *and* found the system healthy.
+    pub ok: bool,
+    /// Human-readable output (or the error / failure detail).
+    pub output: String,
+}
+
+impl AdminResponse {
+    /// A successful response.
+    #[must_use]
+    pub fn ok(output: impl Into<String>) -> Self {
+        AdminResponse {
+            ok: true,
+            output: output.into(),
+        }
+    }
+
+    /// A failed response.
+    #[must_use]
+    pub fn err(output: impl Into<String>) -> Self {
+        AdminResponse {
+            ok: false,
+            output: output.into(),
+        }
+    }
+}
+
+/// A TCP listener serving the ND-JSON admin protocol, dispatching each
+/// request line to a handler. Connections are served one at a time —
+/// the admin plane has a single driver, and serializing keeps the
+/// handler a plain `FnMut` over mutable daemon state.
+#[derive(Debug)]
+pub struct AdminServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl AdminServer {
+    /// Binds `addr` (port 0 picks an ephemeral port) and serves requests
+    /// through `handler` on a background thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the listener bind failure.
+    pub fn bind(
+        addr: SocketAddr,
+        handler: impl FnMut(&str) -> AdminResponse + Send + 'static,
+    ) -> io::Result<AdminServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handler = Arc::new(Mutex::new(handler));
+        let accept_thread = std::thread::Builder::new()
+            .name("cpms-admin".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_flag.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let _ = Self::serve_connection(stream, &handler, &stop_flag);
+                }
+            })
+            .expect("spawn admin accept thread");
+        Ok(AdminServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    fn serve_connection(
+        stream: TcpStream,
+        handler: &Arc<Mutex<impl FnMut(&str) -> AdminResponse>>,
+        stop: &AtomicBool,
+    ) -> io::Result<()> {
+        // Short read timeout so an idle connection cannot pin the server
+        // past a stop() call; a timeout just re-checks the flag.
+        stream.set_read_timeout(Some(Duration::from_millis(250)))?;
+        let mut writer = BufWriter::new(stream.try_clone()?);
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            match reader.read_line(&mut line) {
+                Ok(0) => return Ok(()),
+                Ok(_) => {
+                    let trimmed = line.trim();
+                    if !trimmed.is_empty() {
+                        let response = match serde_json::from_str::<AdminRequest>(trimmed) {
+                            Ok(request) => {
+                                let mut handler = handler.lock().expect("admin handler lock");
+                                handler(&request.cmd)
+                            }
+                            Err(e) => AdminResponse::err(format!("bad request line: {e}")),
+                        };
+                        let encoded =
+                            serde_json::to_string(&response).expect("response serializes");
+                        writer.write_all(encoded.as_bytes())?;
+                        writer.write_all(b"\n")?;
+                        writer.flush()?;
+                    }
+                    line.clear();
+                }
+                // Timed out mid-wait: any partial line stays buffered in
+                // `line` and the next read appends the rest.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                    ) =>
+                {
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The bound address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for AdminServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// A client for the ND-JSON admin protocol: one persistent connection,
+/// one request/response pair per [`AdminClient::send`].
+#[derive(Debug)]
+pub struct AdminClient {
+    writer: BufWriter<TcpStream>,
+    reader: BufReader<TcpStream>,
+}
+
+impl AdminClient {
+    /// Connects to an [`AdminServer`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(addr: SocketAddr) -> io::Result<AdminClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(AdminClient {
+            writer: BufWriter::new(stream.try_clone()?),
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends one command line and reads its response.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a closed connection, or an unparseable response.
+    pub fn send(&mut self, cmd: &str) -> io::Result<AdminResponse> {
+        let encoded = serde_json::to_string(&AdminRequest {
+            cmd: cmd.to_string(),
+        })
+        .expect("request serializes");
+        self.writer.write_all(encoded.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "admin server closed the connection",
+            ));
+        }
+        serde_json::from_str(&line)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_commands_and_failures() {
+        let mut server = AdminServer::bind("127.0.0.1:0".parse().unwrap(), |cmd| {
+            if cmd == "ping" {
+                AdminResponse::ok("pong")
+            } else {
+                AdminResponse::err(format!("unknown {cmd:?}"))
+            }
+        })
+        .unwrap();
+        let mut client = AdminClient::connect(server.addr()).unwrap();
+        assert_eq!(client.send("ping").unwrap(), AdminResponse::ok("pong"));
+        let bad = client.send("nope").unwrap();
+        assert!(!bad.ok);
+        assert!(bad.output.contains("unknown"));
+        // Requests on the same connection keep working.
+        assert_eq!(client.send("ping").unwrap(), AdminResponse::ok("pong"));
+        server.stop();
+        // After stop, new connections get no service.
+        assert!(AdminClient::connect(server.addr())
+            .and_then(|mut c| c.send("ping"))
+            .is_err());
+    }
+
+    #[test]
+    fn malformed_lines_answer_with_an_error() {
+        let server = AdminServer::bind("127.0.0.1:0".parse().unwrap(), |_| {
+            AdminResponse::ok("fine")
+        })
+        .unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut writer = BufWriter::new(stream.try_clone().unwrap());
+        writer.write_all(b"this is not json\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line).unwrap();
+        let response: AdminResponse = serde_json::from_str(&line).unwrap();
+        assert!(!response.ok);
+        assert!(response.output.contains("bad request line"));
+    }
+}

@@ -204,6 +204,13 @@ impl AntiEntropyAuditor {
         let mut inventories: Vec<Option<HashMap<UrlPath, ObjectMeta>>> = Vec::new();
         for i in 0..cluster.len() {
             let node = NodeId(i as u16);
+            // Evicted nodes are out of the routing image by definition:
+            // neither their absence (unreachable) nor any bytes still on
+            // their disk (orphans) count as drift.
+            if controller.is_decommissioned(node) {
+                inventories.push(None);
+                continue;
+            }
             let handle = cluster.broker(node).expect("index in range");
             let inventory = self.inventory(handle);
             if inventory.is_none() {
@@ -414,6 +421,24 @@ mod tests {
         let report = AntiEntropyAuditor::new().audit(&c);
         assert_eq!(report.unreachable, vec![NodeId(2)]);
         assert!(!report.is_clean());
+        c.shutdown();
+    }
+
+    #[test]
+    fn evicted_node_converges_after_repair() {
+        let mut c = published_controller();
+        // Kill node 0 (one of /a's two replicas), evict it, and repair:
+        // the audit must come back clean — the dead node is out of the
+        // image, and /a still routes to its surviving copy on node 1.
+        c.kill_node(NodeId(0));
+        let report = c.evict(NodeId(0)).unwrap();
+        assert_eq!(report.dropped_locations, 1);
+        assert!(report.lost.is_empty());
+        let auditor = AntiEntropyAuditor::new();
+        auditor.repair(&mut c);
+        let after = auditor.audit(&c);
+        assert!(after.is_clean(), "{:?}", after);
+        assert_eq!(c.table().lookup(&p("/a")).unwrap().locations(), [NodeId(1)]);
         c.shutdown();
     }
 }

@@ -2,18 +2,26 @@
 //! "standalone … daemon process on each backend server", networked.
 //!
 //! Usage:
-//!   cpms-broker <ADDR> \[NODE\] \[DISK_MB\] \[--store DIR\]
+//!   cpms-broker <ADDR> \[NODE\] \[DISK_MB\] \[--store DIR\] \[--http\]
 //!     Binds a broker for node NODE (default 0) with a DISK_MB disk
 //!     (default 256) on ADDR (e.g. 127.0.0.1:7070; port 0 picks an
 //!     ephemeral port). Prints the bound address on stdout and serves
-//!     until killed. A controller elsewhere reaches it with
-//!     `Broker::connect(node, addr)`.
+//!     until stdin closes (or a `shutdown` line arrives) — so an
+//!     orchestrator that spawned it with a piped stdin reclaims the
+//!     process just by dropping the pipe. A controller elsewhere
+//!     reaches it with `Broker::connect(node, addr)`.
 //!
 //!     With `--store DIR` the broker keeps object bytes in a durable
 //!     on-disk content store rooted at DIR: shipped replicas survive a
 //!     restart, and on startup any objects already committed under DIR
 //!     are adopted back into the broker's ledger. Without it, content
 //!     lives in memory and dies with the process.
+//!
+//!     With `--http` the broker also runs a co-located origin HTTP
+//!     server backed by the same content store — the "back-end web
+//!     server" of the paper's node, serving whatever replicas the
+//!     management plane ships here. Its address is printed as a second
+//!     stdout line `http <ADDR>`.
 //!
 //!   cpms-broker --smoke
 //!     Self-test for CI: binds an ephemeral loopback daemon, exercises
@@ -35,7 +43,7 @@ fn main() {
         Some(addr) => daemon(addr, &args[1..]),
         None => {
             eprintln!(
-                "usage: cpms-broker <ADDR> [NODE] [DISK_MB] [--store DIR] | cpms-broker --smoke"
+                "usage: cpms-broker <ADDR> [NODE] [DISK_MB] [--store DIR] [--http] | cpms-broker --smoke"
             );
             std::process::exit(2);
         }
@@ -45,11 +53,14 @@ fn main() {
 fn daemon(addr: &str, rest: &[String]) {
     let addr: SocketAddr = addr.parse().expect("ADDR must be host:port");
     let mut store_dir: Option<String> = None;
+    let mut serve_http = false;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         if arg == "--store" {
             store_dir = Some(it.next().expect("--store needs a directory").clone());
+        } else if arg == "--http" {
+            serve_http = true;
         } else {
             positional.push(arg);
         }
@@ -71,21 +82,59 @@ fn daemon(addr: &str, rest: &[String]) {
         }
         None => cpms_mgmt::BrokerState::from_meta(meta),
     };
-    let handle =
+    // Grab the content store before the broker takes ownership of the
+    // state: the co-located origin serves the same bytes the management
+    // plane ships here.
+    let content = Arc::clone(state.content());
+    let mut handle =
         Broker::bind_wrapped(addr, state, |transport| transport).expect("bind broker listener");
-    // stdout carries exactly the bound address so scripts can capture it.
+    // stdout line 1 carries exactly the bound address so scripts can
+    // capture it.
     println!("{}", handle.addr().expect("tcp daemon has an address"));
+    let mut origin = if serve_http {
+        let origin = cpms_httpd::OriginServer::start(
+            NodeId(node),
+            cpms_httpd::SiteContent::new().with_backing(content),
+        )
+        .expect("start co-located origin server");
+        // stdout line 2 announces the origin's address.
+        println!("http {}", origin.addr());
+        Some(origin)
+    } else {
+        None
+    };
+    use std::io::Write as _;
+    std::io::stdout().flush().expect("flush ready lines");
     eprintln!(
-        "cpms-broker: node n{node}, {disk_mb} MB disk, {} content, serving on {}",
+        "cpms-broker: node n{node}, {disk_mb} MB disk, {} content, serving on {}{}",
         match &store_dir {
             Some(dir) => format!("durable ({dir})"),
             None => "in-memory".to_string(),
         },
-        handle.addr().expect("tcp daemon has an address")
+        handle.addr().expect("tcp daemon has an address"),
+        match &origin {
+            Some(o) => format!(", http on {}", o.addr()),
+            None => String::new(),
+        }
     );
+    // Serve until the operator (or the orchestrator holding our stdin
+    // pipe) tells us to stop: an explicit `shutdown` line or EOF.
+    let stdin = std::io::stdin();
+    let mut line = String::new();
     loop {
-        std::thread::park();
+        line.clear();
+        match std::io::BufRead::read_line(&mut stdin.lock(), &mut line) {
+            Ok(0) => break,
+            Ok(_) if line.trim() == "shutdown" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
     }
+    if let Some(o) = origin.as_mut() {
+        o.shutdown();
+    }
+    handle.shutdown();
+    eprintln!("cpms-broker: node n{node} shut down cleanly");
 }
 
 fn path(s: &str) -> UrlPath {

@@ -34,10 +34,17 @@ fn main() {
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
     let interactive = false; // keep prompts off stdout so scripts stay clean
+    let mut failures = 0u32;
     for line in stdin.lock().lines() {
         let Ok(line) = line else { break };
         match shell.execute(&line) {
             ShellOutcome::Output(out) => {
+                if !out.is_empty() {
+                    let _ = writeln!(stdout, "{out}");
+                }
+            }
+            ShellOutcome::Failure(out) => {
+                failures += 1;
                 if !out.is_empty() {
                     let _ = writeln!(stdout, "{out}");
                 }
@@ -50,4 +57,10 @@ fn main() {
         }
     }
     shell.shutdown();
+    if failures > 0 {
+        // Health commands found drift or down nodes: scripts and CI
+        // must see that as a failed run, not a clean exit.
+        eprintln!("cpms-console: {failures} health check(s) failed");
+        std::process::exit(1);
+    }
 }

@@ -1,0 +1,256 @@
+//! The distributor as a standalone daemon: a content-aware proxy, the
+//! management controller that feeds its URL table, and an ND-JSON admin
+//! socket — the front end of a multi-process paper testbed.
+//!
+//! Usage:
+//!   cpms-proxy \[--admin ADDR\] \[--prefork N\] \[--workers N\]
+//!              <WIRE,HTTP> \[<WIRE,HTTP> ...\]
+//!
+//! Each positional argument names one backend node as a pair of
+//! addresses: the node's `cpms-broker` wire endpoint and its origin
+//! HTTP endpoint (`cpms-broker --http`'s second stdout line). The
+//! argument's position is the node id. The daemon prints one JSON ready
+//! line on stdout:
+//!
+//! ```text
+//! {"proxy": "127.0.0.1:40001", "admin": "127.0.0.1:40002", "nodes": 3}
+//! ```
+//!
+//! then serves until stdin closes or the admin socket receives
+//! `shutdown`. The admin protocol is [`cpms_mgmt::admin`]'s ND-JSON:
+//! every shell command (`publish`, `audit`, `evict`, …) plus the chaos
+//! verbs wired to per-link [`FaultSwitch`]es:
+//!
+//! ```text
+//! fault <node> loss <rate> [seed]   arm frame loss on the node's link
+//! fault <node> poison [seed]        arm frame truncation
+//! partition <node>                  cut the link entirely
+//! heal <node>                       disarm faults and reconnect
+//! metrics                           merged metrics registry as JSON
+//! generation                        current URL-table generation
+//! shutdown                          clean exit
+//! ```
+
+use cpms_httpd::ContentAwareProxy;
+use cpms_mgmt::admin::{AdminResponse, AdminServer};
+use cpms_mgmt::console::RemoteConsole;
+use cpms_mgmt::shell::{Shell, ShellOutcome};
+use cpms_mgmt::{Broker, Cluster, Controller};
+use cpms_model::NodeId;
+use cpms_obs::MetricsRegistry;
+use cpms_wire::{FaultPlan, FaultSwitch, Transport};
+use std::net::SocketAddr;
+use std::sync::{mpsc, Arc};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut admin_addr: SocketAddr = "127.0.0.1:0".parse().expect("literal addr");
+    let mut prefork: u32 = 2;
+    let mut workers: usize = 4;
+    let mut pairs: Vec<(SocketAddr, SocketAddr)> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--admin" => {
+                admin_addr = it
+                    .next()
+                    .expect("--admin needs an address")
+                    .parse()
+                    .expect("--admin address must be host:port");
+            }
+            "--prefork" => {
+                prefork = it
+                    .next()
+                    .expect("--prefork needs a number")
+                    .parse()
+                    .expect("--prefork must be a number");
+            }
+            "--workers" => {
+                workers = it
+                    .next()
+                    .expect("--workers needs a number")
+                    .parse()
+                    .expect("--workers must be a number");
+            }
+            pair => {
+                let (wire, http) = pair
+                    .split_once(',')
+                    .expect("node argument must be WIREADDR,HTTPADDR");
+                pairs.push((
+                    wire.parse().expect("wire address must be host:port"),
+                    http.parse().expect("http address must be host:port"),
+                ));
+            }
+        }
+    }
+    if pairs.is_empty() {
+        eprintln!(
+            "usage: cpms-proxy [--admin ADDR] [--prefork N] [--workers N] <WIRE,HTTP> [<WIRE,HTTP> ...]"
+        );
+        std::process::exit(2);
+    }
+
+    // One armable fault switch per controller→broker link, so chaos can
+    // be injected per node at runtime without touching the processes.
+    let mut switches: Vec<Arc<FaultSwitch>> = Vec::new();
+    let mut handles = Vec::new();
+    let backends: Vec<SocketAddr> = pairs.iter().map(|&(_, http)| http).collect();
+    for (i, &(wire, _)) in pairs.iter().enumerate() {
+        let node = NodeId(i as u16);
+        let mut slot: Option<Arc<FaultSwitch>> = None;
+        let handle = Broker::connect_wrapped(node, wire, |transport| {
+            let switch = Arc::new(FaultSwitch::new(transport));
+            slot = Some(Arc::clone(&switch));
+            switch as Arc<dyn Transport>
+        });
+        switches.push(slot.expect("wrap closure always runs"));
+        handles.push(handle);
+    }
+
+    let registry = Arc::new(MetricsRegistry::new());
+    let mut controller = Controller::new(Cluster::from_handles(handles));
+    controller.set_metrics(&registry);
+    let publisher = controller.publisher().share();
+    let proxy = ContentAwareProxy::start_with_publisher(
+        publisher,
+        backends,
+        prefork,
+        workers,
+        Arc::clone(&registry),
+    )
+    .expect("start content-aware proxy");
+
+    let mut shell = Shell::new(RemoteConsole::new(controller));
+    let (stop_tx, stop_rx) = mpsc::channel::<&'static str>();
+    let admin_stop = stop_tx.clone();
+    let admin = AdminServer::bind(admin_addr, move |cmd| {
+        dispatch(&mut shell, &switches, &admin_stop, cmd)
+    })
+    .expect("bind admin listener");
+
+    println!(
+        "{{\"proxy\": \"{}\", \"admin\": \"{}\", \"nodes\": {}}}",
+        proxy.addr(),
+        admin.addr(),
+        pairs.len()
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().expect("flush ready line");
+    eprintln!(
+        "cpms-proxy: routing for {} node(s) on {}, admin on {}",
+        pairs.len(),
+        proxy.addr(),
+        admin.addr()
+    );
+
+    // Serve until whoever holds our stdin pipe drops it, someone types
+    // `shutdown`, or the admin socket asks for it.
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match std::io::BufRead::read_line(&mut stdin.lock(), &mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) if line.trim() == "shutdown" => break,
+                Ok(_) => {}
+            }
+        }
+        let _ = stop_tx.send("stdin closed");
+    });
+    let reason = stop_rx.recv().unwrap_or("stop channel closed");
+    eprintln!("cpms-proxy: shutting down ({reason})");
+    let mut proxy = proxy;
+    let mut admin = admin;
+    admin.stop();
+    proxy.shutdown();
+}
+
+/// Handles one admin command: chaos verbs against the fault switches,
+/// daemon verbs, and everything else through the shell.
+fn dispatch(
+    shell: &mut Shell,
+    switches: &[Arc<FaultSwitch>],
+    stop: &mpsc::Sender<&'static str>,
+    cmd: &str,
+) -> AdminResponse {
+    let words: Vec<&str> = cmd.split_whitespace().collect();
+    match words.as_slice() {
+        ["fault", node, rest @ ..] => match switch_for(switches, node) {
+            Ok((node, switch)) => match rest {
+                ["loss", rate] | ["loss", rate, _] => {
+                    let Ok(rate) = rate.parse::<f64>() else {
+                        return AdminResponse::err(format!("bad loss rate {rate:?}"));
+                    };
+                    let seed = rest
+                        .get(2)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(0xC405_0000 + u64::from(node.0));
+                    switch.arm(FaultPlan::lossy(seed, rate));
+                    AdminResponse::ok(format!("armed {rate} loss on {node}"))
+                }
+                ["poison"] | ["poison", _] => {
+                    let seed = rest
+                        .get(1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(0xBAD_0000 + u64::from(node.0));
+                    switch.arm(FaultPlan::poisoned(seed));
+                    AdminResponse::ok(format!("armed poison on {node}"))
+                }
+                _ => AdminResponse::err("usage: fault <node> loss <rate> [seed] | poison [seed]"),
+            },
+            Err(e) => AdminResponse::err(e),
+        },
+        ["partition", node] => match switch_for(switches, node) {
+            Ok((node, switch)) => {
+                switch.set_partitioned(true);
+                AdminResponse::ok(format!("partitioned {node}"))
+            }
+            Err(e) => AdminResponse::err(e),
+        },
+        ["heal", node] => match switch_for(switches, node) {
+            Ok((node, switch)) => {
+                switch.disarm();
+                switch.set_partitioned(false);
+                AdminResponse::ok(format!("healed {node}"))
+            }
+            Err(e) => AdminResponse::err(e),
+        },
+        ["metrics"] => AdminResponse::ok(shell.console().controller().metrics_json()),
+        ["generation"] => AdminResponse::ok(
+            shell
+                .console()
+                .controller()
+                .publisher()
+                .generation()
+                .to_string(),
+        ),
+        ["shutdown"] => {
+            let _ = stop.send("admin shutdown");
+            AdminResponse::ok("shutting down")
+        }
+        _ => match shell.execute(cmd) {
+            ShellOutcome::Output(out) => AdminResponse::ok(out),
+            ShellOutcome::Failure(out) => AdminResponse::err(out),
+            ShellOutcome::Quit => {
+                let _ = stop.send("admin quit");
+                AdminResponse::ok("shutting down")
+            }
+        },
+    }
+}
+
+/// Resolves a `<node>` argument (`2` or `n2`) to its fault switch.
+fn switch_for<'a>(
+    switches: &'a [Arc<FaultSwitch>],
+    raw: &str,
+) -> Result<(NodeId, &'a Arc<FaultSwitch>), String> {
+    let digits = raw.strip_prefix('n').unwrap_or(raw);
+    let id: u16 = digits
+        .parse()
+        .map_err(|_| format!("bad node {raw:?} (use e.g. `2` or `n2`)"))?;
+    match switches.get(usize::from(id)) {
+        Some(switch) => Ok((NodeId(id), switch)),
+        None => Err(format!("no node {raw} in this topology")),
+    }
+}

@@ -331,9 +331,21 @@ impl Broker {
     /// lifecycle belongs to whoever started it.
     #[must_use]
     pub fn connect(node: NodeId, addr: SocketAddr) -> BrokerHandle {
+        Self::connect_wrapped(node, addr, |t| t)
+    }
+
+    /// [`Broker::connect`] with the client's transport passed through
+    /// `wrap` — the seam a chaos orchestrator uses to put an armable
+    /// [`cpms_wire::FaultSwitch`] on the link to a remote daemon.
+    #[must_use]
+    pub fn connect_wrapped(
+        node: NodeId,
+        addr: SocketAddr,
+        wrap: impl FnOnce(Arc<dyn Transport>) -> Arc<dyn Transport>,
+    ) -> BrokerHandle {
         BrokerHandle {
             node,
-            client: Self::default_client(Arc::new(TcpTransport::new(addr)), node),
+            client: Self::default_client(wrap(Arc::new(TcpTransport::new(addr))), node),
             server: None,
             remote: true,
         }

@@ -22,6 +22,7 @@ use cpms_obs::{Counter, Gauge, HistogramRecorder, MetricsRegistry};
 use cpms_store::{ShipError, ShipMetrics, Shipper, TransferScheduler};
 use cpms_urltable::{SnapshotHandle, TableError, TablePublisher, UrlEntry, UrlTable};
 use cpms_wire::WireError;
+use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
@@ -221,6 +222,31 @@ pub enum Inconsistency {
     },
 }
 
+/// What [`Controller::evict`] did to the routing image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvictReport {
+    /// The evicted node.
+    pub node: NodeId,
+    /// Table entries that lost this node as a location but stay
+    /// routable on surviving replicas.
+    pub dropped_locations: usize,
+    /// Entries removed outright because their only copy lived on the
+    /// evicted node.
+    pub lost: Vec<UrlPath>,
+}
+
+impl fmt::Display for EvictReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "evicted {}: {} location(s) dropped, {} object(s) lost",
+            self.node,
+            self.dropped_locations,
+            self.lost.len()
+        )
+    }
+}
+
 /// Metric handles the controller records management operations through.
 #[derive(Debug)]
 struct ControllerMetrics {
@@ -266,6 +292,7 @@ pub struct Controller {
     shipper: Shipper,
     sched: TransferScheduler,
     throttle: Option<Arc<cpms_store::TokenBucket>>,
+    decommissioned: HashSet<NodeId>,
 }
 
 impl Controller {
@@ -281,6 +308,7 @@ impl Controller {
             shipper,
             sched: TransferScheduler::default(),
             throttle: None,
+            decommissioned: HashSet::new(),
         }
     }
 
@@ -421,6 +449,61 @@ impl Controller {
     /// Kills one node's broker (failure injection).
     pub fn kill_node(&mut self, node: NodeId) {
         self.cluster.kill_node(node);
+    }
+
+    /// Whether `node` has been evicted from the routing image (see
+    /// [`Controller::evict`]). Auditors skip decommissioned nodes
+    /// instead of reporting them unreachable forever.
+    pub fn is_decommissioned(&self, node: NodeId) -> bool {
+        self.decommissioned.contains(&node)
+    }
+
+    /// Evicts a dead node from the single system image: every table
+    /// entry that still routes to it loses that location, entries whose
+    /// *only* copy lived there are removed outright (and reported as
+    /// lost), and the node is marked decommissioned so anti-entropy
+    /// audits stop counting it as unreachable drift. This is the
+    /// operator's response to a crashed backend: the distributor stops
+    /// sending requests at it immediately, and a follow-up `repair`
+    /// restores replication from the survivors.
+    ///
+    /// # Errors
+    ///
+    /// [`MgmtError::NoSuchNode`] if the node was never in the cluster.
+    pub fn evict(&mut self, node: NodeId) -> Result<EvictReport, MgmtError> {
+        self.timed("evict", |c| c.evict_impl(node))
+    }
+
+    fn evict_impl(&mut self, node: NodeId) -> Result<EvictReport, MgmtError> {
+        if self.cluster.broker(node).is_none() {
+            return Err(MgmtError::NoSuchNode(node));
+        }
+        let snapshot = self.table();
+        let affected: Vec<(UrlPath, usize)> = snapshot
+            .iter()
+            .filter(|(_, entry)| entry.hosted_on(node))
+            .map(|(path, entry)| (path, entry.replica_count()))
+            .collect();
+        let mut dropped_locations = 0usize;
+        let mut lost: Vec<UrlPath> = Vec::new();
+        self.publisher.update(|t| -> Result<(), TableError> {
+            for (path, replicas) in &affected {
+                if *replicas > 1 {
+                    t.remove_location(path, node)?;
+                    dropped_locations += 1;
+                } else {
+                    t.remove(path)?;
+                    lost.push(path.clone());
+                }
+            }
+            Ok(())
+        })?;
+        self.decommissioned.insert(node);
+        Ok(EvictReport {
+            node,
+            dropped_locations,
+            lost,
+        })
     }
 
     fn broker(&self, node: NodeId) -> Result<&BrokerHandle, MgmtError> {
@@ -782,6 +865,12 @@ impl Controller {
         let mut per_node: Vec<std::collections::HashMap<UrlPath, ContentId>> = Vec::new();
         for i in 0..self.cluster.len() {
             let node = NodeId(i as u16);
+            // Evicted nodes are outside the image: leftover files on
+            // their disks are expected, not orphans.
+            if self.is_decommissioned(node) {
+                per_node.push(std::collections::HashMap::new());
+                continue;
+            }
             let listing = match self
                 .cluster
                 .broker(node)
@@ -1072,6 +1161,29 @@ mod tests {
         let report = c.metrics_report();
         assert!(report.contains("mgmt_ops_total"), "{report}");
         assert!(report.contains("urltable_memory_bytes"), "{report}");
+        c.shutdown();
+    }
+
+    #[test]
+    fn evict_drops_locations_and_reports_lost() {
+        let mut c = controller(3);
+        publish(&mut c, "/shared", 1, &[0, 1]);
+        publish(&mut c, "/solo", 2, &[1]);
+        let report = c.evict(NodeId(1)).unwrap();
+        assert_eq!(report.dropped_locations, 1);
+        assert_eq!(report.lost, vec![p("/solo")]);
+        assert!(c.is_decommissioned(NodeId(1)));
+        // /shared still routable on node 0; /solo gone.
+        let table = c.table();
+        assert_eq!(
+            table.lookup(&p("/shared")).unwrap().locations(),
+            [NodeId(0)]
+        );
+        assert!(table.lookup(&p("/solo")).is_none());
+        assert!(matches!(
+            c.evict(NodeId(9)),
+            Err(MgmtError::NoSuchNode(NodeId(9)))
+        ));
         c.shutdown();
     }
 

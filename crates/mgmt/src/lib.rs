@@ -56,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admin;
 pub mod agent;
 pub mod auditor;
 pub mod autorep;
@@ -66,10 +67,11 @@ pub mod monitor;
 pub mod shell;
 pub mod store;
 
+pub use admin::{AdminClient, AdminRequest, AdminResponse, AdminServer};
 pub use agent::{Agent, AgentError, AgentOutput, AgentReply, AgentRequest, ShipAgent};
 pub use auditor::{AntiEntropyAuditor, Drift, DriftReport};
 pub use autorep::{AutoReplicator, RebalanceAction};
 pub use broker::{Broker, BrokerHandle, BrokerService};
-pub use controller::{Cluster, Controller, MgmtError, WireMode};
+pub use controller::{Cluster, Controller, EvictReport, MgmtError, WireMode};
 pub use monitor::{ClusterMonitor, NodeHealth, NodeTransportHealth};
 pub use store::{BrokerState, NodeStore, StoredFile};

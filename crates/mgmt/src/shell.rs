@@ -12,6 +12,8 @@
 //! rename <from> <to>                                move file or subtree
 //! delete <path>                                     remove everywhere
 //! touch <path>                                      push a content update
+//! evict <node>                                      drop a dead node from routing
+//! repair                                            anti-entropy repair pass
 //! ls [prefix]                                       coherent tree view
 //! status                                            per-node disk/file stats
 //! nodes                                             per-node transport health
@@ -21,6 +23,11 @@
 //! help                                              this text
 //! quit                                              exit
 //! ```
+//!
+//! Health commands (`audit`, `status`, `store`, `repair`) distinguish a
+//! healthy answer ([`ShellOutcome::Output`]) from a detected problem
+//! ([`ShellOutcome::Failure`]) so scripts and CI can turn drift or down
+//! nodes into a nonzero exit code.
 
 use crate::auditor::AntiEntropyAuditor;
 use crate::console::RemoteConsole;
@@ -35,6 +42,10 @@ use std::fmt::Write as _;
 pub enum ShellOutcome {
     /// Command executed; human-readable output to print.
     Output(String),
+    /// Command executed and *detected a problem* (drift, down nodes,
+    /// failed repairs). The text should be printed like output, but a
+    /// script driving the shell must exit nonzero.
+    Failure(String),
     /// The user asked to exit.
     Quit,
 }
@@ -170,6 +181,7 @@ impl Shell {
             }
             "status" => {
                 let mut out = String::new();
+                let mut down = 0usize;
                 for (node, status) in self.console.controller().status() {
                     match status {
                         Ok(crate::agent::AgentOutput::Status {
@@ -186,11 +198,47 @@ impl Shell {
                             let _ = writeln!(out, "{node}: unexpected reply {other:?}");
                         }
                         Err(e) => {
+                            // Evicted nodes are expected to be gone; only
+                            // unplanned absences are a health failure.
+                            if !self.console.controller().is_decommissioned(node) {
+                                down += 1;
+                            }
                             let _ = writeln!(out, "{node}: DOWN ({e})");
                         }
                     }
                 }
-                Ok(ShellOutcome::Output(out.trim_end().to_string()))
+                let out = out.trim_end().to_string();
+                if down > 0 {
+                    Ok(ShellOutcome::Failure(out))
+                } else {
+                    Ok(ShellOutcome::Output(out))
+                }
+            }
+            "evict" => {
+                let [node] = expect_args::<1>("evict", args)?;
+                let node = parse_node(node)?;
+                let report = self
+                    .console
+                    .controller_mut()
+                    .evict(node)
+                    .map_err(|e| e.to_string())?;
+                Ok(ShellOutcome::Output(report.to_string()))
+            }
+            "repair" => {
+                if !args.is_empty() {
+                    return Err("usage: repair".to_string());
+                }
+                let report = AntiEntropyAuditor::new().repair(self.console.controller_mut());
+                let mut out = String::new();
+                for (drift, reason) in &report.failed_repairs {
+                    let _ = writeln!(out, "FAILED: {drift}: {reason}");
+                }
+                let _ = write!(out, "{}", report.summary());
+                if report.failed_repairs.is_empty() && report.unreachable.is_empty() {
+                    Ok(ShellOutcome::Output(out))
+                } else {
+                    Ok(ShellOutcome::Failure(out))
+                }
             }
             "nodes" => {
                 if !args.is_empty() {
@@ -296,7 +344,11 @@ impl Shell {
                     sched.started_total()
                 );
                 let _ = write!(out, "{}", report.summary());
-                Ok(ShellOutcome::Output(out))
+                if report.is_clean() {
+                    Ok(ShellOutcome::Output(out))
+                } else {
+                    Ok(ShellOutcome::Failure(out))
+                }
             }
             "stats" => {
                 if !args.is_empty() {
@@ -324,7 +376,7 @@ impl Shell {
                     for n in &report.unreachable {
                         let _ = writeln!(out, "UNREACHABLE: {n}");
                     }
-                    Ok(ShellOutcome::Output(out.trim_end().to_string()))
+                    Ok(ShellOutcome::Failure(out.trim_end().to_string()))
                 }
             }
             "help" => Ok(ShellOutcome::Output(HELP.trim().to_string())),
@@ -351,6 +403,8 @@ offload <path> <node>
 rename <from> <to>
 delete <path>
 touch <path>
+evict <node>
+repair
 ls [prefix]
 status
 nodes
@@ -413,7 +467,14 @@ mod tests {
     fn out(shell: &mut Shell, line: &str) -> String {
         match shell.execute(line) {
             ShellOutcome::Output(s) => s,
-            ShellOutcome::Quit => panic!("unexpected quit"),
+            other => panic!("expected healthy output, got {other:?}"),
+        }
+    }
+
+    fn fail(shell: &mut Shell, line: &str) -> String {
+        match shell.execute(line) {
+            ShellOutcome::Failure(s) => s,
+            other => panic!("expected a detected failure, got {other:?}"),
         }
     }
 
@@ -545,6 +606,52 @@ mod tests {
         assert!(nodes.contains("store"), "{nodes}");
         let n0 = nodes.lines().find(|l| l.starts_with("n0")).unwrap();
         assert!(n0.contains("1obj"), "{nodes}");
+        sh.shutdown();
+    }
+
+    #[test]
+    fn audit_fails_on_drift() {
+        let mut sh = shell();
+        assert!(out(&mut sh, "publish /a.html html 600 0,1").starts_with("published"));
+        // Sabotage: delete node 1's copy behind the table's back.
+        let handle = sh.console.controller().cluster().broker(NodeId(1)).unwrap();
+        handle
+            .ship(&ShipRequest::Delete {
+                path: "/a.html".parse().unwrap(),
+            })
+            .unwrap();
+        let audit = fail(&mut sh, "audit");
+        assert!(audit.contains("missing /a.html"), "{audit}");
+        let store = fail(&mut sh, "store");
+        assert!(store.contains("drift item(s)"), "{store}");
+        // repair heals it; the follow-up audit is healthy again.
+        assert!(out(&mut sh, "repair").contains("repaired"));
+        assert!(out(&mut sh, "audit").starts_with("consistent"));
+        sh.shutdown();
+    }
+
+    #[test]
+    fn status_fails_when_a_node_is_down() {
+        let mut sh = shell();
+        sh.console.controller_mut().kill_node(NodeId(1));
+        let status = fail(&mut sh, "status");
+        assert!(status.contains("n1: DOWN"), "{status}");
+        // Evicting the dead node makes its absence expected again.
+        assert!(out(&mut sh, "evict n1").starts_with("evicted"));
+        let status = out(&mut sh, "status");
+        assert!(status.contains("n1: DOWN"), "{status}");
+        sh.shutdown();
+    }
+
+    #[test]
+    fn evict_then_repair_converges_after_kill() {
+        let mut sh = shell();
+        assert!(out(&mut sh, "publish /a.html html 600 0,1").starts_with("published"));
+        sh.console.controller_mut().kill_node(NodeId(0));
+        // Dead node makes the audit fail until the operator evicts it.
+        assert!(fail(&mut sh, "audit").contains("UNREACHABLE: n0"));
+        assert!(out(&mut sh, "evict 0").contains("1 location(s) dropped"));
+        assert!(out(&mut sh, "audit").starts_with("consistent"));
         sh.shutdown();
     }
 

@@ -70,6 +70,18 @@ impl TablePublisher {
         }
     }
 
+    /// A second publisher over the same shared snapshot state, so two
+    /// writers (e.g. the management controller and the proxy's hit-ledger
+    /// flush) can mutate one logical table. Safe because `update` holds
+    /// the shared write lock across the whole clone → mutate → publish
+    /// sequence: concurrent updates from sibling publishers serialize
+    /// rather than losing whichever publishes first.
+    pub fn share(&self) -> TablePublisher {
+        TablePublisher {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
     /// The current snapshot.
     pub fn snapshot(&self) -> Arc<UrlTable> {
         Arc::clone(&self.shared.current.read())
@@ -354,6 +366,20 @@ mod tests {
         assert_eq!(stats.repins, 1);
         assert!((stats.cache_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
         assert!(stats.memory_bytes > 0);
+    }
+
+    #[test]
+    fn shared_publishers_mutate_one_table() {
+        let publisher = TablePublisher::default();
+        let sibling = publisher.share();
+        let handle = publisher.handle();
+        publisher.update(|t| t.insert(p("/a"), e(1))).unwrap();
+        sibling.update(|t| t.insert(p("/b"), e(2))).unwrap();
+        // Both writes landed in the same snapshot sequence.
+        let table = handle.load();
+        assert!(table.lookup(&p("/a")).is_some());
+        assert!(table.lookup(&p("/b")).is_some());
+        assert_eq!(publisher.generation(), sibling.generation());
     }
 
     #[test]

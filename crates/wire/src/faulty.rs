@@ -221,6 +221,96 @@ impl Transport for FaultyTransport {
     }
 }
 
+/// A [`Transport`] wrapper whose faults can be armed, re-armed, and
+/// cleared at runtime — the process-level face of [`FaultyTransport`]
+/// for chaos orchestration. A daemon installs one switch per peer link
+/// at startup; an admin verb later arms a [`FaultPlan`] on it (loss,
+/// poison) or hard-partitions the link, without restarting anything.
+///
+/// Partition takes precedence over any armed plan and surfaces as
+/// [`WireError::Unavailable`], which the management layers above map to
+/// "broker unreachable" — exactly what a severed network looks like.
+pub struct FaultSwitch {
+    inner: Arc<dyn Transport>,
+    armed: std::sync::RwLock<Option<Arc<FaultyTransport>>>,
+    partitioned: std::sync::atomic::AtomicBool,
+}
+
+impl fmt::Debug for FaultSwitch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultSwitch")
+            .field("partitioned", &self.is_partitioned())
+            .field("armed", &self.armed_stats().is_some())
+            .finish()
+    }
+}
+
+impl FaultSwitch {
+    /// Wraps `inner` with no faults armed: calls pass straight through.
+    #[must_use]
+    pub fn new(inner: Arc<dyn Transport>) -> Self {
+        FaultSwitch {
+            inner,
+            armed: std::sync::RwLock::new(None),
+            partitioned: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Arms `plan` on this link, replacing any previous plan (and its
+    /// fault stream — the new plan's seed restarts determinism).
+    pub fn arm(&self, plan: FaultPlan) {
+        let faulty = Arc::new(FaultyTransport::new(Arc::clone(&self.inner), plan));
+        *self.armed.write().expect("fault switch lock") = Some(faulty);
+    }
+
+    /// Clears any armed plan; the partition flag is left alone.
+    pub fn disarm(&self) {
+        *self.armed.write().expect("fault switch lock") = None;
+    }
+
+    /// Severs (or restores) the link outright.
+    pub fn set_partitioned(&self, on: bool) {
+        self.partitioned.store(on, Ordering::Release);
+    }
+
+    /// Whether the link is currently severed.
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioned.load(Ordering::Acquire)
+    }
+
+    /// Fault counts of the currently armed plan, if any.
+    pub fn armed_stats(&self) -> Option<FaultStats> {
+        self.armed
+            .read()
+            .expect("fault switch lock")
+            .as_ref()
+            .map(|f| f.stats())
+    }
+}
+
+impl Transport for FaultSwitch {
+    fn call(&self, request: &[u8], deadline: Duration) -> Result<Vec<u8>, WireError> {
+        if self.is_partitioned() {
+            return Err(WireError::Unavailable {
+                detail: "link partitioned by fault switch".to_string(),
+            });
+        }
+        let armed = self.armed.read().expect("fault switch lock").clone();
+        match armed {
+            Some(faulty) => faulty.call(request, deadline),
+            None => self.inner.call(request, deadline),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        "switch"
+    }
+
+    fn reconnects(&self) -> u64 {
+        self.inner.reconnects()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,6 +421,35 @@ mod tests {
         assert!(stats.retries > 0, "30% loss must have forced retries");
         let faults = faulty.stats();
         assert!(faults.dropped_requests + faults.dropped_responses > 10);
+        server.stop();
+    }
+
+    #[test]
+    fn fault_switch_arms_partitions_and_heals() {
+        let (t, mut server) = InProcServer::spawn(echo());
+        let switch = FaultSwitch::new(Arc::new(t));
+        // Clean by default.
+        assert_eq!(
+            switch.call(b"a", Duration::from_secs(1)).unwrap(),
+            b"a".to_vec()
+        );
+        assert!(switch.armed_stats().is_none());
+        // Armed poison truncates every frame.
+        switch.arm(FaultPlan::poisoned(7));
+        let err = switch.call(b"b", Duration::from_secs(1)).unwrap_err();
+        assert!(matches!(err, WireError::Truncated { .. }), "{err:?}");
+        assert_eq!(switch.armed_stats().unwrap().truncated, 1);
+        // Partition wins over the armed plan and is typed Unavailable.
+        switch.set_partitioned(true);
+        let err = switch.call(b"c", Duration::from_secs(1)).unwrap_err();
+        assert!(matches!(err, WireError::Unavailable { .. }), "{err:?}");
+        // Healing restores clean passthrough.
+        switch.set_partitioned(false);
+        switch.disarm();
+        assert_eq!(
+            switch.call(b"d", Duration::from_secs(1)).unwrap(),
+            b"d".to_vec()
+        );
         server.stop();
     }
 

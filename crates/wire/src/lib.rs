@@ -48,5 +48,5 @@ pub mod transport;
 
 pub use client::{Client, ClientStats, RetryPolicy};
 pub use error::WireError;
-pub use faulty::{FaultPlan, FaultStats, FaultyTransport};
+pub use faulty::{FaultPlan, FaultStats, FaultSwitch, FaultyTransport};
 pub use transport::{InProcServer, InProcTransport, Service, TcpServer, TcpTransport, Transport};

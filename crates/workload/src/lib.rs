@@ -43,6 +43,7 @@
 
 pub mod corpus;
 pub mod sampler;
+pub mod shapes;
 pub mod sizes;
 pub mod spec;
 pub mod trace;
@@ -50,6 +51,7 @@ pub mod zipf;
 
 pub use corpus::{Corpus, CorpusBuilder};
 pub use sampler::RequestSampler;
+pub use shapes::{Diurnal, FlashCrowd, FlashSpec};
 pub use sizes::SizeModel;
 pub use spec::{ClassMix, WorkloadSpec};
 pub use trace::Trace;

@@ -1,0 +1,247 @@
+//! Time-shaped request streams: flash crowds and diurnal drift.
+//!
+//! [`ZipfSampler`] models a *stationary* popularity distribution, but the
+//! paper's motivation for runtime content management (§1, §3.3) is that
+//! real traffic is not stationary: breaking news concentrates load on a
+//! handful of objects for a window (a flash crowd), and interest rotates
+//! across the object population over the day (diurnal drift). These
+//! generators layer those effects over a Zipf base while staying fully
+//! deterministic per seed — the same seed replays the identical request
+//! stream, which is what a chaos-lab assertion harness needs.
+
+use crate::zipf::ZipfSampler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The burst window of a [`FlashCrowd`], in request indices.
+#[derive(Debug, Clone, Copy)]
+pub struct FlashSpec {
+    /// Request index at which the burst begins.
+    pub burst_start: usize,
+    /// Burst duration in requests.
+    pub burst_len: usize,
+    /// Size of the hot set: the burst concentrates on objects `0..hot_set`.
+    pub hot_set: usize,
+    /// Probability, inside the burst, that a request goes to the hot set
+    /// (uniformly) instead of the Zipf base. `0.0` disables the burst.
+    pub boost: f64,
+}
+
+/// A Zipf base stream with a flash-crowd window: for requests inside
+/// `[burst_start, burst_start + burst_len)`, a `boost` fraction of the
+/// traffic is redirected uniformly onto the `hot_set` most popular
+/// objects. Outside the window the stream is plain Zipf.
+#[derive(Debug, Clone)]
+pub struct FlashCrowd {
+    base: ZipfSampler,
+    spec: FlashSpec,
+    rng: StdRng,
+    issued: usize,
+}
+
+impl FlashCrowd {
+    /// A flash-crowd stream over `n` objects with Zipf skew `alpha`,
+    /// deterministic per `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` (via [`ZipfSampler::new`]), if `spec.hot_set`
+    /// is zero or exceeds `n`, or if `spec.boost` is outside `[0, 1]`.
+    pub fn new(n: usize, alpha: f64, seed: u64, spec: FlashSpec) -> Self {
+        assert!(
+            spec.hot_set >= 1 && spec.hot_set <= n,
+            "hot set must be within the object population"
+        );
+        assert!((0.0..=1.0).contains(&spec.boost), "boost is a probability");
+        FlashCrowd {
+            base: ZipfSampler::new(n, alpha),
+            spec,
+            rng: StdRng::seed_from_u64(seed),
+            issued: 0,
+        }
+    }
+
+    /// Whether the *next* request falls inside the burst window.
+    pub fn in_burst(&self) -> bool {
+        self.issued >= self.spec.burst_start
+            && self.issued < self.spec.burst_start + self.spec.burst_len
+    }
+
+    /// Requests issued so far.
+    pub fn issued(&self) -> usize {
+        self.issued
+    }
+
+    /// The next request's object rank (rank 0 is the most popular).
+    pub fn next_rank(&mut self) -> usize {
+        // Draw both decisions every step so the stream stays aligned
+        // whether or not the burst window is active — determinism holds
+        // across spec tweaks, matching FaultyTransport's discipline.
+        let redirect: f64 = self.rng.gen();
+        let hot = self.rng.gen_range(0..self.spec.hot_set as u64) as usize;
+        let base = self.base.sample(&mut self.rng);
+        let in_burst = self.in_burst();
+        self.issued += 1;
+        if in_burst && redirect < self.spec.boost {
+            hot
+        } else {
+            base
+        }
+    }
+}
+
+impl Iterator for FlashCrowd {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        Some(self.next_rank())
+    }
+}
+
+/// Diurnal drift: a Zipf stream whose identity mapping rotates every
+/// `period` requests, so the *shape* of popularity is constant but
+/// *which* objects are hot moves across the population — the "interest
+/// rotates over the day" effect that forces placement to adapt.
+#[derive(Debug, Clone)]
+pub struct Diurnal {
+    base: ZipfSampler,
+    rng: StdRng,
+    period: usize,
+    shift: usize,
+    issued: usize,
+}
+
+impl Diurnal {
+    /// A diurnal stream over `n` objects with Zipf skew `alpha`: every
+    /// `period` requests the hot set rotates forward by `shift` objects.
+    /// Deterministic per `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` (via [`ZipfSampler::new`]) or `period == 0`.
+    pub fn new(n: usize, alpha: f64, seed: u64, period: usize, shift: usize) -> Self {
+        assert!(period > 0, "a diurnal phase needs at least one request");
+        Diurnal {
+            base: ZipfSampler::new(n, alpha),
+            rng: StdRng::seed_from_u64(seed),
+            period,
+            shift,
+            issued: 0,
+        }
+    }
+
+    /// The current phase index (how many rotations have happened).
+    pub fn phase(&self) -> usize {
+        self.issued / self.period
+    }
+
+    /// The object that is currently the most popular (rank 0 after the
+    /// phase rotation).
+    pub fn hottest(&self) -> usize {
+        (self.phase() * self.shift) % self.base.len()
+    }
+
+    /// Requests issued so far.
+    pub fn issued(&self) -> usize {
+        self.issued
+    }
+
+    /// The next request's object index.
+    pub fn next_object(&mut self) -> usize {
+        let rank = self.base.sample(&mut self.rng);
+        let rotated = (rank + self.phase() * self.shift) % self.base.len();
+        self.issued += 1;
+        rotated
+    }
+}
+
+impl Iterator for Diurnal {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        Some(self.next_object())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> FlashSpec {
+        FlashSpec {
+            burst_start: 100,
+            burst_len: 200,
+            hot_set: 5,
+            boost: 0.9,
+        }
+    }
+
+    #[test]
+    fn flash_crowd_same_seed_identical_stream() {
+        let a: Vec<usize> = FlashCrowd::new(500, 0.8, 42, spec()).take(1000).collect();
+        let b: Vec<usize> = FlashCrowd::new(500, 0.8, 42, spec()).take(1000).collect();
+        assert_eq!(a, b);
+        let c: Vec<usize> = FlashCrowd::new(500, 0.8, 43, spec()).take(1000).collect();
+        assert_ne!(a, c, "a different seed must change the stream");
+    }
+
+    #[test]
+    fn burst_concentrates_on_hot_set() {
+        let stream: Vec<usize> = FlashCrowd::new(500, 0.8, 7, spec()).take(300).collect();
+        let hot_in_burst = stream[100..300].iter().filter(|&&r| r < 5).count();
+        let hot_before = stream[..100].iter().filter(|&&r| r < 5).count();
+        // 90% of 200 burst requests redirect to the hot set, on top of
+        // whatever the Zipf base already puts there.
+        assert!(hot_in_burst > 160, "burst hot hits: {hot_in_burst}");
+        // Outside the burst the hot-set share is just the Zipf head.
+        assert!(hot_before < 80, "pre-burst hot hits: {hot_before}");
+    }
+
+    #[test]
+    fn zero_boost_degenerates_to_zipf() {
+        let mut flat = spec();
+        flat.boost = 0.0;
+        let a: Vec<usize> = FlashCrowd::new(200, 0.9, 9, flat).take(500).collect();
+        let b: Vec<usize> = FlashCrowd::new(200, 0.9, 9, spec()).take(500).collect();
+        // Identical outside the window (same draws), divergent inside.
+        assert_eq!(a[..100], b[..100]);
+        assert_ne!(a[100..300], b[100..300]);
+    }
+
+    #[test]
+    fn diurnal_same_seed_identical_stream() {
+        let a: Vec<usize> = Diurnal::new(300, 0.8, 11, 50, 75).take(400).collect();
+        let b: Vec<usize> = Diurnal::new(300, 0.8, 11, 50, 75).take(400).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn diurnal_rotates_the_hot_set() {
+        let mut d = Diurnal::new(300, 1.0, 3, 1000, 100);
+        let mut phase_tops: Vec<usize> = Vec::new();
+        for phase in 0..3 {
+            assert_eq!(d.phase(), phase);
+            assert_eq!(d.hottest(), phase * 100);
+            let mut counts = vec![0u32; 300];
+            for _ in 0..1000 {
+                counts[d.next_object()] += 1;
+            }
+            let top = counts
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &c)| c)
+                .map(|(i, _)| i)
+                .unwrap();
+            phase_tops.push(top);
+        }
+        assert_eq!(phase_tops, vec![0, 100, 200], "hot object moved each phase");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_boost_panics() {
+        let mut s = spec();
+        s.boost = 1.5;
+        let _ = FlashCrowd::new(10, 0.8, 1, s);
+    }
+}

@@ -2,7 +2,9 @@
 
 use cpms_model::RequestClass;
 use cpms_workload::corpus::KindFractions;
-use cpms_workload::{CorpusBuilder, RequestSampler, Trace, WorkloadSpec, ZipfSampler};
+use cpms_workload::{
+    CorpusBuilder, Diurnal, FlashCrowd, FlashSpec, RequestSampler, Trace, WorkloadSpec, ZipfSampler,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -109,5 +111,114 @@ proptest! {
             .count();
         let got = n_html as f64 / corpus.len() as f64;
         prop_assert!((got - html).abs() < 0.05, "asked {html:.2}, got {got:.2}");
+    }
+}
+
+/// Least-squares slope of `ln(freq)` against `ln(rank + 1)` over the top
+/// `ranks` ranks — the log-log rank-frequency line a Zipf stream must
+/// follow with slope `-alpha`.
+fn log_log_slope(counts: &[u64], ranks: usize) -> f64 {
+    let points: Vec<(f64, f64)> = counts
+        .iter()
+        .take(ranks)
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(r, &c)| (((r + 1) as f64).ln(), (c as f64).ln()))
+        .collect();
+    let n = points.len() as f64;
+    let (sx, sy): (f64, f64) = points
+        .iter()
+        .fold((0.0, 0.0), |(a, b), &(x, y)| (a + x, b + y));
+    let (sxx, sxy): (f64, f64) = points
+        .iter()
+        .fold((0.0, 0.0), |(a, b), &(x, y)| (a + x * x, b + x * y));
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Seeded determinism: a flash-crowd stream replays identically for
+    /// the same seed — the contract the chaos lab's trace replay relies
+    /// on — and every rank stays inside the population.
+    #[test]
+    fn flash_crowd_replays_identically(seed in 0u64..10_000, hot in 1usize..8) {
+        let spec = FlashSpec { burst_start: 50, burst_len: 100, hot_set: hot, boost: 0.75 };
+        let a: Vec<usize> = FlashCrowd::new(200, 0.9, seed, spec).take(300).collect();
+        let b: Vec<usize> = FlashCrowd::new(200, 0.9, seed, spec).take(300).collect();
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.iter().all(|&r| r < 200));
+    }
+
+    /// Seeded determinism and range safety for the diurnal generator,
+    /// across arbitrary period/shift geometry.
+    #[test]
+    fn diurnal_replays_identically(
+        seed in 0u64..10_000,
+        period in 1usize..500,
+        shift in 0usize..600,
+    ) {
+        let a: Vec<usize> = Diurnal::new(150, 0.8, seed, period, shift).take(400).collect();
+        let b: Vec<usize> = Diurnal::new(150, 0.8, seed, period, shift).take(400).collect();
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.iter().all(|&o| o < 150));
+    }
+
+    /// Distribution shape: the sampled rank-frequency line of a Zipf
+    /// stream has log-log slope ≈ -alpha over the head of the ranking.
+    #[test]
+    fn zipf_rank_frequency_slope_matches_alpha(seed in 0u64..10_000) {
+        let alpha = 0.8;
+        let z = ZipfSampler::new(1_000, alpha);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0u64; 1_000];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let slope = log_log_slope(&counts, 50);
+        prop_assert!(
+            (slope + alpha).abs() < 0.15,
+            "log-log slope {slope:.3} should be ≈ -{alpha}"
+        );
+    }
+
+    /// Distribution shape: inside the burst window the hot set absorbs
+    /// at least the boost share of traffic (the Zipf base only adds to
+    /// it); outside the window the stream stays un-boosted Zipf.
+    #[test]
+    fn flash_crowd_burst_concentrates(seed in 0u64..10_000, hot in 1usize..6) {
+        let spec = FlashSpec { burst_start: 200, burst_len: 600, hot_set: hot, boost: 0.85 };
+        let stream: Vec<usize> = FlashCrowd::new(500, 0.7, seed, spec).take(800).collect();
+        let hot_share = |window: &[usize]| {
+            window.iter().filter(|&&r| r < hot).count() as f64 / window.len() as f64
+        };
+        let in_burst = hot_share(&stream[200..800]);
+        prop_assert!(in_burst > 0.75, "burst hot share {in_burst:.2} for hot_set {hot}");
+        // The plain-Zipf warm-up cannot be as concentrated as the burst
+        // unless the hot set already covers most of the head.
+        let before = hot_share(&stream[..200]);
+        prop_assert!(before < in_burst, "pre-burst {before:.2} vs burst {in_burst:.2}");
+    }
+
+    /// Distribution shape: each diurnal phase's announced hottest object
+    /// dominates a far-away (population-distant) object's hit count.
+    #[test]
+    fn diurnal_hot_set_tracks_rotation(seed in 0u64..10_000) {
+        let n = 400;
+        let mut d = Diurnal::new(n, 1.1, seed, 600, 97);
+        for _ in 0..3 {
+            let hottest = d.hottest();
+            let mut counts = vec![0u64; n];
+            for _ in 0..600 {
+                counts[d.next_object()] += 1;
+            }
+            let far = (hottest + n / 2) % n;
+            prop_assert!(
+                counts[hottest] > counts[far],
+                "hot {hottest} ({}) must beat far {far} ({})",
+                counts[hottest],
+                counts[far]
+            );
+        }
     }
 }

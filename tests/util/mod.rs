@@ -1,0 +1,69 @@
+//! Shared deflaking helpers for the wire-facing integration suites:
+//! whole-test deadlines (a wedged daemon or lost wakeup fails fast with
+//! a message instead of hanging the build) and bounded retry budgets
+//! that record every failed attempt for the panic diagnostics.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Runs `body` under a whole-test deadline on a named watchdog thread.
+/// Panics from the body propagate unchanged; blowing the deadline
+/// panics with `label` so a hung test names itself instead of eating
+/// the harness timeout.
+pub fn with_deadline<T: Send + 'static>(
+    label: &str,
+    deadline: Duration,
+    body: impl FnOnce() -> T + Send + 'static,
+) -> T {
+    let (done_tx, done_rx) = mpsc::channel();
+    let worker = std::thread::Builder::new()
+        .name(label.to_string())
+        .spawn(move || {
+            let out = body();
+            let _ = done_tx.send(());
+            out
+        })
+        .expect("spawn watchdog worker");
+    match done_rx.recv_timeout(deadline) {
+        // Finished (sender used) or panicked (sender dropped): join to
+        // collect the value or re-raise the panic.
+        Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => match worker.join() {
+            Ok(value) => value,
+            Err(panic) => std::panic::resume_unwind(panic),
+        },
+        Err(mpsc::RecvTimeoutError::Timeout) => panic!(
+            "{label}: exceeded its {deadline:?} whole-test deadline — \
+             likely a wedged wire retry or an unreaped daemon"
+        ),
+    }
+}
+
+/// Retries a fallible step up to `budget` times with a short backoff,
+/// collecting each failure. Exhausting the budget panics with the full
+/// attempt history so a flaky wire leaves evidence, not a bare unwrap.
+pub fn retry<T, E: std::fmt::Debug>(
+    label: &str,
+    budget: u32,
+    mut attempt: impl FnMut() -> Result<T, E>,
+) -> T {
+    assert!(budget > 0, "retry budget must allow at least one attempt");
+    let mut failures: Vec<String> = Vec::new();
+    for round in 1..=budget {
+        match attempt() {
+            Ok(value) => {
+                if round > 1 {
+                    eprintln!("{label}: succeeded on attempt {round}/{budget}");
+                }
+                return value;
+            }
+            Err(e) => {
+                failures.push(format!("attempt {round}: {e:?}"));
+                std::thread::sleep(Duration::from_millis(25 * u64::from(round)));
+            }
+        }
+    }
+    panic!(
+        "{label}: retry budget of {budget} exhausted:\n  {}",
+        failures.join("\n  ")
+    );
+}
