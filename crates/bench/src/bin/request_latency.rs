@@ -82,6 +82,62 @@ fn sample_rank(cdf: &[f64], rng: &mut StdRng) -> usize {
     cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
 }
 
+/// Client-side latency summary of one workload arm, measured at the
+/// socket so it is independent of the server's own histograms (which
+/// accumulate across passes).
+struct PassStats {
+    mean_ns: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+impl PassStats {
+    fn of(mut samples: Vec<u64>) -> PassStats {
+        samples.sort_unstable();
+        let total: u128 = samples.iter().map(|&n| u128::from(n)).sum();
+        let at = |q: f64| samples[((samples.len() - 1) as f64 * q) as usize];
+        PassStats {
+            mean_ns: total as f64 / samples.len() as f64,
+            p50_ns: at(0.50),
+            p99_ns: at(0.99),
+        }
+    }
+}
+
+/// Replays one round of the Zipf workload, appending one end-to-end
+/// latency sample per request across all clients.
+fn drive_round(
+    addr: std::net::SocketAddr,
+    config: &Config,
+    cdf: &[f64],
+    paths: &[String],
+    seed_base: u64,
+    into: &mut Vec<u64>,
+) {
+    let samples = std::sync::Mutex::new(Vec::with_capacity(
+        config.clients * config.requests_per_client,
+    ));
+    std::thread::scope(|scope| {
+        for client_idx in 0..config.clients {
+            let samples = &samples;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed_base + client_idx as u64);
+                let mut client = HttpClient::connect(addr).unwrap();
+                let mut local = Vec::with_capacity(config.requests_per_client);
+                for _ in 0..config.requests_per_client {
+                    let path = &paths[sample_rank(cdf, &mut rng)];
+                    let start = std::time::Instant::now();
+                    let response = client.get(path).expect("request succeeds");
+                    local.push(start.elapsed().as_nanos() as u64);
+                    assert_eq!(response.status, 200, "GET {path}");
+                }
+                samples.lock().unwrap().extend(local);
+            });
+        }
+    });
+    into.extend(samples.into_inner().unwrap());
+}
+
 fn main() {
     let config = Config::from_args();
     let registry = Arc::new(MetricsRegistry::new());
@@ -191,6 +247,55 @@ fn main() {
         );
     }
 
+    // --- tracing overhead: the same workload with span recording off
+    // vs on, timed at the client. The two arms alternate round by round
+    // so scheduler drift on a shared box cancels instead of biasing
+    // whichever arm ran later.
+    const OVERHEAD_ROUNDS: u64 = 4;
+    let lookup_totals = || {
+        let s = registry.snapshot();
+        let s = s.histogram("urltable_lookup_ns").expect("lookup histogram");
+        (s.count, s.sum)
+    };
+    let mut untraced_samples = Vec::new();
+    let mut traced_samples = Vec::new();
+    let mut lookup = [(0u64, 0u64); 2]; // (count, sum_ns) per arm
+    for round in 0..OVERHEAD_ROUNDS {
+        for (arm, (samples, seed)) in [
+            (&mut untraced_samples, 1_000 + round * 100),
+            (&mut traced_samples, 2_000 + round * 100),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            registry.spans().set_enabled(arm == 1);
+            let before = lookup_totals();
+            drive_round(addr, &config, &cdf, &paths, seed, samples);
+            let after = lookup_totals();
+            lookup[arm].0 += after.0 - before.0;
+            lookup[arm].1 += after.1 - before.1;
+        }
+    }
+    let untraced = PassStats::of(untraced_samples);
+    let traced = PassStats::of(traced_samples);
+    let overhead = traced.mean_ns / untraced.mean_ns - 1.0;
+    let lookup_mean = |arm: usize| lookup[arm].1 as f64 / lookup[arm].0.max(1) as f64;
+    let lookup_overhead = lookup_mean(1) / lookup_mean(0) - 1.0;
+    println!(
+        "\ntracing overhead — end-to-end: untraced mean={:.1}us p99={:.1}us, traced mean={:.1}us p99={:.1}us ({:+.2}% mean)",
+        untraced.mean_ns / 1000.0,
+        us(untraced.p99_ns),
+        traced.mean_ns / 1000.0,
+        us(traced.p99_ns),
+        overhead * 100.0
+    );
+    println!(
+        "tracing overhead — url-table lookup stage: untraced mean={:.2}us, traced mean={:.2}us ({:+.2}% mean)",
+        lookup_mean(0) / 1000.0,
+        lookup_mean(1) / 1000.0,
+        lookup_overhead * 100.0
+    );
+
     if config.smoke {
         smoke_check(&proxy, &snapshot.histograms);
         println!("\nsmoke ok: all metric families present on both surfaces");
@@ -225,6 +330,22 @@ fn main() {
         "cache_hits": snapshot.counter("urltable_cache_hits_total"),
         "cache_misses": snapshot.counter("urltable_cache_misses_total"),
         "histograms": serde_json::Value::Object(histograms),
+        "tracing": {
+            "untraced": {
+                "mean_ns": untraced.mean_ns,
+                "p50_ns": untraced.p50_ns,
+                "p99_ns": untraced.p99_ns,
+                "lookup_mean_ns": lookup_mean(0),
+            },
+            "traced": {
+                "mean_ns": traced.mean_ns,
+                "p50_ns": traced.p50_ns,
+                "p99_ns": traced.p99_ns,
+                "lookup_mean_ns": lookup_mean(1),
+            },
+            "mean_overhead_ratio": traced.mean_ns / untraced.mean_ns,
+            "lookup_mean_overhead_ratio": lookup_mean(1) / lookup_mean(0),
+        },
     });
     std::fs::create_dir_all("bench_results").expect("create bench_results dir");
     std::fs::write(

@@ -4,7 +4,12 @@
 //! all the 1999-era exchange needs.
 
 use cpms_model::UrlPath;
+use cpms_obs::TraceContext;
 use std::io::{self, BufRead, Write};
+
+/// The request header carrying a distributed-trace context on the
+/// proxy→origin relay path (see [`TraceContext::to_header`]).
+pub const TRACE_HEADER: &str = "x-cpms-trace";
 
 /// A parsed HTTP request head.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,6 +24,10 @@ pub struct Request {
     pub http10: bool,
     /// Whether the connection should stay open after this exchange.
     pub keep_alive: bool,
+    /// The distributed-trace context carried by an [`TRACE_HEADER`]
+    /// header, if a valid one was present. A malformed value degrades
+    /// to `None` — bad tracing must never fail a request.
+    pub trace: Option<TraceContext>,
 }
 
 /// A parsed HTTP response head plus body.
@@ -91,8 +100,9 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ParseError> {
         .parse()
         .map_err(|_| ParseError::Malformed("bad path"))?;
 
-    // Headers: we only care about Connection.
+    // Headers: we care about Connection and the trace context.
     let mut keep_alive = !http10;
+    let mut trace = None;
     loop {
         let mut header = String::new();
         if reader.read_line(&mut header)? == 0 {
@@ -110,6 +120,8 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ParseError> {
                 } else if value.eq_ignore_ascii_case("keep-alive") {
                     keep_alive = true;
                 }
+            } else if name.eq_ignore_ascii_case(TRACE_HEADER) {
+                trace = TraceContext::from_header(value);
             }
         }
     }
@@ -118,6 +130,7 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ParseError> {
         path,
         http10,
         keep_alive,
+        trace,
     })
 }
 
@@ -128,10 +141,31 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, ParseError> {
 ///
 /// I/O errors from the writer.
 pub fn write_request<W: Write>(writer: &mut W, path: &UrlPath) -> io::Result<()> {
-    write!(
-        writer,
-        "GET {path} HTTP/1.1\r\nHost: cpms\r\nConnection: keep-alive\r\n\r\n"
-    )?;
+    write_request_traced(writer, path, None)
+}
+
+/// [`write_request`] plus an optional [`TRACE_HEADER`] carrying the
+/// given trace context to the backend.
+///
+/// # Errors
+///
+/// I/O errors from the writer.
+pub fn write_request_traced<W: Write>(
+    writer: &mut W,
+    path: &UrlPath,
+    trace: Option<&TraceContext>,
+) -> io::Result<()> {
+    // Assemble the head first: `write!` straight into an unbuffered
+    // socket issues one syscall (and, with nodelay, one TCP segment)
+    // per format fragment, which the trace header would multiply.
+    let head = match trace {
+        Some(ctx) => format!(
+            "GET {path} HTTP/1.1\r\nHost: cpms\r\nConnection: keep-alive\r\n{TRACE_HEADER}: {}\r\n\r\n",
+            ctx.to_header()
+        ),
+        None => format!("GET {path} HTTP/1.1\r\nHost: cpms\r\nConnection: keep-alive\r\n\r\n"),
+    };
+    writer.write_all(head.as_bytes())?;
     writer.flush()
 }
 
@@ -285,6 +319,28 @@ mod tests {
         let req = read_request(&mut BufReader::new(&wire[..])).unwrap();
         assert_eq!(req.path, path);
         assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn trace_header_round_trips_and_degrades() {
+        let ctx = TraceContext::root(true).child();
+        let mut wire = Vec::new();
+        let path: UrlPath = "/traced.html".parse().unwrap();
+        write_request_traced(&mut wire, &path, Some(&ctx)).unwrap();
+        let req = read_request(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(req.trace, Some(ctx));
+        assert!(req.keep_alive);
+
+        // No header → no context.
+        let mut wire = Vec::new();
+        write_request(&mut wire, &path).unwrap();
+        let req = read_request(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(req.trace, None);
+
+        // A malformed value degrades to untraced, never an error.
+        let raw = b"GET / HTTP/1.1\r\nx-cpms-trace: not-a-context\r\n\r\n";
+        let req = read_request(&mut BufReader::new(&raw[..])).unwrap();
+        assert_eq!(req.trace, None);
     }
 
     #[test]

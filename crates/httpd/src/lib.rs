@@ -54,6 +54,7 @@ pub mod origin;
 pub mod pool;
 pub mod proxy;
 
+pub use http::TRACE_HEADER;
 pub use l4proxy::L4Proxy;
 pub use origin::{OriginServer, SiteContent};
-pub use proxy::{ContentAwareProxy, METRICS_JSON_PATH, METRICS_PATH};
+pub use proxy::{ContentAwareProxy, METRICS_JSON_PATH, METRICS_PATH, TRACE_JSON_PATH};

@@ -10,6 +10,7 @@
 
 use crate::http::{read_request, write_response, ParseError};
 use cpms_model::{NodeId, UrlPath};
+use cpms_obs::{MetricsRegistry, ScopedTrace, SpanCollector, TracedSpan};
 use cpms_store::ContentStore;
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -89,6 +90,7 @@ pub struct OriginServer {
     content: Arc<RwLock<SiteContent>>,
     stop: Arc<AtomicBool>,
     served: Arc<AtomicU64>,
+    registry: Arc<MetricsRegistry>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -110,6 +112,23 @@ impl OriginServer {
     ///
     /// I/O errors from binding the listener.
     pub fn start(node: NodeId, content: SiteContent) -> io::Result<OriginServer> {
+        Self::start_with_registry(node, content, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// [`OriginServer::start`] recording into a caller-supplied registry:
+    /// requests that arrive with an `x-cpms-trace` header (the proxy's
+    /// relay path) record `origin.request` spans into the registry's
+    /// [`SpanCollector`], so a daemon hosting both a broker and an origin
+    /// exports one trace surface for the whole process.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding the listener.
+    pub fn start_with_registry(
+        node: NodeId,
+        content: SiteContent,
+        registry: Arc<MetricsRegistry>,
+    ) -> io::Result<OriginServer> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let content = Arc::new(RwLock::new(content));
@@ -120,6 +139,7 @@ impl OriginServer {
             let content = Arc::clone(&content);
             let stop = Arc::clone(&stop);
             let served = Arc::clone(&served);
+            let spans = Arc::clone(registry.spans());
             std::thread::Builder::new()
                 .name(format!("origin-{node}"))
                 .spawn(move || {
@@ -130,10 +150,11 @@ impl OriginServer {
                         let Ok(stream) = stream else { continue };
                         let content = Arc::clone(&content);
                         let served = Arc::clone(&served);
+                        let spans = Arc::clone(&spans);
                         let _ = std::thread::Builder::new()
                             .name("origin-conn".to_string())
                             .spawn(move || {
-                                let _ = serve_connection(stream, node, &content, &served);
+                                let _ = serve_connection(stream, node, &content, &served, &spans);
                             });
                     }
                 })?
@@ -145,6 +166,7 @@ impl OriginServer {
             content,
             stop,
             served,
+            registry,
             accept_thread: Some(accept_thread),
         })
     }
@@ -162,6 +184,12 @@ impl OriginServer {
     /// Requests served so far (across all connections).
     pub fn served(&self) -> u64 {
         self.served.load(Ordering::Relaxed)
+    }
+
+    /// The registry this origin records trace spans into. Fresh unless
+    /// the caller supplied one via [`OriginServer::start_with_registry`].
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// Adds or replaces a static file while running (content management
@@ -200,6 +228,7 @@ fn serve_connection(
     node: NodeId,
     content: &RwLock<SiteContent>,
     served: &AtomicU64,
+    spans: &SpanCollector,
 ) -> io::Result<()> {
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -229,6 +258,24 @@ fn serve_connection(
             }
             return Ok(());
         }
+        if request.path.as_str() == crate::proxy::TRACE_JSON_PATH {
+            let body = spans.to_json();
+            write_response(&mut writer, 200, body.as_bytes(), keep_alive)?;
+            if keep_alive {
+                continue;
+            }
+            return Ok(());
+        }
+        // An inbound `x-cpms-trace` header (the proxy's relay hop) makes
+        // this exchange part of a distributed trace: the origin's span
+        // parents to the relay's. Requests without a context stay
+        // untraced — the origin never roots traces of its own.
+        let _inherited = request.trace.map(ScopedTrace::activate);
+        let mut trace_span = request.trace.map(|_| {
+            let mut span = TracedSpan::enter(spans, "origin.request");
+            span.set_detail(format!("node={} {}", node.0, request.path));
+            span
+        });
         // Look the object up under a read lock; release before any
         // execution delay.
         enum Found {
@@ -266,9 +313,13 @@ fn serve_connection(
                 write_response(&mut writer, 200, &body, keep_alive)?;
             }
             Found::Missing => {
+                if let Some(span) = trace_span.as_mut() {
+                    span.set_error(true);
+                }
                 write_response(&mut writer, 404, b"not found", keep_alive)?;
             }
         }
+        drop(trace_span);
         if !keep_alive {
             return Ok(());
         }
@@ -386,6 +437,47 @@ mod tests {
         assert!(text.contains("\"origin_served_total\": 1"), "{text}");
         assert!(text.contains("\"origin_node\": 5"), "{text}");
         assert_eq!(origin.served(), 1, "metrics scrapes are not served pages");
+    }
+
+    #[test]
+    fn trace_header_makes_the_exchange_a_traced_span() {
+        use crate::http::{read_response, write_request_traced};
+        use cpms_obs::TraceContext;
+
+        let origin = OriginServer::start(NodeId(3), site()).unwrap();
+        let relay_ctx = TraceContext::root(true).child();
+        let mut stream = TcpStream::connect(origin.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let path: UrlPath = "/index.html".parse().unwrap();
+        write_request_traced(&mut stream, &path, Some(&relay_ctx)).unwrap();
+        assert_eq!(read_response(&mut reader).unwrap().status, 200);
+
+        // The span records when its guard drops, just after the response
+        // bytes go out — poll briefly.
+        let span = 'found: {
+            for _ in 0..400 {
+                let spans = origin.metrics().spans().snapshot();
+                if let Some(s) = spans.iter().find(|s| s.name == "origin.request") {
+                    break 'found s.clone();
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            panic!("origin.request span never recorded");
+        };
+        assert_eq!(span.trace, relay_ctx.trace);
+        assert_eq!(span.parent, Some(relay_ctx.span));
+        assert!(span.detail.contains("/index.html"), "{}", span.detail);
+
+        // An untraced request adds nothing: origins never root traces.
+        write_request_traced(&mut stream, &path, None).unwrap();
+        assert_eq!(read_response(&mut reader).unwrap().status, 200);
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(origin.metrics().spans().snapshot().len(), 1);
+
+        // The span dump is served on the admin path.
+        write_request_traced(&mut stream, &"/_cpms/trace.json".parse().unwrap(), None).unwrap();
+        let dump = String::from_utf8(read_response(&mut reader).unwrap().body).unwrap();
+        assert!(dump.contains(&relay_ctx.trace.to_string()), "{dump}");
     }
 
     #[test]

@@ -20,11 +20,14 @@
 //! up on their next request via one atomic generation check — the live
 //! analogue of the paper's controller updating the distributor's table.
 
-use crate::http::{read_request, read_response, write_request, write_response, ParseError};
+use crate::http::{read_request, read_response, write_request_traced, write_response, ParseError};
 use crate::pool::SocketPool;
 use cpms_dispatch::LiveRouter;
 use cpms_model::{NodeId, UrlPath};
-use cpms_obs::{Counter, HistogramRecorder, MetricsRegistry, Span};
+use cpms_obs::{
+    Counter, HistogramRecorder, MetricsRegistry, ScopedTrace, Span, SpanCollector, TraceContext,
+    TracedSpan,
+};
 use cpms_urltable::{SnapshotHandle, TablePublisher, UrlTable};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -43,6 +46,11 @@ pub const METRICS_PATH: &str = "/_cpms/metrics";
 
 /// Admin path serving the registry as JSON.
 pub const METRICS_JSON_PATH: &str = "/_cpms/metrics.json";
+
+/// Admin path serving this process's retained trace spans as JSON (see
+/// [`SpanCollector::to_json`]). `cpms-lab` scrapes this from every
+/// process and merges the dumps into the cluster-wide `traces.json`.
+pub const TRACE_JSON_PATH: &str = "/_cpms/trace.json";
 
 /// One worker's counters. Written by exactly one thread; read by anyone.
 #[derive(Debug, Default)]
@@ -433,12 +441,16 @@ struct WorkerMetrics {
     backend_errors: Arc<Counter>,
     pool_failures: Arc<Counter>,
     malformed: Arc<Counter>,
+    /// The registry's span collector, resolved once so opening a span
+    /// on the request path costs no registry lookup.
+    spans: Arc<SpanCollector>,
 }
 
 impl WorkerMetrics {
     fn new(registry: &MetricsRegistry, idx: usize, workers: usize) -> Self {
         let recorder = |name| registry.histogram_with_shards(name, workers).recorder(idx);
         WorkerMetrics {
+            spans: Arc::clone(registry.spans()),
             parse_ns: recorder("proxy_parse_ns"),
             relay_ns: recorder("proxy_relay_ns"),
             request_ns: recorder("proxy_request_ns"),
@@ -594,6 +606,23 @@ impl Worker {
                 }
                 return Ok(());
             }
+            if request.path.as_str() == TRACE_JSON_PATH {
+                let body = self.ctx.registry.spans().to_json();
+                write_response(&mut writer, 200, body.as_bytes(), keep_alive)?;
+                if keep_alive {
+                    continue;
+                }
+                return Ok(());
+            }
+
+            // --- trace root: the proxy is the cluster's entry point, so
+            // every relayed request opens (or, when the client carried an
+            // `x-cpms-trace` header, continues) a distributed trace here.
+            // Admin paths above stay untraced — scrapes are not traffic.
+            let _inherited = request.trace.map(ScopedTrace::activate);
+            let mut request_span =
+                TracedSpan::enter_head_sampled(&self.metrics.spans, "proxy.request");
+            request_span.set_detail(request.path.as_str().to_string());
 
             // --- routing decision: snapshot lookup + least in-flight
             // replica. Nodes without a configured backend address are
@@ -607,6 +636,8 @@ impl Worker {
             let Some((node, _entry)) = target else {
                 self.stats().unroutable.fetch_add(1, Ordering::Relaxed);
                 self.metrics.unroutable.inc();
+                request_span.set_error(true);
+                request_span.set_detail(format!("unroutable {}", request.path));
                 self.ctx.registry.events().record(
                     "route",
                     Some(request_id),
@@ -626,13 +657,26 @@ impl Worker {
                 .entry(request.path.clone())
                 .or_insert(0) += 1;
 
-            // --- bind to a pre-forked connection and relay
+            // --- bind to a pre-forked connection and relay. The relay
+            // gets its own child span whose context rides the backend
+            // request as an `x-cpms-trace` header, so the origin's span
+            // parents to this hop.
             in_flight[node.index()].fetch_add(1, Ordering::Relaxed);
             let relay_span = Span::enter("relay", &self.metrics.relay_ns);
-            let exchange = relay_once(self.pool(), node, &request.path);
+            let exchange = {
+                let mut relay_trace = TracedSpan::enter(&self.metrics.spans, "proxy.relay");
+                relay_trace.set_detail(format!("node={}", node.0));
+                let relay_ctx = relay_trace.context();
+                let exchange = relay_once(self.pool(), node, &request.path, relay_ctx.as_ref());
+                relay_trace.set_error(exchange.is_err());
+                exchange
+            };
             relay_span.finish();
             in_flight[node.index()].fetch_sub(1, Ordering::Relaxed);
 
+            if exchange.is_err() {
+                request_span.set_error(true);
+            }
             match exchange {
                 Ok(response) => {
                     self.stats().relayed.fetch_add(1, Ordering::Relaxed);
@@ -735,11 +779,12 @@ fn relay_once(
     pool: &SocketPool,
     node: NodeId,
     path: &cpms_model::UrlPath,
+    trace: Option<&TraceContext>,
 ) -> Result<crate::http::Response, RelayError> {
     let conn = pool.checkout(node.index()).map_err(RelayError::Acquire)?;
     let mut backend_reader = BufReader::new(conn.try_clone().map_err(RelayError::Acquire)?);
     let mut backend_writer = conn;
-    let result = write_request(&mut backend_writer, path)
+    let result = write_request_traced(&mut backend_writer, path, trace)
         .map_err(ParseError::Io)
         .and_then(|()| read_response(&mut backend_reader));
     match &result {
@@ -1023,6 +1068,72 @@ mod tests {
         assert!(json.contains("\"histograms\""), "{json}");
         // The 503 left a post-mortem event correlated to its request id.
         assert!(json.contains("unroutable path /unknown"), "{json}");
+    }
+
+    /// Polls until `f` yields, because spans record when their guard
+    /// drops — a hair after the response bytes reach the client.
+    fn wait_for<T>(mut f: impl FnMut() -> Option<T>) -> T {
+        for _ in 0..400 {
+            if let Some(v) = f() {
+                return v;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        panic!("condition not met within deadline");
+    }
+
+    #[test]
+    fn relayed_requests_form_one_cross_process_trace() {
+        let origin = start_origin(0, &[("/t", b"traced")]);
+        let mut table = UrlTable::new();
+        table.insert("/t".parse().unwrap(), entry(0, &[0])).unwrap();
+        let proxy = ContentAwareProxy::start(table, vec![origin.addr()], 1).unwrap();
+        let mut client = HttpClient::connect(proxy.addr()).unwrap();
+        assert_eq!(client.get("/t").unwrap().status, 200);
+
+        // The proxy rooted the trace and opened a relay hop under it.
+        let (request, relay) = wait_for(|| {
+            let spans = proxy.metrics().spans().snapshot();
+            let request = spans.iter().find(|s| s.name == "proxy.request")?.clone();
+            let relay = spans.iter().find(|s| s.name == "proxy.relay")?.clone();
+            Some((request, relay))
+        });
+        assert_eq!(request.parent, None);
+        assert_eq!(request.detail, "/t");
+        assert_eq!(relay.trace, request.trace);
+        assert_eq!(relay.parent, Some(request.span));
+
+        // The origin — a separate "process" with its own registry —
+        // recorded a span of the same trace, parented to the relay hop
+        // carried over by the x-cpms-trace header.
+        let served = wait_for(|| {
+            let spans = origin.metrics().spans().snapshot();
+            spans.iter().find(|s| s.name == "origin.request").cloned()
+        });
+        assert_eq!(served.trace, request.trace);
+        assert_eq!(served.parent, Some(relay.span));
+        assert!(!served.error);
+
+        // Both halves export on their /_cpms/trace.json surfaces.
+        let dump = String::from_utf8(client.get(TRACE_JSON_PATH).unwrap().body).unwrap();
+        assert!(dump.contains(&request.trace.to_string()), "{dump}");
+        assert!(dump.contains("proxy.relay"), "{dump}");
+    }
+
+    #[test]
+    fn unroutable_requests_record_error_spans() {
+        let o0 = start_origin(0, &[("/a", b"x")]);
+        let mut table = UrlTable::new();
+        table.insert("/a".parse().unwrap(), entry(0, &[0])).unwrap();
+        let proxy = ContentAwareProxy::start(table, vec![o0.addr()], 1).unwrap();
+        let mut client = HttpClient::connect(proxy.addr()).unwrap();
+        assert_eq!(client.get("/missing").unwrap().status, 503);
+        let span = wait_for(|| {
+            let spans = proxy.metrics().spans().snapshot();
+            spans.iter().find(|s| s.name == "proxy.request").cloned()
+        });
+        assert!(span.error, "503 must mark the request span failed");
+        assert!(span.detail.contains("unroutable"), "{}", span.detail);
     }
 
     #[test]

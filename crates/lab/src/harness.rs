@@ -19,8 +19,9 @@
 
 use crate::process::{spawn_broker, spawn_proxy, BrokerProc, ProxyProc};
 use crate::scenario::{FaultAction, Scenario, Shape};
+use crate::traces::TraceStore;
 use cpms_httpd::client::HttpClient;
-use cpms_httpd::METRICS_JSON_PATH;
+use cpms_httpd::{METRICS_JSON_PATH, TRACE_JSON_PATH};
 use cpms_mgmt::admin::AdminClient;
 use cpms_model::ContentId;
 use cpms_store::{fnv64, hex_encode, synthetic_body};
@@ -51,6 +52,8 @@ pub struct LabReport {
     pub checks: Vec<Check>,
     /// Where the merged metrics timeline was written.
     pub timeline_path: Option<PathBuf>,
+    /// Where the merged cross-process traces were written.
+    pub traces_path: Option<PathBuf>,
 }
 
 impl LabReport {
@@ -68,6 +71,9 @@ impl LabReport {
         }
         if let Some(path) = &self.timeline_path {
             out.push_str(&format!("timeline: {}\n", path.display()));
+        }
+        if let Some(path) = &self.traces_path {
+            out.push_str(&format!("traces: {}\n", path.display()));
         }
         out.push_str(if self.passed() {
             "lab: all assertions held\n"
@@ -261,6 +267,7 @@ fn run_inner(scenario: &Scenario, lab_dir: &Path, started: Instant) -> Result<La
     let mut tally = Tally::default();
     let mut samples: Vec<Sample> = Vec::new();
     let mut generations: Vec<u64> = Vec::new();
+    let mut traces = TraceStore::default();
     let scrape_every = (scenario.workload.requests / 16).max(1);
     let mut client = HttpClient::connect(proxy.http).map_err(|e| format!("connect proxy: {e}"))?;
 
@@ -302,6 +309,7 @@ fn run_inner(scenario: &Scenario, lab_dir: &Path, started: Instant) -> Result<La
                 &killed,
                 &mut samples,
                 &mut generations,
+                &mut traces,
             );
         }
     }
@@ -373,6 +381,7 @@ fn run_inner(scenario: &Scenario, lab_dir: &Path, started: Instant) -> Result<La
         &killed,
         &mut samples,
         &mut generations,
+        &mut traces,
     );
 
     // ---- write the merged timeline and evaluate assertions -----------
@@ -393,6 +402,12 @@ fn run_inner(scenario: &Scenario, lab_dir: &Path, started: Instant) -> Result<La
         .ok()
         .and_then(|text| std::fs::write(&timeline_path, text).ok())
         .is_some();
+    let traces_path = lab_dir.join("traces.json");
+    let traces_written = serde_json::to_string_pretty(&traces.to_json())
+        .ok()
+        .and_then(|text| std::fs::write(&traces_path, text).ok())
+        .is_some();
+    let summaries = traces.analyze();
 
     let budget = scenario.assertions.max_failed_requests;
     let mut checks = vec![
@@ -467,6 +482,46 @@ fn run_inner(scenario: &Scenario, lab_dir: &Path, started: Instant) -> Result<La
         pass: timeline_written && samples.iter().any(|s| s.source == "proxy"),
         detail: format!("{} sample(s) from proxy + origins", samples.len()),
     });
+    // Tracing assertions over the merged span store. Orphans (a span
+    // whose parent appears in no process's dump) mean a propagation hop
+    // broke; the cross-process floor proves context actually rode the
+    // wire and HTTP hops instead of each process rooting its own traces.
+    let orphan_traces: Vec<&crate::traces::TraceSummary> =
+        summaries.iter().filter(|s| s.orphans > 0).collect();
+    checks.push(Check {
+        name: "trace-no-orphans",
+        pass: orphan_traces.is_empty(),
+        detail: if orphan_traces.is_empty() {
+            format!(
+                "{} trace(s), {} span(s), every parent resolved",
+                summaries.len(),
+                traces.len()
+            )
+        } else {
+            format!(
+                "{} trace(s) with orphan spans, e.g. {}",
+                orphan_traces.len(),
+                orphan_traces[0].trace
+            )
+        },
+    });
+    let min_processes = scenario.assertions.min_trace_processes();
+    let widest = summaries.first();
+    let widest_count = widest.map_or(0, |s| s.processes.len());
+    checks.push(Check {
+        name: "trace-cross-process",
+        pass: widest_count >= min_processes,
+        detail: match widest {
+            Some(s) if s.processes.len() >= min_processes => format!(
+                "{} ({} span(s)) crossed {} process(es): {}",
+                s.root_name.as_deref().unwrap_or("?"),
+                s.span_count,
+                s.processes.len(),
+                s.processes.iter().cloned().collect::<Vec<_>>().join(", ")
+            ),
+            _ => format!("widest trace crossed {widest_count} < {min_processes} process(es)"),
+        },
+    });
 
     // Graceful teardown; Drop impls are the backstop.
     let _ = admin.send("shutdown");
@@ -480,6 +535,7 @@ fn run_inner(scenario: &Scenario, lab_dir: &Path, started: Instant) -> Result<La
     Ok(LabReport {
         checks,
         timeline_path: timeline_written.then_some(timeline_path),
+        traces_path: traces_written.then_some(traces_path),
     })
 }
 
@@ -559,7 +615,10 @@ fn admin_fault(admin: &mut AdminClient, cmd: &str) -> Result<(), String> {
 
 /// Scrapes `/_cpms/metrics.json` from the proxy and every live origin
 /// into the merged timeline, recording the proxy's URL-table generation
-/// gauge for the monotonicity assertion.
+/// gauge for the monotonicity assertion — and `/_cpms/trace.json` from
+/// the same endpoints into the merged trace store. Scraping mid-run (not
+/// just at the end) matters for traces: spans scraped before a `kill`
+/// fault survive the process they were recorded in.
 fn scrape(
     at_request: usize,
     proxy_http: SocketAddr,
@@ -567,15 +626,22 @@ fn scrape(
     killed: &HashSet<u16>,
     samples: &mut Vec<Sample>,
     generations: &mut Vec<u64>,
+    traces: &mut TraceStore,
 ) {
-    let mut grab = |source: String, addr: SocketAddr| -> Option<Value> {
+    let fetch_json = |addr: SocketAddr, path: &str| -> Option<Value> {
         let mut client = HttpClient::connect(addr).ok()?;
-        let resp = client.get(METRICS_JSON_PATH).ok()?;
+        let resp = client.get(path).ok()?;
         if resp.status != 200 {
             return None;
         }
         let body = String::from_utf8(resp.body).ok()?;
-        let metrics: Value = serde_json::from_str(&body).ok()?;
+        serde_json::from_str(&body).ok()
+    };
+    let mut grab = |source: String, addr: SocketAddr| -> Option<Value> {
+        if let Some(dump) = fetch_json(addr, TRACE_JSON_PATH) {
+            traces.absorb(&dump);
+        }
+        let metrics = fetch_json(addr, METRICS_JSON_PATH)?;
         samples.push(Sample {
             at_request,
             source,
@@ -639,6 +705,7 @@ mod tests {
                 },
             ],
             timeline_path: None,
+            traces_path: None,
         };
         assert!(!report.passed());
         let text = report.render();

@@ -11,7 +11,11 @@
 //! merged timeline, and evaluates scripted assertions — zero misrouted
 //! requests, bounded failures, anti-entropy convergence within a
 //! deadline, byte-exact content after repair, and a monotone URL-table
-//! generation.
+//! generation. Every process's span dump (`/_cpms/trace.json`) is
+//! scraped alongside the metrics and merged into cross-process trace
+//! trees with per-trace critical paths (`traces.json`), with two more
+//! assertions: no orphan spans, and at least one trace crossing the
+//! scenario's `min_trace_processes` processes.
 //!
 //! See `configs/lab_smoke.json` (the CI smoke: 5 processes including
 //! the lab itself) and `configs/lab_cluster.json` (a larger chaos run).
@@ -22,6 +26,8 @@
 pub mod harness;
 pub mod process;
 pub mod scenario;
+pub mod traces;
 
 pub use harness::{run, LabReport};
 pub use scenario::Scenario;
+pub use traces::{TraceStore, TraceSummary};

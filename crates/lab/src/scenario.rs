@@ -197,6 +197,16 @@ pub struct AssertionSpec {
     pub converge_within_ms: u64,
     /// Hard cap on the whole run; the watchdog aborts past it.
     pub wall_clock_cap_ms: u64,
+    /// At least one merged trace must span this many distinct processes
+    /// (default 2: the proxy plus one backend).
+    pub min_trace_processes: Option<usize>,
+}
+
+impl AssertionSpec {
+    /// Cross-process floor for the `trace-cross-process` assertion.
+    pub fn min_trace_processes(&self) -> usize {
+        self.min_trace_processes.unwrap_or(2)
+    }
 }
 
 impl Scenario {

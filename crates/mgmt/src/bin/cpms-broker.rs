@@ -32,6 +32,7 @@
 use cpms_mgmt::store::{NodeStore, StoredFile};
 use cpms_mgmt::{AgentError, AgentOutput, Broker};
 use cpms_model::{ContentId, NodeId, UrlPath};
+use cpms_obs::MetricsRegistry;
 use cpms_wire::{FaultPlan, FaultyTransport, TcpTransport, Transport, WireError};
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -86,15 +87,21 @@ fn daemon(addr: &str, rest: &[String]) {
     // state: the co-located origin serves the same bytes the management
     // plane ships here.
     let content = Arc::clone(state.content());
-    let mut handle =
-        Broker::bind_wrapped(addr, state, |transport| transport).expect("bind broker listener");
+    // One registry (and one span collector) for the whole process: broker
+    // RPC spans and co-located origin spans land on the same trace
+    // surface, exported at the origin's `/_cpms/trace.json`.
+    let registry = Arc::new(MetricsRegistry::new());
+    registry.spans().set_process(&format!("broker-n{node}"));
+    let mut handle = Broker::bind_observed(addr, state, Arc::clone(registry.spans()))
+        .expect("bind broker listener");
     // stdout line 1 carries exactly the bound address so scripts can
     // capture it.
     println!("{}", handle.addr().expect("tcp daemon has an address"));
     let mut origin = if serve_http {
-        let origin = cpms_httpd::OriginServer::start(
+        let origin = cpms_httpd::OriginServer::start_with_registry(
             NodeId(node),
             cpms_httpd::SiteContent::new().with_backing(content),
+            Arc::clone(&registry),
         )
         .expect("start co-located origin server");
         // stdout line 2 announces the origin's address.

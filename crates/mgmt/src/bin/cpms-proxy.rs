@@ -108,6 +108,7 @@ fn main() {
     }
 
     let registry = Arc::new(MetricsRegistry::new());
+    registry.spans().set_process("proxy");
     let mut controller = Controller::new(Cluster::from_handles(handles));
     controller.set_metrics(&registry);
     let publisher = controller.publisher().share();
@@ -217,6 +218,7 @@ fn dispatch(
             Err(e) => AdminResponse::err(e),
         },
         ["metrics"] => AdminResponse::ok(shell.console().controller().metrics_json()),
+        ["traces"] => AdminResponse::ok(shell.console().controller().metrics().spans().to_json()),
         ["generation"] => AdminResponse::ok(
             shell
                 .console()

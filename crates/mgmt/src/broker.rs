@@ -25,7 +25,7 @@
 use crate::agent::{AgentError, AgentOutput, AgentReply, AgentRequest, ShipAgent};
 use crate::store::{BrokerState, NodeStore};
 use cpms_model::NodeId;
-use cpms_obs::MetricsRegistry;
+use cpms_obs::{MetricsRegistry, SpanCollector, TraceContext, TracedSpan};
 use cpms_store::{ShipPort, ShipReply, ShipRequest};
 use cpms_wire::{
     Client, ClientStats, InProcServer, RetryPolicy, TcpServer, TcpTransport, Transport, WireError,
@@ -43,6 +43,7 @@ pub const BROKER_DEADLINE: Duration = Duration::from_secs(2);
 #[derive(Debug)]
 pub struct BrokerService {
     state: BrokerState,
+    spans: Option<Arc<SpanCollector>>,
 }
 
 impl BrokerService {
@@ -53,6 +54,7 @@ impl BrokerService {
     pub fn new(store: NodeStore) -> Self {
         BrokerService {
             state: BrokerState::from_meta(store),
+            spans: None,
         }
     }
 
@@ -60,7 +62,16 @@ impl BrokerService {
     /// pre-populated content repository.
     #[must_use]
     pub fn with_state(state: BrokerState) -> Self {
-        BrokerService { state }
+        BrokerService { state, spans: None }
+    }
+
+    /// Records a `broker.<agent>` span into `spans` for every request
+    /// executed under an inbound trace context (requests arriving
+    /// untraced add nothing — a broker never roots traces of its own).
+    #[must_use]
+    pub fn with_collector(mut self, spans: Arc<SpanCollector>) -> Self {
+        self.spans = Some(spans);
+        self
     }
 
     /// The node this broker manages.
@@ -89,7 +100,30 @@ impl cpms_wire::Service for BrokerService {
             .map_err(|e| format!("payload is not UTF-8: {e}"))
             .and_then(|text| serde_json::from_str::<AgentRequest>(text).map_err(|e| e.to_string()))
         {
-            Ok(agent) => agent.execute(&mut self.state).into(),
+            Ok(agent) => {
+                // The executor activated the frame's trace context (if
+                // any) before calling us, so this span parents to the
+                // caller's `wire.attempt` hop.
+                let mut span = match (&self.spans, TraceContext::current()) {
+                    (Some(spans), Some(_)) => {
+                        let mut span = TracedSpan::enter(spans, format!("broker.{}", agent.name()));
+                        span.set_detail(match &agent {
+                            AgentRequest::Ship(s) => {
+                                format!("node={} {}", self.state.node(), s.request.verb())
+                            }
+                            _ => format!("node={}", self.state.node()),
+                        });
+                        Some(span)
+                    }
+                    _ => None,
+                };
+                let result = agent.execute(&mut self.state);
+                if let (Some(span), Err(e)) = (span.as_mut(), &result) {
+                    span.set_error(true);
+                    span.set_detail(e.to_string());
+                }
+                result.into()
+            }
             Err(detail) => AgentReply::Err(AgentError::Transport {
                 node: self.state.node(),
                 error: WireError::Codec { detail },
@@ -273,6 +307,21 @@ impl Broker {
         }
     }
 
+    /// [`Broker::spawn_state`] with the broker recording `broker.*`
+    /// trace spans into `spans` — the single-process deployment's way of
+    /// folding broker-side hops into one collector.
+    pub fn spawn_observed(state: BrokerState, spans: Arc<SpanCollector>) -> BrokerHandle {
+        let node = state.node();
+        let service = BrokerService::with_state(state).with_collector(spans);
+        let (transport, server) = InProcServer::spawn_named(service, &format!("broker-{node}"));
+        BrokerHandle {
+            node,
+            client: Self::default_client(Arc::new(transport), node),
+            server: Some(BrokerServer::InProc(server)),
+            remote: false,
+        }
+    }
+
     /// Starts an in-process broker whose client speaks through
     /// `wrap(transport)` — the seam fault-injection tests use to put a
     /// [`cpms_wire::FaultyTransport`] between controller and broker.
@@ -320,6 +369,30 @@ impl Broker {
         Ok(BrokerHandle {
             node,
             client: Self::default_client(wrap(Arc::new(transport)), node),
+            server: Some(BrokerServer::Tcp(server)),
+            remote: false,
+        })
+    }
+
+    /// [`Broker::bind`] with the daemon recording `broker.*` trace spans
+    /// into `spans` — how the `cpms-broker` binary exports its half of
+    /// every distributed trace.
+    ///
+    /// # Errors
+    ///
+    /// The bind failure, if any.
+    pub fn bind_observed(
+        addr: SocketAddr,
+        state: BrokerState,
+        spans: Arc<SpanCollector>,
+    ) -> std::io::Result<BrokerHandle> {
+        let node = state.node();
+        let service = BrokerService::with_state(state).with_collector(spans);
+        let server = TcpServer::bind(addr, service)?;
+        let transport = TcpTransport::new(server.addr());
+        Ok(BrokerHandle {
+            node,
+            client: Self::default_client(Arc::new(transport), node),
             server: Some(BrokerServer::Tcp(server)),
             remote: false,
         })

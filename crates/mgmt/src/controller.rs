@@ -18,7 +18,7 @@ use crate::agent::{
 use crate::broker::{Broker, BrokerHandle};
 use crate::store::NodeStore;
 use cpms_model::{ContentId, ContentKind, NodeId, Priority, UrlPath};
-use cpms_obs::{Counter, Gauge, HistogramRecorder, MetricsRegistry};
+use cpms_obs::{Counter, Gauge, HistogramRecorder, MetricsRegistry, TracedSpan};
 use cpms_store::{ShipError, ShipMetrics, Shipper, TransferScheduler};
 use cpms_urltable::{SnapshotHandle, TableError, TablePublisher, UrlEntry, UrlTable};
 use cpms_wire::WireError;
@@ -389,12 +389,19 @@ impl Controller {
     /// Runs one management operation under observation: latency into
     /// `mgmt_op_ns`, outcome into the op counters, failures into the
     /// event log, and the post-op publication generation into the gauge.
+    ///
+    /// Each operation also roots a `mgmt.<op>` trace span and activates
+    /// its context for the duration, so every broker RPC, ship frame, and
+    /// event the operation causes — across every node it fans out to —
+    /// hangs off one distributed trace.
     fn timed<T>(
         &mut self,
         op: &'static str,
         body: impl FnOnce(&mut Self) -> Result<T, MgmtError>,
     ) -> Result<T, MgmtError> {
         let start = Instant::now();
+        let spans = Arc::clone(self.metrics.registry.spans());
+        let mut span = TracedSpan::enter(&spans, format!("mgmt.{op}"));
         let result = body(self);
         let elapsed = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.metrics.ops.inc();
@@ -408,6 +415,8 @@ impl Controller {
             .set(i64::try_from(self.publisher.generation()).unwrap_or(i64::MAX));
         if let Err(e) = &result {
             self.metrics.errors.inc();
+            span.set_error(true);
+            span.set_detail(e.to_string());
             self.metrics
                 .registry
                 .events()
@@ -1161,6 +1170,73 @@ mod tests {
         let report = c.metrics_report();
         assert!(report.contains("mgmt_ops_total"), "{report}");
         assert!(report.contains("urltable_memory_bytes"), "{report}");
+        c.shutdown();
+    }
+
+    #[test]
+    fn management_operations_trace_across_controller_and_brokers() {
+        use crate::store::BrokerState;
+        use cpms_obs::SpanCollector;
+
+        // Each broker gets its own collector, standing in for a separate
+        // process's trace surface.
+        let broker_spans: Vec<Arc<SpanCollector>> =
+            (0..2).map(|_| Arc::new(SpanCollector::default())).collect();
+        let handles = broker_spans
+            .iter()
+            .enumerate()
+            .map(|(i, spans)| {
+                Broker::spawn_observed(
+                    BrokerState::from_meta(NodeStore::new(NodeId(i as u16), 1 << 20)),
+                    Arc::clone(spans),
+                )
+            })
+            .collect();
+        let mut c = Controller::new(Cluster::from_handles(handles));
+        let registry = Arc::new(cpms_obs::MetricsRegistry::new());
+        c.set_metrics(&registry);
+
+        publish(&mut c, "/traced", 1, &[0]);
+        c.replicate(&p("/traced"), NodeId(1)).unwrap();
+
+        let ctrl = registry.spans().snapshot();
+        let publish_root = ctrl.iter().find(|s| s.name == "mgmt.publish").unwrap();
+        let replicate_root = ctrl.iter().find(|s| s.name == "mgmt.replicate").unwrap();
+        assert_eq!(publish_root.parent, None);
+        assert_ne!(
+            publish_root.trace, replicate_root.trace,
+            "each operation is its own trace"
+        );
+        // The controller's wire client hops hang off the operation roots.
+        assert!(ctrl
+            .iter()
+            .any(|s| s.name == "wire.call" && s.trace == publish_root.trace));
+        // The brokers — separate collectors, reached over the wire —
+        // recorded their halves of the same traces.
+        let b0 = broker_spans[0].snapshot();
+        assert!(
+            b0.iter()
+                .any(|s| s.name == "broker.ship" && s.trace == publish_root.trace),
+            "publish ship frames traced on node 0: {b0:?}"
+        );
+        assert!(
+            b0.iter().any(|s| s.trace == replicate_root.trace),
+            "replicate pulled from node 0 under its trace"
+        );
+        let b1 = broker_spans[1].snapshot();
+        assert!(
+            b1.iter()
+                .any(|s| s.name == "broker.ship" && s.trace == replicate_root.trace),
+            "replicate pushed to node 1 under its trace: {b1:?}"
+        );
+        // Every broker span has a recorded parent somewhere in the merged
+        // set — no orphans.
+        let mut known: std::collections::HashSet<u64> = ctrl.iter().map(|s| s.span.0).collect();
+        known.extend(b0.iter().chain(b1.iter()).map(|s| s.span.0));
+        for span in b0.iter().chain(b1.iter()) {
+            let parent = span.parent.expect("broker spans always have parents");
+            assert!(known.contains(&parent.0), "orphan broker span {span:?}");
+        }
         c.shutdown();
     }
 

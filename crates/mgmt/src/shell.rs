@@ -33,6 +33,7 @@ use crate::auditor::AntiEntropyAuditor;
 use crate::console::RemoteConsole;
 use crate::monitor::ClusterMonitor;
 use cpms_model::{ContentId, ContentKind, NodeId, UrlPath};
+use cpms_obs::{SpanId, SpanRecord, TraceId};
 use cpms_store::{ShipPort, ShipReply, ShipRequest, StoreStats};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -379,6 +380,49 @@ impl Shell {
                     Ok(ShellOutcome::Failure(out.trim_end().to_string()))
                 }
             }
+            "trace" => {
+                let spans = self.console.controller().metrics().spans();
+                match args {
+                    [] => {
+                        let mut roots: Vec<&SpanRecord> = Vec::new();
+                        let snapshot = spans.snapshot();
+                        let mut counts: HashMap<TraceId, usize> = HashMap::new();
+                        for record in &snapshot {
+                            *counts.entry(record.trace).or_default() += 1;
+                            if record.parent.is_none() {
+                                roots.push(record);
+                            }
+                        }
+                        roots.sort_by_key(|r| r.start_unix_micros);
+                        let mut out = String::new();
+                        for root in &roots {
+                            let _ = writeln!(
+                                out,
+                                "{} {:<14} {:>9.1}us {:>3} span(s) {}",
+                                root.trace,
+                                root.name,
+                                root.duration_ns as f64 / 1_000.0,
+                                counts.get(&root.trace).copied().unwrap_or(0),
+                                root.detail
+                            );
+                        }
+                        let _ = write!(out, "{} trace(s) retained", roots.len());
+                        Ok(ShellOutcome::Output(out))
+                    }
+                    [id] => {
+                        let trace = TraceId::parse(id)
+                            .ok_or_else(|| format!("bad trace id {id:?} (32 hex digits)"))?;
+                        let records = spans.spans_of(trace);
+                        if records.is_empty() {
+                            return Ok(ShellOutcome::Output(format!(
+                                "no spans retained for {trace}"
+                            )));
+                        }
+                        Ok(ShellOutcome::Output(render_trace_tree(&records)))
+                    }
+                    _ => Err("usage: trace [<id>]".to_string()),
+                }
+            }
             "help" => Ok(ShellOutcome::Output(HELP.trim().to_string())),
             "quit" | "exit" => Ok(ShellOutcome::Quit),
             other => Err(format!("unknown command {other:?}; try `help`")),
@@ -410,10 +454,62 @@ status
 nodes
 store
 stats
+trace [<id>]
 audit
 help
 quit
 ";
+
+/// Renders one trace's spans as an indented tree. Spans whose parent was
+/// evicted from the collector (or lives in another process) are rendered
+/// at the top level with a `?` marker instead of being dropped.
+fn render_trace_tree(records: &[SpanRecord]) -> String {
+    let present: HashMap<SpanId, usize> = records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (r.span, i))
+        .collect();
+    let mut children: HashMap<Option<SpanId>, Vec<usize>> = HashMap::new();
+    for (i, record) in records.iter().enumerate() {
+        let key = match record.parent {
+            Some(p) if present.contains_key(&p) => Some(p),
+            _ => None,
+        };
+        children.entry(key).or_default().push(i);
+    }
+    let mut out = String::new();
+    let mut stack: Vec<(usize, usize)> = children
+        .get(&None)
+        .map(|tops| tops.iter().rev().map(|&i| (i, 0)).collect())
+        .unwrap_or_default();
+    while let Some((i, depth)) = stack.pop() {
+        let record = &records[i];
+        let orphan = record.parent.is_some() && depth == 0;
+        let _ = writeln!(
+            out,
+            "{}{}{:<20} {:>9.1}us span={}{} {}",
+            "  ".repeat(depth),
+            if orphan { "? " } else { "" },
+            record.name,
+            record.duration_ns as f64 / 1_000.0,
+            record.span,
+            if record.error { " ERROR" } else { "" },
+            record.detail
+        );
+        if let Some(kids) = children.get(&Some(record.span)) {
+            for &k in kids.iter().rev() {
+                stack.push((k, depth + 1));
+            }
+        }
+    }
+    let _ = write!(
+        out,
+        "trace {} — {} span(s)",
+        records[0].trace,
+        records.len()
+    );
+    out
+}
 
 fn expect_args<'a, const N: usize>(
     command: &str,
@@ -652,6 +748,36 @@ mod tests {
         assert!(fail(&mut sh, "audit").contains("UNREACHABLE: n0"));
         assert!(out(&mut sh, "evict 0").contains("1 location(s) dropped"));
         assert!(out(&mut sh, "audit").starts_with("consistent"));
+        sh.shutdown();
+    }
+
+    #[test]
+    fn trace_lists_and_renders_span_trees() {
+        let mut sh = shell();
+        assert!(out(&mut sh, "publish /a.html html 64 0").starts_with("published"));
+        assert!(out(&mut sh, "replicate /a.html 1").starts_with("replicated"));
+        let listing = out(&mut sh, "trace");
+        assert!(listing.contains("mgmt.publish"), "{listing}");
+        assert!(listing.contains("mgmt.replicate"), "{listing}");
+        assert!(listing.contains("trace(s) retained"), "{listing}");
+        // Pull the replicate trace id out of the listing and render it.
+        let id = listing
+            .lines()
+            .find(|l| l.contains("mgmt.replicate"))
+            .and_then(|l| l.split_whitespace().next())
+            .expect("replicate row has a trace id");
+        let tree = out(&mut sh, &format!("trace {id}"));
+        assert!(tree.contains("mgmt.replicate"), "{tree}");
+        assert!(tree.contains("span(s)"), "{tree}");
+        // Children are indented under the root management span.
+        assert!(
+            tree.lines().any(|l| l.starts_with("  ")),
+            "expected an indented child span: {tree}"
+        );
+        assert!(out(&mut sh, "trace nothex").starts_with("error: bad trace id"));
+        let missing = format!("trace {}", "0".repeat(32));
+        assert!(out(&mut sh, &missing).starts_with("no spans retained"));
+        assert!(out(&mut sh, "trace a b").starts_with("error: usage"));
         sh.shutdown();
     }
 

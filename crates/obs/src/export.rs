@@ -11,7 +11,7 @@ use crate::registry::RegistrySnapshot;
 use std::fmt::Write as _;
 
 /// Escapes a string for embedding in a JSON string literal.
-fn json_escape(raw: &str) -> String {
+pub(crate) fn json_escape(raw: &str) -> String {
     let mut out = String::with_capacity(raw.len());
     for c in raw.chars() {
         match c {
@@ -70,10 +70,13 @@ impl RegistrySnapshot {
             let request = event
                 .request
                 .map_or_else(|| "null".to_string(), |r| r.0.to_string());
+            let trace = event
+                .trace
+                .map_or_else(|| "null".to_string(), |t| format!("\"{t}\""));
             let _ = write!(
                 out,
                 "{sep}\n    {{\"seq\":{},\"at_micros\":{},\"request\":{request},\
-                 \"stage\":\"{}\",\"detail\":\"{}\"}}",
+                 \"trace\":{trace},\"stage\":\"{}\",\"detail\":\"{}\"}}",
                 event.seq,
                 event.at_micros,
                 json_escape(event.stage),
@@ -143,9 +146,12 @@ impl RegistrySnapshot {
             let _ = writeln!(out, "recent events:");
             for event in &self.events {
                 let request = event.request.map_or_else(String::new, |r| format!(" {r}"));
+                let trace = event
+                    .trace
+                    .map_or_else(String::new, |t| format!(" trace={t}"));
                 let _ = writeln!(
                     out,
-                    "  [{:>10}us]{request} {}: {}",
+                    "  [{:>10}us]{request} {}: {}{trace}",
                     event.at_micros, event.stage, event.detail
                 );
             }

@@ -43,8 +43,13 @@
 pub mod export;
 pub mod hist;
 pub mod registry;
+pub mod spans;
 pub mod trace;
 
 pub use hist::{Histogram, HistogramRecorder, HistogramSummary};
 pub use registry::{Counter, Gauge, MetricsRegistry, RegistrySnapshot};
+pub use spans::{
+    ScopedTrace, SpanCollector, SpanId, SpanRecord, TraceContext, TraceId, TracedSpan,
+    CONTEXT_WIRE_LEN,
+};
 pub use trace::{Event, EventLog, RequestId, Span};

@@ -7,6 +7,7 @@
 //! path — it guards only name resolution and snapshotting.
 
 use crate::hist::{Histogram, HistogramSummary};
+use crate::spans::SpanCollector;
 use crate::trace::{Event, EventLog, RequestId};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -81,6 +82,7 @@ struct Families {
 pub struct MetricsRegistry {
     families: Mutex<Families>,
     events: EventLog,
+    spans: Arc<SpanCollector>,
     next_request: AtomicU64,
 }
 
@@ -97,6 +99,7 @@ impl MetricsRegistry {
         MetricsRegistry {
             families: Mutex::new(Families::default()),
             events: EventLog::new(events),
+            spans: Arc::new(SpanCollector::default()),
             next_request: AtomicU64::new(0),
         }
     }
@@ -141,6 +144,13 @@ impl MetricsRegistry {
     #[must_use]
     pub fn events(&self) -> &EventLog {
         &self.events
+    }
+
+    /// The process-local distributed-span collector (the
+    /// `/_cpms/trace.json` surface).
+    #[must_use]
+    pub fn spans(&self) -> &Arc<SpanCollector> {
+        &self.spans
     }
 
     /// Allocates the next request id for pipeline tracing.

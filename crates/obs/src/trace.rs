@@ -14,6 +14,7 @@
 //! storm degrades into overwritten history rather than unbounded memory.
 
 use crate::hist::HistogramRecorder;
+use crate::spans::{TraceContext, TraceId};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -41,6 +42,9 @@ pub struct Event {
     pub at_micros: u64,
     /// The request this event belongs to, when there is one.
     pub request: Option<RequestId>,
+    /// The distributed trace active when the event was recorded, so the
+    /// post-mortem ring and span trees cross-reference.
+    pub trace: Option<TraceId>,
     /// The pipeline stage or subsystem that emitted the event.
     pub stage: &'static str,
     /// Human-readable specifics (path, node, error, timing breakdown).
@@ -70,12 +74,14 @@ impl EventLog {
         }
     }
 
-    /// Appends an event, evicting the oldest once full.
+    /// Appends an event, evicting the oldest once full. The thread's
+    /// active [`TraceContext`], if any, stamps the event.
     pub fn record(&self, stage: &'static str, request: Option<RequestId>, detail: String) {
         let event = Event {
             seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
             at_micros: u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX),
             request,
+            trace: TraceContext::current().map(|c| c.trace),
             stage,
             detail,
         };
@@ -202,5 +208,20 @@ mod tests {
     #[test]
     fn request_ids_render_compactly() {
         assert_eq!(RequestId(17).to_string(), "r17");
+    }
+
+    #[test]
+    fn events_are_stamped_with_the_active_trace() {
+        use crate::spans::ScopedTrace;
+        let log = EventLog::new(4);
+        log.record("plain", None, "no trace active".to_string());
+        let ctx = TraceContext::root(true);
+        {
+            let _scope = ScopedTrace::activate(ctx);
+            log.record("traced", None, "inside the scope".to_string());
+        }
+        let events = log.recent(4);
+        assert_eq!(events[0].trace, None);
+        assert_eq!(events[1].trace, Some(ctx.trace));
     }
 }

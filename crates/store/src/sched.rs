@@ -5,6 +5,7 @@
 //! threads with a concurrency cap so a wide publish cannot open an
 //! unbounded number of simultaneous transfers.
 
+use cpms_obs::{ScopedTrace, TraceContext};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 
@@ -92,12 +93,18 @@ impl TransferScheduler {
                 .collect();
         }
         let job = &job;
+        // Worker threads start with an empty trace-context thread-local;
+        // carry the caller's context across the spawn so fan-out RPCs
+        // stay children of the publishing span instead of rooting their
+        // own traces.
+        let ctx = TraceContext::current();
         std::thread::scope(|scope| {
             let handles: Vec<_> = items
                 .into_iter()
                 .enumerate()
                 .map(|(i, item)| {
                     scope.spawn(move || {
+                        let _trace = ctx.map(ScopedTrace::activate);
                         self.acquire();
                         let r = job(i, item);
                         self.release();
@@ -163,5 +170,16 @@ mod tests {
         let out = sched.run(vec![7u32], |_, item| (std::thread::current().id(), item));
         assert_eq!(out[0].0, here);
         assert_eq!(out[0].1, 7);
+    }
+
+    #[test]
+    fn fanout_workers_inherit_trace_context() {
+        let sched = TransferScheduler::new(4);
+        let ctx = TraceContext::root(true);
+        let _trace = ScopedTrace::activate(ctx);
+        let seen = sched.run((0..6).collect::<Vec<u32>>(), |_, _| TraceContext::current());
+        for worker_ctx in seen {
+            assert_eq!(worker_ctx.map(|c| c.trace), Some(ctx.trace));
+        }
     }
 }

@@ -100,6 +100,26 @@ pub enum ShipRequest {
     },
 }
 
+impl ShipRequest {
+    /// The request's short verb — span names and log labels.
+    #[must_use]
+    pub fn verb(&self) -> &'static str {
+        match self {
+            ShipRequest::Begin { .. } => "begin",
+            ShipRequest::Chunk { .. } => "chunk",
+            ShipRequest::Commit { .. } => "commit",
+            ShipRequest::Abort { .. } => "abort",
+            ShipRequest::Fetch { .. } => "fetch",
+            ShipRequest::Meta { .. } => "meta",
+            ShipRequest::Verify { .. } => "verify",
+            ShipRequest::Inventory => "inventory",
+            ShipRequest::Stat => "stat",
+            ShipRequest::Gc => "gc",
+            ShipRequest::Delete { .. } => "delete",
+        }
+    }
+}
+
 /// A remote content store's reply.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 #[non_exhaustive]

@@ -12,7 +12,7 @@
 use crate::error::WireError;
 use crate::frame::HEADER_LEN;
 use crate::transport::Transport;
-use cpms_obs::{Counter, Gauge, HistogramRecorder, MetricsRegistry};
+use cpms_obs::{Counter, Gauge, HistogramRecorder, MetricsRegistry, SpanCollector, TracedSpan};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -96,6 +96,9 @@ struct WireMetrics {
     rx_bytes: Arc<Counter>,
     reconnects: Arc<Gauge>,
     rpc_ns: HistogramRecorder,
+    // Span recording is opt-in: only attached registries trace, so the
+    // throwaway default registry never accumulates span memory.
+    spans: Option<Arc<SpanCollector>>,
 }
 
 impl WireMetrics {
@@ -109,6 +112,7 @@ impl WireMetrics {
             rx_bytes: registry.counter("wire_rx_bytes_total"),
             reconnects: registry.gauge("wire_reconnects"),
             rpc_ns: registry.histogram_with_shards("wire_rpc_ns", 1).recorder(0),
+            spans: None,
         }
     }
 }
@@ -185,7 +189,9 @@ impl Client {
     /// and retry/timeout/byte counters on the same surface as the
     /// request path and the management plane.
     pub fn attach_metrics(&self, registry: &Arc<MetricsRegistry>) {
-        *self.metrics.lock().expect("wire metrics lock") = WireMetrics::new(registry);
+        let mut metrics = WireMetrics::new(registry);
+        metrics.spans = Some(Arc::clone(registry.spans()));
+        *self.metrics.lock().expect("wire metrics lock") = metrics;
     }
 
     /// Point-in-time counters for this client.
@@ -238,12 +244,37 @@ impl Client {
     /// [`WireError::Exhausted`] when more than one attempt was made.
     pub fn call_raw(&self, payload: &[u8]) -> Result<Vec<u8>, WireError> {
         self.calls.fetch_add(1, Ordering::Relaxed);
+        // One *logical* span per RPC, however many attempts it takes:
+        // retries hang per-attempt child spans under it instead of
+        // double-counting. Frames carry the attempt's context, so
+        // server-side spans parent to the attempt that reached them.
+        let collector = self
+            .metrics
+            .lock()
+            .expect("wire metrics lock")
+            .spans
+            .clone();
+        let mut logical = collector
+            .as_deref()
+            .map(|c| TracedSpan::enter(c, "wire.call"));
         let mut attempt: u32 = 0;
         let mut backoff = self.retry.base_backoff;
         loop {
             attempt += 1;
             let start = Instant::now();
-            let result = self.transport.call(payload, self.deadline);
+            let result = {
+                let mut attempt_span = collector
+                    .as_deref()
+                    .map(|c| TracedSpan::enter(c, "wire.attempt"));
+                let result = self.transport.call(payload, self.deadline);
+                if let Some(span) = attempt_span.as_mut() {
+                    span.set_error(result.is_err());
+                    if let Err(e) = &result {
+                        span.set_detail(e.to_string());
+                    }
+                }
+                result
+            };
             let elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
             let framed_tx = (HEADER_LEN + payload.len()) as u64;
             {
@@ -272,6 +303,9 @@ impl Client {
                     self.last_rtt_ns.store(elapsed_ns, Ordering::Relaxed);
                     self.rx_bytes
                         .fetch_add((HEADER_LEN + response.len()) as u64, Ordering::Relaxed);
+                    if let Some(span) = logical.as_mut() {
+                        span.set_detail(format!("attempts={attempt}"));
+                    }
                     return Ok(response);
                 }
                 Err(e) => {
@@ -280,6 +314,10 @@ impl Client {
                     }
                     if !e.is_retryable() || attempt >= self.retry.max_attempts {
                         self.failures.fetch_add(1, Ordering::Relaxed);
+                        if let Some(span) = logical.as_mut() {
+                            span.set_error(true);
+                            span.set_detail(format!("attempts={attempt} last={e}"));
+                        }
                         return Err(if attempt > 1 {
                             WireError::Exhausted {
                                 attempts: attempt,
@@ -463,6 +501,42 @@ mod tests {
         assert_eq!(snap.counter("wire_timeouts_total"), Some(3));
         assert_eq!(snap.counter("wire_rpc_errors_total"), Some(3));
         server.stop();
+    }
+
+    #[test]
+    fn retried_rpc_is_one_logical_span_with_attempt_children() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let client = Client::new(Arc::new(Flaky {
+            remaining_failures: AtomicU32::new(2),
+        }))
+        .with_retry(RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            jitter: 0.0,
+            seed: 3,
+        });
+        client.attach_metrics(&registry);
+        client.call_raw(b"one rpc").unwrap();
+        let spans = registry.spans().snapshot();
+        let calls: Vec<_> = spans.iter().filter(|s| s.name == "wire.call").collect();
+        let attempts: Vec<_> = spans.iter().filter(|s| s.name == "wire.attempt").collect();
+        assert_eq!(
+            calls.len(),
+            1,
+            "one logical span despite retries: {spans:?}"
+        );
+        assert_eq!(attempts.len(), 3, "each attempt is a child span");
+        for a in &attempts {
+            assert_eq!(a.parent, Some(calls[0].span), "attempts parent to the call");
+            assert_eq!(a.trace, calls[0].trace);
+        }
+        assert_eq!(
+            attempts.iter().filter(|a| a.error).count(),
+            2,
+            "the two failed attempts are marked"
+        );
+        assert!(!calls[0].error, "the RPC succeeded overall");
     }
 
     #[test]

@@ -71,6 +71,15 @@ pub enum WireError {
         /// Checksum computed over the received payload.
         computed: u32,
     },
+    /// A frame advertised an extension (via its flags byte) whose
+    /// extension area is structurally broken — too short for its own
+    /// framing. Unknown extension *versions* are not errors (they
+    /// degrade to an untraced frame); this is reserved for frames that
+    /// cannot be parsed at all.
+    BadExtension {
+        /// What was wrong with the extension area.
+        detail: String,
+    },
     /// The payload could not be (de)serialized. Never retryable: the
     /// same bytes will fail the same way.
     Codec {
@@ -99,7 +108,8 @@ impl WireError {
             | WireError::Io { .. }
             | WireError::BadMagic { .. }
             | WireError::Truncated { .. }
-            | WireError::Corrupt { .. } => true,
+            | WireError::Corrupt { .. }
+            | WireError::BadExtension { .. } => true,
             WireError::BadVersion { .. }
             | WireError::TooLarge { .. }
             | WireError::Codec { .. }
@@ -165,6 +175,9 @@ impl fmt::Display for WireError {
                 f,
                 "corrupt frame: checksum {computed:08x} != announced {announced:08x}"
             ),
+            WireError::BadExtension { detail } => {
+                write!(f, "malformed frame extension: {detail}")
+            }
             WireError::Codec { detail } => write!(f, "codec failure: {detail}"),
             WireError::Exhausted { attempts, last } => {
                 write!(f, "all {attempts} attempts failed; last: {last}")

@@ -17,6 +17,7 @@
 //! that still delivers the right number of bytes.
 
 use crate::error::WireError;
+use cpms_obs::TraceContext;
 use std::io::{Read, Write};
 
 /// First magic byte of every frame.
@@ -27,6 +28,19 @@ pub const VERSION: u8 = 1;
 
 /// Header size in bytes.
 pub const HEADER_LEN: usize = 12;
+
+/// Flags-byte bit: the payload is prefixed with a trace extension
+/// (`[ext_version][ext_len][ext bytes…]`, checksummed with the body).
+pub const FLAG_TRACE: u8 = 0x01;
+
+/// Flags-byte bit: the sender understands frame extensions. Senders set
+/// it on every frame; a peer attaches [`FLAG_TRACE`] extensions only
+/// after seeing it, so extension-less builds (which never read the
+/// flags byte) keep receiving plain frames.
+pub const FLAG_TRACE_CAPABLE: u8 = 0x02;
+
+/// Version byte of the trace extension this build writes.
+pub const TRACE_EXT_VERSION: u8 = 1;
 
 /// Largest allowed payload. Control-plane messages are small; anything
 /// bigger is a protocol error, not a workload.
@@ -50,36 +64,76 @@ pub fn checksum(payload: &[u8]) -> u32 {
     hash
 }
 
-/// Encodes `payload` as one frame into `out` (header + payload).
+/// Encodes `payload` as one plain (extension-less, zero-flags) frame.
 pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    encode_frame_ext(payload, 0, None)
+}
+
+/// Encodes `payload` as one frame with explicit `flags` and an optional
+/// trace-context extension. Attaching a context sets [`FLAG_TRACE`] and
+/// prefixes the checksummed payload area with
+/// `[TRACE_EXT_VERSION][ext_len][context bytes]`.
+pub fn encode_frame_ext(payload: &[u8], flags: u8, trace: Option<&TraceContext>) -> Vec<u8> {
+    let ext = trace.map(TraceContext::to_bytes);
+    let ext_overhead = ext.map_or(0, |e| 2 + e.len());
+    let body_len = ext_overhead + payload.len();
+    let mut out = Vec::with_capacity(HEADER_LEN + body_len);
     out.extend_from_slice(&MAGIC);
     out.push(VERSION);
-    out.push(0); // flags, reserved
-    out.extend_from_slice(
-        &u32::try_from(payload.len())
-            .unwrap_or(u32::MAX)
-            .to_be_bytes(),
-    );
-    out.extend_from_slice(&checksum(payload).to_be_bytes());
+    out.push(if ext.is_some() {
+        flags | FLAG_TRACE
+    } else {
+        flags & !FLAG_TRACE
+    });
+    out.extend_from_slice(&u32::try_from(body_len).unwrap_or(u32::MAX).to_be_bytes());
+    // Checksum covers extension + payload; computed over the assembled
+    // body below, then patched into the header.
+    out.extend_from_slice(&[0u8; 4]);
+    if let Some(ext) = ext {
+        out.push(TRACE_EXT_VERSION);
+        out.push(u8::try_from(ext.len()).expect("context encoding fits one byte"));
+        out.extend_from_slice(&ext);
+    }
     out.extend_from_slice(payload);
+    let crc = checksum(&out[HEADER_LEN..]);
+    out[8..12].copy_from_slice(&crc.to_be_bytes());
     out
 }
 
-/// Writes `payload` as one frame.
+/// Writes `payload` as one plain frame.
 ///
 /// # Errors
 ///
 /// [`WireError::TooLarge`] if the payload exceeds [`MAX_FRAME`];
 /// otherwise I/O failures classified by [`WireError::from_io`].
 pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), WireError> {
-    if payload.len() as u64 > MAX_FRAME {
+    write_frame_ext(w, payload, 0, None)
+}
+
+/// Writes `payload` as one frame with explicit `flags` and an optional
+/// trace-context extension (see [`encode_frame_ext`]).
+///
+/// # Errors
+///
+/// As [`write_frame`].
+pub fn write_frame_ext<W: Write>(
+    w: &mut W,
+    payload: &[u8],
+    flags: u8,
+    trace: Option<&TraceContext>,
+) -> Result<(), WireError> {
+    let ext_overhead = if trace.is_some() {
+        2 + cpms_obs::CONTEXT_WIRE_LEN as u64
+    } else {
+        0
+    };
+    if payload.len() as u64 + ext_overhead > MAX_FRAME {
         return Err(WireError::TooLarge {
-            announced: payload.len() as u64,
+            announced: payload.len() as u64 + ext_overhead,
             max: MAX_FRAME,
         });
     }
-    let frame = encode_frame(payload);
+    let frame = encode_frame_ext(payload, flags, trace);
     w.write_all(&frame).map_err(|e| WireError::from_io(0, &e))?;
     w.flush().map_err(|e| WireError::from_io(0, &e))
 }
@@ -112,22 +166,55 @@ pub enum FrameOrEof {
     Eof,
 }
 
+/// A verified frame with its flags byte and any trace extension
+/// decoded: what [`read_frame_ext_or_eof`] yields.
+#[derive(Debug)]
+pub struct TracedFrame {
+    /// The message payload (extension stripped).
+    pub payload: Vec<u8>,
+    /// The header flags byte as received.
+    pub flags: u8,
+    /// The carried trace context, if a valid one was attached.
+    pub trace: Option<TraceContext>,
+}
+
+impl TracedFrame {
+    /// Whether the sender advertised frame-extension capability.
+    #[must_use]
+    pub fn peer_traces(&self) -> bool {
+        self.flags & FLAG_TRACE_CAPABLE != 0
+    }
+}
+
+/// Outcome of [`read_frame_ext_or_eof`].
+#[derive(Debug)]
+pub enum TracedFrameOrEof {
+    /// A complete, verified frame.
+    Frame(TracedFrame),
+    /// The stream ended cleanly between frames.
+    Eof,
+}
+
 /// Reads one frame, treating clean EOF *before the first header byte* as
 /// end-of-stream rather than an error — the server side of a
-/// connection loop wants exactly this.
+/// connection loop wants exactly this. The flags byte and trace
+/// extension are decoded and stripped: an unknown extension version or
+/// a semantically invalid context degrades to an untraced payload,
+/// while a structurally broken extension (too short for its own
+/// framing) is the typed [`WireError::BadExtension`].
 ///
 /// # Errors
 ///
 /// All [`WireError`] frame variants: truncation (EOF mid-frame),
-/// bad magic/version, an oversized announcement, checksum mismatch, and
-/// classified I/O errors (including timeouts from a socket read
-/// deadline).
-pub fn read_frame_or_eof<R: Read>(r: &mut R) -> Result<FrameOrEof, WireError> {
+/// bad magic/version, an oversized announcement, checksum mismatch,
+/// a malformed extension area, and classified I/O errors (including
+/// timeouts from a socket read deadline).
+pub fn read_frame_ext_or_eof<R: Read>(r: &mut R) -> Result<TracedFrameOrEof, WireError> {
     let mut header = [0u8; HEADER_LEN];
     if let Err((got, io)) = read_exact_counting(r, &mut header) {
         return match io {
             Some(e) => Err(WireError::from_io(0, &e)),
-            None if got == 0 => Ok(FrameOrEof::Eof),
+            None if got == 0 => Ok(TracedFrameOrEof::Eof),
             None => Err(WireError::Truncated {
                 expected: HEADER_LEN as u64,
                 got: got as u64,
@@ -142,6 +229,7 @@ pub fn read_frame_or_eof<R: Read>(r: &mut R) -> Result<FrameOrEof, WireError> {
     if header[2] != VERSION {
         return Err(WireError::BadVersion { seen: header[2] });
     }
+    let flags = header[3];
     let len = u64::from(u32::from_be_bytes([
         header[4], header[5], header[6], header[7],
     ]));
@@ -169,7 +257,51 @@ pub fn read_frame_or_eof<R: Read>(r: &mut R) -> Result<FrameOrEof, WireError> {
             computed,
         });
     }
-    Ok(FrameOrEof::Frame(payload))
+    let mut trace = None;
+    if flags & FLAG_TRACE != 0 {
+        if payload.len() < 2 {
+            return Err(WireError::BadExtension {
+                detail: format!(
+                    "flagged frame too short for an extension header ({} bytes)",
+                    payload.len()
+                ),
+            });
+        }
+        let ext_version = payload[0];
+        let ext_len = usize::from(payload[1]);
+        if 2 + ext_len > payload.len() {
+            return Err(WireError::BadExtension {
+                detail: format!(
+                    "extension announces {ext_len} bytes but only {} remain",
+                    payload.len() - 2
+                ),
+            });
+        }
+        if ext_version == TRACE_EXT_VERSION {
+            // An invalid context degrades to untraced: the frame is
+            // structurally fine, the semantics just aren't usable.
+            trace = TraceContext::from_bytes(&payload[2..2 + ext_len]);
+        }
+        payload.drain(..2 + ext_len);
+    }
+    Ok(TracedFrameOrEof::Frame(TracedFrame {
+        payload,
+        flags,
+        trace,
+    }))
+}
+
+/// Reads one frame as [`read_frame_ext_or_eof`] but discards the flags
+/// byte and trace extension, yielding just the payload.
+///
+/// # Errors
+///
+/// As [`read_frame_ext_or_eof`].
+pub fn read_frame_or_eof<R: Read>(r: &mut R) -> Result<FrameOrEof, WireError> {
+    match read_frame_ext_or_eof(r)? {
+        TracedFrameOrEof::Frame(frame) => Ok(FrameOrEof::Frame(frame.payload)),
+        TracedFrameOrEof::Eof => Ok(FrameOrEof::Eof),
+    }
 }
 
 /// Reads one frame; a clean EOF anywhere is an error (the client side of
@@ -276,5 +408,113 @@ mod tests {
         // FNV-1a reference value for "hello".
         assert_eq!(checksum(b"hello"), 0x4F9F_2CAB);
         assert_eq!(checksum(b""), 0x811c_9dc5);
+    }
+
+    #[test]
+    fn traced_frame_round_trip() {
+        let ctx = TraceContext::root(true).child();
+        let mut buf = Vec::new();
+        write_frame_ext(&mut buf, b"payload", FLAG_TRACE_CAPABLE, Some(&ctx)).unwrap();
+        let mut cursor = Cursor::new(buf);
+        match read_frame_ext_or_eof(&mut cursor).unwrap() {
+            TracedFrameOrEof::Frame(frame) => {
+                assert_eq!(frame.payload, b"payload");
+                assert_eq!(frame.trace, Some(ctx));
+                assert!(frame.peer_traces());
+                assert_ne!(frame.flags & FLAG_TRACE, 0);
+            }
+            TracedFrameOrEof::Eof => panic!("expected a frame"),
+        }
+    }
+
+    #[test]
+    fn plain_reader_strips_extensions_transparently() {
+        let ctx = TraceContext::root(false);
+        let mut buf = Vec::new();
+        write_frame_ext(&mut buf, b"legacy view", 0, Some(&ctx)).unwrap();
+        // A caller using the extension-less API still sees just the
+        // payload — never the extension bytes.
+        assert_eq!(read_frame(&mut Cursor::new(buf)).unwrap(), b"legacy view");
+    }
+
+    #[test]
+    fn untraced_frames_read_back_without_a_context() {
+        let mut buf = Vec::new();
+        write_frame_ext(&mut buf, b"plain", FLAG_TRACE_CAPABLE, None).unwrap();
+        match read_frame_ext_or_eof(&mut Cursor::new(buf)).unwrap() {
+            TracedFrameOrEof::Frame(frame) => {
+                assert_eq!(frame.payload, b"plain");
+                assert_eq!(frame.trace, None);
+                assert!(frame.peer_traces());
+            }
+            TracedFrameOrEof::Eof => panic!("expected a frame"),
+        }
+    }
+
+    #[test]
+    fn unknown_extension_version_degrades_to_untraced() {
+        let ctx = TraceContext::root(true);
+        let mut buf = encode_frame_ext(b"future", 0, Some(&ctx));
+        // Bump the extension version byte and re-checksum: a frame from
+        // a future build we cannot interpret.
+        buf[HEADER_LEN] = TRACE_EXT_VERSION + 1;
+        let crc = checksum(&buf[HEADER_LEN..]);
+        buf[8..12].copy_from_slice(&crc.to_be_bytes());
+        match read_frame_ext_or_eof(&mut Cursor::new(buf)).unwrap() {
+            TracedFrameOrEof::Frame(frame) => {
+                assert_eq!(frame.payload, b"future");
+                assert_eq!(frame.trace, None, "unknown version is skipped, not fatal");
+            }
+            TracedFrameOrEof::Eof => panic!("expected a frame"),
+        }
+    }
+
+    #[test]
+    fn garbage_extension_area_is_a_typed_error() {
+        // FLAG_TRACE set but the payload area cannot hold the announced
+        // extension: ext_len says 200 bytes, only 3 follow.
+        let mut body = vec![TRACE_EXT_VERSION, 200, 1, 2, 3];
+        let mut buf = Vec::with_capacity(HEADER_LEN + body.len());
+        buf.extend_from_slice(&MAGIC);
+        buf.push(VERSION);
+        buf.push(FLAG_TRACE);
+        buf.extend_from_slice(&u32::try_from(body.len()).unwrap().to_be_bytes());
+        buf.extend_from_slice(&checksum(&body).to_be_bytes());
+        buf.append(&mut body);
+        let err = read_frame_ext_or_eof(&mut Cursor::new(buf)).unwrap_err();
+        assert!(
+            matches!(err, WireError::BadExtension { .. }),
+            "typed error, got {err:?}"
+        );
+        assert!(
+            err.is_retryable(),
+            "corruption-like: retry may get a clean frame"
+        );
+    }
+
+    #[test]
+    fn invalid_context_bytes_degrade_to_untraced() {
+        // Structurally valid extension of the right length, but the
+        // context is all zeros (no trace id) — semantically invalid.
+        let mut body = vec![
+            TRACE_EXT_VERSION,
+            u8::try_from(cpms_obs::CONTEXT_WIRE_LEN).unwrap(),
+        ];
+        body.extend_from_slice(&[0u8; cpms_obs::CONTEXT_WIRE_LEN]);
+        body.extend_from_slice(b"still fine");
+        let mut buf = Vec::with_capacity(HEADER_LEN + body.len());
+        buf.extend_from_slice(&MAGIC);
+        buf.push(VERSION);
+        buf.push(FLAG_TRACE);
+        buf.extend_from_slice(&u32::try_from(body.len()).unwrap().to_be_bytes());
+        buf.extend_from_slice(&checksum(&body).to_be_bytes());
+        buf.append(&mut body);
+        match read_frame_ext_or_eof(&mut Cursor::new(buf)).unwrap() {
+            TracedFrameOrEof::Frame(frame) => {
+                assert_eq!(frame.payload, b"still fine");
+                assert_eq!(frame.trace, None);
+            }
+            TracedFrameOrEof::Eof => panic!("expected a frame"),
+        }
     }
 }

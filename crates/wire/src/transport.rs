@@ -19,7 +19,8 @@
 //! per-node broker wants.
 
 use crate::error::WireError;
-use crate::frame::{read_frame, read_frame_or_eof, write_frame, FrameOrEof};
+use crate::frame::{read_frame_ext_or_eof, write_frame_ext, TracedFrameOrEof, FLAG_TRACE_CAPABLE};
+use cpms_obs::{ScopedTrace, TraceContext};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use std::fmt;
 use std::io::ErrorKind;
@@ -64,7 +65,21 @@ impl<F: FnMut(&[u8]) -> Vec<u8> + Send + 'static> Service for F {
 
 struct ExecRequest {
     payload: Vec<u8>,
+    // The trace context carried by the request, re-activated on the
+    // executor thread (which is not the thread that read the frame).
+    trace: Option<TraceContext>,
     reply: Sender<Vec<u8>>,
+}
+
+/// Runs `service.handle` with the request's trace context active on
+/// this thread (or explicitly cleared, so no context leaks between
+/// unrelated requests).
+fn handle_with_trace<S: Service>(service: &mut S, req: &ExecRequest) -> Vec<u8> {
+    let _scope = match req.trace {
+        Some(ctx) => ScopedTrace::activate(ctx),
+        None => ScopedTrace::clear(),
+    };
+    service.handle(&req.payload)
 }
 
 /// How often blocked server loops wake to check for shutdown.
@@ -90,6 +105,7 @@ impl Transport for InProcTransport {
         self.tx
             .send(ExecRequest {
                 payload: request.to_vec(),
+                trace: TraceContext::current(),
                 reply: reply_tx,
             })
             .map_err(|_| WireError::Unavailable {
@@ -135,7 +151,7 @@ impl<S: Service> InProcServer<S> {
                 loop {
                     match rx.recv_timeout(POLL_INTERVAL) {
                         Ok(req) => {
-                            let response = service.handle(&req.payload);
+                            let response = handle_with_trace(&mut service, &req);
                             // The caller may have timed out and gone away.
                             let _ = req.reply.send(response);
                         }
@@ -195,6 +211,11 @@ pub struct TcpTransport {
     conn: Mutex<Option<TcpStream>>,
     connected_once: AtomicBool,
     reconnects: AtomicU64,
+    // Trace-extension negotiation: requests carry a context only after
+    // a response advertised FLAG_TRACE_CAPABLE, so extension-less peers
+    // never see flagged payloads. Sticky across reconnects — a capable
+    // peer stays capable.
+    peer_capable: AtomicBool,
 }
 
 impl TcpTransport {
@@ -206,7 +227,15 @@ impl TcpTransport {
             conn: Mutex::new(None),
             connected_once: AtomicBool::new(false),
             reconnects: AtomicU64::new(0),
+            peer_capable: AtomicBool::new(false),
         }
+    }
+
+    /// Whether the peer has advertised frame-extension capability (so
+    /// requests carry trace contexts).
+    #[must_use]
+    pub fn peer_traces(&self) -> bool {
+        self.peer_capable.load(Ordering::Relaxed)
     }
 
     /// The peer address.
@@ -243,11 +272,24 @@ impl Transport for TcpTransport {
             .set_write_timeout(Some(remaining))
             .and_then(|()| stream.set_read_timeout(Some(remaining)))
             .map_err(|e| WireError::from_io(deadline_ms, &e))?;
-        let result = write_frame(&mut stream, request).and_then(|()| read_frame(&mut stream));
+        let trace = if self.peer_capable.load(Ordering::Relaxed) {
+            TraceContext::current()
+        } else {
+            None
+        };
+        let result = write_frame_ext(&mut stream, request, FLAG_TRACE_CAPABLE, trace.as_ref())
+            .and_then(|()| read_frame_ext_or_eof(&mut stream));
         match result {
-            Ok(payload) => {
+            Ok(TracedFrameOrEof::Frame(frame)) => {
+                if frame.peer_traces() {
+                    self.peer_capable.store(true, Ordering::Relaxed);
+                }
                 *guard = Some(stream); // reuse the connection
-                Ok(payload)
+                Ok(frame.payload)
+            }
+            Ok(TracedFrameOrEof::Eof) => {
+                drop(stream);
+                Err(WireError::Closed)
             }
             Err(e) => {
                 // Drop the (possibly desynchronized) connection; the next
@@ -305,7 +347,7 @@ impl<S: Service> TcpServer<S> {
                     loop {
                         match exec_rx.recv_timeout(POLL_INTERVAL) {
                             Ok(req) => {
-                                let response = service.handle(&req.payload);
+                                let response = handle_with_trace(&mut service, &req);
                                 let _ = req.reply.send(response);
                             }
                             Err(RecvTimeoutError::Timeout) => {
@@ -397,20 +439,21 @@ fn serve_connection(mut conn: TcpStream, exec_tx: &Sender<ExecRequest>, stop: &A
         return;
     }
     while !stop.load(Ordering::Acquire) {
-        let payload = match read_frame_or_eof(&mut conn) {
-            Ok(FrameOrEof::Frame(p)) => p,
-            Ok(FrameOrEof::Eof) => return,
+        let frame = match read_frame_ext_or_eof(&mut conn) {
+            Ok(TracedFrameOrEof::Frame(f)) => f,
+            Ok(TracedFrameOrEof::Eof) => return,
             // Idle between frames: poll again.
             Err(WireError::Timeout { .. }) => continue,
-            // Any other frame error desynchronizes the stream: drop the
-            // connection (the client maps this to Closed and may retry
-            // on a fresh one).
+            // Any other frame error (including a malformed extension
+            // area) desynchronizes the stream: drop the connection (the
+            // client maps this to Closed and may retry on a fresh one).
             Err(_) => return,
         };
         let (reply_tx, reply_rx) = bounded(1);
         if exec_tx
             .send(ExecRequest {
-                payload,
+                payload: frame.payload,
+                trace: frame.trace,
                 reply: reply_tx,
             })
             .is_err()
@@ -428,7 +471,10 @@ fn serve_connection(mut conn: TcpStream, exec_tx: &Sender<ExecRequest>, stop: &A
                 Err(RecvTimeoutError::Disconnected) => return,
             }
         };
-        if write_frame(&mut conn, &response).is_err() {
+        // Responses always advertise extension capability (old clients
+        // never read the flags byte) — this is the negotiation signal
+        // that lets a new client start attaching trace contexts.
+        if write_frame_ext(&mut conn, &response, FLAG_TRACE_CAPABLE, None).is_err() {
             return;
         }
     }
@@ -521,6 +567,56 @@ mod tests {
             }
         }
         assert!(saw_failure, "calls to a stopped server eventually fail");
+    }
+
+    #[test]
+    fn inproc_propagates_trace_context_to_the_executor() {
+        let seen = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let sink = std::sync::Arc::clone(&seen);
+        let (t, mut server) = InProcServer::spawn(move |_req: &[u8]| {
+            sink.lock().unwrap().push(TraceContext::current());
+            Vec::new()
+        });
+        let ctx = TraceContext::root(true);
+        {
+            let _scope = ScopedTrace::activate(ctx);
+            t.call(b"traced", Duration::from_secs(1)).unwrap();
+        }
+        t.call(b"untraced", Duration::from_secs(1)).unwrap();
+        server.stop();
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen[0], Some(ctx), "context crosses the channel");
+        assert_eq!(seen[1], None, "no context leaks between requests");
+    }
+
+    #[test]
+    fn tcp_negotiates_capability_then_propagates_context() {
+        let seen = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let sink = std::sync::Arc::clone(&seen);
+        let mut server = TcpServer::bind("127.0.0.1:0".parse().unwrap(), move |_req: &[u8]| {
+            sink.lock().unwrap().push(TraceContext::current());
+            Vec::new()
+        })
+        .unwrap();
+        let t = TcpTransport::new(server.addr());
+        assert!(!t.peer_traces(), "capability unknown before any response");
+        let ctx = TraceContext::root(true);
+        {
+            let _scope = ScopedTrace::activate(ctx);
+            // First call: peer capability unknown, so the frame is
+            // untraced — the response negotiates capability.
+            t.call(b"first", Duration::from_secs(2)).unwrap();
+            assert!(t.peer_traces(), "response advertised capability");
+            t.call(b"second", Duration::from_secs(2)).unwrap();
+        }
+        server.stop();
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen[0], None, "pre-negotiation frames are untraced");
+        assert_eq!(
+            seen[1],
+            Some(ctx),
+            "post-negotiation frames carry the context"
+        );
     }
 
     #[test]

@@ -29,7 +29,8 @@ cargo run --release -q -p cpms-mgmt --bin cpms-ship -- --smoke
 echo "==> shipping throughput smoke (shipping --smoke: chunk size x loss matrix)"
 cargo run --release -q -p cpms-bench --bin shipping -- --smoke
 
-echo "==> cluster lab smoke (cpms-lab --smoke: 5 real processes, partition + kill chaos)"
+echo "==> cluster lab smoke (cpms-lab --smoke: 5 real processes, partition + kill chaos;"
+echo "    tracing gate: merged traces.json must have zero orphan spans and a cross-process trace)"
 # Belt and braces on the wall clock: the scenario's own watchdog caps the
 # run at 90 s (exit 3); `timeout` backstops even a wedged watchdog. The
 # release cpms-lab must run from target/release so it finds its sibling

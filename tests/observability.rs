@@ -165,7 +165,20 @@ fn request_latency_histograms_cover_the_pipeline_stages() {
         client.get("/x").unwrap();
     }
 
-    let snap = registry.snapshot();
+    // The per-request histograms record just *after* the response bytes
+    // go out, so the final request's samples can still be in flight
+    // when the client returns — poll briefly instead of racing them.
+    let mut snap = registry.snapshot();
+    for _ in 0..200 {
+        if ["proxy_parse_ns", "proxy_relay_ns", "proxy_request_ns"]
+            .iter()
+            .all(|h| snap.histogram(h).is_some_and(|s| s.count >= 20))
+        {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        snap = registry.snapshot();
+    }
     let parse = snap.histogram("proxy_parse_ns").unwrap();
     let relay = snap.histogram("proxy_relay_ns").unwrap();
     let request = snap.histogram("proxy_request_ns").unwrap();

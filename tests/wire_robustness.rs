@@ -236,3 +236,180 @@ fn promoted_backup_detects_stale_snapshot() {
         );
     })
 }
+
+/// Tracing satellite: retries are *attempts*, not new logical calls. N
+/// successful RPCs through a lossy transport must record exactly N
+/// `wire.call` spans, with the injected loss visible only as extra
+/// `wire.attempt` children under them.
+#[test]
+fn lossy_rpcs_record_one_logical_span_per_call() {
+    with_deadline("lossy_span_accounting", TEST_DEADLINE, || {
+        let registry = Arc::new(cpms_obs::MetricsRegistry::new());
+        let handle = Broker::spawn_wrapped(NodeStore::new(NodeId(5), 1 << 20), |inner| {
+            Arc::new(FaultyTransport::new(inner, FaultPlan::lossy(0x10_55, 0.15)))
+        });
+        handle.attach_metrics(&registry);
+
+        const CALLS: usize = 40;
+        for _ in 0..CALLS {
+            match handle.dispatch(StatusProbe).expect("retry absorbs loss") {
+                AgentOutput::Status { .. } => {}
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+
+        let stats = handle.transport_stats();
+        assert!(stats.retries > 0, "15% loss must have forced retries");
+        let spans = registry.spans().snapshot();
+        let calls = spans.iter().filter(|r| r.name == "wire.call").count();
+        let attempts = spans.iter().filter(|r| r.name == "wire.attempt").count();
+        assert_eq!(
+            calls, CALLS,
+            "one logical wire.call span per RPC, retries or not"
+        );
+        assert_eq!(
+            attempts,
+            CALLS + stats.retries as usize,
+            "every retry shows up as one extra attempt span"
+        );
+        // Every attempt must sit under some logical call in the same trace.
+        for attempt in spans.iter().filter(|r| r.name == "wire.attempt") {
+            let parent = attempt.parent.expect("attempts are never roots");
+            assert!(
+                spans
+                    .iter()
+                    .any(|r| r.name == "wire.call" && r.span == parent && r.trace == attempt.trace),
+                "attempt {attempt:?} must parent to a wire.call in its trace"
+            );
+        }
+    })
+}
+
+/// Tracing satellite: a trace-capable client talking to an extension-less
+/// peer (one that never sets `FLAG_TRACE_CAPABLE` on its frames) must
+/// degrade to plain untraced frames — the extension is negotiated, never
+/// assumed.
+#[test]
+fn extensionless_peer_receives_plain_frames() {
+    use cpms_wire::frame::{self, TracedFrameOrEof};
+    with_deadline("extensionless_peer", TEST_DEADLINE, || {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let seen: Arc<std::sync::Mutex<Vec<(u8, bool)>>> = Arc::default();
+        let log = Arc::clone(&seen);
+        let server = std::thread::spawn(move || {
+            // An old build: echoes zero-flag frames and never reads
+            // extensions beyond what the decoder strips.
+            let (mut conn, _) = listener.accept().unwrap();
+            while let Ok(TracedFrameOrEof::Frame(f)) = frame::read_frame_ext_or_eof(&mut conn) {
+                log.lock().unwrap().push((f.flags, f.trace.is_some()));
+                frame::write_frame(&mut conn, b"pong").unwrap();
+            }
+        });
+
+        let transport = cpms_wire::TcpTransport::new(addr);
+        let ctx = cpms_obs::TraceContext::root(true);
+        let _trace = cpms_obs::ScopedTrace::activate(ctx);
+        for _ in 0..3 {
+            let reply = transport
+                .call(b"ping", Duration::from_secs(5))
+                .expect("plain peer still answers");
+            assert_eq!(reply, b"pong");
+        }
+        assert!(
+            !transport.peer_traces(),
+            "a zero-flag peer must never be marked trace-capable"
+        );
+        drop(transport);
+        server.join().unwrap();
+
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 3);
+        for &(flags, traced) in seen.iter() {
+            assert_ne!(
+                flags & frame::FLAG_TRACE_CAPABLE,
+                0,
+                "the new build always advertises capability"
+            );
+            assert!(
+                !traced,
+                "no trace extension may be attached before the peer advertises"
+            );
+        }
+    })
+}
+
+/// Tracing satellite: raw garbage in the extension area of frames sent to
+/// a live TCP daemon — truncated extension headers, over-announced
+/// lengths, unknown versions, invalid contexts — must surface as typed
+/// errors or degraded untraced frames, never a hang, and must not poison
+/// the daemon for later well-formed clients.
+#[test]
+fn garbage_extension_area_never_wedges_the_daemon() {
+    use cpms_wire::frame::{checksum, FLAG_TRACE, FLAG_TRACE_CAPABLE, TRACE_EXT_VERSION};
+    with_deadline("garbage_extension", TEST_DEADLINE, || {
+        let mut host = Broker::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            NodeStore::new(NodeId(0), 1 << 20),
+        )
+        .unwrap();
+        let addr = host.addr().expect("tcp daemon has an address");
+
+        let raw_frame = |flags: u8, body: &[u8]| -> Vec<u8> {
+            let mut out = vec![0xC9, 0x57, 0x01, flags];
+            out.extend_from_slice(&u32::try_from(body.len()).unwrap().to_be_bytes());
+            out.extend_from_slice(&checksum(body).to_be_bytes());
+            out.extend_from_slice(body);
+            out
+        };
+        let flagged = FLAG_TRACE | FLAG_TRACE_CAPABLE;
+
+        // Body too short for the extension's own two-byte header.
+        let too_short = raw_frame(flagged, &[TRACE_EXT_VERSION]);
+        // Extension announces 200 context bytes; only 10 are present.
+        let mut over = vec![TRACE_EXT_VERSION, 200];
+        over.extend_from_slice(&[0xAB; 10]);
+        let over_announced = raw_frame(flagged, &over);
+        // Structurally valid but semantically dead context (all zeros):
+        // the daemon must degrade to untraced and still read the payload.
+        let mut zeroed = vec![TRACE_EXT_VERSION, 33];
+        zeroed.extend_from_slice(&[0u8; 33]);
+        zeroed.extend_from_slice(b"this is not an agent request");
+        let zero_ctx = raw_frame(flagged, &zeroed);
+        // Unknown extension version: same degradation contract.
+        let mut unknown = vec![0x7F, 4, 1, 2, 3, 4];
+        unknown.extend_from_slice(b"still not an agent request");
+        let unknown_version = raw_frame(flagged, &unknown);
+
+        for (what, frame_bytes) in [
+            ("too-short extension", too_short),
+            ("over-announced extension", over_announced),
+            ("all-zero context", zero_ctx),
+            ("unknown extension version", unknown_version),
+        ] {
+            let mut socket = std::net::TcpStream::connect(addr).unwrap();
+            socket
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .unwrap();
+            socket.write_all(&frame_bytes).unwrap();
+            // Half-close: the daemon sees EOF once it has consumed the
+            // garbage. Whatever it does — typed-error reply, degraded
+            // dispatch, or a dropped connection — the read must then
+            // terminate. A hang trips the read timeout below.
+            socket.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut sink = Vec::new();
+            std::io::Read::read_to_end(&mut socket, &mut sink)
+                .unwrap_or_else(|e| panic!("{what}: daemon must close or answer, got {e}"));
+        }
+
+        // The daemon still serves well-formed trace-capable clients.
+        let remote = Broker::connect(NodeId(0), addr);
+        match retry("probe after extension garbage", 3, || {
+            remote.dispatch(StatusProbe)
+        }) {
+            AgentOutput::Status { files, .. } => assert_eq!(files, 0),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        host.shutdown().expect("clean shutdown");
+    })
+}
