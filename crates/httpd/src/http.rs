@@ -155,18 +155,47 @@ pub fn write_request_traced<W: Write>(
     path: &UrlPath,
     trace: Option<&TraceContext>,
 ) -> io::Result<()> {
-    // Assemble the head first: `write!` straight into an unbuffered
-    // socket issues one syscall (and, with nodelay, one TCP segment)
-    // per format fragment, which the trace header would multiply.
-    let head = match trace {
+    writer.write_all(request_head(path, trace).as_bytes())?;
+    writer.flush()
+}
+
+/// Serializes a backend request head (always HTTP/1.1 keep-alive on the
+/// pre-forked connections), optionally carrying a [`TRACE_HEADER`].
+///
+/// The head is assembled as one string: `write!` straight into an
+/// unbuffered socket issues one syscall (and, with nodelay, one TCP
+/// segment) per format fragment, which the trace header would multiply —
+/// and the proxy's non-blocking relay wants the whole head as bytes to
+/// enqueue anyway.
+#[must_use]
+pub fn request_head(path: &UrlPath, trace: Option<&TraceContext>) -> String {
+    match trace {
         Some(ctx) => format!(
             "GET {path} HTTP/1.1\r\nHost: cpms\r\nConnection: keep-alive\r\n{TRACE_HEADER}: {}\r\n\r\n",
             ctx.to_header()
         ),
         None => format!("GET {path} HTTP/1.1\r\nHost: cpms\r\nConnection: keep-alive\r\n\r\n"),
+    }
+}
+
+/// Serializes a response head for the given status, body length, and
+/// connection disposition (shared by [`write_response`] and the proxy's
+/// non-blocking write path, which enqueues heads into a connection buffer
+/// instead of writing to a stream).
+#[must_use]
+pub fn response_head(status: u16, body_len: usize, keep_alive: bool) -> String {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        502 => "Bad Gateway",
+        503 => "Service Unavailable",
+        _ => "Error",
     };
-    writer.write_all(head.as_bytes())?;
-    writer.flush()
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Length: {body_len}\r\nConnection: {}\r\n\r\n",
+        if keep_alive { "keep-alive" } else { "close" },
+    )
 }
 
 /// Writes a response with the given status and body.
@@ -180,22 +209,110 @@ pub fn write_response<W: Write>(
     body: &[u8],
     keep_alive: bool,
 ) -> io::Result<()> {
-    let reason = match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        502 => "Bad Gateway",
-        503 => "Service Unavailable",
-        _ => "Error",
-    };
-    write!(
-        writer,
-        "HTTP/1.1 {status} {reason}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-        body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-    )?;
+    writer.write_all(response_head(status, body.len(), keep_alive).as_bytes())?;
     writer.write_all(body)?;
     writer.flush()
+}
+
+/// Scans an accumulation buffer for a complete HTTP head and returns the
+/// index just past the blank-line terminator, or `None` while more bytes
+/// are still needed. Accepts both `\r\n\r\n` and the bare-`\n` form the
+/// line-based parsers already tolerate. This is the incremental entry
+/// point for non-blocking reads: call it after every chunk and hand the
+/// complete prefix to [`parse_request_head`] / [`parse_response_head`].
+#[must_use]
+pub fn head_complete(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] != b'\n' {
+            i += 1;
+            continue;
+        }
+        // A newline followed by an (optionally CR-prefixed) newline ends
+        // the head.
+        if buf.get(i + 1) == Some(&b'\n') {
+            return Some(i + 2);
+        }
+        if buf.get(i + 1) == Some(&b'\r') && buf.get(i + 2) == Some(&b'\n') {
+            return Some(i + 3);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses one complete request head from a slice (as delimited by
+/// [`head_complete`]).
+///
+/// # Errors
+///
+/// [`ParseError`] variants as for [`read_request`].
+pub fn parse_request_head(head: &[u8]) -> Result<Request, ParseError> {
+    let mut slice = head;
+    read_request(&mut slice)
+}
+
+/// A parsed response head for the streaming relay path: enough to forward
+/// the head verbatim and then count body bytes through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResponseHead {
+    /// Status code.
+    pub status: u16,
+    /// Declared `Content-Length`.
+    pub content_length: usize,
+    /// Bytes the head occupies in the scanned buffer (index of the first
+    /// body byte).
+    pub head_len: usize,
+}
+
+/// Incrementally parses a response head from an accumulation buffer:
+/// `Ok(None)` while incomplete, `Ok(Some(head))` once the terminator and
+/// a valid status + `Content-Length` are in, an error on bad syntax.
+///
+/// # Errors
+///
+/// [`ParseError::Malformed`] on bad status line, version, or
+/// `Content-Length`.
+pub fn parse_response_head(buf: &[u8]) -> Result<Option<ResponseHead>, ParseError> {
+    let Some(head_len) = head_complete(buf) else {
+        return Ok(None);
+    };
+    let head = &buf[..head_len];
+    let text = std::str::from_utf8(head).map_err(|_| ParseError::Malformed("non-ascii head"))?;
+    let mut lines = text.split('\n');
+    let status_line = lines.next().ok_or(ParseError::Malformed("empty head"))?;
+    let mut parts = status_line.split_whitespace();
+    let _version = parts
+        .next()
+        .ok_or(ParseError::Malformed("missing version"))?;
+    let status: u16 = parts
+        .next()
+        .ok_or(ParseError::Malformed("missing status"))?
+        .parse()
+        .map_err(|_| ParseError::Malformed("bad status"))?;
+    let mut content_length: Option<usize> = None;
+    for line in lines {
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = Some(
+                    value
+                        .trim()
+                        .parse()
+                        .map_err(|_| ParseError::Malformed("bad content-length"))?,
+                );
+            }
+        }
+    }
+    let content_length = content_length.ok_or(ParseError::Malformed("missing content-length"))?;
+    Ok(Some(ResponseHead {
+        status,
+        content_length,
+        head_len,
+    }))
 }
 
 /// Reads one response (head + `Content-Length` body) from a buffered
@@ -341,6 +458,44 @@ mod tests {
         let raw = b"GET / HTTP/1.1\r\nx-cpms-trace: not-a-context\r\n\r\n";
         let req = read_request(&mut BufReader::new(&raw[..])).unwrap();
         assert_eq!(req.trace, None);
+    }
+
+    #[test]
+    fn head_complete_finds_the_terminator_incrementally() {
+        let raw = b"GET /a/b.html HTTP/1.1\r\nHost: x\r\n\r\ntrailing";
+        // No prefix short of the terminator completes.
+        for cut in 0..raw.len() - 9 {
+            assert_eq!(head_complete(&raw[..cut]), None, "cut at {cut}");
+        }
+        let end = head_complete(raw).expect("complete");
+        assert_eq!(&raw[..end], b"GET /a/b.html HTTP/1.1\r\nHost: x\r\n\r\n");
+        let req = parse_request_head(&raw[..end]).unwrap();
+        assert_eq!(req.path.as_str(), "/a/b.html");
+
+        // Bare-LF heads terminate too, matching the line-based parser.
+        assert_eq!(head_complete(b"GET / HTTP/1.1\n\n"), Some(16));
+    }
+
+    #[test]
+    fn response_head_parses_incrementally() {
+        let mut wire = Vec::new();
+        write_response(&mut wire, 200, b"hello world", true).unwrap();
+        for cut in 0..4 {
+            assert_eq!(parse_response_head(&wire[..cut]).unwrap(), None);
+        }
+        let head = parse_response_head(&wire).unwrap().expect("complete");
+        assert_eq!(head.status, 200);
+        assert_eq!(head.content_length, 11);
+        assert_eq!(&wire[head.head_len..], b"hello world");
+
+        assert!(matches!(
+            parse_response_head(b"HTTP/1.1 200 OK\r\n\r\n"),
+            Err(ParseError::Malformed("missing content-length"))
+        ));
+        assert!(matches!(
+            parse_response_head(b"garbage\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
     }
 
     #[test]

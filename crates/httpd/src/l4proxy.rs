@@ -8,19 +8,99 @@
 //! simply 404 (§2.1: DNS and layer-4 approaches "are content-blind,
 //! because they determine the target server before the client sends out
 //! the HTTP request").
+//!
+//! Like the content-aware proxy, the router is event-driven: a single
+//! thread runs one `cpms-reactor` poll loop over the listener and every
+//! spliced pair, with bounded per-direction buffers providing
+//! backpressure (a slow receiver throttles the fast sender's reads). The
+//! old implementation burned two threads per connection; this one serves
+//! any number of splices from one.
 
-use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use cpms_reactor::{new_poller, waker_pair, Event, Interest, Slab, SlabKey, TimerWheel, Token};
+use std::collections::VecDeque;
+use std::io::{self, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+const LISTENER_TOKEN: Token = Token(0);
+const WAKER_TOKEN: Token = Token(1);
+/// Pipe tokens start above the fixed ones: `BASE + (key << 1 | side)`.
+const TOKEN_BASE: u64 = 2;
+
+/// Per-direction splice buffer cap: a receiver this far behind pauses
+/// the sender's reads instead of ballooning memory.
+const BUF_CAP: usize = 64 * 1024;
+
+/// Poll cap so the loop re-checks the stop flag without events.
+const POLL_CAP: Duration = Duration::from_millis(500);
+
+/// How long the listener rests after a failed accept before re-arming.
+const ACCEPT_REARM: Duration = Duration::from_millis(100);
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Side {
+    Client,
+    Backend,
+}
+
+fn pipe_token(key: SlabKey, side: Side) -> Token {
+    let bit = match side {
+        Side::Client => 0,
+        Side::Backend => 1,
+    };
+    Token(TOKEN_BASE + ((key << 1) | bit))
+}
+
+/// One spliced client↔backend pair.
+struct Pipe {
+    client: TcpStream,
+    backend: TcpStream,
+    /// Client → backend bytes in flight.
+    c2b: VecDeque<u8>,
+    /// Backend → client bytes in flight.
+    b2c: VecDeque<u8>,
+    client_eof: bool,
+    backend_eof: bool,
+    /// We forwarded the client's FIN to the backend.
+    backend_fin_sent: bool,
+    /// We forwarded the backend's FIN to the client.
+    client_fin_sent: bool,
+    client_interest: Interest,
+    backend_interest: Interest,
+}
+
+impl Pipe {
+    fn desired_client_interest(&self) -> Interest {
+        Interest {
+            read: !self.client_eof && self.c2b.len() < BUF_CAP,
+            write: !self.b2c.is_empty(),
+        }
+    }
+
+    fn desired_backend_interest(&self) -> Interest {
+        Interest {
+            read: !self.backend_eof && self.b2c.len() < BUF_CAP,
+            write: !self.c2b.is_empty(),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.client_eof && self.backend_eof && self.c2b.is_empty() && self.b2c.is_empty()
+    }
+}
 
 /// A running layer-4 proxy.
 pub struct L4Proxy {
     addr: SocketAddr,
     connections: Arc<AtomicU64>,
+    accept_errors: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    waker: Option<cpms_reactor::Waker>,
+    thread: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for L4Proxy {
@@ -28,6 +108,7 @@ impl std::fmt::Debug for L4Proxy {
         f.debug_struct("L4Proxy")
             .field("addr", &self.addr)
             .field("connections", &self.connections())
+            .field("accept_errors", &self.accept_errors())
             .finish()
     }
 }
@@ -41,41 +122,41 @@ impl L4Proxy {
     /// Bind failures.
     pub fn start(backends: Vec<SocketAddr>) -> io::Result<L4Proxy> {
         assert!(!backends.is_empty(), "need at least one backend");
-        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        // Deep backlog + non-blocking from birth, same rationale as the
+        // content-aware proxy's listener.
+        let listener =
+            cpms_reactor::listen_with_backlog("127.0.0.1:0".parse().expect("literal addr"), 4096)?;
         let addr = listener.local_addr()?;
         let connections = Arc::new(AtomicU64::new(0));
+        let accept_errors = Arc::new(AtomicU64::new(0));
         let stop = Arc::new(AtomicBool::new(false));
-        let next = Arc::new(AtomicUsize::new(0));
+        let (waker, wake_rx) = waker_pair()?;
 
-        let accept_thread = {
+        let thread = {
             let connections = Arc::clone(&connections);
+            let accept_errors = Arc::clone(&accept_errors);
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
                 .name("cpms-l4".to_string())
                 .spawn(move || {
-                    for stream in listener.incoming() {
-                        if stop.load(Ordering::Acquire) {
-                            break;
-                        }
-                        let Ok(client) = stream else { continue };
-                        // Content-blind decision: made before reading a byte.
-                        let idx = next.fetch_add(1, Ordering::Relaxed) % backends.len();
-                        let backend_addr = backends[idx];
-                        connections.fetch_add(1, Ordering::Relaxed);
-                        let _ = std::thread::Builder::new()
-                            .name("l4-conn".to_string())
-                            .spawn(move || {
-                                let _ = splice(client, backend_addr);
-                            });
-                    }
+                    splice_loop(SpliceLoop {
+                        listener,
+                        backends,
+                        connections,
+                        accept_errors,
+                        stop,
+                        wake_rx,
+                    });
                 })?
         };
 
         Ok(L4Proxy {
             addr,
             connections,
+            accept_errors,
             stop,
-            accept_thread: Some(accept_thread),
+            waker: Some(waker),
+            thread: Some(thread),
         })
     }
 
@@ -89,11 +170,19 @@ impl L4Proxy {
         self.connections.load(Ordering::Relaxed)
     }
 
-    /// Stops accepting new connections.
+    /// Accept calls that failed (the listener is parked briefly after
+    /// each, then re-armed).
+    pub fn accept_errors(&self) -> u64 {
+        self.accept_errors.load(Ordering::Relaxed)
+    }
+
+    /// Stops the proxy and closes every spliced connection.
     pub fn shutdown(&mut self) {
-        if let Some(thread) = self.accept_thread.take() {
+        if let Some(thread) = self.thread.take() {
             self.stop.store(true, Ordering::Release);
-            let _ = TcpStream::connect(self.addr);
+            if let Some(waker) = &self.waker {
+                waker.wake();
+            }
             let _ = thread.join();
         }
     }
@@ -105,41 +194,260 @@ impl Drop for L4Proxy {
     }
 }
 
-/// Bidirectional byte splice between the client and one backend.
-fn splice(client: TcpStream, backend_addr: SocketAddr) -> io::Result<()> {
-    let backend = TcpStream::connect(backend_addr)?;
-    client.set_nodelay(true)?;
-    backend.set_nodelay(true)?;
+struct SpliceLoop {
+    listener: TcpListener,
+    backends: Vec<SocketAddr>,
+    connections: Arc<AtomicU64>,
+    accept_errors: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    wake_rx: cpms_reactor::WakeReceiver,
+}
 
-    let c2s = {
-        let mut from = client.try_clone()?;
-        let mut to = backend.try_clone()?;
-        std::thread::Builder::new()
-            .name("l4-c2s".to_string())
-            .spawn(move || {
-                let _ = copy_until_eof(&mut from, &mut to);
-                let _ = to.shutdown(std::net::Shutdown::Write);
-            })?
+fn splice_loop(ctx: SpliceLoop) {
+    let Ok(mut poller) = new_poller() else {
+        return;
     };
-    let mut from = backend;
-    let mut to = client;
-    let _ = copy_until_eof(&mut from, &mut to);
-    let _ = to.shutdown(std::net::Shutdown::Write);
-    let _ = c2s.join();
+    if poller
+        .register(ctx.listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)
+        .is_err()
+        || poller
+            .register(ctx.wake_rx.fd(), WAKER_TOKEN, Interest::READ)
+            .is_err()
+    {
+        return;
+    }
+    let mut timers = TimerWheel::new(Duration::from_millis(25), 64);
+    let mut pipes: Slab<Pipe> = Slab::new();
+    let mut scratch = vec![0u8; 16 * 1024];
+    let mut events: Vec<Event> = Vec::with_capacity(64);
+    let mut next = 0usize;
+    let mut parked = false;
+
+    loop {
+        let timeout = timers
+            .next_timeout(Instant::now())
+            .map_or(POLL_CAP, |t| t.min(POLL_CAP));
+        if poller.wait(&mut events, Some(timeout)).is_err() {
+            return;
+        }
+        if ctx.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let mut accept_ready = false;
+        for &ev in &events {
+            match ev.token {
+                WAKER_TOKEN => ctx.wake_rx.drain(),
+                LISTENER_TOKEN => accept_ready = true,
+                Token(raw) => {
+                    let key = (raw - TOKEN_BASE) >> 1;
+                    let side = if (raw - TOKEN_BASE) & 1 == 0 {
+                        Side::Client
+                    } else {
+                        Side::Backend
+                    };
+                    pump_pipe(&mut *poller, &mut pipes, key, side, &mut scratch);
+                }
+            }
+        }
+        let mut fired = Vec::new();
+        timers.expire_into(Instant::now(), &mut fired);
+        if !fired.is_empty() && parked {
+            if poller
+                .register(ctx.listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)
+                .is_ok()
+            {
+                parked = false;
+                accept_ready = true;
+            } else {
+                timers.schedule_after(Instant::now(), ACCEPT_REARM);
+            }
+        }
+        if accept_ready && !parked {
+            parked = accept_burst(&ctx, &mut *poller, &mut timers, &mut pipes, &mut next);
+        }
+    }
+}
+
+/// Accepts until the listener runs dry; returns `true` when an accept
+/// error parked the listener on the re-arm timer.
+fn accept_burst(
+    ctx: &SpliceLoop,
+    poller: &mut dyn cpms_reactor::Poller,
+    timers: &mut TimerWheel,
+    pipes: &mut Slab<Pipe>,
+    next: &mut usize,
+) -> bool {
+    loop {
+        match ctx.listener.accept() {
+            Ok((client, _)) => {
+                // Content-blind decision: made before reading a byte.
+                let idx = *next % ctx.backends.len();
+                *next = next.wrapping_add(1);
+                ctx.connections.fetch_add(1, Ordering::Relaxed);
+                let Ok(backend) = TcpStream::connect(ctx.backends[idx]) else {
+                    continue; // client dropped, as the old thread did
+                };
+                if client.set_nodelay(true).is_err()
+                    || backend.set_nodelay(true).is_err()
+                    || client.set_nonblocking(true).is_err()
+                    || backend.set_nonblocking(true).is_err()
+                {
+                    continue;
+                }
+                let key = pipes.insert(Pipe {
+                    client,
+                    backend,
+                    c2b: VecDeque::new(),
+                    b2c: VecDeque::new(),
+                    client_eof: false,
+                    backend_eof: false,
+                    backend_fin_sent: false,
+                    client_fin_sent: false,
+                    client_interest: Interest::READ,
+                    backend_interest: Interest::READ,
+                });
+                let pipe = pipes.get_mut(key).expect("just inserted");
+                if poller
+                    .register(
+                        pipe.client.as_raw_fd(),
+                        pipe_token(key, Side::Client),
+                        Interest::READ,
+                    )
+                    .is_err()
+                {
+                    pipes.remove(key);
+                    continue;
+                }
+                if poller
+                    .register(
+                        pipe.backend.as_raw_fd(),
+                        pipe_token(key, Side::Backend),
+                        Interest::READ,
+                    )
+                    .is_err()
+                {
+                    let pipe = pipes.remove(key).expect("just inserted");
+                    let _ = poller.deregister(pipe.client.as_raw_fd());
+                    continue;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return false,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                ctx.accept_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = poller.deregister(ctx.listener.as_raw_fd());
+                timers.schedule_after(Instant::now(), ACCEPT_REARM);
+                return true;
+            }
+        }
+    }
+}
+
+/// Runs every transfer the pipe can make right now, propagates FINs, and
+/// closes the pipe when both directions have drained (or on error).
+fn pump_pipe(
+    poller: &mut dyn cpms_reactor::Poller,
+    pipes: &mut Slab<Pipe>,
+    key: SlabKey,
+    side: Side,
+    scratch: &mut [u8],
+) {
+    let Some(pipe) = pipes.get_mut(key) else {
+        return; // stale token
+    };
+    // A side we asked nothing of can only be woken by an error or a full
+    // hangup; with level-triggered polling it would re-fire forever.
+    let interest = match side {
+        Side::Client => pipe.client_interest,
+        Side::Backend => pipe.backend_interest,
+    };
+    let dead_wakeup = !interest.read && !interest.write;
+
+    let ok = !dead_wakeup
+        && pump_in(&pipe.client, &mut pipe.c2b, &mut pipe.client_eof, scratch).is_ok()
+        && pump_in(&pipe.backend, &mut pipe.b2c, &mut pipe.backend_eof, scratch).is_ok()
+        && pump_out(&pipe.client, &mut pipe.b2c).is_ok()
+        && pump_out(&pipe.backend, &mut pipe.c2b).is_ok();
+
+    if ok {
+        // Forward each side's FIN once its buffered bytes have flushed,
+        // so a half-closing client still receives the full response.
+        if pipe.client_eof && pipe.c2b.is_empty() && !pipe.backend_fin_sent {
+            pipe.backend_fin_sent = true;
+            let _ = pipe.backend.shutdown(Shutdown::Write);
+        }
+        if pipe.backend_eof && pipe.b2c.is_empty() && !pipe.client_fin_sent {
+            pipe.client_fin_sent = true;
+            let _ = pipe.client.shutdown(Shutdown::Write);
+        }
+    }
+
+    if !ok || pipe.done() {
+        let pipe = pipes.remove(key).expect("present above");
+        let _ = poller.deregister(pipe.client.as_raw_fd());
+        let _ = poller.deregister(pipe.backend.as_raw_fd());
+        return;
+    }
+
+    let want_client = pipe.desired_client_interest();
+    if want_client != pipe.client_interest {
+        pipe.client_interest = want_client;
+        let _ = poller.reregister(
+            pipe.client.as_raw_fd(),
+            pipe_token(key, Side::Client),
+            want_client,
+        );
+    }
+    let want_backend = pipe.desired_backend_interest();
+    if want_backend != pipe.backend_interest {
+        pipe.backend_interest = want_backend;
+        let _ = poller.reregister(
+            pipe.backend.as_raw_fd(),
+            pipe_token(key, Side::Backend),
+            want_backend,
+        );
+    }
+}
+
+/// Reads from `from` into the bounded direction buffer until it would
+/// block, the buffer fills, or EOF.
+fn pump_in(
+    from: &TcpStream,
+    buf: &mut VecDeque<u8>,
+    eof: &mut bool,
+    scratch: &mut [u8],
+) -> io::Result<()> {
+    while !*eof && buf.len() < BUF_CAP {
+        let want = (BUF_CAP - buf.len()).min(scratch.len());
+        match (&mut &*from).read(&mut scratch[..want]) {
+            Ok(0) => *eof = true,
+            Ok(n) => buf.extend(&scratch[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
     Ok(())
 }
 
-fn copy_until_eof(from: &mut TcpStream, to: &mut TcpStream) -> io::Result<u64> {
-    let mut buf = [0u8; 16 * 1024];
-    let mut total = 0u64;
-    loop {
-        let n = from.read(&mut buf)?;
-        if n == 0 {
-            return Ok(total);
+/// Writes the direction buffer into `to` until it would block or drains.
+fn pump_out(to: &TcpStream, buf: &mut VecDeque<u8>) -> io::Result<()> {
+    use std::io::{IoSlice, Write};
+    while !buf.is_empty() {
+        let (a, b) = buf.as_slices();
+        let bufs = [IoSlice::new(a), IoSlice::new(b)];
+        let nbufs = if b.is_empty() { 1 } else { 2 };
+        match (&mut &*to).write_vectored(&bufs[..nbufs]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => {
+                buf.drain(..n);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
         }
-        to.write_all(&buf[..n])?;
-        total += n as u64;
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -210,5 +518,26 @@ mod tests {
             );
         }
         assert_eq!(client.reconnects(), 0);
+    }
+
+    #[test]
+    fn many_concurrent_splices_share_one_thread() {
+        // 32 concurrent keep-alive clients over a single splice thread:
+        // the event loop must interleave them all without a hang.
+        let o0 = start_origin(0, &[("/x", b"X")]);
+        let proxy = L4Proxy::start(vec![o0.addr()]).unwrap();
+        let addr = proxy.addr();
+        std::thread::scope(|scope| {
+            for _ in 0..32 {
+                scope.spawn(move || {
+                    let mut client = HttpClient::connect(addr).unwrap();
+                    for _ in 0..5 {
+                        assert_eq!(client.get("/x").unwrap().body, b"X");
+                    }
+                });
+            }
+        });
+        assert_eq!(proxy.connections(), 32);
+        assert_eq!(proxy.accept_errors(), 0);
     }
 }

@@ -12,8 +12,16 @@
 //! included as the layer-4 baseline, and [`client`] provides a small
 //! keep-alive HTTP client used by tests, examples, and benches.
 //!
-//! Everything runs on `std::net` + threads: no async runtime, no external
-//! dependencies beyond the workspace.
+//! The proxies are **event-driven**: a fixed set of worker threads, each
+//! running one readiness-driven loop (via `cpms-reactor`) of non-blocking
+//! connection state machines, serves every concurrent client — thousands
+//! of keep-alive connections do not add threads. The origin stays a
+//! plain threaded server: it sits behind the proxy's small pre-forked
+//! connection pool, so its thread count is bounded by pool size, not by
+//! client concurrency.
+//!
+//! Everything runs on `std::net` + the workspace's own reactor: no async
+//! runtime, no external dependencies beyond the workspace.
 //!
 //! # Example
 //!
@@ -48,8 +56,10 @@
 #![warn(missing_docs)]
 
 pub mod client;
+mod conn;
 pub mod http;
 pub mod l4proxy;
+pub mod loadgen;
 pub mod origin;
 pub mod pool;
 pub mod proxy;
@@ -57,4 +67,6 @@ pub mod proxy;
 pub use http::TRACE_HEADER;
 pub use l4proxy::L4Proxy;
 pub use origin::{OriginServer, SiteContent};
-pub use proxy::{ContentAwareProxy, METRICS_JSON_PATH, METRICS_PATH, TRACE_JSON_PATH};
+pub use proxy::{
+    ContentAwareProxy, ProxyConfig, TenantCap, METRICS_JSON_PATH, METRICS_PATH, TRACE_JSON_PATH,
+};

@@ -6,13 +6,22 @@
 //! pre-forked persistent backend connection, and relay the response —
 //! while the client sees a single ordinary HTTP server.
 //!
-//! The proxy is **multi-worker**: `workers` threads share the listening
-//! socket (each holds its own handle to it) and serve accepted
-//! connections to completion. Workers never share mutable routing state —
-//! each owns a [`LiveRouter`] (pinned URL-table snapshot + private lookup
-//! cache), a shard of the pre-forked connection pool, its own counters,
-//! and a private hit ledger. The only cross-worker state is the shared
-//! in-flight counters used for replica choice and the snapshot
+//! The proxy is **event-driven**: one acceptor thread plus `workers`
+//! event-loop workers, each built on the `cpms-reactor` readiness layer
+//! (epoll on Linux, poll(2) elsewhere). The acceptor owns the listening
+//! socket, enforces the global connection cap (shedding the excess with
+//! an immediate 503 rather than letting it queue), and hands accepted
+//! sockets to workers round-robin through bounded queues. Each worker
+//! then serves *all* of its connections — thousands of keep-alive clients
+//! per thread — from one poll loop of non-blocking state machines (see
+//! [`crate::conn`]); thread count is fixed by configuration, not by
+//! concurrency.
+//!
+//! Workers never share mutable routing state — each owns a [`LiveRouter`]
+//! (pinned URL-table snapshot + private lookup cache), a shard of the
+//! pre-forked connection pool, its own counters, and a private hit
+//! ledger. The only cross-worker state is the shared in-flight counters
+//! used for replica choice, the admission counters, and the snapshot
 //! publication protocol itself.
 //!
 //! Management mutates the table through the proxy's [`TablePublisher`]:
@@ -20,26 +29,27 @@
 //! up on their next request via one atomic generation check — the live
 //! analogue of the paper's controller updating the distributor's table.
 
-use crate::http::{read_request, read_response, write_request_traced, write_response, ParseError};
+use crate::conn::{worker_loop, WorkerBoot};
+use crate::http::response_head;
 use crate::pool::SocketPool;
-use cpms_dispatch::LiveRouter;
-use cpms_model::{NodeId, UrlPath};
-use cpms_obs::{
-    Counter, HistogramRecorder, MetricsRegistry, ScopedTrace, Span, SpanCollector, TraceContext,
-    TracedSpan,
-};
+use cpms_obs::{Counter, MetricsRegistry};
+use cpms_reactor::{new_poller, waker_pair, Event, Interest, Token, Waker};
 use cpms_urltable::{SnapshotHandle, TablePublisher, UrlTable};
 use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::io::{self, BufRead, BufReader, BufWriter};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Workers spawned by [`ContentAwareProxy::start`].
 pub const DEFAULT_WORKERS: usize = 4;
+
+/// Global concurrent-connection cap when none is configured.
+pub const DEFAULT_MAX_CONNS: usize = 4096;
 
 /// Admin path serving the registry in Prometheus text exposition format.
 pub const METRICS_PATH: &str = "/_cpms/metrics";
@@ -48,9 +58,29 @@ pub const METRICS_PATH: &str = "/_cpms/metrics";
 pub const METRICS_JSON_PATH: &str = "/_cpms/metrics.json";
 
 /// Admin path serving this process's retained trace spans as JSON (see
-/// [`SpanCollector::to_json`]). `cpms-lab` scrapes this from every
-/// process and merges the dumps into the cluster-wide `traces.json`.
+/// [`cpms_obs::SpanCollector::to_json`]). `cpms-lab` scrapes this from
+/// every process and merges the dumps into the cluster-wide
+/// `traces.json`.
 pub const TRACE_JSON_PATH: &str = "/_cpms/trace.json";
+
+/// Accepted connections an acceptor may park on one worker's handoff
+/// queue before shedding instead — bounds the accept backlog a slow
+/// worker can accumulate.
+const HANDOFF_CAP: usize = 1024;
+
+/// How long the acceptor parks a listener after a non-transient accept
+/// failure (e.g. `EMFILE`) before re-arming it. Replaces the old
+/// sleep-in-loop backoff: the thread keeps serving its waker and timers
+/// while the listener rests.
+const ACCEPT_REARM: Duration = Duration::from_millis(100);
+
+/// Acceptor poll cap so the stop flag is re-checked even without events.
+const ACCEPT_POLL_CAP: Duration = Duration::from_millis(500);
+
+/// Listen backlog: sized for redial storms (thousands of churning
+/// keep-alive clients reconnecting inside one acceptor scheduling
+/// quantum), where std's default 128 drops SYNs.
+const LISTEN_BACKLOG: u32 = 4096;
 
 /// One worker's counters. Written by exactly one thread; read by anyone.
 #[derive(Debug, Default)]
@@ -65,7 +95,7 @@ pub struct WorkerStats {
     /// counted apart from [`backend_errors`](Self::backend_errors)
     /// because pool exhaustion points at capacity, not at a sick node.
     pub pool_failures: AtomicU64,
-    /// Connections this worker accepted.
+    /// Connections this worker adopted.
     pub connections: AtomicU64,
 }
 
@@ -113,7 +143,7 @@ impl ProxyStats {
         self.sum(|w| &w.pool_failures)
     }
 
-    /// Accepted connections, summed over workers.
+    /// Adopted connections, summed over workers.
     pub fn connections(&self) -> u64 {
         self.sum(|w| &w.connections)
     }
@@ -126,6 +156,83 @@ impl ProxyStats {
     }
 }
 
+/// A per-tenant concurrent-connection cap: tenants are the leading path
+/// segment (`/shop/...` → tenant `shop`), so one tenant's connection
+/// storm degrades that tenant, not the cluster.
+#[derive(Debug, Clone)]
+pub struct TenantCap {
+    /// Leading path segment identifying the tenant (no slashes).
+    pub prefix: String,
+    /// Concurrent connections the tenant may hold.
+    pub max_conns: u32,
+}
+
+/// Data-plane tuning knobs for [`ContentAwareProxy::start_with_config`].
+#[derive(Debug, Clone)]
+pub struct ProxyConfig {
+    /// Event-loop worker threads (≥ 1). Thread count is fixed at this
+    /// regardless of connection count.
+    pub workers: usize,
+    /// Persistent connections pre-forked to each backend, sharded across
+    /// workers.
+    pub prefork: u32,
+    /// Global concurrent-connection cap: connections beyond it are shed
+    /// at accept time with an immediate 503.
+    pub max_conns: usize,
+    /// Per-tenant connection caps (see [`TenantCap`]).
+    pub tenant_caps: Vec<TenantCap>,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        ProxyConfig {
+            workers: DEFAULT_WORKERS,
+            prefork: 2,
+            max_conns: DEFAULT_MAX_CONNS,
+            tenant_caps: Vec::new(),
+        }
+    }
+}
+
+/// Admission-control cell for one tenant, shared by all workers.
+#[derive(Debug)]
+pub(crate) struct TenantSlot {
+    pub(crate) prefix: String,
+    pub(crate) cap: u32,
+    pub(crate) active: AtomicU32,
+}
+
+/// Bounded acceptor→worker connection handoff.
+pub(crate) struct HandoffQueue {
+    queue: Mutex<VecDeque<TcpStream>>,
+    cap: usize,
+}
+
+impl HandoffQueue {
+    fn new(cap: usize) -> HandoffQueue {
+        HandoffQueue {
+            queue: Mutex::new(VecDeque::new()),
+            cap,
+        }
+    }
+
+    /// Enqueues unless full; a full queue hands the stream back so the
+    /// caller can shed it.
+    fn push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut queue = self.queue.lock();
+        if queue.len() >= self.cap {
+            return Err(stream);
+        }
+        queue.push_back(stream);
+        Ok(())
+    }
+
+    /// Takes the oldest queued connection, if any.
+    pub(crate) fn pop(&self) -> Option<TcpStream> {
+        self.queue.lock().pop_front()
+    }
+}
+
 /// A running content-aware reverse proxy.
 pub struct ContentAwareProxy {
     addr: SocketAddr,
@@ -135,6 +242,8 @@ pub struct ContentAwareProxy {
     ledgers: Arc<Vec<Mutex<HashMap<cpms_model::UrlPath, u64>>>>,
     registry: Arc<MetricsRegistry>,
     stop: Arc<AtomicBool>,
+    active: Arc<AtomicI64>,
+    wakers: Vec<Waker>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -142,7 +251,7 @@ impl std::fmt::Debug for ContentAwareProxy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ContentAwareProxy")
             .field("addr", &self.addr)
-            .field("workers", &self.workers.len())
+            .field("workers", &self.stats.worker_count())
             .field("connections", &self.stats.connections())
             .field("relayed", &self.stats.relayed())
             .field("unroutable", &self.stats.unroutable())
@@ -169,9 +278,8 @@ impl ContentAwareProxy {
     }
 
     /// Starts the proxy with an explicit worker count (≥ 1). Each worker
-    /// accepts from the shared listener and serves its connections to
-    /// completion, so `workers` bounds the number of concurrently served
-    /// keep-alive clients.
+    /// runs one event loop serving all of its connections, so `workers`
+    /// bounds CPU parallelism — not the number of concurrent clients.
     ///
     /// # Errors
     ///
@@ -231,13 +339,49 @@ impl ContentAwareProxy {
         workers: usize,
         registry: Arc<MetricsRegistry>,
     ) -> io::Result<ContentAwareProxy> {
+        Self::start_with_config(
+            publisher,
+            backends,
+            registry,
+            ProxyConfig {
+                workers,
+                prefork,
+                ..ProxyConfig::default()
+            },
+        )
+    }
+
+    /// Starts the proxy with the full set of data-plane knobs: worker
+    /// count, pre-fork depth, global connection cap, and per-tenant
+    /// connection caps.
+    ///
+    /// # Errors
+    ///
+    /// Bind or pre-fork connection failures.
+    pub fn start_with_config(
+        publisher: TablePublisher,
+        backends: Vec<SocketAddr>,
+        registry: Arc<MetricsRegistry>,
+        config: ProxyConfig,
+    ) -> io::Result<ContentAwareProxy> {
+        let workers = config.workers;
         assert!(workers >= 1, "a proxy needs at least one worker");
-        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        // Each proxied connection costs up to two fds (client + pooled
+        // backend) plus slack for pools and admin; raise the soft nofile
+        // limit toward what the configured cap implies.
+        let _ = cpms_reactor::raise_nofile_limit(config.max_conns as u64 * 3 + 256);
+        // Deep accept backlog: churning clients redial in bursts, and a
+        // SYN dropped off std's default 128-slot backlog costs the client
+        // a full retransmit timeout.
+        let listener = cpms_reactor::listen_with_backlog(
+            "127.0.0.1:0".parse().expect("literal addr"),
+            LISTEN_BACKLOG,
+        )?;
         let addr = listener.local_addr()?;
 
         // Shard the pre-forked connections: each worker owns a private
         // pool so checkouts never cross threads.
-        let per_worker = (prefork as usize).div_ceil(workers) as u32;
+        let per_worker = (config.prefork as usize).div_ceil(workers) as u32;
         let pools: Arc<Vec<SocketPool>> = Arc::new(
             (0..workers)
                 .map(|_| SocketPool::prefork(backends.clone(), per_worker))
@@ -249,26 +393,77 @@ impl ContentAwareProxy {
         let ledgers: Arc<Vec<Mutex<HashMap<cpms_model::UrlPath, u64>>>> =
             Arc::new((0..workers).map(|_| Mutex::new(HashMap::new())).collect());
         let stop = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicI64::new(0));
+        let tenants: Arc<Vec<TenantSlot>> = Arc::new(
+            config
+                .tenant_caps
+                .iter()
+                .map(|t| TenantSlot {
+                    prefix: t.prefix.clone(),
+                    cap: t.max_conns,
+                    active: AtomicU32::new(0),
+                })
+                .collect(),
+        );
 
-        let handles = (0..workers)
-            .map(|idx| {
-                let ctx = WorkerContext {
-                    idx,
-                    workers,
-                    listener: listener.try_clone()?,
-                    handle: publisher.handle(),
-                    pools: Arc::clone(&pools),
-                    in_flight: Arc::clone(&in_flight),
-                    stats: Arc::clone(&stats),
-                    ledgers: Arc::clone(&ledgers),
-                    registry: Arc::clone(&registry),
-                    stop: Arc::clone(&stop),
-                };
+        // Surface the shedding and sizing metrics from the start so a
+        // scrape sees them at zero rather than absent.
+        registry.counter("proxy_conn_rejected_total");
+        registry.counter("proxy_conn_tenant_rejected_total");
+        registry.counter("reactor_accept_errors_total");
+        registry.gauge("proxy_conn_active");
+        registry
+            .gauge("reactor_workers")
+            .set(i64::try_from(workers).unwrap_or(i64::MAX));
+
+        let mut wakers = Vec::with_capacity(workers + 1);
+        let mut queues = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers + 1);
+        for idx in 0..workers {
+            let (waker, wake_rx) = waker_pair()?;
+            let queue = Arc::new(HandoffQueue::new(HANDOFF_CAP));
+            let boot = WorkerBoot {
+                idx,
+                workers,
+                handle: publisher.handle(),
+                pools: Arc::clone(&pools),
+                in_flight: Arc::clone(&in_flight),
+                stats: Arc::clone(&stats),
+                ledgers: Arc::clone(&ledgers),
+                registry: Arc::clone(&registry),
+                stop: Arc::clone(&stop),
+                queue: Arc::clone(&queue),
+                wake_rx,
+                active: Arc::clone(&active),
+                tenants: Arc::clone(&tenants),
+            };
+            handles.push(
                 std::thread::Builder::new()
                     .name(format!("cpms-proxy-{idx}"))
-                    .spawn(move || worker_loop(ctx))
-            })
-            .collect::<io::Result<Vec<_>>>()?;
+                    .spawn(move || worker_loop(boot))?,
+            );
+            wakers.push(waker);
+            queues.push(queue);
+        }
+
+        let (accept_waker, accept_rx) = waker_pair()?;
+        let acceptor = AcceptorBoot {
+            listener,
+            queues,
+            worker_wakers: wakers.clone(),
+            stop: Arc::clone(&stop),
+            active: Arc::clone(&active),
+            max_conns: config.max_conns,
+            rejected: registry.counter("proxy_conn_rejected_total"),
+            accept_errors: registry.counter("reactor_accept_errors_total"),
+            wake_rx: accept_rx,
+        };
+        handles.push(
+            std::thread::Builder::new()
+                .name("cpms-proxy-accept".to_string())
+                .spawn(move || acceptor_loop(acceptor))?,
+        );
+        wakers.push(accept_waker);
 
         Ok(ContentAwareProxy {
             addr,
@@ -278,6 +473,8 @@ impl ContentAwareProxy {
             ledgers,
             registry,
             stop,
+            active,
+            wakers,
             workers: handles,
         })
     }
@@ -298,7 +495,7 @@ impl ContentAwareProxy {
         self.publisher.handle()
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads (the acceptor is not counted).
     pub fn worker_count(&self) -> usize {
         self.stats.worker_count()
     }
@@ -313,6 +510,11 @@ impl ContentAwareProxy {
     /// otherwise.
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.registry
+    }
+
+    /// Connections currently admitted (accepted and not yet closed).
+    pub fn active_connections(&self) -> u64 {
+        u64::try_from(self.active.load(Ordering::Relaxed)).unwrap_or(0)
     }
 
     /// Requests relayed successfully (all workers).
@@ -371,16 +573,15 @@ impl ContentAwareProxy {
         });
     }
 
-    /// Stops accepting new connections and joins every worker.
+    /// Stops accepting new connections, closes every open one, and joins
+    /// every thread.
     pub fn shutdown(&mut self) {
         if self.workers.is_empty() {
             return;
         }
         self.stop.store(true, Ordering::Release);
-        // Wake each worker blocked in accept(); a woken worker re-checks
-        // the flag and exits without serving.
-        for _ in 0..self.workers.len() {
-            let _ = TcpStream::connect(self.addr);
+        for waker in &self.wakers {
+            waker.wake();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
@@ -394,404 +595,139 @@ impl Drop for ContentAwareProxy {
     }
 }
 
-/// How long a worker waits on an idle keep-alive connection before
-/// re-checking the stop flag. Applies only *between* requests, never to
-/// reads inside a request head.
-const IDLE_POLL: Duration = Duration::from_millis(50);
-
-/// How long a worker allows a client to finish delivering a request head
-/// once its first byte has arrived. Generous enough for slow clients that
-/// trickle the request line and headers in separate packets; bounded so a
-/// stalled client cannot pin a worker forever.
-const REQUEST_READ_TIMEOUT: Duration = Duration::from_secs(2);
-
-/// How long a worker sleeps after a failed `accept` before retrying, so a
-/// persistent error (e.g. `EMFILE`) does not become a CPU-spinning loop.
-const ACCEPT_RETRY_BACKOFF: Duration = Duration::from_millis(10);
-
-/// Requests slower end-to-end than this leave a post-mortem event even
-/// when they succeed.
-const SLOW_REQUEST: Duration = Duration::from_millis(250);
-
-/// Everything one worker thread needs, moved into it at spawn.
-struct WorkerContext {
-    idx: usize,
-    workers: usize,
+/// Everything the acceptor thread needs, moved into it at spawn.
+struct AcceptorBoot {
     listener: TcpListener,
-    handle: SnapshotHandle,
-    pools: Arc<Vec<SocketPool>>,
-    in_flight: Arc<Vec<AtomicU32>>,
-    stats: Arc<ProxyStats>,
-    ledgers: Arc<Vec<Mutex<HashMap<UrlPath, u64>>>>,
-    registry: Arc<MetricsRegistry>,
+    queues: Vec<Arc<HandoffQueue>>,
+    worker_wakers: Vec<Waker>,
     stop: Arc<AtomicBool>,
+    active: Arc<AtomicI64>,
+    max_conns: usize,
+    rejected: Arc<Counter>,
+    accept_errors: Arc<Counter>,
+    wake_rx: cpms_reactor::WakeReceiver,
 }
 
-/// Per-worker metric handles: histogram recorders bound to this worker's
-/// shard (recording is a few relaxed atomics, no lock) plus the shared
-/// counters. Resolved once at worker start, off the request path.
-struct WorkerMetrics {
-    parse_ns: HistogramRecorder,
-    relay_ns: HistogramRecorder,
-    request_ns: HistogramRecorder,
-    connections: Arc<Counter>,
-    requests: Arc<Counter>,
-    relayed: Arc<Counter>,
-    unroutable: Arc<Counter>,
-    backend_errors: Arc<Counter>,
-    pool_failures: Arc<Counter>,
-    malformed: Arc<Counter>,
-    /// The registry's span collector, resolved once so opening a span
-    /// on the request path costs no registry lookup.
-    spans: Arc<SpanCollector>,
-}
+const LISTENER_TOKEN: Token = Token(0);
+const ACCEPT_WAKER_TOKEN: Token = Token(1);
 
-impl WorkerMetrics {
-    fn new(registry: &MetricsRegistry, idx: usize, workers: usize) -> Self {
-        let recorder = |name| registry.histogram_with_shards(name, workers).recorder(idx);
-        WorkerMetrics {
-            spans: Arc::clone(registry.spans()),
-            parse_ns: recorder("proxy_parse_ns"),
-            relay_ns: recorder("proxy_relay_ns"),
-            request_ns: recorder("proxy_request_ns"),
-            connections: registry.counter("proxy_connections_total"),
-            requests: registry.counter("proxy_requests_total"),
-            relayed: registry.counter("proxy_relayed_total"),
-            unroutable: registry.counter("proxy_unroutable_total"),
-            backend_errors: registry.counter("proxy_backend_errors_total"),
-            pool_failures: registry.counter("proxy_pool_failures_total"),
-            malformed: registry.counter("proxy_malformed_total"),
-        }
+/// The acceptor thread: readiness-driven accept with overload shedding.
+///
+/// Accept failures (fd exhaustion, transient kernel errors) park the
+/// listener on a timer instead of sleeping, so the thread stays
+/// responsive to shutdown while the listener rests.
+fn acceptor_loop(boot: AcceptorBoot) {
+    if boot.listener.set_nonblocking(true).is_err() {
+        return;
     }
-}
+    let Ok(mut poller) = new_poller() else {
+        return;
+    };
+    if poller
+        .register(boot.listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)
+        .is_err()
+        || poller
+            .register(boot.wake_rx.fd(), ACCEPT_WAKER_TOKEN, Interest::READ)
+            .is_err()
+    {
+        return;
+    }
+    let mut timers = cpms_reactor::TimerWheel::new(Duration::from_millis(25), 64);
+    let mut parked = false;
+    let mut next = 0usize;
+    let mut events: Vec<Event> = Vec::with_capacity(8);
 
-fn worker_loop(ctx: WorkerContext) {
-    let mut worker = Worker::new(ctx);
     loop {
-        let stream = match worker.ctx.listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => {
-                if worker.ctx.stop.load(Ordering::Acquire) {
-                    return;
-                }
-                std::thread::sleep(ACCEPT_RETRY_BACKOFF);
-                continue;
+        let timeout = timers
+            .next_timeout(Instant::now())
+            .map_or(ACCEPT_POLL_CAP, |t| t.min(ACCEPT_POLL_CAP));
+        if poller.wait(&mut events, Some(timeout)).is_err() {
+            return;
+        }
+        if boot.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let mut ready = false;
+        for ev in &events {
+            match ev.token {
+                ACCEPT_WAKER_TOKEN => boot.wake_rx.drain(),
+                LISTENER_TOKEN => ready = true,
+                _ => {}
             }
-        };
-        if worker.ctx.stop.load(Ordering::Acquire) {
-            return;
         }
-        worker.stats().connections.fetch_add(1, Ordering::Relaxed);
-        worker.metrics.connections.inc();
-        let _ = worker.serve_client(stream);
-        if worker.ctx.stop.load(Ordering::Acquire) {
-            return;
+        let mut fired = Vec::new();
+        timers.expire_into(Instant::now(), &mut fired);
+        if !fired.is_empty() && parked {
+            if poller
+                .register(boot.listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)
+                .is_ok()
+            {
+                parked = false;
+                ready = true; // probe once: a backlog may have built up
+            } else {
+                timers.schedule_after(Instant::now(), ACCEPT_REARM);
+            }
+        }
+        if ready && !parked {
+            parked = accept_burst(&boot, &mut *poller, &mut timers, &mut next);
         }
     }
 }
 
-/// One worker thread's state: private router (pinned snapshot + lookup
-/// cache), private pool shard, per-worker counters and recorders.
-struct Worker {
-    ctx: WorkerContext,
-    router: LiveRouter,
-    metrics: WorkerMetrics,
-}
-
-impl Worker {
-    fn new(ctx: WorkerContext) -> Self {
-        let mut router = LiveRouter::new(&ctx.handle, 1024);
-        router.attach_metrics(&ctx.registry, ctx.idx);
-        let metrics = WorkerMetrics::new(&ctx.registry, ctx.idx, ctx.workers);
-        Worker {
-            router,
-            metrics,
-            ctx,
-        }
-    }
-
-    fn stats(&self) -> &WorkerStats {
-        self.ctx.stats.worker(self.ctx.idx)
-    }
-
-    fn pool(&self) -> &SocketPool {
-        &self.ctx.pools[self.ctx.idx]
-    }
-
-    fn serve_client(&mut self, stream: TcpStream) -> io::Result<()> {
-        stream.set_nodelay(true)?;
-        // `timeouts` shares the socket with reader and writer; it exists
-        // only to flip SO_RCVTIMEO between the idle poll and the
-        // in-request read.
-        let timeouts = stream.try_clone()?;
-        let mut reader = BufReader::new(stream.try_clone()?);
-        let mut writer = BufWriter::new(stream);
-        loop {
-            // Idle between requests: poll with a short timeout so shutdown
-            // never hangs on a silent keep-alive client. No request bytes
-            // have been consumed yet, so a timeout here loses nothing.
-            timeouts.set_read_timeout(Some(IDLE_POLL))?;
-            loop {
-                match reader.fill_buf() {
-                    Ok([]) => return Ok(()),
-                    Ok(_) => break,
-                    Err(e)
-                        if e.kind() == io::ErrorKind::WouldBlock
-                            || e.kind() == io::ErrorKind::TimedOut =>
-                    {
-                        if self.ctx.stop.load(Ordering::Acquire) {
-                            return Ok(());
-                        }
+/// Accepts until the listener runs dry. Returns `true` when an accept
+/// error parked the listener.
+fn accept_burst(
+    boot: &AcceptorBoot,
+    poller: &mut dyn cpms_reactor::Poller,
+    timers: &mut cpms_reactor::TimerWheel,
+    next: &mut usize,
+) -> bool {
+    loop {
+        match boot.listener.accept() {
+            Ok((stream, _)) => {
+                if boot.active.load(Ordering::Relaxed) >= boot.max_conns as i64 {
+                    boot.rejected.inc();
+                    shed_overload(&stream);
+                    continue;
+                }
+                boot.active.fetch_add(1, Ordering::Relaxed);
+                let idx = *next % boot.queues.len();
+                *next = next.wrapping_add(1);
+                match boot.queues[idx].push(stream) {
+                    Ok(()) => boot.worker_wakers[idx].wake(),
+                    Err(stream) => {
+                        boot.active.fetch_sub(1, Ordering::Relaxed);
+                        boot.rejected.inc();
+                        shed_overload(&stream);
                     }
-                    Err(e) => return Err(e),
                 }
             }
-            // The first request byte is in: the request is live from here,
-            // so this is where its clock and id start.
-            let started = Instant::now();
-            let request_id = self.ctx.registry.next_request_id();
-            self.metrics.requests.inc();
-            // The request head has started arriving: give the client a
-            // longer, bounded window to deliver the rest. A short per-read
-            // timeout here would abort mid-parse and misinterpret the
-            // remaining header bytes as a fresh request line on the retry.
-            timeouts.set_read_timeout(Some(REQUEST_READ_TIMEOUT))?;
-            let parse_span = Span::enter("parse", &self.metrics.parse_ns);
-            let request = match read_request(&mut reader) {
-                Ok(r) => r,
-                Err(ParseError::ConnectionClosed) => return Ok(()),
-                Err(ParseError::Io(e))
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut =>
-                {
-                    // Client stalled mid-request: parse state is
-                    // unrecoverable, drop the connection.
-                    self.ctx.registry.events().record(
-                        "parse",
-                        Some(request_id),
-                        "client stalled mid-request-head".to_string(),
-                    );
-                    return Ok(());
-                }
-                Err(ParseError::Io(e)) => return Err(e),
-                Err(ParseError::Malformed(why)) => {
-                    self.metrics.malformed.inc();
-                    self.ctx.registry.events().record(
-                        "parse",
-                        Some(request_id),
-                        format!("malformed request: {why}"),
-                    );
-                    write_response(&mut writer, 400, b"bad request", false)?;
-                    return Ok(());
-                }
-            };
-            parse_span.finish();
-            let keep_alive = request.keep_alive;
-
-            // --- admin surface: the stats endpoints are served by the
-            // proxy itself, not routed to a backend.
-            if request.path.as_str() == METRICS_PATH {
-                let body = self.render_metrics(false);
-                write_response(&mut writer, 200, body.as_bytes(), keep_alive)?;
-                if keep_alive {
-                    continue;
-                }
-                return Ok(());
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return false,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                boot.accept_errors.inc();
+                let _ = poller.deregister(boot.listener.as_raw_fd());
+                timers.schedule_after(Instant::now(), ACCEPT_REARM);
+                return true;
             }
-            if request.path.as_str() == METRICS_JSON_PATH {
-                let body = self.render_metrics(true);
-                write_response(&mut writer, 200, body.as_bytes(), keep_alive)?;
-                if keep_alive {
-                    continue;
-                }
-                return Ok(());
-            }
-            if request.path.as_str() == TRACE_JSON_PATH {
-                let body = self.ctx.registry.spans().to_json();
-                write_response(&mut writer, 200, body.as_bytes(), keep_alive)?;
-                if keep_alive {
-                    continue;
-                }
-                return Ok(());
-            }
-
-            // --- trace root: the proxy is the cluster's entry point, so
-            // every relayed request opens (or, when the client carried an
-            // `x-cpms-trace` header, continues) a distributed trace here.
-            // Admin paths above stay untraced — scrapes are not traffic.
-            let _inherited = request.trace.map(ScopedTrace::activate);
-            let mut request_span =
-                TracedSpan::enter_head_sampled(&self.metrics.spans, "proxy.request");
-            request_span.set_detail(request.path.as_str().to_string());
-
-            // --- routing decision: snapshot lookup + least in-flight
-            // replica. Nodes without a configured backend address are
-            // vetoed.
-            let in_flight = &self.ctx.in_flight;
-            let target = self.router.route(&request.path, |n| {
-                in_flight
-                    .get(n.index())
-                    .map_or(u64::MAX, |c| u64::from(c.load(Ordering::Relaxed)))
-            });
-            let Some((node, _entry)) = target else {
-                self.stats().unroutable.fetch_add(1, Ordering::Relaxed);
-                self.metrics.unroutable.inc();
-                request_span.set_error(true);
-                request_span.set_detail(format!("unroutable {}", request.path));
-                self.ctx.registry.events().record(
-                    "route",
-                    Some(request_id),
-                    format!("unroutable path {}", request.path),
-                );
-                write_response(&mut writer, 503, b"no location for path", keep_alive)?;
-                self.metrics
-                    .request_ns
-                    .record(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
-                if keep_alive {
-                    continue;
-                }
-                return Ok(());
-            };
-            *self.ctx.ledgers[self.ctx.idx]
-                .lock()
-                .entry(request.path.clone())
-                .or_insert(0) += 1;
-
-            // --- bind to a pre-forked connection and relay. The relay
-            // gets its own child span whose context rides the backend
-            // request as an `x-cpms-trace` header, so the origin's span
-            // parents to this hop.
-            in_flight[node.index()].fetch_add(1, Ordering::Relaxed);
-            let relay_span = Span::enter("relay", &self.metrics.relay_ns);
-            let exchange = {
-                let mut relay_trace = TracedSpan::enter(&self.metrics.spans, "proxy.relay");
-                relay_trace.set_detail(format!("node={}", node.0));
-                let relay_ctx = relay_trace.context();
-                let exchange = relay_once(self.pool(), node, &request.path, relay_ctx.as_ref());
-                relay_trace.set_error(exchange.is_err());
-                exchange
-            };
-            relay_span.finish();
-            in_flight[node.index()].fetch_sub(1, Ordering::Relaxed);
-
-            if exchange.is_err() {
-                request_span.set_error(true);
-            }
-            match exchange {
-                Ok(response) => {
-                    self.stats().relayed.fetch_add(1, Ordering::Relaxed);
-                    self.metrics.relayed.inc();
-                    write_response(&mut writer, response.status, &response.body, keep_alive)?;
-                }
-                Err(RelayError::Acquire(e)) => {
-                    self.stats().pool_failures.fetch_add(1, Ordering::Relaxed);
-                    self.metrics.pool_failures.inc();
-                    self.ctx.registry.events().record(
-                        "pool",
-                        Some(request_id),
-                        format!("no connection to node {}: {e}", node.0),
-                    );
-                    write_response(&mut writer, 502, b"backend failure", keep_alive)?;
-                }
-                Err(RelayError::Exchange(e)) => {
-                    self.stats().backend_errors.fetch_add(1, Ordering::Relaxed);
-                    self.metrics.backend_errors.inc();
-                    self.ctx.registry.events().record(
-                        "relay",
-                        Some(request_id),
-                        format!("exchange with node {} failed: {e:?}", node.0),
-                    );
-                    write_response(&mut writer, 502, b"backend failure", keep_alive)?;
-                }
-            }
-            let elapsed = started.elapsed();
-            self.metrics
-                .request_ns
-                .record(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
-            if elapsed >= SLOW_REQUEST {
-                self.ctx.registry.events().record(
-                    "request",
-                    Some(request_id),
-                    format!("slow request {} took {elapsed:?}", request.path),
-                );
-            }
-            if !keep_alive {
-                return Ok(());
-            }
-        }
-    }
-
-    /// Samples the point-in-time gauges (table size and memory, snapshot
-    /// generation, pool occupancy, per-node in-flight) into the registry,
-    /// then renders the whole registry. Gauges are sampled at render time
-    /// because they are reads of existing state — putting them on the
-    /// request path would buy nothing.
-    fn render_metrics(&self, json: bool) -> String {
-        let registry = &self.ctx.registry;
-        let table = self.ctx.handle.load();
-        registry
-            .gauge("urltable_entries")
-            .set(i64::try_from(table.len()).unwrap_or(i64::MAX));
-        registry
-            .gauge("urltable_memory_bytes")
-            .set(i64::try_from(table.memory_bytes()).unwrap_or(i64::MAX));
-        registry
-            .gauge("urltable_generation")
-            .set(i64::try_from(self.ctx.handle.generation()).unwrap_or(i64::MAX));
-        let pools = &self.ctx.pools;
-        registry
-            .gauge("proxy_pool_checkouts")
-            .set(i64::try_from(pools.iter().map(SocketPool::checkouts).sum::<u64>()).unwrap_or(0));
-        registry.gauge("proxy_pool_overflow_connects").set(
-            i64::try_from(pools.iter().map(SocketPool::overflow_connects).sum::<u64>())
-                .unwrap_or(0),
-        );
-        for (node, counter) in self.ctx.in_flight.iter().enumerate() {
-            let idle: usize = pools.iter().map(|p| p.idle_count(node)).sum();
-            registry
-                .gauge(&format!("proxy_node{node}_in_flight"))
-                .set(i64::from(counter.load(Ordering::Relaxed)));
-            registry
-                .gauge(&format!("proxy_node{node}_pool_idle"))
-                .set(i64::try_from(idle).unwrap_or(i64::MAX));
-        }
-        let snapshot = registry.snapshot();
-        if json {
-            snapshot.to_json()
-        } else {
-            snapshot.to_prometheus()
         }
     }
 }
 
-/// Why one relay attempt failed — acquisition and exchange failures are
-/// reported apart because they call for different remedies (capacity vs.
-/// node health).
-#[derive(Debug)]
-enum RelayError {
-    /// No backend connection could be obtained at all.
-    Acquire(io::Error),
-    /// The request/response exchange on an established connection failed.
-    Exchange(ParseError),
-}
-
-fn relay_once(
-    pool: &SocketPool,
-    node: NodeId,
-    path: &cpms_model::UrlPath,
-    trace: Option<&TraceContext>,
-) -> Result<crate::http::Response, RelayError> {
-    let conn = pool.checkout(node.index()).map_err(RelayError::Acquire)?;
-    let mut backend_reader = BufReader::new(conn.try_clone().map_err(RelayError::Acquire)?);
-    let mut backend_writer = conn;
-    let result = write_request_traced(&mut backend_writer, path, trace)
-        .map_err(ParseError::Io)
-        .and_then(|()| read_response(&mut backend_reader));
-    match &result {
-        Ok(_) => pool.release(node.index(), backend_writer),
-        Err(_) => pool.discard(node.index(), backend_writer),
-    }
-    result.map_err(RelayError::Exchange)
+/// Sends a fast 503 on a connection that will not be admitted. The
+/// accepted socket is still blocking (accept does not inherit the
+/// listener's non-blocking flag) and the response is far smaller than a
+/// socket buffer, but a write timeout guards against a pathological peer
+/// stalling the acceptor anyway.
+fn shed_overload(stream: &TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let body: &[u8] = b"proxy over capacity";
+    let head = response_head(503, body.len(), false);
+    let mut out = stream;
+    let _ = out
+        .write_all(head.as_bytes())
+        .and_then(|()| out.write_all(body));
 }
 
 #[cfg(test)]
@@ -799,7 +735,7 @@ mod tests {
     use super::*;
     use crate::client::HttpClient;
     use crate::origin::{OriginServer, SiteContent};
-    use cpms_model::{ContentId, ContentKind, UrlPath};
+    use cpms_model::{ContentId, ContentKind, NodeId, UrlPath};
     use cpms_urltable::UrlEntry;
 
     fn start_origin(node: u16, files: &[(&str, &[u8])]) -> OriginServer {
@@ -954,8 +890,8 @@ mod tests {
             .map(|i| proxy.stats().worker(i).relayed.load(Ordering::Relaxed))
             .sum();
         assert_eq!(per_worker, 40);
-        // With 4 concurrent keep-alive clients and 4 workers, the work
-        // cannot all land on one worker.
+        // With round-robin handoff of 4 connections over 4 workers, the
+        // work cannot all land on one worker.
         let busy_workers = (0..proxy.worker_count())
             .filter(|&i| proxy.stats().worker(i).relayed.load(Ordering::Relaxed) > 0)
             .count();
@@ -965,9 +901,9 @@ mod tests {
     #[test]
     fn slow_request_heads_parse_across_packets() {
         // A client that trickles the request line and headers in separate
-        // packets, each gap longer than IDLE_POLL: the proxy must keep the
-        // partial parse alive rather than time out mid-head and misread the
-        // remaining header bytes as a fresh request line.
+        // packets: the proxy must keep the partial parse alive across poll
+        // rounds rather than time out mid-head and misread the remaining
+        // header bytes as a fresh request line.
         let o0 = start_origin(0, &[("/slow", b"patient")]);
         let mut table = UrlTable::new();
         table
@@ -985,7 +921,7 @@ mod tests {
             b"\r\n",
         ] {
             stream.write_all(chunk).unwrap();
-            std::thread::sleep(IDLE_POLL + Duration::from_millis(30));
+            std::thread::sleep(Duration::from_millis(80));
         }
         let mut raw = Vec::new();
         stream.read_to_end(&mut raw).unwrap();
@@ -1050,9 +986,10 @@ mod tests {
         let resp = client.get(METRICS_PATH).unwrap();
         assert_eq!(resp.status, 200);
         let text = String::from_utf8(resp.body).unwrap();
-        // Proxy family (request path), dispatch family (routing), and the
-        // urltable family (lookup latency + render-time memory gauge)
-        // all surface on the one endpoint.
+        // Proxy family (request path), dispatch family (routing), the
+        // urltable family (lookup latency + render-time memory gauge),
+        // and the reactor family (data-plane internals) all surface on
+        // the one endpoint.
         assert!(text.contains("proxy_relayed_total 3"), "{text}");
         assert!(text.contains("proxy_unroutable_total 1"), "{text}");
         assert!(text.contains("dispatch_requests_total 4"), "{text}");
@@ -1062,6 +999,10 @@ mod tests {
         );
         assert!(text.contains("urltable_memory_bytes"), "{text}");
         assert!(text.contains("proxy_request_ns_count 4"), "{text}");
+        assert!(text.contains("proxy_conn_active 1"), "{text}");
+        assert!(text.contains("proxy_conn_rejected_total 0"), "{text}");
+        assert!(text.contains("reactor_workers 4"), "{text}");
+        assert!(text.contains("reactor_polls_total"), "{text}");
 
         let json = String::from_utf8(client.get(METRICS_JSON_PATH).unwrap().body).unwrap();
         assert!(json.contains("\"proxy_relayed_total\": 3"), "{json}");

@@ -4,7 +4,16 @@
 //!
 //! Usage:
 //!   cpms-proxy \[--admin ADDR\] \[--prefork N\] \[--workers N\]
+//!              \[--max-conns N\] \[--tenant-cap PREFIX=N ...\]
 //!              <WIRE,HTTP> \[<WIRE,HTTP> ...\]
+//!   cpms-proxy --smoke
+//!
+//! `--workers` fixes the event-loop thread count (connections beyond
+//! that multiplex, they never add threads), `--max-conns` is the global
+//! admission cap (overload sheds an immediate 503 at accept), and each
+//! `--tenant-cap` bounds concurrent connections whose first routed
+//! request matches a path prefix. `--smoke` runs the self-contained
+//! high-concurrency data-plane check used by CI and exits.
 //!
 //! Each positional argument names one backend node as a pair of
 //! addresses: the node's `cpms-broker` wire endpoint and its origin
@@ -31,7 +40,7 @@
 //! shutdown                          clean exit
 //! ```
 
-use cpms_httpd::ContentAwareProxy;
+use cpms_httpd::{ContentAwareProxy, ProxyConfig, TenantCap};
 use cpms_mgmt::admin::{AdminResponse, AdminServer};
 use cpms_mgmt::console::RemoteConsole;
 use cpms_mgmt::shell::{Shell, ShellOutcome};
@@ -44,9 +53,15 @@ use std::sync::{mpsc, Arc};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--smoke") {
+        smoke();
+        return;
+    }
     let mut admin_addr: SocketAddr = "127.0.0.1:0".parse().expect("literal addr");
-    let mut prefork: u32 = 2;
-    let mut workers: usize = 4;
+    let mut config = ProxyConfig {
+        prefork: 2,
+        ..ProxyConfig::default()
+    };
     let mut pairs: Vec<(SocketAddr, SocketAddr)> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -59,18 +74,35 @@ fn main() {
                     .expect("--admin address must be host:port");
             }
             "--prefork" => {
-                prefork = it
+                config.prefork = it
                     .next()
                     .expect("--prefork needs a number")
                     .parse()
                     .expect("--prefork must be a number");
             }
             "--workers" => {
-                workers = it
+                config.workers = it
                     .next()
                     .expect("--workers needs a number")
                     .parse()
                     .expect("--workers must be a number");
+            }
+            "--max-conns" => {
+                config.max_conns = it
+                    .next()
+                    .expect("--max-conns needs a number")
+                    .parse()
+                    .expect("--max-conns must be a number");
+            }
+            "--tenant-cap" => {
+                let spec = it.next().expect("--tenant-cap needs PREFIX=N");
+                let (prefix, cap) = spec
+                    .split_once('=')
+                    .expect("--tenant-cap argument must be PREFIX=N");
+                config.tenant_caps.push(TenantCap {
+                    prefix: prefix.trim_matches('/').to_string(),
+                    max_conns: cap.parse().expect("tenant cap must be a number"),
+                });
             }
             pair => {
                 let (wire, http) = pair
@@ -85,7 +117,7 @@ fn main() {
     }
     if pairs.is_empty() {
         eprintln!(
-            "usage: cpms-proxy [--admin ADDR] [--prefork N] [--workers N] <WIRE,HTTP> [<WIRE,HTTP> ...]"
+            "usage: cpms-proxy [--admin ADDR] [--prefork N] [--workers N] [--max-conns N] [--tenant-cap PREFIX=N ...] <WIRE,HTTP> [<WIRE,HTTP> ...]"
         );
         std::process::exit(2);
     }
@@ -112,14 +144,9 @@ fn main() {
     let mut controller = Controller::new(Cluster::from_handles(handles));
     controller.set_metrics(&registry);
     let publisher = controller.publisher().share();
-    let proxy = ContentAwareProxy::start_with_publisher(
-        publisher,
-        backends,
-        prefork,
-        workers,
-        Arc::clone(&registry),
-    )
-    .expect("start content-aware proxy");
+    let proxy =
+        ContentAwareProxy::start_with_config(publisher, backends, Arc::clone(&registry), config)
+            .expect("start content-aware proxy");
 
     let mut shell = Shell::new(RemoteConsole::new(controller));
     let (stop_tx, stop_rx) = mpsc::channel::<&'static str>();
@@ -240,6 +267,169 @@ fn dispatch(
             }
         },
     }
+}
+
+/// Self-contained high-concurrency data-plane check (`cpms-proxy
+/// --smoke`): spins an in-process origin + proxy, then asserts the three
+/// behaviours the event-driven data plane promises — (1) hundreds of
+/// churning keep-alive connections all served correctly on a fixed
+/// worker count, (2) connections over the global cap shed with an
+/// immediate 503 at accept, (3) a tenant over its per-prefix cap shed
+/// with a 503 while other tenants keep flowing.
+fn smoke() {
+    use cpms_httpd::client::HttpClient;
+    use cpms_httpd::loadgen::{self, LoadConfig};
+    use cpms_httpd::{OriginServer, SiteContent};
+    use cpms_model::{ContentId, ContentKind, UrlPath};
+    use cpms_urltable::{TablePublisher, UrlEntry, UrlTable};
+    use std::io::Read as _;
+    use std::net::TcpStream;
+    use std::time::{Duration, Instant};
+
+    let paths: Vec<String> = (0..16)
+        .map(|i| format!("/obj/{i}.html"))
+        .chain(std::iter::once("/t0/page.html".to_string()))
+        .collect();
+    let mut site = SiteContent::new();
+    for path in &paths {
+        site.add_static(path, format!("body of {path}").into_bytes());
+    }
+    let origin = OriginServer::start(NodeId(0), site).expect("smoke origin");
+    let table = {
+        let mut t = UrlTable::new();
+        for (i, path) in paths.iter().enumerate() {
+            let url: UrlPath = path.parse().expect("literal path");
+            t.insert(
+                url,
+                UrlEntry::new(ContentId(i as u32), ContentKind::StaticHtml, 64)
+                    .with_locations([NodeId(0)]),
+            )
+            .expect("insert smoke path");
+        }
+        t
+    };
+
+    // --- stage 1: 400 churning keep-alive connections over 2 workers.
+    let registry = Arc::new(MetricsRegistry::new());
+    let mut proxy = ContentAwareProxy::start_with_config(
+        TablePublisher::new(table.clone()),
+        vec![origin.addr()],
+        Arc::clone(&registry),
+        ProxyConfig {
+            workers: 2,
+            prefork: 4,
+            max_conns: 2048,
+            tenant_caps: vec![TenantCap {
+                prefix: "t0".to_string(),
+                max_conns: 4,
+            }],
+        },
+    )
+    .expect("smoke proxy");
+    let urls: Vec<UrlPath> = (0..16)
+        .map(|i| format!("/obj/{i}.html").parse().expect("literal path"))
+        .collect();
+    let report = loadgen::run(
+        proxy.addr(),
+        &urls,
+        &LoadConfig {
+            connections: 400,
+            requests_per_conn: 4,
+            pace: Some(Duration::from_millis(500)),
+            churn_every: 2,
+        },
+    )
+    .expect("smoke loadgen");
+    assert_eq!(report.completed, 1600, "every request answered: {report:?}");
+    assert_eq!(report.errors, 0, "no connection failures: {report:?}");
+    assert_eq!(report.non_200, 0, "all responses 200: {report:?}");
+    assert!(report.reconnects >= 400, "churn exercised the accept path");
+    let snapshot = registry.snapshot();
+    assert_eq!(
+        snapshot.gauge("reactor_workers"),
+        Some(2),
+        "fixed worker count"
+    );
+    assert_eq!(
+        snapshot.counter("proxy_conn_rejected_total"),
+        Some(0),
+        "nothing shed below the cap"
+    );
+    eprintln!(
+        "smoke: 400 churning connections, 1600 requests relayed, p99={}us on 2 workers",
+        report.percentile_ns(0.99) / 1_000
+    );
+
+    // --- stage 2: overload sheds fast 503s at accept.
+    let overload_registry = Arc::new(MetricsRegistry::new());
+    let mut small = ContentAwareProxy::start_with_config(
+        TablePublisher::new(table),
+        vec![origin.addr()],
+        Arc::clone(&overload_registry),
+        ProxyConfig {
+            workers: 1,
+            prefork: 2,
+            max_conns: 32,
+            tenant_caps: Vec::new(),
+        },
+    )
+    .expect("smoke overload proxy");
+    let idle: Vec<TcpStream> = (0..32)
+        .map(|_| TcpStream::connect(small.addr()).expect("idle conn"))
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while small.active_connections() < 32 {
+        assert!(Instant::now() < deadline, "idle conns never all adopted");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let mut shed = TcpStream::connect(small.addr()).expect("over-cap conn");
+    shed.set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    let mut refusal = Vec::new();
+    shed.read_to_end(&mut refusal).expect("read 503");
+    let refusal = String::from_utf8_lossy(&refusal);
+    assert!(
+        refusal.starts_with("HTTP/1.1 503"),
+        "over-cap connection gets an immediate 503, got: {refusal:?}"
+    );
+    assert!(
+        overload_registry
+            .snapshot()
+            .counter("proxy_conn_rejected_total")
+            .unwrap_or(0)
+            >= 1,
+        "shed connection counted"
+    );
+    drop(idle);
+    eprintln!("smoke: connection 33 of a 32-cap proxy shed with an immediate 503");
+
+    // --- stage 3: per-tenant cap sheds the 5th /t0 connection only.
+    let mut held: Vec<HttpClient> = Vec::new();
+    for _ in 0..4 {
+        let mut client = HttpClient::connect(proxy.addr()).expect("tenant conn");
+        let resp = client.get("/t0/page.html").expect("tenant request");
+        assert_eq!(resp.status, 200, "under-cap tenant requests flow");
+        held.push(client);
+    }
+    let mut fifth = HttpClient::connect(proxy.addr()).expect("tenant conn 5");
+    let resp = fifth.get("/t0/page.html").expect("over-cap response");
+    assert_eq!(resp.status, 503, "tenant over its cap is shed");
+    let mut other = HttpClient::connect(proxy.addr()).expect("other-tenant conn");
+    let resp = other.get("/obj/0.html").expect("other-tenant request");
+    assert_eq!(resp.status, 200, "other tenants unaffected");
+    assert_eq!(
+        registry
+            .snapshot()
+            .counter("proxy_conn_tenant_rejected_total"),
+        Some(1),
+        "tenant shed counted once"
+    );
+    drop(held);
+    eprintln!("smoke: tenant cap held at 4 concurrent connections, 5th shed with 503");
+
+    small.shutdown();
+    proxy.shutdown();
+    println!("smoke ok: relay under churn, overload shedding, tenant caps");
 }
 
 /// Resolves a `<node>` argument (`2` or `n2`) to its fault switch.

@@ -49,7 +49,7 @@ pub mod trace;
 pub use hist::{Histogram, HistogramRecorder, HistogramSummary};
 pub use registry::{Counter, Gauge, MetricsRegistry, RegistrySnapshot};
 pub use spans::{
-    ScopedTrace, SpanCollector, SpanId, SpanRecord, TraceContext, TraceId, TracedSpan,
+    OwnedSpan, ScopedTrace, SpanCollector, SpanId, SpanRecord, TraceContext, TraceId, TracedSpan,
     CONTEXT_WIRE_LEN,
 };
 pub use trace::{Event, EventLog, RequestId, Span};

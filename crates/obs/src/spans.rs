@@ -22,7 +22,7 @@ use std::cell::Cell;
 use std::fmt;
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// The trace id shared by every span in one distributed trace.
@@ -634,6 +634,130 @@ impl Drop for TracedSpan<'_> {
     }
 }
 
+/// A `Send` span for event-loop state machines.
+///
+/// [`TracedSpan`] is built around thread-local context propagation
+/// (`ScopedTrace` pins it to one thread) and a borrow of the collector,
+/// neither of which survives inside connection state stored across poller
+/// wakeups. `OwnedSpan` drops both: it holds an `Arc` of the collector and
+/// carries its [`TraceContext`] explicitly — callers thread the context to
+/// children by hand (e.g. via the `x-cpms-trace` relay header) instead of
+/// relying on the ambient thread-local. Recording semantics are identical to
+/// [`TracedSpan`]: the record lands on drop (or [`OwnedSpan::finish`]) when
+/// the context is sampled or the span errored.
+#[derive(Debug)]
+pub struct OwnedSpan {
+    collector: Arc<SpanCollector>,
+    live: Option<OwnedLive>,
+}
+
+#[derive(Debug)]
+struct OwnedLive {
+    ctx: TraceContext,
+    name: String,
+    detail: String,
+    error: bool,
+    started: Instant,
+    start_unix_micros: u64,
+}
+
+impl OwnedSpan {
+    fn open(
+        collector: Arc<SpanCollector>,
+        name: impl Into<String>,
+        ctx: TraceContext,
+    ) -> OwnedSpan {
+        OwnedSpan {
+            collector,
+            live: Some(OwnedLive {
+                ctx,
+                name: name.into(),
+                detail: String::new(),
+                error: false,
+                started: Instant::now(),
+                start_unix_micros: unix_micros_now(),
+            }),
+        }
+    }
+
+    /// Opens a fresh root whose sampling flag comes from the collector's
+    /// head-sampling roll — the owned counterpart of
+    /// [`TracedSpan::enter_head_sampled`]. A disabled collector yields an
+    /// inert span (no clock reads, `context()` is `None`).
+    #[must_use]
+    pub fn root_head_sampled(collector: Arc<SpanCollector>, name: impl Into<String>) -> OwnedSpan {
+        if !collector.is_enabled() {
+            return OwnedSpan {
+                collector,
+                live: None,
+            };
+        }
+        let ctx = TraceContext::root(collector.head_roll());
+        OwnedSpan::open(collector, name, ctx)
+    }
+
+    /// Opens a child of an explicit parent context (e.g. one recovered from
+    /// an inbound `x-cpms-trace` header, or another span's `context()`).
+    #[must_use]
+    pub fn child_of(
+        collector: Arc<SpanCollector>,
+        parent: TraceContext,
+        name: impl Into<String>,
+    ) -> OwnedSpan {
+        if !collector.is_enabled() {
+            return OwnedSpan {
+                collector,
+                live: None,
+            };
+        }
+        OwnedSpan::open(collector, name, parent.child())
+    }
+
+    /// The span's own context, for parenting children or stamping onto the
+    /// wire (`None` when the collector was disabled at open).
+    #[must_use]
+    pub fn context(&self) -> Option<TraceContext> {
+        self.live.as_ref().map(|l| l.ctx)
+    }
+
+    /// Replaces the span's detail text.
+    pub fn set_detail(&mut self, detail: impl Into<String>) {
+        if let Some(live) = self.live.as_mut() {
+            live.detail = detail.into();
+        }
+    }
+
+    /// Marks the span failed (error spans always survive sampling).
+    pub fn set_error(&mut self, error: bool) {
+        if let Some(live) = self.live.as_mut() {
+            live.error = error;
+        }
+    }
+
+    /// Closes the span now instead of at drop.
+    pub fn finish(self) {}
+}
+
+impl Drop for OwnedSpan {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else {
+            return;
+        };
+        if live.ctx.sampled || live.error {
+            self.collector.record(SpanRecord {
+                trace: live.ctx.trace,
+                span: live.ctx.span,
+                parent: live.ctx.parent,
+                name: live.name,
+                detail: live.detail,
+                start_unix_micros: live.start_unix_micros,
+                duration_ns: u64::try_from(live.started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                error: live.error,
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -716,6 +840,60 @@ mod tests {
         let json = collector.to_json();
         assert!(json.contains("\"process\":\"test\""));
         assert!(json.contains("proxy.relay"));
+    }
+
+    #[test]
+    fn owned_spans_build_the_same_tree_without_thread_locals() {
+        let collector = Arc::new(SpanCollector::new(64));
+        collector.set_head_sample_one_in(1);
+        let mut root = OwnedSpan::root_head_sampled(Arc::clone(&collector), "proxy.request");
+        root.set_detail("/index.html");
+        let root_ctx = root.context().expect("enabled");
+        assert!(
+            TraceContext::current().is_none(),
+            "owned spans never touch the ambient thread-local"
+        );
+        let child = OwnedSpan::child_of(Arc::clone(&collector), root_ctx, "proxy.relay");
+        let child_ctx = child.context().expect("enabled");
+        assert_eq!(child_ctx.trace, root_ctx.trace);
+        assert_eq!(child_ctx.parent, Some(root_ctx.span));
+        child.finish();
+        drop(root);
+
+        let spans = collector.spans_of(root_ctx.trace);
+        assert_eq!(spans.len(), 2);
+        let root = spans.iter().find(|s| s.name == "proxy.request").unwrap();
+        let relay = spans.iter().find(|s| s.name == "proxy.relay").unwrap();
+        assert_eq!(root.parent, None);
+        assert_eq!(relay.parent, Some(root.span));
+        assert_eq!(root.detail, "/index.html");
+    }
+
+    #[test]
+    fn owned_spans_respect_sampling_but_always_keep_errors() {
+        let collector = Arc::new(SpanCollector::new(64));
+        // Roll 1: sampled (counter starts at zero). Roll 2+: not sampled.
+        collector.set_head_sample_one_in(1_000_000);
+        let first = OwnedSpan::root_head_sampled(Arc::clone(&collector), "r");
+        assert!(first.context().expect("enabled").sampled);
+        drop(first);
+        let quiet = OwnedSpan::root_head_sampled(Arc::clone(&collector), "r");
+        let quiet_ctx = quiet.context().expect("enabled");
+        assert!(!quiet_ctx.sampled);
+        drop(quiet);
+        assert!(collector.spans_of(quiet_ctx.trace).is_empty());
+
+        let mut failed = OwnedSpan::root_head_sampled(Arc::clone(&collector), "r");
+        let failed_ctx = failed.context().expect("enabled");
+        assert!(!failed_ctx.sampled);
+        failed.set_error(true);
+        drop(failed);
+        assert_eq!(collector.spans_of(failed_ctx.trace).len(), 1);
+
+        let disabled = Arc::new(SpanCollector::new(64));
+        disabled.set_enabled(false);
+        let inert = OwnedSpan::root_head_sampled(Arc::clone(&disabled), "r");
+        assert_eq!(inert.context(), None);
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! File-descriptor limit management for high-concurrency runs.
+
+use crate::sys;
+
+/// Try to raise `RLIMIT_NOFILE` so at least `target` descriptors fit.
+///
+/// Privileged processes can lift the hard limit too; unprivileged ones clamp
+/// to the existing hard limit. Never fails outright: returns the soft limit
+/// actually in effect afterwards, so callers size their workloads to reality
+/// instead of aborting.
+pub fn raise_nofile_limit(target: u64) -> u64 {
+    let (soft, hard) = match sys::nofile_limit() {
+        Ok(pair) => pair,
+        Err(_) => return 0,
+    };
+    if soft >= target {
+        return soft;
+    }
+    // First try the full ask (raises the hard limit when privileged), then
+    // fall back to whatever headroom the current hard limit allows.
+    if hard < target && sys::set_nofile_limit(target, target).is_ok() {
+        return target;
+    }
+    let want = target.min(hard);
+    if sys::set_nofile_limit(want, hard).is_ok() {
+        return want;
+    }
+    soft
+}
+
+/// The soft fd limit currently in effect (0 when unreadable).
+pub fn current_nofile_limit() -> u64 {
+    sys::nofile_limit().map(|(soft, _)| soft).unwrap_or(0)
+}

@@ -1,0 +1,103 @@
+//! Non-blocking socket construction for reactor-driven code.
+//!
+//! `std::net` gives event loops two bad moments: `TcpStream::connect`
+//! blocks until the handshake finishes (a dropped SYN stalls the whole
+//! loop for a retransmit timeout), and `TcpListener::bind` hardwires a
+//! listen backlog of 128 (too shallow when thousands of churning clients
+//! redial in a burst). Both helpers here return ordinary `std::net`
+//! types, so callers under `#![forbid(unsafe_code)]` stay safe — the fd
+//! juggling lives in the private `sys` module.
+
+use crate::sys;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, FromRawFd};
+
+/// Starts a non-blocking TCP connect and returns the mid-handshake
+/// stream. The socket is already in non-blocking mode; register it for
+/// *write* readiness to learn when the handshake finishes, then call
+/// [`take_connect_error`] to find out how it went. Writes attempted
+/// before completion fail with `WouldBlock` and simply retry later, so
+/// state machines need no special "connecting" state.
+pub fn connect_nonblocking(addr: SocketAddr) -> io::Result<TcpStream> {
+    let sock = sys::tcp_socket(&addr)?;
+    sys::start_connect(&sock, &addr)?;
+    // Safety contract lives in sys: `into_raw` transfers ownership of a
+    // valid, open descriptor straight into the TcpStream.
+    Ok(unsafe { TcpStream::from_raw_fd(sock.into_raw()) })
+}
+
+/// Resolves a [`connect_nonblocking`] handshake once the socket reported
+/// writable: `Ok(())` means connected, an error is the connect failure
+/// (refused, unreachable, timed out).
+pub fn take_connect_error(stream: &TcpStream) -> io::Result<()> {
+    match sys::so_error(stream.as_raw_fd())? {
+        None => Ok(()),
+        Some(err) => Err(err),
+    }
+}
+
+/// Binds a listener with an explicit accept backlog instead of std's
+/// fixed 128. Deep backlogs let the acceptor absorb redial storms
+/// (connection churn under load) without dropping SYNs into 1-second
+/// client retransmits.
+pub fn listen_with_backlog(addr: SocketAddr, backlog: u32) -> io::Result<TcpListener> {
+    let backlog = i32::try_from(backlog).unwrap_or(i32::MAX);
+    let sock = sys::bind_listen(&addr, backlog)?;
+    // Safety: same ownership transfer as above.
+    Ok(unsafe { TcpListener::from_raw_fd(sock.into_raw()) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{new_poller, Interest, Token};
+    use std::io::{Read, Write};
+    use std::time::Duration;
+
+    /// Waits until the poller reports the stream writable (handshake
+    /// resolved, successfully or not).
+    fn await_writable(stream: &TcpStream) {
+        let mut poller = new_poller().unwrap();
+        poller
+            .register(stream.as_raw_fd(), Token(1), Interest::WRITE)
+            .unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(!events.is_empty(), "handshake must resolve");
+    }
+
+    #[test]
+    fn nonblocking_connect_completes_against_a_listener() {
+        let listener = listen_with_backlog("127.0.0.1:0".parse().unwrap(), 512).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = connect_nonblocking(addr).unwrap();
+        let (mut served, _) = listener.accept().unwrap();
+        await_writable(&client);
+        take_connect_error(&client).expect("loopback connect succeeds");
+        served.write_all(b"ping").unwrap();
+        drop(served);
+        let mut client = client;
+        client.set_nonblocking(false).unwrap();
+        let mut got = Vec::new();
+        client.read_to_end(&mut got).unwrap();
+        assert_eq!(got, b"ping");
+    }
+
+    #[test]
+    fn nonblocking_connect_to_dead_port_reports_the_failure() {
+        // Bind-then-drop yields a port with nothing listening.
+        let port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let client = connect_nonblocking(format!("127.0.0.1:{port}").parse().unwrap()).unwrap();
+        await_writable(&client);
+        assert!(
+            take_connect_error(&client).is_err(),
+            "connect to a closed port must surface an error"
+        );
+    }
+}

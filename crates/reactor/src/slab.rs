@@ -1,0 +1,119 @@
+//! Generation-checked slab for per-connection state.
+//!
+//! Poller tokens outlive the connections they point at: a readiness event can
+//! arrive for a slot that was freed and reused between `wait` calls. Keys
+//! therefore carry a 32-bit generation alongside the 32-bit slot index, and a
+//! stale key simply misses instead of aliasing the slot's new occupant.
+
+/// Key returned by [`Slab::insert`]; layout is `generation << 32 | index`.
+pub type SlabKey = u64;
+
+struct Slot<T> {
+    generation: u32,
+    value: Option<T>,
+}
+
+/// A reusable arena of `T` addressed by generation-checked keys.
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Slab<T> {
+    /// Create an empty slab.
+    pub fn new() -> Slab<T> {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no slots are occupied.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Store a value and return its key.
+    pub fn insert(&mut self, value: T) -> SlabKey {
+        self.len += 1;
+        if let Some(idx) = self.free.pop() {
+            let slot = &mut self.slots[idx as usize];
+            slot.value = Some(value);
+            ((slot.generation as u64) << 32) | idx as u64
+        } else {
+            let idx = self.slots.len() as u32;
+            self.slots.push(Slot {
+                generation: 0,
+                value: Some(value),
+            });
+            idx as u64
+        }
+    }
+
+    fn split(key: SlabKey) -> (u32, u32) {
+        ((key >> 32) as u32, key as u32)
+    }
+
+    /// Look up a key; stale or unknown keys return `None`.
+    pub fn get(&self, key: SlabKey) -> Option<&T> {
+        let (generation, idx) = Self::split(key);
+        let slot = self.slots.get(idx as usize)?;
+        if slot.generation != generation {
+            return None;
+        }
+        slot.value.as_ref()
+    }
+
+    /// Mutable lookup; stale or unknown keys return `None`.
+    pub fn get_mut(&mut self, key: SlabKey) -> Option<&mut T> {
+        let (generation, idx) = Self::split(key);
+        let slot = self.slots.get_mut(idx as usize)?;
+        if slot.generation != generation {
+            return None;
+        }
+        slot.value.as_mut()
+    }
+
+    /// Remove and return the value; the slot's generation bumps so the old
+    /// key goes stale.
+    pub fn remove(&mut self, key: SlabKey) -> Option<T> {
+        let (generation, idx) = Self::split(key);
+        let slot = self.slots.get_mut(idx as usize)?;
+        if slot.generation != generation || slot.value.is_none() {
+            return None;
+        }
+        let value = slot.value.take();
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(idx);
+        self.len -= 1;
+        value
+    }
+
+    /// Visit every occupied slot's key and value.
+    pub fn iter(&self) -> impl Iterator<Item = (SlabKey, &T)> {
+        self.slots.iter().enumerate().filter_map(|(idx, slot)| {
+            slot.value
+                .as_ref()
+                .map(|v| (((slot.generation as u64) << 32) | idx as u64, v))
+        })
+    }
+
+    /// Collect the keys of every occupied slot (for teardown sweeps that
+    /// need to mutate while iterating).
+    pub fn keys(&self) -> Vec<SlabKey> {
+        self.iter().map(|(k, _)| k).collect()
+    }
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}

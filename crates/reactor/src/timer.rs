@@ -1,0 +1,196 @@
+//! Hashed timer wheel for coarse connection deadlines.
+//!
+//! Deadlines hash into `nslots` buckets by absolute tick; each bucket holds
+//! entries from any wheel revolution, so insert is O(1) and a sweep only
+//! touches the buckets whose turn has come. Cancellation is eager: the live
+//! map remembers each timer's bucket so `cancel` removes the entry on the
+//! spot. Buckets therefore hold only live timers — crucial for callers that
+//! schedule-and-cancel a deadline per request (a proxy arming head/relay
+//! timeouts), where lazily-cancelled entries would pile up for a whole wheel
+//! revolution and turn every `next_timeout` scan into an O(garbage) crawl.
+//! The wheel never calls `Instant::now` itself — callers pass `now` in,
+//! which keeps expiry deterministic in tests.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Identifies a scheduled timer for cancellation.
+pub type TimerId = u64;
+
+struct WheelEntry {
+    id: TimerId,
+    /// Absolute deadline in ticks since the wheel's start instant.
+    deadline: u64,
+}
+
+/// A hashed timer wheel; see the module docs for the design.
+pub struct TimerWheel {
+    start: Instant,
+    tick: Duration,
+    slots: Vec<Vec<WheelEntry>>,
+    /// Ids scheduled and not yet fired or cancelled, with the slot each
+    /// one's entry lives in (so cancel can remove the entry eagerly).
+    live: HashMap<TimerId, usize>,
+    next_id: TimerId,
+    /// First tick not yet swept by `expire_into`.
+    cursor: u64,
+}
+
+impl TimerWheel {
+    /// Build a wheel with the given tick granularity and bucket count.
+    ///
+    /// `tick` bounds expiry precision (a deadline fires within one tick after
+    /// it elapses); `nslots` bounds the per-sweep scan.
+    pub fn new(tick: Duration, nslots: usize) -> TimerWheel {
+        assert!(!tick.is_zero(), "timer tick must be non-zero");
+        assert!(nslots > 0, "timer wheel needs at least one slot");
+        TimerWheel {
+            start: Instant::now(),
+            tick,
+            slots: (0..nslots).map(|_| Vec::new()).collect(),
+            live: HashMap::new(),
+            next_id: 1,
+            cursor: 0,
+        }
+    }
+
+    fn tick_of(&self, when: Instant) -> u64 {
+        let since = when.saturating_duration_since(self.start).as_nanos();
+        let tick = self.tick.as_nanos();
+        // Round up: a deadline mid-tick belongs to the following tick so it
+        // never fires early.
+        since.div_ceil(tick) as u64
+    }
+
+    /// Schedule a timer at an absolute instant; returns its id.
+    pub fn schedule_at(&mut self, when: Instant) -> TimerId {
+        let id = self.next_id;
+        self.next_id += 1;
+        let deadline = self.tick_of(when).max(self.cursor);
+        let slot = (deadline % self.slots.len() as u64) as usize;
+        self.slots[slot].push(WheelEntry { id, deadline });
+        self.live.insert(id, slot);
+        id
+    }
+
+    /// Schedule a timer `after` from now; returns its id.
+    pub fn schedule_after(&mut self, now: Instant, after: Duration) -> TimerId {
+        self.schedule_at(now + after)
+    }
+
+    /// Cancel a pending timer, removing its wheel entry immediately.
+    /// Returns false if it already fired or was cancelled before.
+    pub fn cancel(&mut self, id: TimerId) -> bool {
+        let Some(slot) = self.live.remove(&id) else {
+            return false;
+        };
+        let bucket = &mut self.slots[slot];
+        if let Some(j) = bucket.iter().position(|e| e.id == id) {
+            bucket.swap_remove(j);
+        }
+        true
+    }
+
+    /// Number of timers scheduled and not yet fired or cancelled.
+    pub fn pending(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Sweep every bucket whose turn has come and push the fired ids into
+    /// `out` (which is not cleared). Entries from a later wheel revolution
+    /// are kept for their round.
+    pub fn expire_into(&mut self, now: Instant, out: &mut Vec<TimerId>) {
+        let now_tick = self.tick_of(now);
+        if now_tick < self.cursor {
+            return;
+        }
+        let nslots = self.slots.len() as u64;
+        // If we slept past a whole revolution, every bucket is due exactly
+        // once; otherwise only the buckets for the elapsed ticks.
+        let sweep = (now_tick - self.cursor + 1).min(nslots);
+        for i in 0..sweep {
+            let slot = ((self.cursor + i) % nslots) as usize;
+            let bucket = &mut self.slots[slot];
+            let mut j = 0;
+            while j < bucket.len() {
+                let entry = &bucket[j];
+                if entry.deadline <= now_tick {
+                    self.live.remove(&entry.id);
+                    out.push(entry.id);
+                    bucket.swap_remove(j);
+                } else {
+                    j += 1;
+                }
+            }
+        }
+        self.cursor = now_tick + 1;
+    }
+
+    /// Earliest bound on when the next live timer could fire, as a duration
+    /// from `now`. May underestimate when a bucket only holds entries from a
+    /// later revolution (the resulting wakeup finds nothing to expire, which
+    /// is harmless). Returns `None` when no timers are live.
+    ///
+    /// Buckets hold only live entries (cancel is eager), so this scans at
+    /// most `nslots` bucket headers — it runs on every reactor loop
+    /// iteration, where an O(entries) crawl would dominate the data plane.
+    pub fn next_timeout(&self, now: Instant) -> Option<Duration> {
+        if self.live.is_empty() {
+            return None;
+        }
+        let now_tick = self.tick_of(now);
+        let base = self.cursor.min(now_tick);
+        let nslots = self.slots.len() as u64;
+        for i in 0..nslots {
+            let t = base + i;
+            let bucket = &self.slots[(t % nslots) as usize];
+            if !bucket.is_empty() {
+                if t <= now_tick {
+                    return Some(Duration::ZERO);
+                }
+                let fire_at = self.start + self.tick * (t as u32);
+                return Some(fire_at.saturating_duration_since(now));
+            }
+        }
+        // Live timers exist but every bucket holding them is beyond a full
+        // revolution horizon; wake after one revolution and rescan.
+        Some(self.tick * (nslots as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: cancellation must scrub the wheel entry, not just the
+    /// live set. A schedule-and-cancel-per-request workload once left
+    /// thousands of stale entries rotting in the buckets for a whole
+    /// revolution, turning every `next_timeout` call into an O(garbage)
+    /// crawl that dominated the proxy's per-request cost.
+    #[test]
+    fn cancel_scrubs_bucket_entries_immediately() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(1), 8);
+        let now = Instant::now();
+        let churned: Vec<TimerId> = (0..10_000)
+            .map(|i| wheel.schedule_after(now, Duration::from_millis(i % 7)))
+            .collect();
+        let survivor = wheel.schedule_after(now, Duration::from_millis(3));
+        for id in churned {
+            assert!(wheel.cancel(id));
+        }
+
+        assert_eq!(wheel.pending(), 1);
+        let held: usize = wheel.slots.iter().map(Vec::len).sum();
+        assert_eq!(
+            held, 1,
+            "cancelled entries must leave the buckets on the spot"
+        );
+
+        // The survivor is unharmed: it still bounds the poll wait and fires.
+        assert!(wheel.next_timeout(now).expect("survivor is live") <= Duration::from_millis(4));
+        let mut fired = Vec::new();
+        wheel.expire_into(now + Duration::from_millis(10), &mut fired);
+        assert_eq!(fired, vec![survivor]);
+        assert_eq!(wheel.pending(), 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Cross-thread wakeups for event loops parked in `Poller::wait`.
+//!
+//! A non-blocking pipe pair: the receiver's read end registers in the loop's
+//! poller, any thread holding a [`Waker`] clone writes a byte to interrupt
+//! the wait. A full pipe means a wakeup is already pending, so `wake` treats
+//! `WouldBlock` as success — wakeups coalesce rather than accumulate.
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::sync::Arc;
+
+use crate::sys;
+
+/// Cheap, clonable, thread-safe handle that interrupts a parked event loop.
+#[derive(Clone)]
+pub struct Waker {
+    write: Arc<sys::OwnedFd>,
+}
+
+impl Waker {
+    /// Interrupt the paired receiver's poller wait.
+    pub fn wake(&self) {
+        match sys::write_fd(self.write.raw(), &[1u8]) {
+            Ok(_) => {}
+            // Pipe full: a wakeup is already pending, nothing to add.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+            // Receiver gone (loop shut down): nothing left to wake.
+            Err(_) => {}
+        }
+    }
+}
+
+/// The event-loop side of a waker pair; owns the pipe's read end.
+pub struct WakeReceiver {
+    read: sys::OwnedFd,
+}
+
+impl WakeReceiver {
+    /// The fd to register (read interest) in the loop's poller.
+    pub fn fd(&self) -> RawFd {
+        self.read.raw()
+    }
+
+    /// Consume all pending wakeup bytes so level-triggered pollers settle.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            match sys::read_fd(self.read.raw(), &mut buf) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+/// Build a connected waker pair.
+pub fn waker_pair() -> io::Result<(Waker, WakeReceiver)> {
+    let (read, write) = sys::nonblocking_pipe()?;
+    Ok((
+        Waker {
+            write: Arc::new(write),
+        },
+        WakeReceiver { read },
+    ))
+}

@@ -29,6 +29,9 @@ cargo run --release -q -p cpms-mgmt --bin cpms-ship -- --smoke
 echo "==> shipping throughput smoke (shipping --smoke: chunk size x loss matrix)"
 cargo run --release -q -p cpms-bench --bin shipping -- --smoke
 
+echo "==> proxy data-plane smoke (cpms-proxy --smoke: 400-conn churn relay, overload 503s, tenant caps)"
+timeout --signal=KILL 120 ./target/release/cpms-proxy --smoke
+
 echo "==> cluster lab smoke (cpms-lab --smoke: 5 real processes, partition + kill chaos;"
 echo "    tracing gate: merged traces.json must have zero orphan spans and a cross-process trace)"
 # Belt and braces on the wall clock: the scenario's own watchdog caps the

@@ -1,0 +1,183 @@
+//! Event-driven data-plane behaviours the thread-per-connection proxy
+//! could not promise: slow clients cost a state machine (not a thread),
+//! keep-alive connections multiplex many requests onto the pre-forked
+//! pool, and admission control sheds overload with immediate 503s.
+
+use cpms_httpd::client::HttpClient;
+use cpms_httpd::{ContentAwareProxy, OriginServer, ProxyConfig, SiteContent};
+use cpms_model::{ContentId, ContentKind, NodeId, UrlPath};
+use cpms_obs::MetricsRegistry;
+use cpms_urltable::{TablePublisher, UrlEntry, UrlTable};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn p(s: &str) -> UrlPath {
+    s.parse().unwrap()
+}
+
+/// One origin node serving `/a.html` and `/b.html`, and a table routing
+/// both to it.
+fn single_origin() -> (OriginServer, UrlTable) {
+    let mut site = SiteContent::new();
+    site.add_static("/a.html", b"alpha-body".to_vec());
+    site.add_static("/b.html", b"bravo-body".to_vec());
+    let origin = OriginServer::start(NodeId(0), site).unwrap();
+    let mut table = UrlTable::new();
+    for (i, path) in ["/a.html", "/b.html"].iter().enumerate() {
+        table
+            .insert(
+                p(path),
+                UrlEntry::new(ContentId(i as u32), ContentKind::StaticHtml, 16)
+                    .with_locations([NodeId(0)]),
+            )
+            .unwrap();
+    }
+    (origin, table)
+}
+
+/// A slowloris-style client trickling its request head one byte at a
+/// time must not stall anyone else: requests on other connections keep
+/// completing while the trickle is still mid-head, because the worker
+/// parks the slow connection in its state machine instead of blocking a
+/// thread on it.
+#[test]
+fn trickled_request_head_does_not_block_other_connections() {
+    let (origin, table) = single_origin();
+    let proxy = ContentAwareProxy::start(table, vec![origin.addr()], 2).unwrap();
+
+    let mut slow = TcpStream::connect(proxy.addr()).unwrap();
+    slow.set_nodelay(true).unwrap();
+    let head = b"GET /a.html HTTP/1.1\r\nHost: x\r\n\r\n";
+    let (trickle, rest) = head.split_at(12);
+
+    // Trickle the first bytes with real gaps, interleaving full fast
+    // requests on another connection between every byte.
+    let mut fast = HttpClient::connect(proxy.addr()).unwrap();
+    let fast_started = Instant::now();
+    for &byte in trickle {
+        slow.write_all(&[byte]).unwrap();
+        let resp = fast.get("/b.html").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"bravo-body");
+    }
+    assert!(
+        fast_started.elapsed() < Duration::from_secs(5),
+        "fast requests must not queue behind the slow head"
+    );
+
+    // Completing the head gets the trickler a normal response.
+    slow.write_all(rest).unwrap();
+    slow.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut buf = [0u8; 1024];
+    let n = slow.read(&mut buf).unwrap();
+    let got = String::from_utf8_lossy(&buf[..n]);
+    assert!(
+        got.starts_with("HTTP/1.1 200"),
+        "trickled request completes: {got:?}"
+    );
+    assert_eq!(proxy.relayed(), u64::try_from(trickle.len()).unwrap() + 1);
+}
+
+/// Two requests written back-to-back in one segment (pipelined) come
+/// back as two correct, ordered responses on the same connection: the
+/// parser must consume exactly one request head at a time from its
+/// input buffer and keep the remainder for the next cycle.
+#[test]
+fn pipelined_keep_alive_requests_answer_in_order() {
+    let (origin, table) = single_origin();
+    let proxy = ContentAwareProxy::start(table, vec![origin.addr()], 2).unwrap();
+
+    let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+    conn.set_nodelay(true).unwrap();
+    conn.write_all(
+        b"GET /a.html HTTP/1.1\r\nHost: x\r\n\r\nGET /b.html HTTP/1.1\r\nHost: x\r\n\r\n",
+    )
+    .unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+
+    // Both responses arrive on the same connection, in request order.
+    let mut got = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while got
+        .windows(10)
+        .filter(|w| w == b"alpha-body" || w == b"bravo-body")
+        .count()
+        < 2
+    {
+        assert!(Instant::now() < deadline, "responses incomplete: {got:?}");
+        let mut buf = [0u8; 1024];
+        match conn.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => got.extend_from_slice(&buf[..n]),
+            Err(e) => panic!("read failed mid-pipeline: {e}"),
+        }
+    }
+    let text = String::from_utf8_lossy(&got);
+    let a = text.find("alpha-body").expect("first response body");
+    let b = text.find("bravo-body").expect("second response body");
+    assert!(a < b, "responses must come back in request order: {text:?}");
+    assert_eq!(proxy.relayed(), 2);
+}
+
+/// Connections beyond `max_conns` are shed at accept with an immediate
+/// 503 — no queueing behind the event loop — and counted on the
+/// `proxy_conn_rejected_total` counter.
+#[test]
+fn connections_over_the_cap_shed_fast_503s() {
+    let (origin, table) = single_origin();
+    let registry = Arc::new(MetricsRegistry::new());
+    let mut proxy = ContentAwareProxy::start_with_config(
+        TablePublisher::new(table),
+        vec![origin.addr()],
+        Arc::clone(&registry),
+        ProxyConfig {
+            workers: 1,
+            prefork: 2,
+            max_conns: 8,
+            tenant_caps: Vec::new(),
+        },
+    )
+    .unwrap();
+
+    // Fill the admission budget with idle keep-alive connections.
+    let idle: Vec<TcpStream> = (0..8)
+        .map(|_| TcpStream::connect(proxy.addr()).unwrap())
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while proxy.active_connections() < 8 {
+        assert!(Instant::now() < deadline, "idle connections never adopted");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // The ninth is refused before it even sends a request.
+    let mut over = TcpStream::connect(proxy.addr()).unwrap();
+    over.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let shed_at = Instant::now();
+    let mut refusal = Vec::new();
+    over.read_to_end(&mut refusal).unwrap();
+    assert!(
+        shed_at.elapsed() < Duration::from_secs(2),
+        "overload shedding must be immediate"
+    );
+    let text = String::from_utf8_lossy(&refusal);
+    assert!(text.starts_with("HTTP/1.1 503"), "shed with 503: {text:?}");
+
+    let rejected = registry
+        .snapshot()
+        .counter("proxy_conn_rejected_total")
+        .unwrap_or(0);
+    assert!(rejected >= 1, "shed connection must be counted");
+
+    // Shedding the excess never harms admitted connections.
+    drop(idle);
+    let free_deadline = Instant::now() + Duration::from_secs(5);
+    while proxy.active_connections() > 0 {
+        assert!(Instant::now() < free_deadline, "idle conns never released");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let mut client = HttpClient::connect(proxy.addr()).unwrap();
+    assert_eq!(client.get("/a.html").unwrap().status, 200);
+    proxy.shutdown();
+}
