@@ -13,6 +13,11 @@
 //! metric families of the single-system-image stats surface: `proxy_*`,
 //! `dispatch_*`, `urltable_*`, and `mgmt_*`.
 //!
+//! Two overhead arms ride along, each alternating off/on round by
+//! round: span recording (tracing) and the flight-recorder sampler
+//! (`cpms_obs::Sampler`), both timed at the client so the reported
+//! ratios are end-to-end hot-path cost, not self-measurement.
+//!
 //! Run with: `cargo run --release -p cpms-bench --bin request_latency`
 //! (add `--smoke` for the quick CI pass that asserts the metric surface
 //! without rewriting the committed results file).
@@ -421,6 +426,48 @@ fn main() {
         lookup_overhead * 100.0
     );
 
+    // --- recorder overhead: the same workload with the flight-recorder
+    // sampler off vs on, timed at the client. The sampler runs at 25 ms
+    // (4x the 100 ms daemon default) to make any hot-path cost easier to
+    // see; the arms alternate round by round like the tracing arms.
+    // Span recording is pinned off so this isolates the recorder alone.
+    const RECORD_INTERVAL: std::time::Duration = std::time::Duration::from_millis(25);
+    registry.spans().set_enabled(false);
+    let mut unrecorded_samples = Vec::new();
+    let mut recorded_samples = Vec::new();
+    for round in 0..OVERHEAD_ROUNDS {
+        for (arm, (samples, seed)) in [
+            (&mut unrecorded_samples, 3_000 + round * 100),
+            (&mut recorded_samples, 4_000 + round * 100),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut sampler =
+                (arm == 1).then(|| cpms_obs::Sampler::start(&registry, RECORD_INTERVAL));
+            drive_round(addr, &config, &cdf, &paths, seed, samples);
+            if let Some(s) = sampler.as_mut() {
+                s.stop();
+            }
+        }
+    }
+    let unrecorded = PassStats::of(unrecorded_samples);
+    let recorded = PassStats::of(recorded_samples);
+    let recorder_overhead = recorded.mean_ns / unrecorded.mean_ns - 1.0;
+    let recorder_samples = registry
+        .series()
+        .map_or(0, |recorder| recorder.samples_taken());
+    println!(
+        "recorder overhead — sampler off: mean={:.1}us p99={:.1}us, sampler on ({}ms): mean={:.1}us p99={:.1}us ({:+.2}% mean, {} sampling rounds)",
+        unrecorded.mean_ns / 1000.0,
+        us(unrecorded.p99_ns),
+        RECORD_INTERVAL.as_millis(),
+        recorded.mean_ns / 1000.0,
+        us(recorded.p99_ns),
+        recorder_overhead * 100.0,
+        recorder_samples
+    );
+
     // --- connection scaling: the same data plane holding 8 → 1 000 →
     // 10 000 keep-alive connections on a fixed worker count. The 8-conn
     // arm is the closed-loop baseline; the big arms are open-loop (paced
@@ -492,7 +539,7 @@ fn main() {
             workers: config.workers,
             prefork: 16,
             max_conns: max_arm_conns * 2,
-            tenant_caps: Vec::new(),
+            ..ProxyConfig::default()
         },
     )
     .unwrap();
@@ -623,6 +670,21 @@ fn main() {
             },
             "mean_overhead_ratio": traced.mean_ns / untraced.mean_ns,
             "lookup_mean_overhead_ratio": lookup_mean(1) / lookup_mean(0),
+        },
+        "recorder": {
+            "interval_ms": RECORD_INTERVAL.as_millis() as u64,
+            "sampling_rounds": recorder_samples,
+            "off": {
+                "mean_ns": unrecorded.mean_ns,
+                "p50_ns": unrecorded.p50_ns,
+                "p99_ns": unrecorded.p99_ns,
+            },
+            "on": {
+                "mean_ns": recorded.mean_ns,
+                "p50_ns": recorded.p50_ns,
+                "p99_ns": recorded.p99_ns,
+            },
+            "mean_overhead_ratio": recorded.mean_ns / unrecorded.mean_ns,
         },
     });
     std::fs::create_dir_all("bench_results").expect("create bench_results dir");

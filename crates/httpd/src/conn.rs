@@ -34,7 +34,8 @@ use crate::http::{
 };
 use crate::pool::SocketPool;
 use crate::proxy::{
-    HandoffQueue, ProxyStats, TenantSlot, METRICS_JSON_PATH, METRICS_PATH, TRACE_JSON_PATH,
+    HandoffQueue, ProxyStats, TenantSlot, METRICS_JSON_PATH, METRICS_PATH, SERIES_JSON_PATH,
+    TRACE_JSON_PATH,
 };
 use cpms_dispatch::LiveRouter;
 use cpms_model::UrlPath;
@@ -761,6 +762,10 @@ fn handle_request(cx: &mut Cx, conn: &mut Conn, request: Request) -> Verdict {
         METRICS_PATH => Some(render_metrics(cx, false)),
         METRICS_JSON_PATH => Some(render_metrics(cx, true)),
         TRACE_JSON_PATH => Some(cx.registry.spans().to_json()),
+        SERIES_JSON_PATH => Some(cx.registry.series().map_or_else(
+            || "{\"scrape_seq\":0,\"uptime_micros\":0,\"samples\":0,\"series\":{}}".to_string(),
+            |recorder| recorder.to_json(),
+        )),
         _ => None,
     };
     if let Some(body) = admin_body {

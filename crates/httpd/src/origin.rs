@@ -135,11 +135,16 @@ impl OriginServer {
         let stop = Arc::new(AtomicBool::new(false));
         let served = Arc::new(AtomicU64::new(0));
 
+        // Pre-register the origin's identity and volume metrics so the
+        // full-registry scrape sees them from the first request.
+        registry.gauge("origin_node").set(i64::from(node.0));
+        registry.counter("origin_served_total");
+
         let accept_thread = {
             let content = Arc::clone(&content);
             let stop = Arc::clone(&stop);
             let served = Arc::clone(&served);
-            let spans = Arc::clone(registry.spans());
+            let registry = Arc::clone(&registry);
             std::thread::Builder::new()
                 .name(format!("origin-{node}"))
                 .spawn(move || {
@@ -150,11 +155,12 @@ impl OriginServer {
                         let Ok(stream) = stream else { continue };
                         let content = Arc::clone(&content);
                         let served = Arc::clone(&served);
-                        let spans = Arc::clone(&spans);
+                        let registry = Arc::clone(&registry);
                         let _ = std::thread::Builder::new()
                             .name("origin-conn".to_string())
                             .spawn(move || {
-                                let _ = serve_connection(stream, node, &content, &served, &spans);
+                                let _ =
+                                    serve_connection(stream, node, &content, &served, &registry);
                             });
                     }
                 })?
@@ -228,8 +234,10 @@ fn serve_connection(
     node: NodeId,
     content: &RwLock<SiteContent>,
     served: &AtomicU64,
-    spans: &SpanCollector,
+    registry: &MetricsRegistry,
 ) -> io::Result<()> {
+    let spans: &SpanCollector = registry.spans();
+    let served_total = registry.counter("origin_served_total");
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
@@ -244,22 +252,20 @@ fn serve_connection(
             }
         };
         let keep_alive = request.keep_alive;
-        // Minimal admin surface so a lab orchestrator can scrape every
-        // process in a topology the same way; not counted as served.
-        if request.path.as_str() == crate::proxy::METRICS_JSON_PATH {
-            let body = format!(
-                "{{\"gauges\": {{\"origin_node\": {}}}, \"counters\": {{\"origin_served_total\": {}}}}}",
-                node.0,
-                served.load(Ordering::Relaxed)
-            );
-            write_response(&mut writer, 200, body.as_bytes(), keep_alive)?;
-            if keep_alive {
-                continue;
-            }
-            return Ok(());
-        }
-        if request.path.as_str() == crate::proxy::TRACE_JSON_PATH {
-            let body = spans.to_json();
+        // Admin surface so a lab orchestrator can scrape every process
+        // in a topology the same way; not counted as served. The full
+        // registry renders here (scrape_seq + uptime stamps included) —
+        // a co-located broker's wire/store metrics share the document.
+        let admin_body = match request.path.as_str() {
+            crate::proxy::METRICS_JSON_PATH => Some(registry.snapshot().to_json()),
+            crate::proxy::TRACE_JSON_PATH => Some(spans.to_json()),
+            crate::proxy::SERIES_JSON_PATH => Some(registry.series().map_or_else(
+                || "{\"scrape_seq\":0,\"uptime_micros\":0,\"samples\":0,\"series\":{}}".to_string(),
+                |recorder| recorder.to_json(),
+            )),
+            _ => None,
+        };
+        if let Some(body) = admin_body {
             write_response(&mut writer, 200, body.as_bytes(), keep_alive)?;
             if keep_alive {
                 continue;
@@ -304,12 +310,14 @@ fn serve_connection(
         match found {
             Found::Static(body) => {
                 served.fetch_add(1, Ordering::Relaxed);
+                served_total.inc();
                 write_response(&mut writer, 200, &body, keep_alive)?;
             }
             Found::Dynamic(spec) => {
                 std::thread::sleep(spec.exec);
                 let body = vec![b'd'; spec.response_bytes];
                 served.fetch_add(1, Ordering::Relaxed);
+                served_total.inc();
                 write_response(&mut writer, 200, &body, keep_alive)?;
             }
             Found::Missing => {
@@ -436,7 +444,30 @@ mod tests {
         let text = String::from_utf8(resp.body).unwrap();
         assert!(text.contains("\"origin_served_total\": 1"), "{text}");
         assert!(text.contains("\"origin_node\": 5"), "{text}");
+        assert!(text.contains("\"scrape_seq\""), "{text}");
+        assert!(text.contains("\"uptime_micros\""), "{text}");
         assert_eq!(origin.served(), 1, "metrics scrapes are not served pages");
+
+        // The series surface answers even without a recorder installed…
+        let empty = client.get(crate::proxy::SERIES_JSON_PATH).unwrap();
+        assert_eq!(empty.status, 200);
+        assert!(String::from_utf8(empty.body)
+            .unwrap()
+            .contains("\"series\":{}"));
+
+        // …and reflects recorded history once a sampler runs.
+        let mut sampler = cpms_obs::Sampler::start(origin.metrics(), Duration::from_millis(5));
+        let recorder = origin.metrics().series().unwrap();
+        for _ in 0..400 {
+            if recorder.samples_taken() >= 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        sampler.stop();
+        let series =
+            String::from_utf8(client.get(crate::proxy::SERIES_JSON_PATH).unwrap().body).unwrap();
+        assert!(series.contains("\"origin_served_total\":["), "{series}");
     }
 
     #[test]

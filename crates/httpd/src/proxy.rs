@@ -32,7 +32,7 @@
 use crate::conn::{worker_loop, WorkerBoot};
 use crate::http::response_head;
 use crate::pool::SocketPool;
-use cpms_obs::{Counter, MetricsRegistry};
+use cpms_obs::{Counter, MetricsRegistry, Sampler};
 use cpms_reactor::{new_poller, waker_pair, Event, Interest, Token, Waker};
 use cpms_urltable::{SnapshotHandle, TablePublisher, UrlTable};
 use parking_lot::Mutex;
@@ -62,6 +62,12 @@ pub const METRICS_JSON_PATH: &str = "/_cpms/metrics.json";
 /// every process and merges the dumps into the cluster-wide
 /// `traces.json`.
 pub const TRACE_JSON_PATH: &str = "/_cpms/trace.json";
+
+/// Admin path serving the flight recorder's retained time series as
+/// JSON (see [`cpms_obs::SeriesRecorder::to_json`]). Empty until a
+/// recorder is installed — set [`ProxyConfig::record_interval`] (or run
+/// an external [`cpms_obs::Sampler`]) to populate it.
+pub const SERIES_JSON_PATH: &str = "/_cpms/series.json";
 
 /// Accepted connections an acceptor may park on one worker's handoff
 /// queue before shedding instead — bounds the accept backlog a slow
@@ -181,6 +187,12 @@ pub struct ProxyConfig {
     pub max_conns: usize,
     /// Per-tenant connection caps (see [`TenantCap`]).
     pub tenant_caps: Vec<TenantCap>,
+    /// When set, the proxy installs a flight recorder on its registry
+    /// and runs a background [`Sampler`] at this interval, populating
+    /// [`SERIES_JSON_PATH`] and driving any installed SLO watchdog.
+    /// `None` (the default) records nothing — the zero-overhead
+    /// baseline.
+    pub record_interval: Option<Duration>,
 }
 
 impl Default for ProxyConfig {
@@ -190,6 +202,7 @@ impl Default for ProxyConfig {
             prefork: 2,
             max_conns: DEFAULT_MAX_CONNS,
             tenant_caps: Vec::new(),
+            record_interval: None,
         }
     }
 }
@@ -245,6 +258,7 @@ pub struct ContentAwareProxy {
     active: Arc<AtomicI64>,
     wakers: Vec<Waker>,
     workers: Vec<JoinHandle<()>>,
+    sampler: Option<Sampler>,
 }
 
 impl std::fmt::Debug for ContentAwareProxy {
@@ -465,6 +479,12 @@ impl ContentAwareProxy {
         );
         wakers.push(accept_waker);
 
+        // Off the data plane entirely: the sampler thread snapshots the
+        // registry on its own clock; workers never see it.
+        let sampler = config
+            .record_interval
+            .map(|interval| Sampler::start(&registry, interval));
+
         Ok(ContentAwareProxy {
             addr,
             publisher,
@@ -476,6 +496,7 @@ impl ContentAwareProxy {
             active,
             wakers,
             workers: handles,
+            sampler,
         })
     }
 
@@ -576,6 +597,9 @@ impl ContentAwareProxy {
     /// Stops accepting new connections, closes every open one, and joins
     /// every thread.
     pub fn shutdown(&mut self) {
+        if let Some(mut sampler) = self.sampler.take() {
+            sampler.stop();
+        }
         if self.workers.is_empty() {
             return;
         }
@@ -1009,6 +1033,54 @@ mod tests {
         assert!(json.contains("\"histograms\""), "{json}");
         // The 503 left a post-mortem event correlated to its request id.
         assert!(json.contains("unroutable path /unknown"), "{json}");
+    }
+
+    #[test]
+    fn record_interval_populates_the_series_endpoint() {
+        let o0 = start_origin(0, &[("/a", b"x")]);
+        let mut table = UrlTable::new();
+        table.insert("/a".parse().unwrap(), entry(0, &[0])).unwrap();
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut proxy = ContentAwareProxy::start_with_config(
+            TablePublisher::new(table),
+            vec![o0.addr()],
+            Arc::clone(&registry),
+            ProxyConfig {
+                workers: 1,
+                record_interval: Some(Duration::from_millis(5)),
+                ..ProxyConfig::default()
+            },
+        )
+        .unwrap();
+        let recorder = registry.series().expect("sampler installs a recorder");
+        let mut client = HttpClient::connect(proxy.addr()).unwrap();
+        assert_eq!(client.get("/a").unwrap().status, 200);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while recorder.samples_taken() < 3 {
+            assert!(Instant::now() < deadline, "sampler never ran");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let body = String::from_utf8(client.get(SERIES_JSON_PATH).unwrap().body).unwrap();
+        assert!(body.contains("\"scrape_seq\":"), "{body}");
+        assert!(body.contains("\"proxy_relayed_total\":["), "{body}");
+        // Shutdown stops the sampler thread with everything else.
+        proxy.shutdown();
+        let settled = recorder.samples_taken();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(recorder.samples_taken(), settled);
+    }
+
+    #[test]
+    fn series_endpoint_without_a_recorder_serves_an_empty_document() {
+        let o0 = start_origin(0, &[("/a", b"x")]);
+        let mut table = UrlTable::new();
+        table.insert("/a".parse().unwrap(), entry(0, &[0])).unwrap();
+        let proxy = ContentAwareProxy::start(table, vec![o0.addr()], 1).unwrap();
+        let mut client = HttpClient::connect(proxy.addr()).unwrap();
+        let resp = client.get(SERIES_JSON_PATH).unwrap();
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        assert!(body.contains("\"series\":{}"), "{body}");
     }
 
     /// Polls until `f` yields, because spans record when their guard

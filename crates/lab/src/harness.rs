@@ -15,13 +15,23 @@
 //! - **final sweep** — every surviving object then serves its exact
 //!   published body;
 //! - **generation monotonicity** — the proxy's scraped
-//!   `urltable_generation` gauge never goes backwards.
+//!   `urltable_generation` gauge never goes backwards;
+//! - **SLO breach-then-clear** — when `expect_slo_breach` is scripted,
+//!   the fault timeline must trip the proxy's in-process SLO watchdog
+//!   (`slo_breach_total >= 1` on the scraped timeline) and every
+//!   `slo_state_*` verdict gauge must return to Ok after the faults
+//!   heal.
+//!
+//! Each timeline sample carries the process's `/_cpms/metrics.json`
+//! *and* `/_cpms/series.json` (flight-recorder) payloads; both are
+//! stamped with a per-surface `scrape_seq` and process uptime, so the
+//! timeline can be ordered without trusting the scraper's clock.
 
 use crate::process::{spawn_broker, spawn_proxy, BrokerProc, ProxyProc};
 use crate::scenario::{FaultAction, Scenario, Shape};
 use crate::traces::TraceStore;
 use cpms_httpd::client::HttpClient;
-use cpms_httpd::{METRICS_JSON_PATH, TRACE_JSON_PATH};
+use cpms_httpd::{METRICS_JSON_PATH, SERIES_JSON_PATH, TRACE_JSON_PATH};
 use cpms_mgmt::admin::AdminClient;
 use cpms_model::ContentId;
 use cpms_store::{fnv64, hex_encode, synthetic_body};
@@ -151,13 +161,16 @@ impl Tally {
     }
 }
 
-/// One merged-timeline sample: a process's metrics surface at a request
-/// index.
+/// One merged-timeline sample: a process's metrics and flight-recorder
+/// surfaces at a request index. `scrape_seq`/`uptime_micros` ride
+/// inside both payloads, so consumers can order samples per (source,
+/// surface) without trusting the lab's wall clock.
 #[derive(Debug)]
 struct Sample {
     at_request: usize,
     source: String,
     metrics: Value,
+    series: Option<Value>,
 }
 
 /// Runs a scenario end to end and reports. Spawns one watchdog thread
@@ -356,6 +369,41 @@ fn run_inner(scenario: &Scenario, lab_dir: &Path, started: Instant) -> Result<La
         }
     }
 
+    // ---- SLO watchdog: the breach must clear once chaos stops --------
+    // The proxy's default rules watch 2-second error-rate windows, so
+    // after the faults are healed and the stream ends, every
+    // `slo_state_*` gauge must drain back to Ok. Polled via the admin
+    // plane so the verdicts come from the proxy's own watchdog, not
+    // from any lab-side re-derivation.
+    let mut slo_cleared = false;
+    let mut slo_clear_ms = 0u128;
+    if scenario.assertions.expect_slo_breach() {
+        let clear_started = Instant::now();
+        let deadline =
+            clear_started + Duration::from_millis(scenario.assertions.converge_within_ms);
+        while Instant::now() < deadline {
+            if let Ok(resp) = admin.send("metrics") {
+                if let Ok(metrics) = serde_json::from_str::<Value>(&resp.output) {
+                    let clear = metrics
+                        .get("gauges")
+                        .and_then(Value::as_object)
+                        .is_some_and(|gauges| {
+                            gauges
+                                .iter()
+                                .filter(|(name, _)| name.starts_with("slo_state_"))
+                                .all(|(_, state)| state.as_i64() == Some(0))
+                        });
+                    if clear {
+                        slo_cleared = true;
+                        break;
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        slo_clear_ms = clear_started.elapsed().as_millis();
+    }
+
     // ---- final sweep: every surviving object serves exact bytes ------
     let mut sweep_bad: Vec<String> = Vec::new();
     let mut sweep_checked = 0usize;
@@ -394,6 +442,7 @@ fn run_inner(scenario: &Scenario, lab_dir: &Path, started: Instant) -> Result<La
                     "at_request": s.at_request,
                     "source": s.source,
                     "metrics": s.metrics,
+                    "series": s.series.clone().unwrap_or(Value::Null),
                 })
             })
             .collect(),
@@ -522,6 +571,34 @@ fn run_inner(scenario: &Scenario, lab_dir: &Path, started: Instant) -> Result<La
             _ => format!("widest trace crossed {widest_count} < {min_processes} process(es)"),
         },
     });
+    // SLO breach-then-clear: the scripted fault must have tripped the
+    // proxy watchdog (the cumulative `slo_breach_total` counter is
+    // immune to scrape timing), and the verdict gauges must have
+    // drained back to Ok once the cluster was healthy again.
+    if scenario.assertions.expect_slo_breach() {
+        let breach_fired = samples.iter().any(|s| {
+            s.source == "proxy"
+                && s.metrics
+                    .get("counters")
+                    .and_then(|c| c.get("slo_breach_total"))
+                    .and_then(Value::as_u64)
+                    .is_some_and(|n| n >= 1)
+        });
+        checks.push(Check {
+            name: "slo-breach-then-clear",
+            pass: breach_fired && slo_cleared,
+            detail: match (breach_fired, slo_cleared) {
+                (true, true) => {
+                    format!("breach fired under fault, cleared {slo_clear_ms} ms after heal")
+                }
+                (false, _) => "no sample ever showed slo_breach_total >= 1".to_string(),
+                (true, false) => format!(
+                    "breach fired but slo_state_* gauges never cleared within {} ms",
+                    scenario.assertions.converge_within_ms
+                ),
+            },
+        });
+    }
 
     // Graceful teardown; Drop impls are the backstop.
     let _ = admin.send("shutdown");
@@ -641,11 +718,13 @@ fn scrape(
         if let Some(dump) = fetch_json(addr, TRACE_JSON_PATH) {
             traces.absorb(&dump);
         }
+        let series = fetch_json(addr, SERIES_JSON_PATH);
         let metrics = fetch_json(addr, METRICS_JSON_PATH)?;
         samples.push(Sample {
             at_request,
             source,
             metrics: metrics.clone(),
+            series,
         });
         Some(metrics)
     };

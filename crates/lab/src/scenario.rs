@@ -200,12 +200,22 @@ pub struct AssertionSpec {
     /// At least one merged trace must span this many distinct processes
     /// (default 2: the proxy plus one backend).
     pub min_trace_processes: Option<usize>,
+    /// When true, the fault timeline must drive the proxy's SLO
+    /// watchdog into breach (`slo_breach_total >= 1` somewhere on the
+    /// timeline) *and* every `slo_state_*` gauge must return to Ok
+    /// after anti-entropy convergence. Default false.
+    pub expect_slo_breach: Option<bool>,
 }
 
 impl AssertionSpec {
     /// Cross-process floor for the `trace-cross-process` assertion.
     pub fn min_trace_processes(&self) -> usize {
         self.min_trace_processes.unwrap_or(2)
+    }
+
+    /// Whether the scenario scripts an SLO breach-then-clear check.
+    pub fn expect_slo_breach(&self) -> bool {
+        self.expect_slo_breach.unwrap_or(false)
     }
 }
 
@@ -314,6 +324,17 @@ mod tests {
         assert!(s.nodes[1].durable());
         assert!(s.faults().is_empty());
         assert!(matches!(s.workload.resolve(), Ok(Shape::Zipf)));
+        assert!(!s.assertions.expect_slo_breach(), "default no SLO check");
+    }
+
+    #[test]
+    fn expect_slo_breach_parses_when_present() {
+        let text = minimal().replace(
+            "\"max_failed_requests\": 0,",
+            "\"max_failed_requests\": 0,\n\"expect_slo_breach\": true,",
+        );
+        let s = Scenario::from_json(&text).expect("scenario with SLO check");
+        assert!(s.assertions.expect_slo_breach());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //!
 //! Usage:
 //!   cpms-broker <ADDR> \[NODE\] \[DISK_MB\] \[--store DIR\] \[--http\]
+//!               \[--record-interval MS\]
 //!     Binds a broker for node NODE (default 0) with a DISK_MB disk
 //!     (default 256) on ADDR (e.g. 127.0.0.1:7070; port 0 picks an
 //!     ephemeral port). Prints the bound address on stdout and serves
@@ -22,6 +23,11 @@
 //!     server" of the paper's node, serving whatever replicas the
 //!     management plane ships here. Its address is printed as a second
 //!     stdout line `http <ADDR>`.
+//!
+//!     `--record-interval MS` starts the process's flight recorder: a
+//!     sampler snapshots the metrics registry every MS milliseconds
+//!     into a bounded in-memory time series, exported by the co-located
+//!     origin at `/_cpms/series.json`. Default 100; `0` disables.
 //!
 //!   cpms-broker --smoke
 //!     Self-test for CI: binds an ephemeral loopback daemon, exercises
@@ -44,7 +50,7 @@ fn main() {
         Some(addr) => daemon(addr, &args[1..]),
         None => {
             eprintln!(
-                "usage: cpms-broker <ADDR> [NODE] [DISK_MB] [--store DIR] [--http] | cpms-broker --smoke"
+                "usage: cpms-broker <ADDR> [NODE] [DISK_MB] [--store DIR] [--http] [--record-interval MS] | cpms-broker --smoke"
             );
             std::process::exit(2);
         }
@@ -55,6 +61,7 @@ fn daemon(addr: &str, rest: &[String]) {
     let addr: SocketAddr = addr.parse().expect("ADDR must be host:port");
     let mut store_dir: Option<String> = None;
     let mut serve_http = false;
+    let mut record_interval_ms: u64 = 100;
     let mut positional: Vec<&String> = Vec::new();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -62,6 +69,12 @@ fn daemon(addr: &str, rest: &[String]) {
             store_dir = Some(it.next().expect("--store needs a directory").clone());
         } else if arg == "--http" {
             serve_http = true;
+        } else if arg == "--record-interval" {
+            record_interval_ms = it
+                .next()
+                .expect("--record-interval needs milliseconds")
+                .parse()
+                .expect("--record-interval must be a number of milliseconds");
         } else {
             positional.push(arg);
         }
@@ -92,6 +105,14 @@ fn daemon(addr: &str, rest: &[String]) {
     // surface, exported at the origin's `/_cpms/trace.json`.
     let registry = Arc::new(MetricsRegistry::new());
     registry.spans().set_process(&format!("broker-n{node}"));
+    // The flight recorder samples this registry in the background; it
+    // is dropped (stopping its thread) on the shutdown path below.
+    let mut sampler = (record_interval_ms > 0).then(|| {
+        cpms_obs::Sampler::start(
+            &registry,
+            std::time::Duration::from_millis(record_interval_ms),
+        )
+    });
     let mut handle = Broker::bind_observed(addr, state, Arc::clone(registry.spans()))
         .expect("bind broker listener");
     // stdout line 1 carries exactly the bound address so scripts can
@@ -136,6 +157,9 @@ fn daemon(addr: &str, rest: &[String]) {
             Ok(_) => {}
             Err(_) => break,
         }
+    }
+    if let Some(s) = sampler.as_mut() {
+        s.stop();
     }
     if let Some(o) = origin.as_mut() {
         o.shutdown();

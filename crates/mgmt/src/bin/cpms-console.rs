@@ -2,7 +2,7 @@
 //! console, minus the Java applet).
 //!
 //! Usage:
-//!   cpms-console \[NODES\] \[DISK_MB\]
+//!   cpms-console \[--watch\] \[NODES\] \[DISK_MB\]
 //!
 //! Starts NODES broker threads (default 4) with DISK_MB disks (default
 //! 256) and reads commands from stdin — interactively or from a script:
@@ -10,14 +10,41 @@
 //!   echo "publish /a.html html 1024 0,1
 //!         ls
 //!         audit" | cargo run -p cpms-mgmt --bin cpms-console
+//!
+//! With `--watch` the console instead takes a one-shot observability
+//! pass: it installs a flight recorder + SLO watchdog on the cluster's
+//! registry, samples briefly, renders the merged `top` and `health`
+//! views, and exits — nonzero when `health` reports a breach or an
+//! unreachable node. The same views are available interactively as the
+//! `top` and `health` shell commands.
 
 use cpms_mgmt::console::RemoteConsole;
 use cpms_mgmt::shell::{Shell, ShellOutcome};
 use cpms_mgmt::{Cluster, Controller};
+use cpms_obs::{Sampler, SloRule, SloWatchdog};
 use std::io::{BufRead, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// `--watch` sampling interval; the pass waits a few rounds so rates
+/// and SLO windows have at least two points to difference.
+const WATCH_INTERVAL: Duration = Duration::from_millis(50);
+
+/// SLO the one-shot watch pass evaluates: the management plane should
+/// not be producing op errors.
+const WATCH_SLO: &str = "mgmt_op_errors_total rate <= 0 over 5s";
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let mut watch = false;
+    let mut positional: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--watch" {
+            watch = true;
+        } else {
+            positional.push(arg);
+        }
+    }
+    let mut args = positional.into_iter();
     let nodes: usize = args
         .next()
         .map(|s| s.parse().expect("NODES must be a number"))
@@ -30,6 +57,10 @@ fn main() {
     eprintln!("cpms-console: {nodes} broker(s), {disk_mb} MB disks. `help` for commands.");
     let console = RemoteConsole::new(Controller::new(Cluster::start(nodes, disk_mb << 20)));
     let mut shell = Shell::new(console);
+    if watch {
+        watch_once(shell);
+        return;
+    }
 
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
@@ -63,4 +94,37 @@ fn main() {
         eprintln!("cpms-console: {failures} health check(s) failed");
         std::process::exit(1);
     }
+}
+
+/// One-shot `--watch` pass: recorder + watchdog on, a few sampling
+/// rounds, then the merged `top` and `health` views on stdout.
+fn watch_once(mut shell: Shell) {
+    let registry = Arc::clone(shell.console().controller().metrics());
+    SloWatchdog::install(
+        &registry,
+        vec![SloRule::parse(WATCH_SLO).expect("literal SLO rule parses")],
+    );
+    let mut sampler = Sampler::start(&registry, WATCH_INTERVAL);
+    std::thread::sleep(WATCH_INTERVAL * 4);
+    let mut stdout = std::io::stdout();
+    let mut sick = false;
+    for command in ["top", "health"] {
+        match shell.execute(command) {
+            ShellOutcome::Output(out) => {
+                let _ = writeln!(stdout, "{out}");
+            }
+            ShellOutcome::Failure(out) => {
+                sick = true;
+                let _ = writeln!(stdout, "{out}");
+            }
+            ShellOutcome::Quit => unreachable!("top/health never quit"),
+        }
+    }
+    sampler.stop();
+    shell.shutdown();
+    if sick {
+        eprintln!("cpms-console: watch pass found the cluster unhealthy");
+        std::process::exit(1);
+    }
+    eprintln!("cpms-console: watch pass clean");
 }

@@ -5,6 +5,7 @@
 //! Usage:
 //!   cpms-proxy \[--admin ADDR\] \[--prefork N\] \[--workers N\]
 //!              \[--max-conns N\] \[--tenant-cap PREFIX=N ...\]
+//!              \[--record-interval MS\]
 //!              <WIRE,HTTP> \[<WIRE,HTTP> ...\]
 //!   cpms-proxy --smoke
 //!
@@ -12,8 +13,11 @@
 //! that multiplex, they never add threads), `--max-conns` is the global
 //! admission cap (overload sheds an immediate 503 at accept), and each
 //! `--tenant-cap` bounds concurrent connections whose first routed
-//! request matches a path prefix. `--smoke` runs the self-contained
-//! high-concurrency data-plane check used by CI and exits.
+//! request matches a path prefix. `--record-interval` sets the flight
+//! recorder's sampling period in milliseconds (default 100; `0`
+//! disables the recorder and the SLO watchdog). `--smoke` runs the
+//! self-contained high-concurrency data-plane check used by CI and
+//! exits.
 //!
 //! Each positional argument names one backend node as a pair of
 //! addresses: the node's `cpms-broker` wire endpoint and its origin
@@ -36,9 +40,17 @@
 //! partition <node>                  cut the link entirely
 //! heal <node>                       disarm faults and reconnect
 //! metrics                           merged metrics registry as JSON
+//! traces                            retained spans as JSON
+//! series                            flight-recorder time series as JSON
 //! generation                        current URL-table generation
 //! shutdown                          clean exit
 //! ```
+//!
+//! With the recorder on, the daemon also watches two default SLOs —
+//! `proxy_backend_errors_total rate <= 0 over 2s` and
+//! `proxy_pool_failures_total rate <= 0 over 2s` — whose verdicts the
+//! `health` shell command renders and whose breaches increment
+//! `slo_breach_total`.
 
 use cpms_httpd::{ContentAwareProxy, ProxyConfig, TenantCap};
 use cpms_mgmt::admin::{AdminResponse, AdminServer};
@@ -46,10 +58,20 @@ use cpms_mgmt::console::RemoteConsole;
 use cpms_mgmt::shell::{Shell, ShellOutcome};
 use cpms_mgmt::{Broker, Cluster, Controller};
 use cpms_model::NodeId;
-use cpms_obs::MetricsRegistry;
+use cpms_obs::{MetricsRegistry, SloRule, SloWatchdog};
 use cpms_wire::{FaultPlan, FaultSwitch, Transport};
 use std::net::SocketAddr;
 use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// SLOs every proxy daemon watches when the flight recorder is on: the
+/// data plane must not be producing backend errors or pool failures.
+/// A killed or unreachable origin drives these into breach within one
+/// sampling round; two quiet seconds clear them.
+const DEFAULT_SLOS: [&str; 2] = [
+    "proxy_backend_errors_total rate <= 0 over 2s",
+    "proxy_pool_failures_total rate <= 0 over 2s",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,6 +84,7 @@ fn main() {
         prefork: 2,
         ..ProxyConfig::default()
     };
+    let mut record_interval_ms: u64 = 100;
     let mut pairs: Vec<(SocketAddr, SocketAddr)> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -94,6 +117,13 @@ fn main() {
                     .parse()
                     .expect("--max-conns must be a number");
             }
+            "--record-interval" => {
+                record_interval_ms = it
+                    .next()
+                    .expect("--record-interval needs milliseconds")
+                    .parse()
+                    .expect("--record-interval must be a number of milliseconds");
+            }
             "--tenant-cap" => {
                 let spec = it.next().expect("--tenant-cap needs PREFIX=N");
                 let (prefix, cap) = spec
@@ -117,7 +147,7 @@ fn main() {
     }
     if pairs.is_empty() {
         eprintln!(
-            "usage: cpms-proxy [--admin ADDR] [--prefork N] [--workers N] [--max-conns N] [--tenant-cap PREFIX=N ...] <WIRE,HTTP> [<WIRE,HTTP> ...]"
+            "usage: cpms-proxy [--admin ADDR] [--prefork N] [--workers N] [--max-conns N] [--tenant-cap PREFIX=N ...] [--record-interval MS] <WIRE,HTTP> [<WIRE,HTTP> ...]"
         );
         std::process::exit(2);
     }
@@ -141,6 +171,14 @@ fn main() {
 
     let registry = Arc::new(MetricsRegistry::new());
     registry.spans().set_process("proxy");
+    if record_interval_ms > 0 {
+        config.record_interval = Some(Duration::from_millis(record_interval_ms));
+        let rules = DEFAULT_SLOS
+            .iter()
+            .map(|text| SloRule::parse(text).expect("default SLO rules parse"))
+            .collect();
+        let _watchdog = SloWatchdog::install(&registry, rules);
+    }
     let mut controller = Controller::new(Cluster::from_handles(handles));
     controller.set_metrics(&registry);
     let publisher = controller.publisher().share();
@@ -246,6 +284,12 @@ fn dispatch(
         },
         ["metrics"] => AdminResponse::ok(shell.console().controller().metrics_json()),
         ["traces"] => AdminResponse::ok(shell.console().controller().metrics().spans().to_json()),
+        ["series"] => {
+            AdminResponse::ok(shell.console().controller().metrics().series().map_or_else(
+                || "{\"scrape_seq\":0,\"uptime_micros\":0,\"samples\":0,\"series\":{}}".to_string(),
+                |recorder| recorder.to_json(),
+            ))
+        }
         ["generation"] => AdminResponse::ok(
             shell
                 .console()
@@ -323,6 +367,7 @@ fn smoke() {
                 prefix: "t0".to_string(),
                 max_conns: 4,
             }],
+            ..ProxyConfig::default()
         },
     )
     .expect("smoke proxy");
@@ -370,7 +415,7 @@ fn smoke() {
             workers: 1,
             prefork: 2,
             max_conns: 32,
-            tenant_caps: Vec::new(),
+            ..ProxyConfig::default()
         },
     )
     .expect("smoke overload proxy");

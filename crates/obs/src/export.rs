@@ -44,11 +44,15 @@ fn write_histogram_json(out: &mut String, summary: &HistogramSummary) {
 }
 
 impl RegistrySnapshot {
-    /// Renders the snapshot as a JSON object with `counters`, `gauges`,
-    /// `histograms`, and `events` sections.
+    /// Renders the snapshot as a JSON object with `scrape_seq` and
+    /// `uptime_micros` stamps plus `counters`, `gauges`, `histograms`,
+    /// and `events` sections.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"counters\": {");
+        let mut out = format!(
+            "{{\n  \"scrape_seq\": {},\n  \"uptime_micros\": {},\n  \"counters\": {{",
+            self.scrape_seq, self.uptime_micros
+        );
         for (i, (name, value)) in self.counters.iter().enumerate() {
             let sep = if i == 0 { "" } else { "," };
             let _ = write!(out, "{sep}\n    \"{}\": {value}", json_escape(name));
@@ -183,6 +187,8 @@ mod tests {
     #[test]
     fn json_contains_every_section_and_escapes() {
         let json = populated().snapshot().to_json();
+        assert!(json.starts_with("{\n  \"scrape_seq\": 0,"), "{json}");
+        assert!(json.contains("\"uptime_micros\": "), "{json}");
         assert!(json.contains("\"proxy_requests_total\": 12"));
         assert!(json.contains("\"urltable_memory_bytes\": 260000"));
         assert!(json.contains("\"proxy_request_ns\": {\"count\":4"));

@@ -43,11 +43,18 @@
 pub mod export;
 pub mod hist;
 pub mod registry;
+pub mod series;
+pub mod slo;
 pub mod spans;
 pub mod trace;
 
 pub use hist::{Histogram, HistogramRecorder, HistogramSummary};
 pub use registry::{Counter, Gauge, MetricsRegistry, RegistrySnapshot};
+pub use series::{
+    Sampler, SeriesPoint, SeriesRecorder, DEFAULT_MAX_SERIES, DEFAULT_RECORD_INTERVAL,
+    DEFAULT_SERIES_CAPACITY,
+};
+pub use slo::{SloRule, SloVerdict, SloWatchdog};
 pub use spans::{
     OwnedSpan, ScopedTrace, SpanCollector, SpanId, SpanRecord, TraceContext, TraceId, TracedSpan,
     CONTEXT_WIRE_LEN,

@@ -7,11 +7,14 @@
 //! path — it guards only name resolution and snapshotting.
 
 use crate::hist::{Histogram, HistogramSummary};
+use crate::series::SeriesRecorder;
+use crate::slo::SloWatchdog;
 use crate::spans::SpanCollector;
 use crate::trace::{Event, EventLog, RequestId};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -84,6 +87,10 @@ pub struct MetricsRegistry {
     events: EventLog,
     spans: Arc<SpanCollector>,
     next_request: AtomicU64,
+    series: Mutex<Option<Arc<SeriesRecorder>>>,
+    watchdog: Mutex<Option<Arc<SloWatchdog>>>,
+    started: Instant,
+    scrape_seq: AtomicU64,
 }
 
 impl MetricsRegistry {
@@ -101,6 +108,10 @@ impl MetricsRegistry {
             events: EventLog::new(events),
             spans: Arc::new(SpanCollector::default()),
             next_request: AtomicU64::new(0),
+            series: Mutex::new(None),
+            watchdog: Mutex::new(None),
+            started: Instant::now(),
+            scrape_seq: AtomicU64::new(0),
         }
     }
 
@@ -159,12 +170,47 @@ impl MetricsRegistry {
         RequestId(self.next_request.fetch_add(1, Ordering::Relaxed))
     }
 
+    /// Installs `recorder` as this registry's flight recorder (the
+    /// `/_cpms/series.json` surface; fed by [`crate::series::Sampler`]).
+    pub fn set_series(&self, recorder: Arc<SeriesRecorder>) {
+        *self.series.lock().expect("series slot lock") = Some(recorder);
+    }
+
+    /// The installed flight recorder, if any.
+    #[must_use]
+    pub fn series(&self) -> Option<Arc<SeriesRecorder>> {
+        self.series.lock().expect("series slot lock").clone()
+    }
+
+    /// Installs `watchdog` as this registry's SLO evaluator (normally
+    /// via [`SloWatchdog::install`], which also registers its metrics).
+    pub fn set_watchdog(&self, watchdog: Arc<SloWatchdog>) {
+        *self.watchdog.lock().expect("watchdog slot lock") = Some(watchdog);
+    }
+
+    /// The installed SLO watchdog, if any.
+    #[must_use]
+    pub fn watchdog(&self) -> Option<Arc<SloWatchdog>> {
+        self.watchdog.lock().expect("watchdog slot lock").clone()
+    }
+
+    /// Microseconds since this registry was created — the process
+    /// uptime stamped onto every snapshot.
+    #[must_use]
+    pub fn uptime_micros(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
     /// A coherent point-in-time snapshot of every registered metric plus
-    /// the most recent events.
+    /// the most recent events. Each snapshot draws a fresh monotonic
+    /// `scrape_seq`, so consumers (the lab's merged timeline) can order
+    /// payloads from one process without trusting their own clocks.
     #[must_use]
     pub fn snapshot(&self) -> RegistrySnapshot {
         let fam = self.families.lock().expect("registry lock");
         RegistrySnapshot {
+            scrape_seq: self.scrape_seq.fetch_add(1, Ordering::Relaxed),
+            uptime_micros: self.uptime_micros(),
             counters: fam
                 .counters
                 .iter()
@@ -195,6 +241,10 @@ impl Default for MetricsRegistry {
 /// [`RegistrySnapshot::to_json`] and [`RegistrySnapshot::to_prometheus`]).
 #[derive(Debug, Clone)]
 pub struct RegistrySnapshot {
+    /// Monotonic snapshot sequence number within this process.
+    pub scrape_seq: u64,
+    /// Microseconds since the registry was created.
+    pub uptime_micros: u64,
     /// Counter name → value, sorted by name.
     pub counters: Vec<(String, u64)>,
     /// Gauge name → value, sorted by name.
@@ -279,6 +329,27 @@ mod tests {
         assert_eq!(snap.counters[1].0, "b_total");
         assert_eq!(snap.histogram("h").unwrap().count, 1);
         assert_eq!(snap.events.len(), 1);
+    }
+
+    #[test]
+    fn snapshots_carry_monotonic_scrape_seq_and_uptime() {
+        let reg = MetricsRegistry::new();
+        let first = reg.snapshot();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let second = reg.snapshot();
+        assert_eq!(first.scrape_seq, 0);
+        assert_eq!(second.scrape_seq, 1);
+        assert!(second.uptime_micros > first.uptime_micros);
+    }
+
+    #[test]
+    fn series_and_watchdog_slots_start_empty_and_install() {
+        let reg = Arc::new(MetricsRegistry::new());
+        assert!(reg.series().is_none());
+        assert!(reg.watchdog().is_none());
+        let recorder = Arc::new(crate::series::SeriesRecorder::default());
+        reg.set_series(Arc::clone(&recorder));
+        assert!(Arc::ptr_eq(&reg.series().unwrap(), &recorder));
     }
 
     #[test]

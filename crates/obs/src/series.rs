@@ -1,0 +1,538 @@
+//! The flight recorder: a bounded in-process time-series store fed by a
+//! background sampler.
+//!
+//! Point-in-time snapshots answer "what is the p99 *now*"; they cannot
+//! answer "did the p99 spike during the fault window" or "what is the
+//! error *rate*". The [`SeriesRecorder`] closes that gap without any
+//! external database: a [`Sampler`] thread snapshots the registry at a
+//! fixed interval and appends one [`SeriesPoint`] per metric to a
+//! fixed-size ring, so every process carries its own recent history —
+//! queryable as `(metric, window) → points`, rendered at the
+//! `/_cpms/series.json` admin surface, and consumed in-process by the
+//! SLO watchdog ([`crate::slo`]).
+//!
+//! Memory is bounded twice over: at most [`SeriesRecorder::max_series`]
+//! named series (extras are counted, not stored) and at most
+//! `capacity` points per series (the ring discards the oldest). With
+//! the defaults that is 512 series × 240 points × 24 bytes ≈ 3 MB
+//! worst case; a real process registers a few dozen series.
+//!
+//! Counters are stored **cumulatively**; [`SeriesRecorder::rate_per_sec`]
+//! differences adjacent points and treats a decrease as a counter reset
+//! (the process restarted, or a fresh registry was swapped in), counting
+//! the post-reset value as the delta rather than a huge negative swing.
+//! Histograms fan out into three derived series per family:
+//! `<name>.count`, `<name>.p50`, and `<name>.p99`.
+
+use crate::registry::{MetricsRegistry, RegistrySnapshot};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Points retained per series when none is configured — at the default
+/// sampler interval this is a minute of history.
+pub const DEFAULT_SERIES_CAPACITY: usize = 240;
+
+/// Distinct series a recorder will track before dropping newcomers.
+pub const DEFAULT_MAX_SERIES: usize = 512;
+
+/// Sampler interval when none is configured.
+pub const DEFAULT_RECORD_INTERVAL: Duration = Duration::from_millis(250);
+
+/// One sampled value of one series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// The sampling round that produced this point (monotonic per
+    /// recorder; every series sampled in one round shares it).
+    pub seq: u64,
+    /// Process-relative timestamp: microseconds since the recorder was
+    /// created. Monotonic, immune to wall-clock steps.
+    pub uptime_micros: u64,
+    /// The sampled value (counters cumulative, gauges current,
+    /// histogram quantiles in the histogram's unit).
+    pub value: f64,
+}
+
+#[derive(Debug, Default)]
+struct RecorderInner {
+    series: BTreeMap<String, VecDeque<SeriesPoint>>,
+}
+
+/// The bounded time-series store (see module docs).
+#[derive(Debug)]
+pub struct SeriesRecorder {
+    inner: Mutex<RecorderInner>,
+    capacity: usize,
+    max_series: usize,
+    started: Instant,
+    samples: AtomicU64,
+    render_seq: AtomicU64,
+    dropped_series: AtomicU64,
+}
+
+impl Default for SeriesRecorder {
+    fn default() -> Self {
+        SeriesRecorder::new(DEFAULT_SERIES_CAPACITY)
+    }
+}
+
+impl SeriesRecorder {
+    /// A recorder retaining at most `capacity` points per series and
+    /// [`DEFAULT_MAX_SERIES`] series.
+    #[must_use]
+    pub fn new(capacity: usize) -> SeriesRecorder {
+        SeriesRecorder::with_max_series(capacity, DEFAULT_MAX_SERIES)
+    }
+
+    /// A recorder with explicit bounds on both axes.
+    #[must_use]
+    pub fn with_max_series(capacity: usize, max_series: usize) -> SeriesRecorder {
+        SeriesRecorder {
+            inner: Mutex::new(RecorderInner::default()),
+            capacity: capacity.max(2),
+            max_series: max_series.max(1),
+            started: Instant::now(),
+            samples: AtomicU64::new(0),
+            render_seq: AtomicU64::new(0),
+            dropped_series: AtomicU64::new(0),
+        }
+    }
+
+    /// Points retained per series.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Distinct series this recorder will track.
+    #[must_use]
+    pub fn max_series(&self) -> usize {
+        self.max_series
+    }
+
+    /// Sampling rounds taken so far.
+    #[must_use]
+    pub fn samples_taken(&self) -> u64 {
+        self.samples.load(Ordering::Relaxed)
+    }
+
+    /// Series rejected because the [`max_series`](Self::max_series)
+    /// bound was hit.
+    #[must_use]
+    pub fn dropped_series_total(&self) -> u64 {
+        self.dropped_series.load(Ordering::Relaxed)
+    }
+
+    /// Microseconds since the recorder was created — the time base of
+    /// every [`SeriesPoint::uptime_micros`].
+    #[must_use]
+    pub fn uptime_micros(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Takes one sampling round over `snap`: every counter and gauge
+    /// appends one point; every histogram appends `.count`, `.p50`, and
+    /// `.p99` points.
+    pub fn sample(&self, snap: &RegistrySnapshot) {
+        let seq = self.samples.fetch_add(1, Ordering::Relaxed);
+        let uptime_micros = self.uptime_micros();
+        let mut inner = self.inner.lock().expect("series lock");
+        let push = |inner: &mut RecorderInner, name: &str, value: f64| {
+            let ring = match inner.series.get_mut(name) {
+                Some(ring) => ring,
+                None => {
+                    if inner.series.len() >= self.max_series {
+                        self.dropped_series.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    inner
+                        .series
+                        .entry(name.to_string())
+                        .or_insert_with(|| VecDeque::with_capacity(8))
+                }
+            };
+            if ring.len() >= self.capacity {
+                ring.pop_front();
+            }
+            ring.push_back(SeriesPoint {
+                seq,
+                uptime_micros,
+                value,
+            });
+        };
+        for (name, value) in &snap.counters {
+            #[allow(clippy::cast_precision_loss)]
+            push(&mut inner, name, *value as f64);
+        }
+        for (name, value) in &snap.gauges {
+            #[allow(clippy::cast_precision_loss)]
+            push(&mut inner, name, *value as f64);
+        }
+        for (name, summary) in &snap.histograms {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                push(&mut inner, &format!("{name}.count"), summary.count as f64);
+                push(&mut inner, &format!("{name}.p50"), summary.p50 as f64);
+                push(&mut inner, &format!("{name}.p99"), summary.p99 as f64);
+            }
+        }
+    }
+
+    /// Every series name currently tracked, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.inner
+            .lock()
+            .expect("series lock")
+            .series
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// The most recent point of `metric`, if any.
+    #[must_use]
+    pub fn latest(&self, metric: &str) -> Option<SeriesPoint> {
+        self.inner
+            .lock()
+            .expect("series lock")
+            .series
+            .get(metric)
+            .and_then(|ring| ring.back().copied())
+    }
+
+    /// The retained points of `metric` within the trailing `window`
+    /// (inclusive at the window's left edge), oldest first.
+    #[must_use]
+    pub fn query(&self, metric: &str, window: Duration) -> Vec<SeriesPoint> {
+        let now = self.uptime_micros();
+        let window_micros = u64::try_from(window.as_micros()).unwrap_or(u64::MAX);
+        let cutoff = now.saturating_sub(window_micros);
+        self.inner
+            .lock()
+            .expect("series lock")
+            .series
+            .get(metric)
+            .map(|ring| {
+                ring.iter()
+                    .filter(|p| p.uptime_micros >= cutoff)
+                    .copied()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The per-second rate of change of `metric` over the trailing
+    /// `window`, treating any decrease between adjacent points as a
+    /// counter reset (the delta restarts from the new value). `None`
+    /// until the window holds at least two points.
+    #[must_use]
+    pub fn rate_per_sec(&self, metric: &str, window: Duration) -> Option<f64> {
+        let points = self.query(metric, window);
+        let (first, last) = (points.first()?, points.last()?);
+        if last.uptime_micros <= first.uptime_micros {
+            return None;
+        }
+        let mut total = 0.0f64;
+        for pair in points.windows(2) {
+            let (prev, cur) = (pair[0].value, pair[1].value);
+            total += if cur >= prev {
+                cur - prev
+            } else {
+                cur.max(0.0)
+            };
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let elapsed_secs = (last.uptime_micros - first.uptime_micros) as f64 / 1_000_000.0;
+        Some(total / elapsed_secs)
+    }
+
+    /// Renders the `/_cpms/series.json` document: a monotonic
+    /// `scrape_seq` (bumped per render, so a scraper can order payloads
+    /// without trusting its own clock), the recorder uptime, bound and
+    /// drop accounting, and every series as `[seq, uptime_micros,
+    /// value]` triples, oldest first.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let scrape_seq = self.render_seq.fetch_add(1, Ordering::Relaxed);
+        let mut out = String::with_capacity(4096);
+        let _ = write!(
+            out,
+            "{{\"scrape_seq\":{scrape_seq},\"uptime_micros\":{},\"samples\":{},\
+             \"capacity\":{},\"dropped_series\":{},\"series\":{{",
+            self.uptime_micros(),
+            self.samples_taken(),
+            self.capacity,
+            self.dropped_series_total(),
+        );
+        let inner = self.inner.lock().expect("series lock");
+        for (i, (name, ring)) in inner.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":[", crate::export::json_escape(name));
+            for (j, p) in ring.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                // f64 renders JSON-safely here: every sampled value is
+                // finite (converted from u64/i64 metric cells).
+                let _ = write!(out, "[{},{},{}]", p.seq, p.uptime_micros, p.value);
+            }
+            out.push(']');
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// How often the sampler thread re-checks its stop flag while sleeping
+/// out a long interval, so shutdown never waits a full interval.
+const STOP_CHECK: Duration = Duration::from_millis(50);
+
+/// The background sampling thread driving a registry's
+/// [`SeriesRecorder`] and (when installed) its SLO watchdog.
+///
+/// Holds only a [`Weak`] registry reference: if every other owner drops
+/// the registry the thread exits on its own, so a forgotten sampler
+/// cannot keep a dead process's metrics alive.
+#[derive(Debug)]
+pub struct Sampler {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// Starts sampling `registry` every `interval`. Installs a default
+    /// [`SeriesRecorder`] on the registry if none is present, takes one
+    /// round immediately (so short-lived processes still record), and
+    /// evaluates the registry's SLO watchdog after every round.
+    #[must_use]
+    pub fn start(registry: &Arc<MetricsRegistry>, interval: Duration) -> Sampler {
+        if registry.series().is_none() {
+            registry.set_series(Arc::new(SeriesRecorder::default()));
+        }
+        let weak: Weak<MetricsRegistry> = Arc::downgrade(registry);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let interval = interval.max(Duration::from_millis(1));
+        let handle = std::thread::Builder::new()
+            .name("cpms-obs-sampler".to_string())
+            .spawn(move || loop {
+                if stop_flag.load(Ordering::Acquire) {
+                    return;
+                }
+                let Some(registry) = weak.upgrade() else {
+                    return;
+                };
+                let snap = registry.snapshot();
+                if let Some(recorder) = registry.series() {
+                    recorder.sample(&snap);
+                    if let Some(watchdog) = registry.watchdog() {
+                        watchdog.evaluate(&recorder);
+                    }
+                }
+                drop(registry);
+                let mut slept = Duration::ZERO;
+                while slept < interval {
+                    if stop_flag.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let nap = STOP_CHECK.min(interval - slept);
+                    std::thread::sleep(nap);
+                    slept += nap;
+                }
+            })
+            .expect("spawn sampler thread");
+        Sampler {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the thread and joins it (idempotent; also runs on drop).
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn ring_wraps_at_capacity_keeping_the_newest() {
+        let reg = MetricsRegistry::new();
+        let counter = reg.counter("c_total");
+        let rec = SeriesRecorder::new(4);
+        for _ in 0..10 {
+            counter.inc();
+            rec.sample(&reg.snapshot());
+        }
+        let points = rec.query("c_total", Duration::from_secs(3600));
+        assert_eq!(points.len(), 4, "ring bounded at capacity");
+        let values: Vec<u64> = points.iter().map(|p| p.value as u64).collect();
+        assert_eq!(values, vec![7, 8, 9, 10], "oldest points discarded");
+        let seqs: Vec<u64> = points.iter().map(|p| p.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "rounds stay ordered");
+        assert_eq!(rec.samples_taken(), 10);
+    }
+
+    #[test]
+    fn counter_reset_counts_from_the_new_value() {
+        // Two registries stand in for a process restart: the counter
+        // climbs to 100, "restarts", and climbs to 3. The rate must see
+        // 100→0→3 as +3, not -97.
+        let rec = SeriesRecorder::new(16);
+        let a = MetricsRegistry::new();
+        a.counter("req_total").add(90);
+        rec.sample(&a.snapshot());
+        std::thread::sleep(Duration::from_millis(5));
+        a.counter("req_total").add(10);
+        rec.sample(&a.snapshot());
+        std::thread::sleep(Duration::from_millis(5));
+        let b = MetricsRegistry::new();
+        b.counter("req_total").add(3);
+        rec.sample(&b.snapshot());
+        let rate = rec
+            .rate_per_sec("req_total", Duration::from_secs(3600))
+            .expect("three points");
+        // Deltas: +10 (90→100) and +3 (reset to 3) over the elapsed span.
+        assert!(rate > 0.0, "reset must not yield a negative rate: {rate}");
+        let points = rec.query("req_total", Duration::from_secs(3600));
+        let total: f64 = points
+            .windows(2)
+            .map(|w| {
+                let (p, c) = (w[0].value, w[1].value);
+                if c >= p {
+                    c - p
+                } else {
+                    c
+                }
+            })
+            .sum();
+        assert_eq!(total as u64, 13);
+    }
+
+    #[test]
+    fn window_queries_clip_at_the_boundary() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("g").set(1);
+        let rec = SeriesRecorder::new(64);
+        rec.sample(&reg.snapshot());
+        std::thread::sleep(Duration::from_millis(60));
+        rec.sample(&reg.snapshot());
+        // A wide window sees both points; a narrow one only the newest.
+        assert_eq!(rec.query("g", Duration::from_secs(3600)).len(), 2);
+        let narrow = rec.query("g", Duration::from_millis(20));
+        assert_eq!(narrow.len(), 1, "old point outside the window");
+        assert_eq!(rec.query("g", Duration::ZERO).len(), 0);
+        assert!(rec.query("absent", Duration::from_secs(1)).is_empty());
+        // Rate needs two points inside the window.
+        assert!(rec.rate_per_sec("g", Duration::from_millis(20)).is_none());
+    }
+
+    #[test]
+    fn series_count_is_bounded_and_drops_are_counted() {
+        let reg = MetricsRegistry::new();
+        for i in 0..8 {
+            reg.counter(&format!("c{i}_total"));
+        }
+        let rec = SeriesRecorder::with_max_series(8, 4);
+        rec.sample(&reg.snapshot());
+        assert_eq!(rec.names().len(), 4, "series bound enforced");
+        assert_eq!(rec.dropped_series_total(), 4);
+        // Established series keep recording while newcomers stay barred.
+        rec.sample(&reg.snapshot());
+        assert_eq!(rec.names().len(), 4);
+        assert_eq!(rec.query("c0_total", Duration::from_secs(1)).len(), 2);
+    }
+
+    #[test]
+    fn histograms_fan_out_into_derived_series() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat_ns");
+        for v in [100, 200, 10_000] {
+            h.record(0, v);
+        }
+        let rec = SeriesRecorder::new(8);
+        rec.sample(&reg.snapshot());
+        assert_eq!(
+            rec.names(),
+            vec!["lat_ns.count", "lat_ns.p50", "lat_ns.p99"]
+        );
+        assert_eq!(rec.latest("lat_ns.count").unwrap().value as u64, 3);
+        assert!(rec.latest("lat_ns.p99").unwrap().value >= 200.0);
+    }
+
+    #[test]
+    fn concurrent_sampling_and_rendering_stay_coherent() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let counter = reg.counter("spin_total");
+        let rec = Arc::new(SeriesRecorder::new(32));
+        std::thread::scope(|scope| {
+            let sampler_rec = Arc::clone(&rec);
+            let sampler_reg = Arc::clone(&reg);
+            scope.spawn(move || {
+                for _ in 0..500 {
+                    counter.inc();
+                    sampler_rec.sample(&sampler_reg.snapshot());
+                }
+            });
+            for _ in 0..200 {
+                let json = rec.to_json();
+                assert!(json.starts_with("{\"scrape_seq\":"), "{json}");
+                assert!(json.ends_with("}}"), "{json}");
+                let _ = rec.query("spin_total", Duration::from_secs(1));
+                let _ = rec.rate_per_sec("spin_total", Duration::from_secs(1));
+            }
+        });
+        assert_eq!(rec.samples_taken(), 500);
+        let points = rec.query("spin_total", Duration::from_secs(3600));
+        assert!(points.len() <= 32);
+        assert!(
+            points.windows(2).all(|w| w[0].seq < w[1].seq),
+            "points stay in sampling order under concurrency"
+        );
+    }
+
+    #[test]
+    fn render_seq_is_monotonic_per_render() {
+        let rec = SeriesRecorder::new(8);
+        let first = rec.to_json();
+        let second = rec.to_json();
+        assert!(first.contains("\"scrape_seq\":0"), "{first}");
+        assert!(second.contains("\"scrape_seq\":1"), "{second}");
+    }
+
+    #[test]
+    fn sampler_thread_records_and_stops_cleanly() {
+        let reg = Arc::new(MetricsRegistry::new());
+        reg.counter("bg_total").add(5);
+        let mut sampler = Sampler::start(&reg, Duration::from_millis(5));
+        let recorder = reg.series().expect("sampler installs a recorder");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while recorder.samples_taken() < 3 {
+            assert!(Instant::now() < deadline, "sampler never sampled");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        sampler.stop();
+        let after = recorder.samples_taken();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(recorder.samples_taken(), after, "stopped means stopped");
+        assert!(recorder.latest("bg_total").unwrap().value >= 5.0);
+    }
+}

@@ -1,0 +1,503 @@
+//! Declarative service-level objectives evaluated against the flight
+//! recorder.
+//!
+//! A rule is one line of text — `proxy_request_ns.p99 < 5ms over 30s`,
+//! `proxy_backend_errors_total rate <= 0 over 2s`, `store_audit_drift
+//! == 0 over 10s` — parsed once into an [`SloRule`] and re-evaluated by
+//! the sampler after every recording round. Verdicts use a burn-rate
+//! notion over the rule's window: the fraction of sampled points
+//! violating the objective. No violations is [`SloVerdict::Ok`], a
+//! minority burning is [`SloVerdict::Warn`], a majority (or any
+//! violation of a `rate` rule) is [`SloVerdict::Breach`].
+//!
+//! The [`SloWatchdog`] owns the rule set for one registry: it publishes
+//! each rule's latest verdict as a `slo_state_<rule>` gauge (0/1/2),
+//! counts transitions into breach on `slo_breach_total`, and records
+//! breach/clear transitions in the registry's event ring — so scrapes,
+//! the console `health` command, and `cpms-lab`'s timeline all see the
+//! same verdicts without talking to each other.
+
+use crate::registry::{Counter, Gauge, MetricsRegistry};
+use crate::series::SeriesRecorder;
+use std::fmt;
+use std::sync::{Arc, Mutex, Weak};
+use std::time::Duration;
+
+/// A rule's current standing against its objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SloVerdict {
+    /// No sampled point violates the objective (or there is no data
+    /// yet — absence of evidence is not a breach).
+    Ok,
+    /// A minority of the window's points violate the objective.
+    Warn,
+    /// A majority of the window's points violate the objective, or a
+    /// `rate` objective is violated at all.
+    Breach,
+}
+
+impl SloVerdict {
+    /// The gauge encoding: 0 ok, 1 warn, 2 breach.
+    #[must_use]
+    pub fn as_i64(self) -> i64 {
+        match self {
+            SloVerdict::Ok => 0,
+            SloVerdict::Warn => 1,
+            SloVerdict::Breach => 2,
+        }
+    }
+
+    /// The human rendering used by `health` and events.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SloVerdict::Ok => "ok",
+            SloVerdict::Warn => "warn",
+            SloVerdict::Breach => "BREACH",
+        }
+    }
+}
+
+impl fmt::Display for SloVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The comparison an objective asserts about its metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloOp {
+    /// Objective holds while the value is strictly below the target.
+    Lt,
+    /// Objective holds while the value is at or below the target.
+    Le,
+    /// Objective holds while the value is strictly above the target.
+    Gt,
+    /// Objective holds while the value is at or above the target.
+    Ge,
+    /// Objective holds while the value equals the target.
+    Eq,
+}
+
+impl SloOp {
+    fn satisfies(self, value: f64, target: f64) -> bool {
+        match self {
+            SloOp::Lt => value < target,
+            SloOp::Le => value <= target,
+            SloOp::Gt => value > target,
+            SloOp::Ge => value >= target,
+            SloOp::Eq => (value - target).abs() < 1e-9,
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            SloOp::Lt => "<",
+            SloOp::Le => "<=",
+            SloOp::Gt => ">",
+            SloOp::Ge => ">=",
+            SloOp::Eq => "==",
+        }
+    }
+}
+
+/// One parsed objective (see [`SloRule::parse`] for the grammar).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloRule {
+    /// The recorder series the objective reads (e.g.
+    /// `proxy_request_ns.p99` or a counter name for `rate` rules).
+    pub series: String,
+    /// Whether the objective targets the per-second rate of change of
+    /// the series rather than its sampled values.
+    pub rate: bool,
+    /// The comparison asserted by the objective.
+    pub op: SloOp,
+    /// The target value, in the series' base unit (nanoseconds for
+    /// duration targets written with a unit suffix).
+    pub target: f64,
+    /// The trailing evaluation window.
+    pub window: Duration,
+}
+
+impl fmt::Display for SloRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rate = if self.rate { " rate" } else { "" };
+        write!(
+            f,
+            "{}{rate} {} {} over {:?}",
+            self.series,
+            self.op.as_str(),
+            self.target,
+            self.window
+        )
+    }
+}
+
+/// Parses a duration-suffixed target (`5ms`, `250us`, `1.5s`, `800ns`)
+/// into nanoseconds, or a bare number into itself.
+fn parse_target(text: &str) -> Result<f64, String> {
+    let parse = |digits: &str, scale: f64| -> Result<f64, String> {
+        digits
+            .parse::<f64>()
+            .map(|v| v * scale)
+            .map_err(|_| format!("bad target value {text:?}"))
+    };
+    if let Some(d) = text.strip_suffix("ns") {
+        parse(d, 1.0)
+    } else if let Some(d) = text.strip_suffix("us") {
+        parse(d, 1e3)
+    } else if let Some(d) = text.strip_suffix("ms") {
+        parse(d, 1e6)
+    } else if let Some(d) = text.strip_suffix('s') {
+        parse(d, 1e9)
+    } else {
+        parse(text, 1.0)
+    }
+}
+
+/// Parses a window (`30s`, `500ms`, `2m`).
+fn parse_window(text: &str) -> Result<Duration, String> {
+    let parse = |digits: &str, unit_ms: u64| -> Result<Duration, String> {
+        digits
+            .parse::<f64>()
+            .ok()
+            .filter(|v| *v > 0.0)
+            .map(|v| Duration::from_millis((v * unit_ms as f64) as u64))
+            .ok_or_else(|| format!("bad window {text:?}"))
+    };
+    if let Some(d) = text.strip_suffix("ms") {
+        parse(d, 1)
+    } else if let Some(d) = text.strip_suffix('m') {
+        parse(d, 60_000)
+    } else if let Some(d) = text.strip_suffix('s') {
+        parse(d, 1_000)
+    } else {
+        Err(format!("window {text:?} needs a ms/s/m unit"))
+    }
+}
+
+impl SloRule {
+    /// Parses the rule grammar:
+    ///
+    /// ```text
+    /// <series> [rate] <op> <target>[ns|us|ms|s] over <window>[ms|s|m]
+    /// ```
+    ///
+    /// where `<series>` is a recorder series name (histogram families
+    /// expose `<name>.count`, `<name>.p50`, `<name>.p99`), `rate`
+    /// switches the objective to the per-second rate of change, and
+    /// `<op>` is one of `< <= > >= ==`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first token that fails to
+    /// parse.
+    pub fn parse(text: &str) -> Result<SloRule, String> {
+        let tokens: Vec<&str> = text.split_whitespace().collect();
+        let (series, rate, rest) = match tokens.as_slice() {
+            [series, "rate", rest @ ..] => (*series, true, rest),
+            [series, rest @ ..] => (*series, false, rest),
+            [] => return Err("empty rule".to_string()),
+        };
+        let [op, target, over, window] = rest else {
+            return Err(format!(
+                "expected `<series> [rate] <op> <target> over <window>`, got {text:?}"
+            ));
+        };
+        if *over != "over" {
+            return Err(format!("expected `over`, got {over:?}"));
+        }
+        let op = match *op {
+            "<" => SloOp::Lt,
+            "<=" => SloOp::Le,
+            ">" => SloOp::Gt,
+            ">=" => SloOp::Ge,
+            "==" => SloOp::Eq,
+            other => return Err(format!("bad operator {other:?}")),
+        };
+        Ok(SloRule {
+            series: series.to_string(),
+            rate,
+            op,
+            target: parse_target(target)?,
+            window: parse_window(window)?,
+        })
+    }
+
+    /// A metric-name-safe key for this rule (`slo_state_<key>` gauge).
+    #[must_use]
+    pub fn key(&self) -> String {
+        let mut key: String = self
+            .series
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        if self.rate {
+            key.push_str("_rate");
+        }
+        key
+    }
+
+    /// Evaluates the rule against `recorder` (see module docs for the
+    /// verdict semantics).
+    #[must_use]
+    pub fn evaluate(&self, recorder: &SeriesRecorder) -> SloVerdict {
+        if self.rate {
+            return match recorder.rate_per_sec(&self.series, self.window) {
+                Some(rate) if !self.op.satisfies(rate, self.target) => SloVerdict::Breach,
+                _ => SloVerdict::Ok,
+            };
+        }
+        let points = recorder.query(&self.series, self.window);
+        if points.is_empty() {
+            return SloVerdict::Ok;
+        }
+        let violations = points
+            .iter()
+            .filter(|p| !self.op.satisfies(p.value, self.target))
+            .count();
+        if violations == 0 {
+            SloVerdict::Ok
+        } else if violations * 2 < points.len() {
+            SloVerdict::Warn
+        } else {
+            SloVerdict::Breach
+        }
+    }
+}
+
+/// The per-registry rule evaluator (see module docs).
+#[derive(Debug)]
+pub struct SloWatchdog {
+    rules: Vec<SloRule>,
+    registry: Weak<MetricsRegistry>,
+    breach_total: Arc<Counter>,
+    gauges: Vec<Arc<Gauge>>,
+    states: Mutex<Vec<SloVerdict>>,
+}
+
+impl SloWatchdog {
+    /// Builds a watchdog over `rules`, registers its `slo_breach_total`
+    /// counter and one `slo_state_<rule>` gauge per rule on `registry`,
+    /// and installs it as the registry's watchdog (so the [`Sampler`]
+    /// evaluates it after every round).
+    ///
+    /// [`Sampler`]: crate::series::Sampler
+    pub fn install(registry: &Arc<MetricsRegistry>, rules: Vec<SloRule>) -> Arc<SloWatchdog> {
+        let breach_total = registry.counter("slo_breach_total");
+        let gauges = rules
+            .iter()
+            .map(|r| registry.gauge(&format!("slo_state_{}", r.key())))
+            .collect();
+        let states = Mutex::new(vec![SloVerdict::Ok; rules.len()]);
+        let watchdog = Arc::new(SloWatchdog {
+            rules,
+            registry: Arc::downgrade(registry),
+            breach_total,
+            gauges,
+            states,
+        });
+        registry.set_watchdog(Arc::clone(&watchdog));
+        watchdog
+    }
+
+    /// The installed rules, in evaluation order.
+    #[must_use]
+    pub fn rules(&self) -> &[SloRule] {
+        &self.rules
+    }
+
+    /// Evaluates every rule against `recorder`, updating state gauges,
+    /// the breach counter, and the event ring on transitions. Returns
+    /// the fresh verdicts in rule order.
+    pub fn evaluate(&self, recorder: &SeriesRecorder) -> Vec<SloVerdict> {
+        let mut states = self.states.lock().expect("slo state lock");
+        for (i, rule) in self.rules.iter().enumerate() {
+            let verdict = rule.evaluate(recorder);
+            self.gauges[i].set(verdict.as_i64());
+            let was = states[i];
+            if verdict == SloVerdict::Breach && was != SloVerdict::Breach {
+                self.breach_total.inc();
+                if let Some(registry) = self.registry.upgrade() {
+                    registry
+                        .events()
+                        .record("slo", None, format!("breach: {rule}"));
+                }
+            } else if verdict != SloVerdict::Breach && was == SloVerdict::Breach {
+                if let Some(registry) = self.registry.upgrade() {
+                    registry
+                        .events()
+                        .record("slo", None, format!("clear: {rule} → {verdict}"));
+                }
+            }
+            states[i] = verdict;
+        }
+        states.clone()
+    }
+
+    /// The latest verdict per rule, without re-evaluating.
+    #[must_use]
+    pub fn report(&self) -> Vec<(SloRule, SloVerdict)> {
+        let states = self.states.lock().expect("slo state lock");
+        self.rules
+            .iter()
+            .cloned()
+            .zip(states.iter().copied())
+            .collect()
+    }
+
+    /// The worst current verdict across all rules (`Ok` with no rules).
+    #[must_use]
+    pub fn worst(&self) -> SloVerdict {
+        self.states
+            .lock()
+            .expect("slo state lock")
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SloVerdict::Ok)
+    }
+
+    /// Lifetime transitions into breach.
+    #[must_use]
+    pub fn breaches_total(&self) -> u64 {
+        self.breach_total.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn rule_grammar_round_trips() {
+        let rule = SloRule::parse("proxy_request_ns.p99 < 5ms over 30s").unwrap();
+        assert_eq!(rule.series, "proxy_request_ns.p99");
+        assert!(!rule.rate);
+        assert_eq!(rule.op, SloOp::Lt);
+        assert_eq!(rule.target, 5e6);
+        assert_eq!(rule.window, Duration::from_secs(30));
+
+        let rate = SloRule::parse("proxy_backend_errors_total rate <= 0 over 2s").unwrap();
+        assert!(rate.rate);
+        assert_eq!(rate.op, SloOp::Le);
+        assert_eq!(rate.target, 0.0);
+        assert_eq!(rate.key(), "proxy_backend_errors_total_rate");
+
+        let eq = SloRule::parse("store_audit_drift == 0 over 10s").unwrap();
+        assert_eq!(eq.op, SloOp::Eq);
+        let us = SloRule::parse("lat.p50 <= 250us over 500ms").unwrap();
+        assert_eq!(us.target, 250e3);
+        assert_eq!(us.window, Duration::from_millis(500));
+        let m = SloRule::parse("g > 1 over 2m").unwrap();
+        assert_eq!(m.window, Duration::from_secs(120));
+
+        for bad in [
+            "",
+            "just_a_name",
+            "m ~ 5 over 30s",
+            "m < banana over 30s",
+            "m < 5 above 30s",
+            "m < 5 over eventually",
+            "m < 5 over 30",
+        ] {
+            assert!(SloRule::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    fn recorder_with_gauge(values: &[i64]) -> (SeriesRecorder, MetricsRegistry) {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("depth");
+        let rec = SeriesRecorder::new(64);
+        for &v in values {
+            g.set(v);
+            rec.sample(&reg.snapshot());
+        }
+        (rec, reg)
+    }
+
+    #[test]
+    fn burn_rate_splits_ok_warn_breach() {
+        let rule = SloRule::parse("depth <= 10 over 1m").unwrap();
+        let (clean, _r) = recorder_with_gauge(&[1, 2, 3, 4]);
+        assert_eq!(rule.evaluate(&clean), SloVerdict::Ok);
+        let (minority, _r) = recorder_with_gauge(&[1, 2, 3, 99]);
+        assert_eq!(rule.evaluate(&minority), SloVerdict::Warn);
+        let (majority, _r) = recorder_with_gauge(&[99, 98, 97, 1]);
+        assert_eq!(rule.evaluate(&majority), SloVerdict::Breach);
+        let empty = SeriesRecorder::new(8);
+        assert_eq!(
+            rule.evaluate(&empty),
+            SloVerdict::Ok,
+            "no data is not a breach"
+        );
+    }
+
+    #[test]
+    fn rate_rules_are_binary() {
+        let reg = MetricsRegistry::new();
+        let errors = reg.counter("err_total");
+        let rec = SeriesRecorder::new(64);
+        let rule = SloRule::parse("err_total rate <= 0 over 1m").unwrap();
+        rec.sample(&reg.snapshot());
+        assert_eq!(
+            rule.evaluate(&rec),
+            SloVerdict::Ok,
+            "one point: no rate yet"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+        rec.sample(&reg.snapshot());
+        assert_eq!(rule.evaluate(&rec), SloVerdict::Ok, "flat counter");
+        errors.add(4);
+        std::thread::sleep(Duration::from_millis(5));
+        rec.sample(&reg.snapshot());
+        assert_eq!(rule.evaluate(&rec), SloVerdict::Breach, "errors moved");
+    }
+
+    #[test]
+    fn watchdog_counts_breach_transitions_and_clears() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let depth = registry.gauge("depth");
+        let recorder = SeriesRecorder::new(64);
+        let rule = SloRule::parse("depth <= 10 over 50ms").unwrap();
+        let watchdog = SloWatchdog::install(&registry, vec![rule]);
+        assert!(Arc::ptr_eq(
+            &watchdog,
+            &registry.watchdog().expect("installed")
+        ));
+
+        depth.set(5);
+        recorder.sample(&registry.snapshot());
+        assert_eq!(watchdog.evaluate(&recorder), vec![SloVerdict::Ok]);
+        assert_eq!(watchdog.breaches_total(), 0);
+
+        depth.set(50);
+        recorder.sample(&registry.snapshot());
+        recorder.sample(&registry.snapshot());
+        assert_eq!(watchdog.evaluate(&recorder), vec![SloVerdict::Breach]);
+        assert_eq!(watchdog.worst(), SloVerdict::Breach);
+        // Re-evaluating an ongoing breach is not a new transition.
+        watchdog.evaluate(&recorder);
+        assert_eq!(watchdog.breaches_total(), 1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("slo_breach_total"), Some(1));
+        assert_eq!(snap.gauge("slo_state_depth"), Some(2));
+        assert!(
+            snap.events.iter().any(|e| e.detail.starts_with("breach:")),
+            "breach event recorded"
+        );
+
+        // The window drains: verdict clears, gauge drops, event lands.
+        std::thread::sleep(Duration::from_millis(70));
+        depth.set(5);
+        recorder.sample(&registry.snapshot());
+        assert_eq!(watchdog.evaluate(&recorder), vec![SloVerdict::Ok]);
+        assert_eq!(watchdog.breaches_total(), 1, "clears are not breaches");
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("slo_state_depth"), Some(0));
+        assert!(snap.events.iter().any(|e| e.detail.starts_with("clear:")));
+        assert_eq!(watchdog.report().len(), 1);
+        assert_eq!(watchdog.report()[0].1, SloVerdict::Ok);
+    }
+}

@@ -301,6 +301,8 @@ pub struct SpanCollector {
     tiebreak: AtomicU64,
     head_one_in: AtomicU64,
     head_counter: AtomicU64,
+    scrape_seq: AtomicU64,
+    started: Instant,
 }
 
 impl Default for SpanCollector {
@@ -324,6 +326,8 @@ impl SpanCollector {
             tiebreak: AtomicU64::new(0),
             head_one_in: AtomicU64::new(DEFAULT_HEAD_SAMPLE_ONE_IN),
             head_counter: AtomicU64::new(0),
+            scrape_seq: AtomicU64::new(0),
+            started: Instant::now(),
         }
     }
 
@@ -470,14 +474,24 @@ impl SpanCollector {
         out
     }
 
-    /// Renders the `/_cpms/trace.json` document: the process label,
-    /// collector counters, and every retained span.
+    /// Renders the `/_cpms/trace.json` document: the process label, a
+    /// monotonic per-render `scrape_seq` plus collector uptime (so the
+    /// lab orders scrapes without trusting its own clock), collector
+    /// counters, and every retained span.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096);
         out.push_str("{\"process\":\"");
         out.push_str(&crate::export::json_escape(&self.process()));
-        out.push_str("\",\"recorded\":");
+        out.push_str("\",\"scrape_seq\":");
+        out.push_str(&self.scrape_seq.fetch_add(1, Ordering::Relaxed).to_string());
+        out.push_str(",\"uptime_micros\":");
+        out.push_str(
+            &u64::try_from(self.started.elapsed().as_micros())
+                .unwrap_or(u64::MAX)
+                .to_string(),
+        );
+        out.push_str(",\"recorded\":");
         out.push_str(&self.recorded_total().to_string());
         out.push_str(",\"dropped\":");
         out.push_str(&self.dropped_total().to_string());
@@ -840,6 +854,12 @@ mod tests {
         let json = collector.to_json();
         assert!(json.contains("\"process\":\"test\""));
         assert!(json.contains("proxy.relay"));
+        assert!(json.contains("\"scrape_seq\":0"), "{json}");
+        assert!(json.contains("\"uptime_micros\":"), "{json}");
+        assert!(
+            collector.to_json().contains("\"scrape_seq\":1"),
+            "render seq advances"
+        );
     }
 
     #[test]

@@ -33,7 +33,8 @@ echo "==> proxy data-plane smoke (cpms-proxy --smoke: 400-conn churn relay, over
 timeout --signal=KILL 120 ./target/release/cpms-proxy --smoke
 
 echo "==> cluster lab smoke (cpms-lab --smoke: 5 real processes, partition + kill chaos;"
-echo "    tracing gate: merged traces.json must have zero orphan spans and a cross-process trace)"
+echo "    tracing gate: merged traces.json must have zero orphan spans and a cross-process trace;"
+echo "    SLO gate: the kill fault must trip the proxy watchdog into breach and the breach must clear)"
 # Belt and braces on the wall clock: the scenario's own watchdog caps the
 # run at 90 s (exit 3); `timeout` backstops even a wedged watchdog. The
 # release cpms-lab must run from target/release so it finds its sibling

@@ -121,6 +121,113 @@ fn pipelined_keep_alive_requests_answer_in_order() {
     assert_eq!(proxy.relayed(), 2);
 }
 
+/// Gauge hygiene: `proxy_conn_active` must return to exactly zero after
+/// every admission outcome the data plane has — a slowloris trickle that
+/// completes normally, idle connections shed over the global cap, and a
+/// tenant shed over its per-prefix cap. A leak here poisons every
+/// aggregated `top`/`health` view and the flight recorder's history.
+#[test]
+fn conn_active_gauge_returns_to_zero_after_all_admission_paths() {
+    let (origin, table) = single_origin();
+    let registry = Arc::new(MetricsRegistry::new());
+    let mut proxy = ContentAwareProxy::start_with_config(
+        TablePublisher::new(table),
+        vec![origin.addr()],
+        Arc::clone(&registry),
+        ProxyConfig {
+            workers: 1,
+            prefork: 2,
+            max_conns: 4,
+            tenant_caps: vec![cpms_httpd::TenantCap {
+                prefix: "a.html".to_string(),
+                max_conns: 2,
+            }],
+            ..ProxyConfig::default()
+        },
+    )
+    .unwrap();
+    let gauge = |registry: &MetricsRegistry| {
+        registry
+            .snapshot()
+            .gauge("proxy_conn_active")
+            .unwrap_or(i64::MIN)
+    };
+
+    // Path 1: a slowloris trickle that eventually completes and hangs up.
+    let mut slow = TcpStream::connect(proxy.addr()).unwrap();
+    slow.set_nodelay(true).unwrap();
+    let head = b"GET /b.html HTTP/1.1\r\nHost: x\r\n\r\n";
+    for chunk in head.chunks(7) {
+        slow.write_all(chunk).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    slow.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut buf = [0u8; 1024];
+    let n = slow.read(&mut buf).unwrap();
+    assert!(String::from_utf8_lossy(&buf[..n]).starts_with("HTTP/1.1 200"));
+    drop(slow);
+    // Let the trickler's teardown finish so path 2 counts from zero.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while proxy.active_connections() > 0 {
+        assert!(Instant::now() < deadline, "slowloris conn never released");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Path 2: fill the global cap with idle connections; the overflow
+    // connection is shed with a 503 before adoption.
+    let idle: Vec<TcpStream> = (0..4)
+        .map(|_| TcpStream::connect(proxy.addr()).unwrap())
+        .collect();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while proxy.active_connections() < 4 {
+        assert!(Instant::now() < deadline, "idle connections never adopted");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(gauge(&registry), 4, "all admitted connections counted");
+    let mut over = TcpStream::connect(proxy.addr()).unwrap();
+    over.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut refusal = Vec::new();
+    over.read_to_end(&mut refusal).unwrap();
+    assert!(String::from_utf8_lossy(&refusal).starts_with("HTTP/1.1 503"));
+    drop(over);
+    drop(idle);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while proxy.active_connections() > 0 {
+        assert!(Instant::now() < deadline, "idle conns never released");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Path 3: the tenant cap sheds the third /a.html connection while
+    // another tenant keeps flowing.
+    let mut held = Vec::new();
+    for _ in 0..2 {
+        let mut client = HttpClient::connect(proxy.addr()).unwrap();
+        assert_eq!(client.get("/a.html").unwrap().status, 200);
+        held.push(client);
+    }
+    let mut third = HttpClient::connect(proxy.addr()).unwrap();
+    assert_eq!(third.get("/a.html").unwrap().status, 503);
+    let mut other = HttpClient::connect(proxy.addr()).unwrap();
+    assert_eq!(other.get("/b.html").unwrap().status, 200);
+    drop(third);
+    drop(other);
+    drop(held);
+
+    // Every admission path unwound: the gauge must read exactly zero.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while gauge(&registry) != 0 {
+        assert!(
+            Instant::now() < deadline,
+            "proxy_conn_active leaked: {} after every connection closed",
+            gauge(&registry)
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(proxy.active_connections(), 0);
+    proxy.shutdown();
+    assert_eq!(gauge(&registry), 0, "shutdown must not unbalance the gauge");
+}
+
 /// Connections beyond `max_conns` are shed at accept with an immediate
 /// 503 — no queueing behind the event loop — and counted on the
 /// `proxy_conn_rejected_total` counter.
@@ -136,7 +243,7 @@ fn connections_over_the_cap_shed_fast_503s() {
             workers: 1,
             prefork: 2,
             max_conns: 8,
-            tenant_caps: Vec::new(),
+            ..ProxyConfig::default()
         },
     )
     .unwrap();
